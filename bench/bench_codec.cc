@@ -1,0 +1,68 @@
+// Storage-substrate bench: binary format v1 (fixed-width ids) vs v2
+// (delta+varint). Reports file size and full-scan wall time through the
+// FileSeriesSource for the Figure 2 workload and a denser variant.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "tsdb/series_codec.h"
+#include "tsdb/series_source.h"
+#include "util/stopwatch.h"
+
+namespace ppm::bench {
+namespace {
+
+uint64_t FileSize(const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  return static_cast<uint64_t>(file.tellg());
+}
+
+void Run(const char* label, const tsdb::TimeSeries& series) {
+  for (const auto version :
+       {tsdb::BinaryFormatVersion::kV1, tsdb::BinaryFormatVersion::kV2}) {
+    const std::string path =
+        std::string("/tmp/ppm_bench_codec_v") +
+        std::to_string(static_cast<int>(version)) + ".bin";
+    Stopwatch write_watch;
+    DieIf(tsdb::WriteBinarySeries(series, path, version));
+    const double write_ms = write_watch.ElapsedMillis();
+
+    auto source = DieOr(tsdb::FileSeriesSource::Open(path));
+    Stopwatch scan_watch;
+    DieIf(source->StartScan());
+    tsdb::FeatureSet instant;
+    while (source->Next(&instant)) {
+    }
+    DieIf(source->status());
+    const double scan_ms = scan_watch.ElapsedMillis();
+
+    std::printf("%-10s v%d %12llu KiB %12.1f %12.1f\n", label,
+                static_cast<int>(version),
+                static_cast<unsigned long long>(FileSize(path) >> 10),
+                write_ms, scan_ms);
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace ppm::bench
+
+int main() {
+  ppm::bench::PrintHeader("Binary codec: v1 fixed-width vs v2 delta+varint");
+  std::printf("%-10s %2s %16s %12s %12s\n", "workload", "v", "size",
+              "write(ms)", "scan(ms)");
+
+  const auto figure2 =
+      ppm::bench::DieOr(ppm::synth::GenerateSeries(
+          ppm::bench::Figure2Options(200000, 6)));
+  ppm::bench::Run("figure2", figure2.series);
+
+  ppm::synth::GeneratorOptions dense = ppm::bench::Figure2Options(200000, 6);
+  dense.noise_mean = 5.0;
+  const auto dense_series =
+      ppm::bench::DieOr(ppm::synth::GenerateSeries(dense));
+  ppm::bench::Run("dense", dense_series.series);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Multi-period mining (Section 3.2): looping single-period mining
+// (Algorithm 3.3, 2 scans per period) vs shared mining of all periods in the
+// range in two total scans (Algorithm 3.4). Reports measured scan counts and
+// wall time as the range of periods widens.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/multi_period.h"
+#include "tsdb/series_source.h"
+
+namespace ppm::bench {
+namespace {
+
+void Run(uint32_t period_low, uint32_t period_high) {
+  const synth::GeneratedSeries data =
+      DieOr(synth::GenerateSeries(Figure2Options(100000, 6)));
+  MiningOptions options;
+  options.min_confidence = 0.8;
+
+  tsdb::InMemorySeriesSource looped_source(&data.series);
+  const MultiPeriodResult looped = DieOr(
+      MineMultiPeriodLooped(looped_source, period_low, period_high, options));
+  tsdb::InMemorySeriesSource shared_source(&data.series);
+  const MultiPeriodResult shared = DieOr(
+      MineMultiPeriodShared(shared_source, period_low, period_high, options));
+
+  size_t looped_patterns = 0, shared_patterns = 0;
+  for (const auto& [p, r] : looped.per_period) looped_patterns += r.size();
+  for (const auto& [p, r] : shared.per_period) shared_patterns += r.size();
+  if (looped_patterns != shared_patterns) {
+    std::fprintf(stderr, "method disagreement: %zu vs %zu patterns\n",
+                 looped_patterns, shared_patterns);
+    std::exit(1);
+  }
+
+  const uint32_t k = period_high - period_low + 1;
+  std::printf("%9u [%3u,%3u] %12llu %12llu %14.1f %14.1f %10zu\n", k,
+              period_low, period_high,
+              static_cast<unsigned long long>(looped.total_scans),
+              static_cast<unsigned long long>(shared.total_scans),
+              looped.elapsed_seconds * 1e3, shared.elapsed_seconds * 1e3,
+              shared_patterns);
+}
+
+}  // namespace
+}  // namespace ppm::bench
+
+int main() {
+  ppm::bench::PrintHeader(
+      "Algorithm 3.3 (looped) vs 3.4 (shared) over period ranges "
+      "(LENGTH=100k)");
+  std::printf("%9s %9s %12s %12s %14s %14s %10s\n", "#periods", "range",
+              "scans_loop", "scans_share", "looped(ms)", "shared(ms)",
+              "patterns");
+  ppm::bench::Run(50, 50);
+  ppm::bench::Run(48, 52);
+  ppm::bench::Run(45, 55);
+  ppm::bench::Run(40, 60);
+  ppm::bench::Run(30, 70);
+  ppm::bench::Run(10, 90);
+  std::printf(
+      "\nShared mining always uses 2 scans; looping uses 2 per period.\n"
+      "Shared trades scan count for per-scan bookkeeping across periods.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Robustness (the abstract claims "the proposed methods are also robust"):
+// sweep the background noise rate of the Table 1 generator and report
+// whether the planted structure still comes out clean -- spurious letters
+// admitted into F_1, recovery of the planted maximal pattern, and runtime
+// of both miners as the series gets denser.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/apriori_miner.h"
+#include "core/hitset_miner.h"
+#include "core/maximal.h"
+#include "tsdb/series_source.h"
+
+namespace ppm::bench {
+namespace {
+
+void Run(double noise_mean) {
+  synth::GeneratorOptions generator = Figure2Options(100000, 6);
+  generator.noise_mean = noise_mean;
+  const synth::GeneratedSeries data = DieOr(synth::GenerateSeries(generator));
+
+  MiningOptions options;
+  options.period = generator.period;
+  options.min_confidence = 0.8;
+
+  tsdb::InMemorySeriesSource hit_source(&data.series);
+  const MiningResult hitset = DieOr(MineHitSet(hit_source, options));
+  tsdb::InMemorySeriesSource apriori_source(&data.series);
+  const MiningResult apriori = DieOr(MineApriori(apriori_source, options));
+  if (hitset.size() != apriori.size()) {
+    std::fprintf(stderr, "miner disagreement under noise\n");
+    std::exit(1);
+  }
+
+  // Spurious F_1 letters = mined letters beyond the planted ones.
+  const uint64_t spurious =
+      hitset.stats().num_f1_letters >= generator.num_f1
+          ? hitset.stats().num_f1_letters - generator.num_f1
+          : 0;
+  // Planted letters and anchor recovered?
+  uint32_t letters_found = 0;
+  for (const Pattern& letter : data.planted_letters) {
+    if (hitset.Find(letter) != nullptr) ++letters_found;
+  }
+  const bool anchor_found = hitset.Find(data.anchor) != nullptr;
+
+  std::printf("%10.1f %8llu %10llu %12u/%-2u %8s %12.1f %12.1f\n", noise_mean,
+              static_cast<unsigned long long>(hitset.stats().num_f1_letters),
+              static_cast<unsigned long long>(spurious), letters_found,
+              generator.num_f1, anchor_found ? "yes" : "NO",
+              hitset.stats().elapsed_seconds * 1e3,
+              apriori.stats().elapsed_seconds * 1e3);
+}
+
+}  // namespace
+}  // namespace ppm::bench
+
+int main() {
+  ppm::bench::PrintHeader(
+      "Robustness to background noise (LENGTH=100k, p=50, MPL=6, |F1|=12, "
+      "conf 0.8)");
+  std::printf("%10s %8s %10s %15s %8s %12s %12s\n", "noise/slot", "|F1|",
+              "spurious", "letters_found", "anchor", "hit-set(ms)",
+              "apriori(ms)");
+  for (const double noise : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    ppm::bench::Run(noise);
+  }
+  std::printf(
+      "\nNoise features draw from an 88-symbol alphabet, so even 16 noise\n"
+      "events per instant leave each (offset, feature) letter far below the\n"
+      "0.8 threshold: F_1 stays exactly the planted letters and the planted\n"
+      "maximal pattern is recovered; runtime grows only with input density.\n");
+  return 0;
+}

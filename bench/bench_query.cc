@@ -1,0 +1,74 @@
+// Constraint pushdown (src/query): mining with anti-monotone constraints
+// pushed into C_max construction vs mining everything and post-filtering.
+// Pushdown shrinks F_1, which shrinks every later stage -- fewer candidates,
+// smaller hit masks, fewer patterns materialized.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/miner.h"
+#include "query/constraints.h"
+#include "tsdb/series_source.h"
+#include "util/stopwatch.h"
+
+namespace ppm::bench {
+namespace {
+
+void Run(uint32_t num_f1, uint32_t allowed) {
+  synth::GeneratorOptions generator = Figure2Options(100000, 4);
+  generator.num_f1 = num_f1;
+  generator.independent_confidence = 0.6;
+  const synth::GeneratedSeries data = DieOr(synth::GenerateSeries(generator));
+
+  MiningOptions options;
+  options.period = generator.period;
+  options.min_confidence = 0.5;
+
+  query::Constraints constraints;
+  for (uint32_t f = 0; f < allowed; ++f) {
+    constraints.allowed_features.push_back(f);
+  }
+
+  // Pushdown.
+  tsdb::InMemorySeriesSource pushed_source(&data.series);
+  Stopwatch pushed_watch;
+  const MiningResult pushed =
+      DieOr(query::MineConstrained(pushed_source, options, constraints));
+  const double pushed_ms = pushed_watch.ElapsedMillis();
+
+  // Mine-everything + post-filter.
+  tsdb::InMemorySeriesSource plain_source(&data.series);
+  Stopwatch plain_watch;
+  const MiningResult everything = DieOr(Mine(plain_source, options));
+  const auto filtered = query::FilterPatterns(everything, constraints);
+  const double plain_ms = plain_watch.ElapsedMillis();
+
+  if (filtered.size() != pushed.size()) {
+    std::fprintf(stderr, "pushdown disagreement: %zu vs %zu\n", pushed.size(),
+                 filtered.size());
+    std::exit(1);
+  }
+  std::printf("%6u %8u %10llu %10zu %12zu %12.1f %14.1f\n", num_f1, allowed,
+              static_cast<unsigned long long>(pushed.stats().num_f1_letters),
+              pushed.size(), everything.size(), pushed_ms, plain_ms);
+}
+
+}  // namespace
+}  // namespace ppm::bench
+
+int main() {
+  ppm::bench::PrintHeader(
+      "Constraint pushdown vs mine-everything + post-filter (LENGTH=100k)");
+  std::printf("%6s %8s %10s %10s %12s %12s %14s\n", "|F1|", "allowed",
+              "F1_pushed", "patterns", "all_mined", "pushed(ms)",
+              "postfilter(ms)");
+  ppm::bench::Run(12, 4);
+  ppm::bench::Run(24, 4);
+  ppm::bench::Run(40, 4);
+  ppm::bench::Run(40, 8);
+  ppm::bench::Run(40, 40);
+  std::printf(
+      "\nIdentical answers; pushdown cost tracks the allowed subset while\n"
+      "post-filtering pays for the full frequent set first.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Disk-resident mining (Section 5.2, first bullet): when the series lives on
+// disk, each extra scan costs real I/O. This bench mines the same series
+// through a FileSeriesSource and reports scans, bytes read, and wall time
+// for Apriori vs hit-set, plus the in-memory times for contrast.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/apriori_miner.h"
+#include "core/hitset_miner.h"
+#include "tsdb/series_codec.h"
+#include "tsdb/series_source.h"
+
+namespace ppm::bench {
+namespace {
+
+void Run(uint32_t max_pat_length) {
+  const synth::GeneratedSeries data =
+      DieOr(synth::GenerateSeries(Figure2Options(100000, max_pat_length)));
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string path = std::string(tmpdir ? tmpdir : "/tmp") +
+                           "/ppm_bench_scan_io_" +
+                           std::to_string(max_pat_length) + ".bin";
+  DieIf(tsdb::WriteBinarySeries(data.series, path));
+
+  MiningOptions options;
+  options.period = 50;
+  options.min_confidence = 0.8;
+
+  struct Row {
+    const char* name;
+    double ms;
+    uint64_t scans;
+    uint64_t mib;
+  };
+  Row rows[4];
+
+  {
+    auto source = DieOr(tsdb::FileSeriesSource::Open(path));
+    const MiningResult result = DieOr(MineApriori(*source, options));
+    rows[0] = {"apriori/file", result.stats().elapsed_seconds * 1e3,
+               result.stats().scans, source->stats().bytes_read >> 20};
+  }
+  {
+    auto source = DieOr(tsdb::FileSeriesSource::Open(path));
+    const MiningResult result = DieOr(MineHitSet(*source, options));
+    rows[1] = {"hit-set/file", result.stats().elapsed_seconds * 1e3,
+               result.stats().scans, source->stats().bytes_read >> 20};
+  }
+  {
+    tsdb::InMemorySeriesSource source(&data.series);
+    const MiningResult result = DieOr(MineApriori(source, options));
+    rows[2] = {"apriori/mem", result.stats().elapsed_seconds * 1e3,
+               result.stats().scans, 0};
+  }
+  {
+    tsdb::InMemorySeriesSource source(&data.series);
+    const MiningResult result = DieOr(MineHitSet(source, options));
+    rows[3] = {"hit-set/mem", result.stats().elapsed_seconds * 1e3,
+               result.stats().scans, 0};
+  }
+  std::remove(path.c_str());
+
+  for (const Row& row : rows) {
+    std::printf("%15u %-14s %12.1f %8llu %10llu\n", max_pat_length, row.name,
+                row.ms, static_cast<unsigned long long>(row.scans),
+                static_cast<unsigned long long>(row.mib));
+  }
+}
+
+}  // namespace
+}  // namespace ppm::bench
+
+int main() {
+  ppm::bench::PrintHeader(
+      "Disk-resident series: scans and bytes read (LENGTH=100k, p=50)");
+  std::printf("%15s %-14s %12s %8s %10s\n", "max-pat-length", "miner",
+              "time(ms)", "scans", "read(MiB)");
+  ppm::bench::Run(4);
+  ppm::bench::Run(8);
+  std::printf(
+      "\nHit-set reads the file exactly twice regardless of pattern length;\n"
+      "Apriori re-reads it once per level.\n");
+  return 0;
+}

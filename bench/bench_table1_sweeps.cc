@@ -1,0 +1,85 @@
+// Sweeps each synthetic-workload parameter of Table 1 (LENGTH, p,
+// MAX-PAT-LENGTH, |F_1|) while holding the others at the Figure 2 defaults,
+// reporting runtime of both single-period algorithms. The paper states that
+// runtime is governed by MAX-PAT-LENGTH and |F_1| for a fixed p, and scales
+// with LENGTH; these sweeps verify each axis.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/apriori_miner.h"
+#include "core/hitset_miner.h"
+#include "tsdb/series_source.h"
+
+namespace ppm::bench {
+namespace {
+
+void Report(const char* label, uint64_t value,
+            const synth::GeneratorOptions& generator_options) {
+  const synth::GeneratedSeries data =
+      DieOr(synth::GenerateSeries(generator_options));
+  MiningOptions options;
+  options.period = generator_options.period;
+  options.min_confidence = 0.8;
+
+  tsdb::InMemorySeriesSource apriori_source(&data.series);
+  const MiningResult apriori = DieOr(MineApriori(apriori_source, options));
+  tsdb::InMemorySeriesSource hitset_source(&data.series);
+  const MiningResult hitset = DieOr(MineHitSet(hitset_source, options));
+
+  std::printf("%-14s %10llu %14.1f %14.1f %8llu %8llu %10zu\n", label,
+              static_cast<unsigned long long>(value),
+              apriori.stats().elapsed_seconds * 1e3,
+              hitset.stats().elapsed_seconds * 1e3,
+              static_cast<unsigned long long>(apriori.stats().scans),
+              static_cast<unsigned long long>(hitset.stats().scans),
+              hitset.size());
+}
+
+void PrintColumns() {
+  std::printf("%-14s %10s %14s %14s %8s %8s %10s\n", "param", "value",
+              "apriori(ms)", "hit-set(ms)", "scans_A", "scans_H", "patterns");
+}
+
+}  // namespace
+}  // namespace ppm::bench
+
+int main() {
+  using ppm::bench::Figure2Options;
+  using ppm::bench::PrintColumns;
+  using ppm::bench::PrintHeader;
+  using ppm::bench::Report;
+
+  PrintHeader("Table 1 sweep: LENGTH (p=50, MPL=6, |F1|=12)");
+  PrintColumns();
+  for (const uint64_t length : {50000ull, 100000ull, 200000ull, 400000ull}) {
+    Report("LENGTH", length, Figure2Options(length, 6));
+  }
+
+  PrintHeader("Table 1 sweep: period p (LENGTH=100k, MPL=6, |F1| scales)");
+  PrintColumns();
+  for (const uint32_t period : {10u, 25u, 50u, 100u, 200u}) {
+    ppm::synth::GeneratorOptions options = Figure2Options(100000, 6);
+    options.period = period;
+    options.num_f1 = period < 12 ? period : 12;
+    if (options.max_pat_length > options.num_f1) {
+      options.max_pat_length = options.num_f1;
+    }
+    Report("period", period, options);
+  }
+
+  PrintHeader("Table 1 sweep: MAX-PAT-LENGTH (LENGTH=100k, p=50, |F1|=12)");
+  PrintColumns();
+  for (const uint32_t mpl : {2u, 4u, 6u, 8u, 10u, 12u}) {
+    Report("max-pat-len", mpl, Figure2Options(100000, mpl));
+  }
+
+  PrintHeader("Table 1 sweep: |F1| (LENGTH=100k, p=50, MPL=4)");
+  PrintColumns();
+  for (const uint32_t num_f1 : {4u, 8u, 16u, 24u, 32u}) {
+    ppm::synth::GeneratorOptions options = Figure2Options(100000, 4);
+    options.num_f1 = num_f1;
+    Report("|F1|", num_f1, options);
+  }
+  return 0;
+}

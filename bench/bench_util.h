@@ -1,0 +1,53 @@
+#ifndef PPM_BENCH_BENCH_UTIL_H_
+#define PPM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "synth/generator.h"
+#include "util/status.h"
+
+namespace ppm::bench {
+
+/// Aborts the benchmark on an unexpected error (benchmarks have no caller to
+/// propagate a Status to).
+inline void DieIf(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "benchmark failed: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T DieOr(Result<T> result) {
+  DieIf(result.status());
+  return std::move(result).value();
+}
+
+/// The paper's Figure 2 generator configuration: p = 50, |F_1| = 12,
+/// varying LENGTH and MAX-PAT-LENGTH.
+inline synth::GeneratorOptions Figure2Options(uint64_t length,
+                                              uint32_t max_pat_length,
+                                              uint64_t seed = 42) {
+  synth::GeneratorOptions options;
+  options.length = length;
+  options.period = 50;
+  options.max_pat_length = max_pat_length;
+  options.num_f1 = 12;
+  options.num_features = 100;
+  options.anchor_confidence = 0.9;
+  options.independent_confidence = 0.85;
+  options.noise_mean = 1.0;
+  options.seed = seed;
+  return options;
+}
+
+/// Prints a section header in the style used across all bench binaries.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace ppm::bench
+
+#endif  // PPM_BENCH_BENCH_UTIL_H_

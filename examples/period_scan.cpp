@@ -1,0 +1,77 @@
+// Finding patterns at *unexpected* periods (Section 3.2): "certain patterns
+// may appear at some unexpected periods, such as every 11 years, or every
+// 14 hours. It is interesting to provide facilities to mine periodicity for
+// a range of periods."
+//
+// We plant a pattern at period 11 (hidden from the analyst), mine every
+// period in [2, 16] with the shared two-scan method (Algorithm 3.4), and
+// rank periods by the strength of what was found -- the plant at 11 stands
+// out, as do its multiples.
+//
+//   ./examples/period_scan
+
+#include <cstdio>
+
+#include "core/multi_period.h"
+#include "synth/generator.h"
+#include "tsdb/series_source.h"
+
+int main() {
+  using namespace ppm;
+
+  synth::GeneratorOptions generator;
+  generator.length = 22000;
+  generator.period = 11;  // The "unexpected" period.
+  generator.max_pat_length = 3;
+  generator.num_f1 = 5;
+  generator.num_features = 40;
+  generator.anchor_confidence = 0.9;
+  generator.noise_mean = 0.8;
+  generator.seed = 11;
+  auto data = synth::GenerateSeries(generator);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+
+  MiningOptions options;
+  options.min_confidence = 0.8;
+
+  tsdb::InMemorySeriesSource source(&data->series);
+  auto scan = MineMultiPeriodShared(source, 2, 16, options);
+  if (!scan.ok()) {
+    std::fprintf(stderr, "%s\n", scan.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Scanned periods 2..16 in %llu scans of the series "
+              "(%.1f ms total).\n\n",
+              static_cast<unsigned long long>(scan->total_scans),
+              scan->elapsed_seconds * 1e3);
+  std::printf("%7s %10s %14s %16s\n", "period", "patterns", "max L-length",
+              "best long conf");
+  for (const auto& [period, result] : scan->per_period) {
+    uint32_t best_len = 0;
+    double best_conf = 0;
+    for (const auto& entry : result.patterns()) {
+      const uint32_t len = entry.pattern.LetterCount();
+      if (len > best_len ||
+          (len == best_len && entry.confidence > best_conf)) {
+        best_len = len;
+        best_conf = entry.confidence;
+      }
+    }
+    std::printf("%7u %10zu %14u %15.2f%s\n", period, result.size(), best_len,
+                best_conf, period % 11 == 0 ? "   <-- planted" : "");
+  }
+
+  // Show the strongest pattern at the detected period.
+  const MiningResult* at11 = scan->ForPeriod(11);
+  if (at11 != nullptr && !at11->empty()) {
+    const FrequentPattern& top = at11->patterns().back();
+    std::printf("\nStrongest period-11 pattern: %s  (conf=%.2f)\n",
+                top.pattern.Format(data->series.symbols()).c_str(),
+                top.confidence);
+  }
+  return 0;
+}

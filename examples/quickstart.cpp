@@ -1,0 +1,57 @@
+// Quickstart: build a small feature time series, mine its partial periodic
+// patterns with the max-subpattern hit-set miner, and print the results.
+//
+//   ./examples/quickstart
+
+#include <cstdio>
+
+#include "core/maximal.h"
+#include "core/miner.h"
+#include "tsdb/time_series.h"
+
+int main() {
+  using namespace ppm;
+
+  // A week of mornings, repeated: the series has one instant per day part
+  // (morning, afternoon, evening), i.e. a period of 3.
+  tsdb::TimeSeries series;
+  for (int day = 0; day < 30; ++day) {
+    // Coffee every morning; newspaper most mornings.
+    if (day % 5 == 3) {
+      series.AppendNamed({"coffee"});
+    } else {
+      series.AppendNamed({"coffee", "newspaper"});
+    }
+    // Afternoons are irregular.
+    series.AppendNamed({day % 2 == 0 ? "gym" : "errands"});
+    // Tea every evening.
+    series.AppendNamed({"tea"});
+  }
+
+  MiningOptions options;
+  options.period = 3;          // Mine daily patterns.
+  options.min_confidence = 0.75;  // Frequent = holds on >= 75% of days.
+
+  auto result = Mine(series, options);  // Algorithm 3.2 by default.
+  if (!result.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Mined %zu frequent patterns (period %u, m = %llu days, "
+              "%llu scans):\n\n",
+              result->size(), options.period,
+              static_cast<unsigned long long>(result->stats().num_periods),
+              static_cast<unsigned long long>(result->stats().scans));
+  std::printf("%s\n", result->ToString(series.symbols()).c_str());
+
+  std::printf("Maximal patterns (everything else is one of their "
+              "subpatterns):\n");
+  for (const FrequentPattern& entry : MaximalPatterns(*result)) {
+    std::printf("  %s   conf=%.2f\n",
+                entry.pattern.Format(series.symbols()).c_str(),
+                entry.confidence);
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full verification pass: configure, build, run every test, every benchmark,
+# and every example. Exits nonzero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for bench in build/bench/bench_*; do
+  [ -x "$bench" ] || continue
+  echo "== $bench"
+  "$bench"
+done
+
+for example in build/examples/*; do
+  [ -x "$example" ] && [ -f "$example" ] || continue
+  echo "== $example"
+  "$example" > /dev/null
+done
+
+echo "ALL OK"

@@ -1,0 +1,68 @@
+#ifndef PPM_ANALYSIS_PERIOD_SUGGEST_H_
+#define PPM_ANALYSIS_PERIOD_SUGGEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tsdb/symbol_table.h"
+#include "tsdb/time_series.h"
+#include "util/status.h"
+
+namespace ppm::analysis {
+
+/// Score of one candidate period.
+struct PeriodScore {
+  uint32_t period = 0;
+  /// Concentration of the best letter: its 1-pattern confidence minus the
+  /// feature's overall per-instant density. A feature that is simply always
+  /// on scores ~0 at every period; a feature locked to one offset of the
+  /// true period scores near 1 there and near 0 elsewhere.
+  double concentration = 0.0;
+  /// The best letter's plain 1-pattern confidence at this period.
+  double confidence = 0.0;
+  /// The best letter.
+  uint32_t position = 0;
+  tsdb::FeatureId feature = 0;
+};
+
+/// Ranks candidate periods in `[period_low, period_high]` by the strongest
+/// letter concentration, computed from per-period position histograms in a
+/// single pass over the series. This is a *suggestion* heuristic to narrow
+/// the range handed to `MineMultiPeriodShared`; it deliberately reuses the
+/// paper's own F_1 statistic rather than spectral methods (Section 1
+/// explains why FFT is inapplicable to partial periodicity).
+///
+/// Results are sorted by descending concentration. Periods longer than the
+/// series (or with fewer than 2 whole segments) are skipped.
+Result<std::vector<PeriodScore>> SuggestPeriods(const tsdb::TimeSeries& series,
+                                                uint32_t period_low,
+                                                uint32_t period_high);
+
+/// Like `SuggestPeriods` but with one entry per (period, feature) -- each
+/// feature's best offset at each period -- so a weaker periodic signal is
+/// not shadowed by a stronger one at the same period (e.g. a weekly traffic
+/// pattern hiding behind a daily batch job at period 168). Sorted like
+/// `SuggestPeriods`. Feed the result through `FundamentalPeriods` to
+/// collapse each feature's harmonics.
+Result<std::vector<PeriodScore>> SuggestPeriodsPerFeature(
+    const tsdb::TimeSeries& series, uint32_t period_low, uint32_t period_high);
+
+/// Collapses harmonics in a `SuggestPeriods` ranking: a period is dropped
+/// when one of its proper divisors is also in the list with concentration
+/// within `tolerance` (a pattern at period p trivially recurs at 2p, 3p, …,
+/// and the smaller m at the multiple makes its sampled score noisier, often
+/// nominally higher). Returns survivors in the original ranked order.
+std::vector<PeriodScore> FundamentalPeriods(
+    const std::vector<PeriodScore>& scores, double tolerance = 0.05);
+
+/// Lag-autocorrelation of one feature's occurrence indicator: for each lag
+/// `p` in `[lag_low, lag_high]`, the fraction of the feature's occurrences
+/// that recur exactly `p` instants later. A complementary single-feature
+/// diagnostic; peaks suggest candidate periods.
+Result<std::vector<double>> OccurrenceAutocorrelation(
+    const tsdb::TimeSeries& series, tsdb::FeatureId feature, uint32_t lag_low,
+    uint32_t lag_high);
+
+}  // namespace ppm::analysis
+
+#endif  // PPM_ANALYSIS_PERIOD_SUGGEST_H_

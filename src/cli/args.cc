@@ -1,0 +1,91 @@
+#include "cli/args.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace ppm::cli {
+
+Result<ArgMap> ArgMap::Parse(const std::vector<std::string>& args) {
+  ArgMap map;
+  bool flags_done = false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (flags_done || arg.rfind("--", 0) != 0) {
+      map.positional_.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    std::string key = arg.substr(2);
+    std::string value;
+    const size_t equals = key.find('=');
+    if (equals != std::string::npos) {
+      value = key.substr(equals + 1);
+      key = key.substr(0, equals);
+    }
+    if (key.empty()) {
+      return Status::InvalidArgument("empty flag name in '" + arg + "'");
+    }
+    if (equals != std::string::npos) {
+      // Value already extracted from the '=' form.
+    } else if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      value = args[++i];
+    } else {
+      value = "true";  // Bare switch.
+    }
+    if (map.values_.contains(key)) {
+      return Status::InvalidArgument("duplicate flag: --" + key);
+    }
+    map.values_.emplace(std::move(key), std::move(value));
+  }
+  return map;
+}
+
+bool ArgMap::Has(std::string_view key) const {
+  return values_.contains(std::string(key));
+}
+
+std::string ArgMap::GetString(std::string_view key, std::string fallback) const {
+  const auto it = values_.find(std::string(key));
+  if (it == values_.end()) return fallback;
+  return it->second;
+}
+
+Result<uint64_t> ArgMap::GetUint(std::string_view key, uint64_t fallback) const {
+  const auto it = values_.find(std::string(key));
+  if (it == values_.end()) return fallback;
+  uint64_t value = 0;
+  if (!ParseUint64(it->second, &value)) {
+    return Status::InvalidArgument("flag --" + std::string(key) +
+                                   " expects an unsigned integer, got '" +
+                                   it->second + "'");
+  }
+  return value;
+}
+
+Result<double> ArgMap::GetDouble(std::string_view key, double fallback) const {
+  const auto it = values_.find(std::string(key));
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + std::string(key) +
+                                   " expects a number, got '" + it->second +
+                                   "'");
+  }
+  return value;
+}
+
+Status ArgMap::CheckAllowed(const std::set<std::string>& allowed) const {
+  for (const auto& [key, value] : values_) {
+    if (!allowed.contains(key)) {
+      return Status::InvalidArgument("unknown flag: --" + key);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ppm::cli

@@ -1,0 +1,49 @@
+#ifndef PPM_CLI_ARGS_H_
+#define PPM_CLI_ARGS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ppm::cli {
+
+/// Minimal command-line flag parser for the `ppm` tool.
+///
+/// Accepted forms: `--key value`, `--key=value`, and bare `--switch`
+/// (value "true"). Anything not starting with `--` is a positional
+/// argument. `--` by itself ends flag parsing.
+class ArgMap {
+ public:
+  /// Parses raw arguments (excluding argv[0] and the subcommand).
+  static Result<ArgMap> Parse(const std::vector<std::string>& args);
+
+  bool Has(std::string_view key) const;
+
+  /// String value of `key`, or `fallback` when absent.
+  std::string GetString(std::string_view key, std::string fallback) const;
+
+  /// Unsigned integer value; `fallback` when absent; error on non-numeric.
+  Result<uint64_t> GetUint(std::string_view key, uint64_t fallback) const;
+
+  /// Floating-point value; `fallback` when absent; error on non-numeric.
+  Result<double> GetDouble(std::string_view key, double fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Errors if any parsed flag is not in `allowed` -- catches typos like
+  /// `--min-cof` instead of silently using the default.
+  Status CheckAllowed(const std::set<std::string>& allowed) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ppm::cli
+
+#endif  // PPM_CLI_ARGS_H_

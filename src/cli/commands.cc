@@ -1,0 +1,589 @@
+#include "cli/commands.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include "analysis/period_suggest.h"
+#include "core/maximal.h"
+#include "core/maximal_miner.h"
+#include "core/miner.h"
+#include "core/multi_period.h"
+#include "core/pattern_io.h"
+#include "discretize/discretizer.h"
+#include "etl/bucketizer.h"
+#include "etl/event_log.h"
+#include "evolve/evolution.h"
+#include "rules/rules.h"
+#include "synth/generator.h"
+#include "tsdb/database.h"
+#include "tsdb/series_codec.h"
+#include "tsdb/series_source.h"
+
+namespace ppm::cli {
+
+namespace {
+
+bool HasSuffix(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Text for `.txt` paths, binary otherwise.
+Result<tsdb::TimeSeries> LoadSeries(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("--input is required");
+  if (HasSuffix(path, ".txt")) return tsdb::ReadTextSeries(path);
+  return tsdb::ReadBinarySeries(path);
+}
+
+Status SaveSeries(const tsdb::TimeSeries& series, const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("--output is required");
+  if (HasSuffix(path, ".txt")) return tsdb::WriteTextSeries(series, path);
+  return tsdb::WriteBinarySeries(series, path);
+}
+
+Result<MiningOptions> MiningOptionsFromArgs(const ArgMap& args) {
+  MiningOptions options;
+  PPM_ASSIGN_OR_RETURN(const uint64_t period, args.GetUint("period", 0));
+  options.period = static_cast<uint32_t>(period);
+  PPM_ASSIGN_OR_RETURN(options.min_confidence,
+                       args.GetDouble("min-conf", 0.8));
+  PPM_ASSIGN_OR_RETURN(options.min_count, args.GetUint("min-count", 0));
+  PPM_ASSIGN_OR_RETURN(const uint64_t max_letters,
+                       args.GetUint("max-letters", 0));
+  options.max_letters = static_cast<uint32_t>(max_letters);
+  return options;
+}
+
+void PrintPatterns(const std::vector<FrequentPattern>& patterns,
+                   const tsdb::SymbolTable& symbols, uint64_t top,
+                   std::ostream& out) {
+  uint64_t shown = 0;
+  for (const FrequentPattern& entry : patterns) {
+    if (top != 0 && shown >= top) {
+      out << "  ... (" << patterns.size() - shown << " more; use --top 0 for all)\n";
+      return;
+    }
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "  count=%llu conf=%.4f  ",
+                  static_cast<unsigned long long>(entry.count),
+                  entry.confidence);
+    out << buffer << entry.pattern.Format(symbols) << "\n";
+    ++shown;
+  }
+}
+
+}  // namespace
+
+Status RunMine(const ArgMap& args, std::ostream& out) {
+  PPM_RETURN_IF_ERROR(args.CheckAllowed({"input", "period", "min-conf",
+                                         "min-count", "algorithm",
+                                         "max-letters", "maximal", "rules",
+                                         "top", "save"}));
+  PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series,
+                       LoadSeries(args.GetString("input", "")));
+  PPM_ASSIGN_OR_RETURN(MiningOptions options, MiningOptionsFromArgs(args));
+  PPM_ASSIGN_OR_RETURN(const uint64_t top, args.GetUint("top", 50));
+
+  const std::string algorithm = args.GetString("algorithm", "hitset");
+  tsdb::InMemorySeriesSource source(&series);
+  MiningResult result;
+  if (algorithm == "hitset") {
+    PPM_ASSIGN_OR_RETURN(result,
+                         Mine(source, options, Algorithm::kMaxSubpatternHitSet));
+  } else if (algorithm == "apriori") {
+    PPM_ASSIGN_OR_RETURN(result, Mine(source, options, Algorithm::kApriori));
+  } else if (algorithm == "maximal") {
+    PPM_ASSIGN_OR_RETURN(result, MineMaximalHitSet(source, options));
+  } else {
+    return Status::InvalidArgument(
+        "--algorithm must be one of: hitset, apriori, maximal");
+  }
+
+  out << "period=" << options.period << " m=" << result.stats().num_periods
+      << " |F1|=" << result.stats().num_f1_letters
+      << " scans=" << result.stats().scans << " patterns=" << result.size()
+      << "\n";
+
+  if (args.Has("maximal") && algorithm != "maximal") {
+    const auto maximal = MaximalPatterns(result);
+    out << "maximal patterns: " << maximal.size() << "\n";
+    PrintPatterns(maximal, series.symbols(), top, out);
+  } else {
+    PrintPatterns(result.patterns(), series.symbols(), top, out);
+  }
+
+  if (args.Has("rules")) {
+    PPM_ASSIGN_OR_RETURN(const double rule_conf, args.GetDouble("rules", 0.9));
+    PPM_ASSIGN_OR_RETURN(const auto rules,
+                         rules::GenerateRules(result, rule_conf));
+    out << "rules (confidence >= " << rule_conf << "): " << rules.size()
+        << "\n";
+    uint64_t shown = 0;
+    for (const auto& rule : rules) {
+      if (top != 0 && shown++ >= top) break;
+      out << "  " << rule.Format(series.symbols()) << "\n";
+    }
+  }
+  if (args.Has("save")) {
+    const std::string save_path = args.GetString("save", "");
+    PPM_RETURN_IF_ERROR(WritePatternsFile(result, series.symbols(), save_path));
+    out << "saved " << result.size() << " patterns to " << save_path << "\n";
+  }
+  return Status::OK();
+}
+
+Status RunApply(const ArgMap& args, std::ostream& out) {
+  PPM_RETURN_IF_ERROR(args.CheckAllowed({"patterns", "input", "min-drop"}));
+  const std::string patterns_path = args.GetString("patterns", "");
+  if (patterns_path.empty()) {
+    return Status::InvalidArgument("--patterns is required");
+  }
+  PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series,
+                       LoadSeries(args.GetString("input", "")));
+  PPM_ASSIGN_OR_RETURN(const MiningResult patterns,
+                       ReadPatternsFile(patterns_path, &series.symbols()));
+  PPM_ASSIGN_OR_RETURN(const double min_drop, args.GetDouble("min-drop", 0.0));
+  PPM_ASSIGN_OR_RETURN(const auto applied, ApplyPatterns(patterns, series));
+
+  out << "applied " << applied.size() << " patterns\n";
+  for (const AppliedPattern& row : applied) {
+    const double drop = row.old_confidence - row.new_confidence;
+    if (drop < min_drop) continue;
+    char buffer[72];
+    std::snprintf(buffer, sizeof(buffer),
+                  "  old=%.4f new=%.4f (%+.4f)  ", row.old_confidence,
+                  row.new_confidence, row.new_confidence - row.old_confidence);
+    out << buffer << row.pattern.Format(series.symbols()) << "\n";
+  }
+  return Status::OK();
+}
+
+Status RunEvolve(const ArgMap& args, std::ostream& out) {
+  PPM_RETURN_IF_ERROR(args.CheckAllowed(
+      {"input", "period", "window", "min-conf", "min-count", "top"}));
+  PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series,
+                       LoadSeries(args.GetString("input", "")));
+  PPM_ASSIGN_OR_RETURN(MiningOptions options, MiningOptionsFromArgs(args));
+  PPM_ASSIGN_OR_RETURN(const uint64_t window,
+                       args.GetUint("window", options.period * 100ull));
+  PPM_ASSIGN_OR_RETURN(const uint64_t top, args.GetUint("top", 5));
+
+  PPM_ASSIGN_OR_RETURN(const auto windows,
+                       evolve::MineWindows(series, window, options));
+  out << windows.size() << " windows of " << window << " instants\n";
+  for (size_t w = 0; w < windows.size(); ++w) {
+    out << "window " << w << " [start " << windows[w].start << "]: "
+        << windows[w].result.size() << " patterns\n";
+    if (w == 0) continue;
+    const auto diff =
+        evolve::DiffResults(windows[w - 1].result, windows[w].result, 0.1);
+    for (const auto& entry : diff.appeared) {
+      out << "  + " << entry.pattern.Format(series.symbols()) << "\n";
+    }
+    for (const auto& entry : diff.vanished) {
+      out << "  - " << entry.pattern.Format(series.symbols()) << "\n";
+    }
+    for (const auto& change : diff.shifted) {
+      char buffer[48];
+      std::snprintf(buffer, sizeof(buffer), "  ~ %.2f -> %.2f  ",
+                    change.before_confidence, change.after_confidence);
+      out << buffer << change.pattern.Format(series.symbols()) << "\n";
+    }
+  }
+
+  const auto stability = evolve::StabilityReport(windows);
+  out << "most stable patterns:\n";
+  uint64_t shown = 0;
+  for (const auto& entry : stability) {
+    if (top != 0 && shown++ >= top) break;
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "  %u/%zu windows, mean conf %.2f  ",
+                  entry.windows_present, windows.size(),
+                  entry.mean_confidence);
+    out << buffer << entry.pattern.Format(series.symbols()) << "\n";
+  }
+  return Status::OK();
+}
+
+Status RunScan(const ArgMap& args, std::ostream& out) {
+  PPM_RETURN_IF_ERROR(args.CheckAllowed({"input", "period-low", "period-high",
+                                         "min-conf", "min-count", "method",
+                                         "max-letters", "top"}));
+  PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series,
+                       LoadSeries(args.GetString("input", "")));
+  PPM_ASSIGN_OR_RETURN(MiningOptions options, MiningOptionsFromArgs(args));
+  PPM_ASSIGN_OR_RETURN(const uint64_t low, args.GetUint("period-low", 2));
+  PPM_ASSIGN_OR_RETURN(const uint64_t high, args.GetUint("period-high", 16));
+  PPM_ASSIGN_OR_RETURN(const uint64_t top, args.GetUint("top", 3));
+
+  const std::string method = args.GetString("method", "shared");
+  tsdb::InMemorySeriesSource source(&series);
+  MultiPeriodResult scan;
+  if (method == "shared") {
+    PPM_ASSIGN_OR_RETURN(
+        scan, MineMultiPeriodShared(source, static_cast<uint32_t>(low),
+                                    static_cast<uint32_t>(high), options));
+  } else if (method == "looped") {
+    PPM_ASSIGN_OR_RETURN(
+        scan, MineMultiPeriodLooped(source, static_cast<uint32_t>(low),
+                                    static_cast<uint32_t>(high), options));
+  } else {
+    return Status::InvalidArgument("--method must be shared or looped");
+  }
+
+  out << "scanned periods " << low << ".." << high << " in "
+      << scan.total_scans << " scans of the series\n";
+  for (const auto& [period, result] : scan.per_period) {
+    if (result.empty()) continue;
+    out << "period " << period << ": " << result.size()
+        << " frequent patterns\n";
+    // Show the longest few.
+    std::vector<FrequentPattern> sorted = result.patterns();
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const FrequentPattern& a, const FrequentPattern& b) {
+                       return a.pattern.LetterCount() > b.pattern.LetterCount();
+                     });
+    if (top != 0 && sorted.size() > top) sorted.resize(top);
+    PrintPatterns(sorted, series.symbols(), 0, out);
+  }
+  return Status::OK();
+}
+
+Status RunGenerate(const ArgMap& args, std::ostream& out) {
+  PPM_RETURN_IF_ERROR(args.CheckAllowed({"output", "length", "period",
+                                         "max-pat-length", "num-f1",
+                                         "num-features", "conf", "noise",
+                                         "seed"}));
+  synth::GeneratorOptions options;
+  PPM_ASSIGN_OR_RETURN(options.length, args.GetUint("length", 100000));
+  PPM_ASSIGN_OR_RETURN(const uint64_t period, args.GetUint("period", 50));
+  options.period = static_cast<uint32_t>(period);
+  PPM_ASSIGN_OR_RETURN(const uint64_t mpl, args.GetUint("max-pat-length", 8));
+  options.max_pat_length = static_cast<uint32_t>(mpl);
+  PPM_ASSIGN_OR_RETURN(const uint64_t num_f1, args.GetUint("num-f1", 12));
+  options.num_f1 = static_cast<uint32_t>(num_f1);
+  PPM_ASSIGN_OR_RETURN(const uint64_t num_features,
+                       args.GetUint("num-features", 100));
+  options.num_features = static_cast<uint32_t>(num_features);
+  PPM_ASSIGN_OR_RETURN(options.anchor_confidence, args.GetDouble("conf", 0.9));
+  PPM_ASSIGN_OR_RETURN(options.noise_mean, args.GetDouble("noise", 1.0));
+  PPM_ASSIGN_OR_RETURN(options.seed, args.GetUint("seed", 42));
+
+  PPM_ASSIGN_OR_RETURN(const synth::GeneratedSeries generated,
+                       synth::GenerateSeries(options));
+  PPM_RETURN_IF_ERROR(
+      SaveSeries(generated.series, args.GetString("output", "")));
+  out << "wrote " << generated.series.length() << " instants to "
+      << args.GetString("output", "") << "\n"
+      << "planted max-pattern: "
+      << generated.anchor.Format(generated.series.symbols()) << "\n";
+  return Status::OK();
+}
+
+Status RunSuggest(const ArgMap& args, std::ostream& out) {
+  PPM_RETURN_IF_ERROR(args.CheckAllowed(
+      {"input", "period-low", "period-high", "per-feature", "top"}));
+  PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series,
+                       LoadSeries(args.GetString("input", "")));
+  PPM_ASSIGN_OR_RETURN(const uint64_t low, args.GetUint("period-low", 2));
+  PPM_ASSIGN_OR_RETURN(const uint64_t high, args.GetUint("period-high", 64));
+  PPM_ASSIGN_OR_RETURN(const uint64_t top, args.GetUint("top", 10));
+
+  std::vector<analysis::PeriodScore> scores;
+  if (args.Has("per-feature")) {
+    PPM_ASSIGN_OR_RETURN(scores, analysis::SuggestPeriodsPerFeature(
+                                     series, static_cast<uint32_t>(low),
+                                     static_cast<uint32_t>(high)));
+  } else {
+    PPM_ASSIGN_OR_RETURN(
+        scores, analysis::SuggestPeriods(series, static_cast<uint32_t>(low),
+                                         static_cast<uint32_t>(high)));
+  }
+  const auto fundamentals = analysis::FundamentalPeriods(scores);
+  out << "period  concentration  confidence  letter\n";
+  uint64_t shown = 0;
+  for (const analysis::PeriodScore& score : fundamentals) {
+    if (top != 0 && shown++ >= top) break;
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%-7u %-14.3f %-11.3f ",
+                  score.period, score.concentration, score.confidence);
+    out << buffer << series.symbols().NameOrPlaceholder(score.feature) << "@+"
+        << score.position << "\n";
+  }
+  return Status::OK();
+}
+
+Status RunBucketize(const ArgMap& args, std::ostream& out) {
+  PPM_RETURN_IF_ERROR(args.CheckAllowed(
+      {"events", "output", "width", "origin", "end", "calendar"}));
+  const std::string events_path = args.GetString("events", "");
+  if (events_path.empty()) {
+    return Status::InvalidArgument("--events is required");
+  }
+  PPM_ASSIGN_OR_RETURN(const etl::EventLog log, etl::ReadEventLog(events_path));
+
+  etl::BucketizeOptions options;
+  PPM_ASSIGN_OR_RETURN(const uint64_t width, args.GetUint("width", 3600));
+  options.bucket_width = static_cast<int64_t>(width);
+  if (args.Has("origin")) {
+    PPM_ASSIGN_OR_RETURN(const uint64_t origin, args.GetUint("origin", 0));
+    options.origin = static_cast<int64_t>(origin);
+  }
+  if (args.Has("end")) {
+    PPM_ASSIGN_OR_RETURN(const uint64_t end, args.GetUint("end", 0));
+    options.end = static_cast<int64_t>(end);
+  }
+  PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series, etl::Bucketize(log, options));
+
+  if (args.Has("calendar")) {
+    const std::string calendar = args.GetString("calendar", "");
+    PPM_ASSIGN_OR_RETURN(const int64_t origin,
+                         etl::ResolveOrigin(log, options));
+    if (calendar == "dow") {
+      etl::AnnotateCalendar(&series, origin, options.bucket_width,
+                            etl::CalendarFeature::kDayOfWeek);
+    } else if (calendar == "hour") {
+      etl::AnnotateCalendar(&series, origin, options.bucket_width,
+                            etl::CalendarFeature::kHourOfDay);
+    } else {
+      return Status::InvalidArgument("--calendar must be dow or hour");
+    }
+  }
+
+  PPM_RETURN_IF_ERROR(SaveSeries(series, args.GetString("output", "")));
+  out << "bucketized " << log.size() << " events into " << series.length()
+      << " instants (" << series.symbols().size() << " features)\n";
+  return Status::OK();
+}
+
+Status RunDiscretize(const ArgMap& args, std::ostream& out) {
+  PPM_RETURN_IF_ERROR(args.CheckAllowed({"values", "output", "bins", "method",
+                                         "prefix", "movement", "epsilon"}));
+  const std::string values_path = args.GetString("values", "");
+  if (values_path.empty()) {
+    return Status::InvalidArgument("--values is required");
+  }
+  std::ifstream in(values_path);
+  if (!in) return Status::IoError("cannot open: " + values_path);
+  std::vector<double> values;
+  std::string line;
+  uint64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    char* end = nullptr;
+    const double value = std::strtod(line.c_str(), &end);
+    if (end == line.c_str()) {
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": not a number: " + line);
+    }
+    values.push_back(value);
+  }
+  if (in.bad()) return Status::IoError("read failed: " + values_path);
+
+  tsdb::TimeSeries series;
+  if (args.Has("movement")) {
+    PPM_ASSIGN_OR_RETURN(const double epsilon, args.GetDouble("epsilon", 0.0));
+    PPM_ASSIGN_OR_RETURN(
+        series, discretize::EncodeMovement(values, epsilon,
+                                           args.GetString("prefix", "")));
+  } else {
+    discretize::DiscretizeOptions options;
+    PPM_ASSIGN_OR_RETURN(const uint64_t bins, args.GetUint("bins", 4));
+    options.num_bins = static_cast<uint32_t>(bins);
+    options.prefix = args.GetString("prefix", "lvl");
+    const std::string method = args.GetString("method", "width");
+    if (method == "width") {
+      options.method = discretize::BinningMethod::kEqualWidth;
+    } else if (method == "freq") {
+      options.method = discretize::BinningMethod::kEqualFrequency;
+    } else if (method == "gaussian") {
+      options.method = discretize::BinningMethod::kGaussian;
+    } else {
+      return Status::InvalidArgument(
+          "--method must be width, freq, or gaussian");
+    }
+    PPM_ASSIGN_OR_RETURN(series, discretize::Discretize(values, options));
+  }
+
+  PPM_RETURN_IF_ERROR(SaveSeries(series, args.GetString("output", "")));
+  out << "discretized " << values.size() << " values into "
+      << series.length() << " instants (" << series.symbols().size()
+      << " features)\n";
+  return Status::OK();
+}
+
+Status RunStats(const ArgMap& args, std::ostream& out) {
+  PPM_RETURN_IF_ERROR(args.CheckAllowed({"input"}));
+  PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series,
+                       LoadSeries(args.GetString("input", "")));
+  uint64_t total_features = 0;
+  uint64_t empty_instants = 0;
+  uint32_t max_features = 0;
+  for (const tsdb::FeatureSet& instant : series.instants()) {
+    const uint32_t count = instant.Count();
+    total_features += count;
+    if (count == 0) ++empty_instants;
+    if (count > max_features) max_features = count;
+  }
+  out << "instants:        " << series.length() << "\n"
+      << "features:        " << series.symbols().size() << "\n"
+      << "feature events:  " << total_features << "\n"
+      << "empty instants:  " << empty_instants << "\n"
+      << "max per instant: " << max_features << "\n";
+  if (series.length() > 0) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.3f",
+                  static_cast<double>(total_features) /
+                      static_cast<double>(series.length()));
+    out << "avg per instant: " << buffer << "\n";
+  }
+  return Status::OK();
+}
+
+Status RunConvert(const ArgMap& args, std::ostream& out) {
+  PPM_RETURN_IF_ERROR(args.CheckAllowed({"input", "output"}));
+  PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series,
+                       LoadSeries(args.GetString("input", "")));
+  PPM_RETURN_IF_ERROR(SaveSeries(series, args.GetString("output", "")));
+  out << "converted " << series.length() << " instants\n";
+  return Status::OK();
+}
+
+Status RunDb(const ArgMap& args, std::ostream& out) {
+  PPM_RETURN_IF_ERROR(
+      args.CheckAllowed({"dir", "name", "input", "output"}));
+  if (args.positional().size() != 1) {
+    return Status::InvalidArgument(
+        "db needs exactly one action: list, put, get, or drop");
+  }
+  const std::string& action = args.positional()[0];
+  const std::string dir = args.GetString("dir", "");
+  if (dir.empty()) return Status::InvalidArgument("--dir is required");
+  PPM_ASSIGN_OR_RETURN(const auto db, tsdb::Database::Open(dir));
+
+  if (action == "list") {
+    for (const std::string& name : db->List()) {
+      auto source = db->Scan(name);
+      if (source.ok()) {
+        out << name << "  (" << (*source)->length() << " instants, "
+            << (*source)->symbols().size() << " features)\n";
+      } else {
+        out << name << "  (unreadable: " << source.status().ToString()
+            << ")\n";
+      }
+    }
+    out << db->List().size() << " series in " << dir << "\n";
+    return Status::OK();
+  }
+
+  const std::string name = args.GetString("name", "");
+  if (name.empty()) return Status::InvalidArgument("--name is required");
+  if (action == "put") {
+    PPM_ASSIGN_OR_RETURN(const tsdb::TimeSeries series,
+                         LoadSeries(args.GetString("input", "")));
+    PPM_RETURN_IF_ERROR(db->Put(name, series));
+    out << "stored " << series.length() << " instants as " << name << "\n";
+    return Status::OK();
+  }
+  if (action == "get") {
+    PPM_ASSIGN_OR_RETURN(const tsdb::TimeSeries series, db->Get(name));
+    PPM_RETURN_IF_ERROR(SaveSeries(series, args.GetString("output", "")));
+    out << "exported " << series.length() << " instants from " << name
+        << "\n";
+    return Status::OK();
+  }
+  if (action == "drop") {
+    PPM_RETURN_IF_ERROR(db->Drop(name));
+    out << "dropped " << name << "\n";
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown db action: " + action);
+}
+
+std::string UsageText() {
+  return
+      "ppm -- partial periodic pattern mining (Han, Dong & Yin, ICDE 1999)\n"
+      "\n"
+      "usage: ppm <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  mine      mine one period: --input F --period N [--min-conf 0.8]\n"
+      "            [--min-count N] [--algorithm hitset|apriori|maximal]\n"
+      "            [--max-letters K] [--maximal] [--rules CONF] [--top N]\n"
+      "            [--save PATTERNS_FILE]\n"
+      "  apply     re-evaluate saved patterns on another series:\n"
+      "            --patterns F --input F [--min-drop D]\n"
+      "  evolve    windowed re-mining with diffs: --input F --period N\n"
+      "            [--window INSTANTS] [--min-conf 0.8] [--top N]\n"
+      "  scan      mine a period range: --input F --period-low A\n"
+      "            --period-high B [--min-conf 0.8] [--method shared|looped]\n"
+      "  suggest   rank candidate periods: --input F [--period-low A]\n"
+      "            [--period-high B] [--per-feature] [--top N]\n"
+      "  bucketize derive a series from '<timestamp> <feature>' event lines:\n"
+      "            --events F --output F [--width SECS] [--origin T]\n"
+      "            [--end T] [--calendar dow|hour]\n"
+      "  discretize  numeric lines -> categorical series: --values F\n"
+      "            --output F [--bins N] [--method width|freq|gaussian]\n"
+      "            [--prefix P] | [--movement [--epsilon E]]\n"
+      "  generate  synthesize a series: --output F [--length N] [--period N]\n"
+      "            [--max-pat-length N] [--num-f1 N] [--num-features N]\n"
+      "            [--conf C] [--noise M] [--seed S]\n"
+      "  stats     summarize a series: --input F\n"
+      "  convert   transcode text<->binary: --input F --output F\n"
+      "  db        series catalog: db list|put|get|drop --dir D [--name N]\n"
+      "            [--input F] [--output F]\n"
+      "\n"
+      "Series files ending in .txt use the text codec (one instant per\n"
+      "line, space-separated feature names); anything else is binary.\n";
+}
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << UsageText();
+    return args.empty() ? 2 : 0;
+  }
+  const std::string& command = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  auto parsed = ArgMap::Parse(rest);
+  if (!parsed.ok()) {
+    err << "error: " << parsed.status().ToString() << "\n";
+    return 2;
+  }
+  Status status;
+  if (command == "mine") {
+    status = RunMine(*parsed, out);
+  } else if (command == "scan") {
+    status = RunScan(*parsed, out);
+  } else if (command == "apply") {
+    status = RunApply(*parsed, out);
+  } else if (command == "evolve") {
+    status = RunEvolve(*parsed, out);
+  } else if (command == "suggest") {
+    status = RunSuggest(*parsed, out);
+  } else if (command == "bucketize") {
+    status = RunBucketize(*parsed, out);
+  } else if (command == "discretize") {
+    status = RunDiscretize(*parsed, out);
+  } else if (command == "generate") {
+    status = RunGenerate(*parsed, out);
+  } else if (command == "stats") {
+    status = RunStats(*parsed, out);
+  } else if (command == "convert") {
+    status = RunConvert(*parsed, out);
+  } else if (command == "db") {
+    status = RunDb(*parsed, out);
+  } else {
+    err << "error: unknown command '" << command << "'\n" << UsageText();
+    return 2;
+  }
+  if (!status.ok()) {
+    err << "error: " << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace ppm::cli

@@ -1,0 +1,72 @@
+#ifndef PPM_CLI_COMMANDS_H_
+#define PPM_CLI_COMMANDS_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cli/args.h"
+#include "util/status.h"
+
+namespace ppm::cli {
+
+/// `ppm mine`: mine partial periodic patterns of one period from a series
+/// file. Flags: --input, --period, --min-conf|--min-count, --algorithm
+/// {apriori,hitset,maximal}, --max-letters, --maximal, --rules CONF, --top N.
+Status RunMine(const ArgMap& args, std::ostream& out);
+
+/// `ppm scan`: mine a range of periods. Flags: --input, --period-low,
+/// --period-high, --min-conf, --method {shared,looped}, --top N.
+Status RunScan(const ArgMap& args, std::ostream& out);
+
+/// `ppm generate`: write a synthetic series (Table 1 generator). Flags:
+/// --output, --length, --period, --max-pat-length, --num-f1,
+/// --num-features, --conf, --noise, --seed.
+Status RunGenerate(const ArgMap& args, std::ostream& out);
+
+/// `ppm suggest`: rank candidate periods by letter concentration. Flags:
+/// --input, --period-low, --period-high, --per-feature, --top N.
+Status RunSuggest(const ArgMap& args, std::ostream& out);
+
+/// `ppm bucketize`: derive a feature series from a timestamped event log.
+/// Flags: --events, --output, --width, --origin, --end, --calendar
+/// {dow,hour}.
+Status RunBucketize(const ArgMap& args, std::ostream& out);
+
+/// `ppm apply`: re-evaluate saved patterns on another series. Flags:
+/// --patterns, --input, --min-drop (only show patterns whose confidence
+/// fell by at least this much).
+Status RunApply(const ArgMap& args, std::ostream& out);
+
+/// `ppm evolve`: windowed re-mining with diffs. Flags: --input, --period,
+/// --window (instants), --min-conf|--min-count, --top.
+Status RunEvolve(const ArgMap& args, std::ostream& out);
+
+/// `ppm discretize`: turn a numeric series (one value per line) into a
+/// categorical feature series. Flags: --values, --output, --bins, --method
+/// {width,freq,gaussian}, --prefix, --movement, --epsilon.
+Status RunDiscretize(const ArgMap& args, std::ostream& out);
+
+/// `ppm stats`: summarize a series file. Flags: --input.
+Status RunStats(const ArgMap& args, std::ostream& out);
+
+/// `ppm convert`: transcode between the text and binary formats. Flags:
+/// --input, --output.
+Status RunConvert(const ArgMap& args, std::ostream& out);
+
+/// `ppm db`: catalog operations. First positional is the sub-action:
+/// `list|put|get|drop`. Flags: --dir (catalog root), --name,
+/// --input (for put), --output (for get).
+Status RunDb(const ArgMap& args, std::ostream& out);
+
+/// Usage text for all commands.
+std::string UsageText();
+
+/// Dispatches `argv[1]` to a command; returns the process exit code and
+/// prints errors to `err`.
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace ppm::cli
+
+#endif  // PPM_CLI_COMMANDS_H_

@@ -1,0 +1,13 @@
+// Entry point of the `ppm` command-line tool. All logic lives in
+// `cli/commands.{h,cc}` so it can be unit-tested against in-memory streams.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return ppm::cli::RunCli(args, std::cout, std::cerr);
+}

@@ -1,0 +1,101 @@
+#include "core/apriori_miner.h"
+
+#include <utility>
+#include <vector>
+
+#include "core/candidate_gen.h"
+#include "core/f1_scan.h"
+#include "util/stopwatch.h"
+
+namespace ppm {
+
+namespace {
+
+/// Scans the source once and fills `candidate->count` for every candidate:
+/// a candidate is counted in each whole period segment whose letter mask is
+/// a superset of the candidate's mask.
+Status CountCandidatesByScan(tsdb::SeriesSource& source,
+                             const F1ScanResult& f1,
+                             std::vector<LevelEntry>* candidates) {
+  PPM_RETURN_IF_ERROR(source.StartScan());
+  const uint32_t period = f1.space.period();
+  const uint64_t covered = f1.num_periods * period;
+
+  Bitset segment_mask(f1.space.size());
+  tsdb::FeatureSet instant;
+  uint64_t t = 0;
+  while (t < covered && source.Next(&instant)) {
+    const uint32_t position = static_cast<uint32_t>(t % period);
+    if (position == 0) segment_mask.Reset();
+    f1.space.AccumulatePosition(position, instant, &segment_mask);
+    if (position == period - 1) {
+      for (LevelEntry& candidate : *candidates) {
+        if (candidate.mask.IsSubsetOf(segment_mask)) ++candidate.count;
+      }
+    }
+    ++t;
+  }
+  PPM_RETURN_IF_ERROR(source.status());
+  if (t < covered) {
+    return Status::Internal("source ended before its declared length");
+  }
+  return Status::OK();
+}
+
+void EmitLevel(const F1ScanResult& f1, const std::vector<LevelEntry>& level,
+               MiningResult* result) {
+  const double denom = static_cast<double>(f1.num_periods);
+  for (const LevelEntry& entry : level) {
+    FrequentPattern frequent;
+    frequent.pattern = f1.space.MaskToPattern(entry.mask);
+    frequent.count = entry.count;
+    frequent.confidence =
+        denom > 0 ? static_cast<double>(entry.count) / denom : 0.0;
+    result->patterns().push_back(std::move(frequent));
+  }
+}
+
+}  // namespace
+
+Result<MiningResult> MineApriori(tsdb::SeriesSource& source,
+                                 const MiningOptions& options) {
+  Stopwatch stopwatch;
+  MiningResult result;
+  const uint64_t scans_before = source.stats().scans;
+  const uint64_t instants_before = source.stats().instants_read;
+
+  // Scan 1: frequent 1-patterns.
+  PPM_ASSIGN_OR_RETURN(F1ScanResult f1, ScanForF1(source, options));
+  result.stats().num_f1_letters = f1.space.size();
+  result.stats().num_periods = f1.num_periods;
+
+  std::vector<LevelEntry> frequent = MakeLevelOne(f1.letter_counts);
+  if (!frequent.empty()) result.stats().max_level_reached = 1;
+  EmitLevel(f1, frequent, &result);
+
+  // Levels 2..: one scan per level (Step 2 of Algorithm 3.1).
+  for (uint32_t level = 2; !frequent.empty(); ++level) {
+    if (options.max_letters != 0 && level > options.max_letters) break;
+    std::vector<LevelEntry> candidates = GenerateCandidates(frequent);
+    if (candidates.empty()) break;
+    result.stats().candidates_evaluated += candidates.size();
+
+    PPM_RETURN_IF_ERROR(CountCandidatesByScan(source, f1, &candidates));
+
+    std::vector<LevelEntry> next;
+    for (LevelEntry& candidate : candidates) {
+      if (candidate.count >= f1.min_count) next.push_back(std::move(candidate));
+    }
+    if (!next.empty()) result.stats().max_level_reached = level;
+    EmitLevel(f1, next, &result);
+    frequent = std::move(next);
+  }
+
+  result.Canonicalize();
+  result.stats().scans = source.stats().scans - scans_before;
+  result.stats().instants_read = source.stats().instants_read - instants_before;
+  result.stats().elapsed_seconds = stopwatch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ppm

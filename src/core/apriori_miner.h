@@ -1,0 +1,24 @@
+#ifndef PPM_CORE_APRIORI_MINER_H_
+#define PPM_CORE_APRIORI_MINER_H_
+
+#include "core/mining_options.h"
+#include "core/mining_result.h"
+#include "tsdb/series_source.h"
+#include "util/status.h"
+
+namespace ppm {
+
+/// Algorithm 3.1 (single-period Apriori).
+///
+/// Scan 1 finds the frequent 1-patterns `F_1`. Each subsequent level `k`
+/// generates candidate k-letter patterns from the frequent (k-1)-letter
+/// patterns (Property 3.1) and counts all of them in one additional scan of
+/// the series, terminating when a level yields no candidates. The number of
+/// scans therefore grows with the longest frequent pattern -- the behaviour
+/// the paper's Figure 2 measures against the hit-set method.
+Result<MiningResult> MineApriori(tsdb::SeriesSource& source,
+                                 const MiningOptions& options);
+
+}  // namespace ppm
+
+#endif  // PPM_CORE_APRIORI_MINER_H_

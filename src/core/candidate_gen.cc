@@ -1,0 +1,79 @@
+#include "core/candidate_gen.h"
+
+#include <unordered_set>
+
+namespace ppm {
+
+std::vector<LevelEntry> MakeLevelOne(
+    const std::vector<uint64_t>& letter_counts) {
+  std::vector<LevelEntry> level;
+  level.reserve(letter_counts.size());
+  for (uint32_t letter = 0; letter < letter_counts.size(); ++letter) {
+    LevelEntry entry;
+    entry.items = {letter};
+    entry.mask.Set(letter);
+    entry.count = letter_counts[letter];
+    level.push_back(std::move(entry));
+  }
+  return level;
+}
+
+std::vector<LevelEntry> GenerateCandidates(
+    const std::vector<LevelEntry>& frequent_prev) {
+  std::vector<LevelEntry> candidates;
+  if (frequent_prev.empty()) return candidates;
+  const size_t k_minus_1 = frequent_prev.front().items.size();
+
+  std::unordered_set<Bitset, BitsetHash> frequent_masks;
+  frequent_masks.reserve(frequent_prev.size());
+  for (const LevelEntry& entry : frequent_prev) {
+    frequent_masks.insert(entry.mask);
+  }
+
+  // Entries are sorted lexicographically, so entries sharing the first
+  // k-2 items form contiguous blocks.
+  for (size_t block_begin = 0; block_begin < frequent_prev.size();) {
+    size_t block_end = block_begin + 1;
+    while (block_end < frequent_prev.size()) {
+      const auto& a = frequent_prev[block_begin].items;
+      const auto& b = frequent_prev[block_end].items;
+      bool same_prefix = true;
+      for (size_t i = 0; i + 1 < k_minus_1; ++i) {
+        if (a[i] != b[i]) {
+          same_prefix = false;
+          break;
+        }
+      }
+      if (!same_prefix) break;
+      ++block_end;
+    }
+
+    for (size_t i = block_begin; i < block_end; ++i) {
+      for (size_t j = i + 1; j < block_end; ++j) {
+        LevelEntry candidate;
+        candidate.items = frequent_prev[i].items;
+        candidate.items.push_back(frequent_prev[j].items.back());
+        candidate.mask = frequent_prev[i].mask;
+        candidate.mask.Set(frequent_prev[j].items.back());
+
+        // Apriori prune: every (k-1)-subset must be frequent. Subsets formed
+        // by dropping either of the two joined items are the parents
+        // themselves, so only the other k-2 drops need checking.
+        bool pruned = false;
+        for (size_t drop = 0; drop + 2 < candidate.items.size(); ++drop) {
+          Bitset subset = candidate.mask;
+          subset.Clear(candidate.items[drop]);
+          if (!frequent_masks.contains(subset)) {
+            pruned = true;
+            break;
+          }
+        }
+        if (!pruned) candidates.push_back(std::move(candidate));
+      }
+    }
+    block_begin = block_end;
+  }
+  return candidates;
+}
+
+}  // namespace ppm

@@ -1,0 +1,36 @@
+#ifndef PPM_CORE_CANDIDATE_GEN_H_
+#define PPM_CORE_CANDIDATE_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitset.h"
+
+namespace ppm {
+
+/// One pattern at a fixed letter-count level, as both a sorted letter-index
+/// vector (for joining) and a letter mask (for matching), with its frequency
+/// count once evaluated.
+struct LevelEntry {
+  std::vector<uint32_t> items;  // letter indices, strictly ascending
+  Bitset mask;
+  uint64_t count = 0;
+};
+
+/// Apriori candidate generation (the "(k-1)-way join" of Algorithm 4.2 and
+/// the candidate step of Algorithm 3.1): joins every pair of frequent
+/// (k-1)-entries sharing their first k-2 letters, then prunes candidates
+/// with an infrequent (k-1)-subset (Property 3.1).
+///
+/// `frequent_prev` must be sorted by `items` lexicographically (as produced
+/// by `MakeLevelOne` / previous calls) and contain entries of equal size.
+std::vector<LevelEntry> GenerateCandidates(
+    const std::vector<LevelEntry>& frequent_prev);
+
+/// Builds the level-1 entries from per-letter counts (every letter of the
+/// letter space is frequent by construction of `F_1`).
+std::vector<LevelEntry> MakeLevelOne(const std::vector<uint64_t>& letter_counts);
+
+}  // namespace ppm
+
+#endif  // PPM_CORE_CANDIDATE_GEN_H_

@@ -1,0 +1,59 @@
+#include "core/derivation.h"
+
+#include <utility>
+
+#include "core/candidate_gen.h"
+
+namespace ppm {
+
+namespace {
+
+void EmitLevel(const F1ScanResult& f1, const std::vector<LevelEntry>& level,
+               MiningResult* result) {
+  const double denom = static_cast<double>(f1.num_periods);
+  for (const LevelEntry& entry : level) {
+    FrequentPattern frequent;
+    frequent.pattern = f1.space.MaskToPattern(entry.mask);
+    frequent.count = entry.count;
+    frequent.confidence = denom > 0 ? static_cast<double>(entry.count) / denom : 0.0;
+    result->patterns().push_back(std::move(frequent));
+  }
+}
+
+}  // namespace
+
+DerivationStats DeriveFrequentPatterns(
+    const F1ScanResult& f1, uint32_t max_letters,
+    const std::function<uint64_t(const Bitset&)>& count_fn,
+    MiningResult* result) {
+  DerivationStats stats;
+
+  // Level 1: the letters of the space that meet the threshold. For batch
+  // mining the space *is* F_1 so nothing is filtered; the streaming miner
+  // passes a fixed seeded space whose letters may drift below threshold.
+  std::vector<LevelEntry> frequent;
+  for (LevelEntry& entry : MakeLevelOne(f1.letter_counts)) {
+    if (entry.count >= f1.min_count) frequent.push_back(std::move(entry));
+  }
+  if (!frequent.empty()) stats.max_level_reached = 1;
+  EmitLevel(f1, frequent, result);
+
+  for (uint32_t level = 2; !frequent.empty(); ++level) {
+    if (max_letters != 0 && level > max_letters) break;
+    std::vector<LevelEntry> candidates = GenerateCandidates(frequent);
+    if (candidates.empty()) break;
+
+    std::vector<LevelEntry> next;
+    for (LevelEntry& candidate : candidates) {
+      ++stats.candidates_evaluated;
+      candidate.count = count_fn(candidate.mask);
+      if (candidate.count >= f1.min_count) next.push_back(std::move(candidate));
+    }
+    if (!next.empty()) stats.max_level_reached = level;
+    EmitLevel(f1, next, result);
+    frequent = std::move(next);
+  }
+  return stats;
+}
+
+}  // namespace ppm

@@ -1,0 +1,32 @@
+#ifndef PPM_CORE_DERIVATION_H_
+#define PPM_CORE_DERIVATION_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "core/f1_scan.h"
+#include "core/mining_result.h"
+#include "util/bitset.h"
+
+namespace ppm {
+
+/// Statistics from one derivation run.
+struct DerivationStats {
+  uint64_t candidates_evaluated = 0;
+  uint32_t max_level_reached = 0;
+};
+
+/// Derives the complete frequent pattern set from per-candidate counts
+/// (Algorithm 4.2): level 1 comes from the exact `F_1` counts of `f1`;
+/// each higher level generates candidates Apriori-style from the previous
+/// frequent level and evaluates them with `count_fn` (typically
+/// `HitStore::CountSuperpatterns`). Stops at `max_letters` levels when
+/// nonzero. Appends patterns to `*result` (unsorted; callers canonicalize).
+DerivationStats DeriveFrequentPatterns(
+    const F1ScanResult& f1, uint32_t max_letters,
+    const std::function<uint64_t(const Bitset&)>& count_fn,
+    MiningResult* result);
+
+}  // namespace ppm
+
+#endif  // PPM_CORE_DERIVATION_H_

@@ -1,0 +1,52 @@
+#include "core/f1_scan.h"
+
+#include <map>
+#include <utility>
+
+namespace ppm {
+
+Result<F1ScanResult> ScanForF1(tsdb::SeriesSource& source,
+                               const MiningOptions& options) {
+  PPM_RETURN_IF_ERROR(options.Validate(source.length()));
+
+  F1ScanResult result;
+  result.num_periods = source.length() / options.period;
+  result.min_count = options.EffectiveMinCount(result.num_periods);
+
+  // Exact per-letter counts. An ordered map per position keeps letters in
+  // canonical (feature ascending) order for free.
+  std::vector<std::map<tsdb::FeatureId, uint64_t>> counts(options.period);
+
+  PPM_RETURN_IF_ERROR(source.StartScan());
+  const uint64_t covered = result.num_periods * options.period;
+  tsdb::FeatureSet instant;
+  uint64_t t = 0;
+  while (t < covered && source.Next(&instant)) {
+    auto& position_counts = counts[t % options.period];
+    instant.ForEach(
+        [&position_counts](uint32_t feature) { ++position_counts[feature]; });
+    ++t;
+  }
+  PPM_RETURN_IF_ERROR(source.status());
+  if (t < covered) {
+    return Status::Internal("source ended before its declared length");
+  }
+
+  std::vector<Letter> letters;
+  std::vector<uint64_t> letter_counts;
+  for (uint32_t position = 0; position < options.period; ++position) {
+    for (const auto& [feature, count] : counts[position]) {
+      if (count < result.min_count) continue;
+      if (options.letter_filter && !options.letter_filter(position, feature)) {
+        continue;
+      }
+      letters.push_back(Letter{position, feature});
+      letter_counts.push_back(count);
+    }
+  }
+  result.space = LetterSpace(options.period, std::move(letters));
+  result.letter_counts = std::move(letter_counts);
+  return result;
+}
+
+}  // namespace ppm

@@ -1,0 +1,39 @@
+#ifndef PPM_CORE_F1_SCAN_H_
+#define PPM_CORE_F1_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/letter_space.h"
+#include "core/mining_options.h"
+#include "tsdb/series_source.h"
+#include "util/status.h"
+
+namespace ppm {
+
+/// Output of the first scan (Step 1 of Algorithms 3.1 and 3.2): the frequent
+/// 1-patterns `F_1` with their exact counts, packaged as a `LetterSpace`
+/// whose full mask is the candidate max-pattern `C_max`.
+struct F1ScanResult {
+  /// Number of whole periods `m`.
+  uint64_t num_periods = 0;
+  /// The count threshold applied (see `MiningOptions::EffectiveMinCount`).
+  uint64_t min_count = 0;
+  /// Canonical indexing of the frequent letters.
+  LetterSpace space{0, {}};
+  /// Exact frequency count of each letter, indexed like `space`.
+  std::vector<uint64_t> letter_counts;
+};
+
+/// Scans `source` once, counting each (position, feature) letter over whole
+/// period segments, and keeps the letters whose count meets the threshold.
+///
+/// Honors `options.letter_filter` (filtered letters are dropped regardless
+/// of count). Fails when `options` are invalid for the source length or on
+/// source I/O errors.
+Result<F1ScanResult> ScanForF1(tsdb::SeriesSource& source,
+                               const MiningOptions& options);
+
+}  // namespace ppm
+
+#endif  // PPM_CORE_F1_SCAN_H_

@@ -1,0 +1,25 @@
+#include "core/hit_store.h"
+
+namespace ppm {
+
+uint64_t HashHitStore::CountSuperpatterns(const Bitset& mask) const {
+  uint64_t total = 0;
+  for (const auto& [hit, count] : counts_) {
+    if (mask.IsSubsetOf(hit)) total += count;
+  }
+  return total;
+}
+
+std::unique_ptr<HitStore> MakeHitStore(HitStoreKind kind,
+                                       const Bitset& full_mask,
+                                       uint32_t num_letters) {
+  switch (kind) {
+    case HitStoreKind::kMaxSubpatternTree:
+      return std::make_unique<TreeHitStore>(full_mask, num_letters);
+    case HitStoreKind::kHashTable:
+      return std::make_unique<HashHitStore>();
+  }
+  return std::make_unique<TreeHitStore>(full_mask, num_letters);
+}
+
+}  // namespace ppm

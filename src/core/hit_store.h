@@ -1,0 +1,84 @@
+#ifndef PPM_CORE_HIT_STORE_H_
+#define PPM_CORE_HIT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "core/max_subpattern_tree.h"
+#include "core/mining_options.h"
+#include "util/bitset.h"
+
+namespace ppm {
+
+/// Storage for the max-subpattern hit set collected during the second scan
+/// of Algorithm 3.2: a multiset of letter masks with two required queries --
+/// add one hit, and total the hits that are superpatterns of a candidate.
+///
+/// Two implementations exist so the paper's tree can be ablated against a
+/// plain hash table (DESIGN.md ablation 1).
+class HitStore {
+ public:
+  virtual ~HitStore() = default;
+
+  HitStore(const HitStore&) = delete;
+  HitStore& operator=(const HitStore&) = delete;
+
+  /// Registers one period segment whose maximal hit subpattern is `mask`.
+  virtual void AddHit(const Bitset& mask) = 0;
+
+  /// Sum of hit counts over stored masks that are supersets of `mask`.
+  virtual uint64_t CountSuperpatterns(const Bitset& mask) const = 0;
+
+  /// Number of distinct stored max-subpatterns (`|H|`).
+  virtual uint64_t num_entries() const = 0;
+
+  /// Allocated bookkeeping units (tree nodes, or hash entries).
+  virtual uint64_t num_units() const = 0;
+
+ protected:
+  HitStore() = default;
+};
+
+/// `HitStore` backed by the paper's max-subpattern tree.
+class TreeHitStore : public HitStore {
+ public:
+  TreeHitStore(const Bitset& full_mask, uint32_t num_letters)
+      : tree_(full_mask, num_letters) {}
+
+  void AddHit(const Bitset& mask) override { tree_.Insert(mask); }
+  uint64_t CountSuperpatterns(const Bitset& mask) const override {
+    return tree_.CountSuperpatterns(mask);
+  }
+  uint64_t num_entries() const override { return tree_.num_hits(); }
+  uint64_t num_units() const override { return tree_.num_nodes(); }
+
+  const MaxSubpatternTree& tree() const { return tree_; }
+
+ private:
+  MaxSubpatternTree tree_;
+};
+
+/// `HitStore` backed by a hash table keyed on the hit mask. Queries scan
+/// every distinct entry (no superpattern pruning).
+class HashHitStore : public HitStore {
+ public:
+  HashHitStore() = default;
+
+  void AddHit(const Bitset& mask) override { ++counts_[mask]; }
+  uint64_t CountSuperpatterns(const Bitset& mask) const override;
+  uint64_t num_entries() const override { return counts_.size(); }
+  uint64_t num_units() const override { return counts_.size(); }
+
+ private:
+  std::unordered_map<Bitset, uint64_t, BitsetHash> counts_;
+};
+
+/// Factory keyed on the `MiningOptions::hit_store` selector.
+std::unique_ptr<HitStore> MakeHitStore(HitStoreKind kind,
+                                       const Bitset& full_mask,
+                                       uint32_t num_letters);
+
+}  // namespace ppm
+
+#endif  // PPM_CORE_HIT_STORE_H_

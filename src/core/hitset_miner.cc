@@ -1,0 +1,69 @@
+#include "core/hitset_miner.h"
+
+#include <memory>
+
+#include "core/derivation.h"
+#include "core/f1_scan.h"
+#include "core/hit_store.h"
+#include "util/stopwatch.h"
+
+namespace ppm {
+
+Result<MiningResult> MineHitSet(tsdb::SeriesSource& source,
+                                const MiningOptions& options) {
+  Stopwatch stopwatch;
+  MiningResult result;
+  const uint64_t scans_before = source.stats().scans;
+  const uint64_t instants_before = source.stats().instants_read;
+
+  // Scan 1: frequent 1-patterns and the candidate max-pattern.
+  PPM_ASSIGN_OR_RETURN(F1ScanResult f1, ScanForF1(source, options));
+  result.stats().num_f1_letters = f1.space.size();
+  result.stats().num_periods = f1.num_periods;
+
+  std::unique_ptr<HitStore> store =
+      MakeHitStore(options.hit_store, f1.space.full_mask(), f1.space.size());
+
+  // Scan 2: register the maximal hit subpattern of every whole segment.
+  // Hits with fewer than 2 letters carry no information beyond F_1's exact
+  // counts and are skipped (Section 3.1.2).
+  PPM_RETURN_IF_ERROR(source.StartScan());
+  const uint32_t period = options.period;
+  const uint64_t covered = f1.num_periods * period;
+  Bitset segment_mask(f1.space.size());
+  tsdb::FeatureSet instant;
+  uint64_t t = 0;
+  while (t < covered && source.Next(&instant)) {
+    const uint32_t position = static_cast<uint32_t>(t % period);
+    if (position == 0) segment_mask.Reset();
+    f1.space.AccumulatePosition(position, instant, &segment_mask);
+    if (position == period - 1 && segment_mask.Count() >= 2) {
+      store->AddHit(segment_mask);
+    }
+    ++t;
+  }
+  PPM_RETURN_IF_ERROR(source.status());
+  if (t < covered) {
+    return Status::Internal("source ended before its declared length");
+  }
+
+  // Derivation: no further series access.
+  const DerivationStats derivation = DeriveFrequentPatterns(
+      f1, options.max_letters,
+      [&store](const Bitset& mask) { return store->CountSuperpatterns(mask); },
+      &result);
+
+  result.Canonicalize();
+  result.stats().candidates_evaluated = derivation.candidates_evaluated;
+  result.stats().max_level_reached = derivation.max_level_reached;
+  result.stats().hit_store_entries = store->num_entries();
+  result.stats().tree_nodes =
+      options.hit_store == HitStoreKind::kMaxSubpatternTree ? store->num_units()
+                                                            : 0;
+  result.stats().scans = source.stats().scans - scans_before;
+  result.stats().instants_read = source.stats().instants_read - instants_before;
+  result.stats().elapsed_seconds = stopwatch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ppm

@@ -1,0 +1,93 @@
+#include "core/max_subpattern_tree.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ppm {
+
+MaxSubpatternTree::MaxSubpatternTree(const Bitset& full_mask,
+                                     uint32_t num_letters)
+    : num_letters_(num_letters) {
+  PPM_CHECK(full_mask.Count() == num_letters);
+  Node root;
+  root.mask = full_mask;
+  nodes_.push_back(std::move(root));
+}
+
+uint32_t MaxSubpatternTree::FindChild(const Node& node, uint32_t letter) const {
+  const auto it = std::lower_bound(
+      node.children.begin(), node.children.end(), letter,
+      [](const std::pair<uint32_t, uint32_t>& child, uint32_t value) {
+        return child.first < value;
+      });
+  if (it == node.children.end() || it->first != letter) return kNoNode;
+  return it->second;
+}
+
+void MaxSubpatternTree::Insert(const Bitset& mask) {
+  PPM_CHECK(mask.IsSubsetOf(nodes_[0].mask));
+
+  // Missing letters relative to C_max, walked in canonical (ascending) order.
+  Bitset missing = nodes_[0].mask;
+  missing.SubtractWith(mask);
+
+  uint32_t current = 0;  // root
+  for (uint32_t letter = missing.FindFirst(); letter != Bitset::kNoBit;
+       letter = missing.FindNext(letter + 1)) {
+    uint32_t child = FindChild(nodes_[current], letter);
+    if (child == kNoNode) {
+      // Create the missing node on the path (count 0 until it is itself hit).
+      Node node;
+      node.mask = nodes_[current].mask;
+      node.mask.Clear(letter);
+      child = static_cast<uint32_t>(nodes_.size());
+      auto& children = nodes_[current].children;
+      const auto insert_at = std::lower_bound(
+          children.begin(), children.end(), letter,
+          [](const std::pair<uint32_t, uint32_t>& entry, uint32_t value) {
+            return entry.first < value;
+          });
+      children.insert(insert_at, {letter, child});
+      nodes_.push_back(std::move(node));
+    }
+    current = child;
+  }
+
+  if (nodes_[current].count == 0) ++num_hits_;
+  ++nodes_[current].count;
+  ++total_hit_count_;
+}
+
+uint64_t MaxSubpatternTree::CountSuperpatterns(const Bitset& mask) const {
+  return CountFrom(0, mask);
+}
+
+uint64_t MaxSubpatternTree::CountFrom(uint32_t node_index,
+                                      const Bitset& mask) const {
+  const Node& node = nodes_[node_index];
+  // Descendants of `node` only remove letters, so if `mask` is not a subset
+  // here it cannot be a subset anywhere below: prune.
+  if (!mask.IsSubsetOf(node.mask)) return 0;
+  uint64_t total = node.count;
+  for (const auto& [letter, child] : node.children) {
+    // A child removes `letter`; if the candidate needs that letter the whole
+    // child subtree is pruned without a subset test.
+    if (mask.Test(letter)) continue;
+    total += CountFrom(child, mask);
+  }
+  return total;
+}
+
+std::vector<Bitset> MaxSubpatternTree::ReachableAncestorHits(
+    const Bitset& mask) const {
+  std::vector<Bitset> ancestors;
+  for (const Node& node : nodes_) {
+    if (node.count == 0) continue;
+    if (node.mask == mask) continue;
+    if (mask.IsSubsetOf(node.mask)) ancestors.push_back(node.mask);
+  }
+  return ancestors;
+}
+
+}  // namespace ppm

@@ -1,0 +1,89 @@
+#ifndef PPM_CORE_MAX_SUBPATTERN_TREE_H_
+#define PPM_CORE_MAX_SUBPATTERN_TREE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/bitset.h"
+
+namespace ppm {
+
+/// The max-subpattern tree of Section 4.
+///
+/// The root is the candidate max-pattern `C_max`. A node is a subpattern of
+/// `C_max` identified by the subset of `C_max` letters it retains (stored as
+/// a bitmask over the owning `LetterSpace`). Each child of a node removes
+/// exactly one more letter than its parent, and the letters removed along a
+/// root-to-node path are strictly increasing in canonical letter order, so
+/// every subpattern has exactly one tree position.
+///
+/// `Insert` implements Algorithm 4.1: walking the missing letters of a hit
+/// in order, creating absent interior nodes with count 0, and incrementing
+/// the final node's hit count. `CountSuperpatterns` implements the counting
+/// step of Algorithm 4.2: the frequency of a candidate pattern `w` is the
+/// total hit count of all stored nodes whose pattern is a superpattern of
+/// `w` (the node for `w` itself plus its *reachable ancestors*); the
+/// traversal prunes a subtree as soon as its root is not a superpattern of
+/// `w`, since descendants only lose letters.
+class MaxSubpatternTree {
+ public:
+  /// Creates a tree rooted at `C_max`, given its letter mask (all letters
+  /// set) and letter count `num_letters`.
+  MaxSubpatternTree(const Bitset& full_mask, uint32_t num_letters);
+
+  MaxSubpatternTree(const MaxSubpatternTree&) = delete;
+  MaxSubpatternTree& operator=(const MaxSubpatternTree&) = delete;
+
+  /// Registers one hit of the max-subpattern `mask` (Algorithm 4.1).
+  /// `mask` must be a subset of the full mask; callers are expected to skip
+  /// hits with fewer than 2 letters (Section 3.1.2 stores only those).
+  void Insert(const Bitset& mask);
+
+  /// Total hit count of all stored nodes whose mask is a superset of
+  /// `mask` -- the derived frequency count of the pattern `mask` denotes.
+  uint64_t CountSuperpatterns(const Bitset& mask) const;
+
+  /// Masks of all nodes that are proper superpatterns of `mask` and carry a
+  /// nonzero hit count (the *reachable ancestors* of Example 4.2 restricted
+  /// to hits). Exposed for tests and diagnostics.
+  std::vector<Bitset> ReachableAncestorHits(const Bitset& mask) const;
+
+  /// Number of allocated nodes, including interior count-0 nodes.
+  uint64_t num_nodes() const { return nodes_.size(); }
+
+  /// Number of distinct max-subpatterns with a nonzero count (`|H|`).
+  uint64_t num_hits() const { return num_hits_; }
+
+  /// Sum of all hit counts (number of stored period segments).
+  uint64_t total_hit_count() const { return total_hit_count_; }
+
+  /// Invokes `fn(mask, count)` for every node (count may be zero).
+  template <typename Fn>
+  void ForEachNode(Fn&& fn) const {
+    for (const Node& node : nodes_) fn(node.mask, node.count);
+  }
+
+ private:
+  struct Node {
+    Bitset mask;
+    uint64_t count = 0;
+    // (removed letter index, child node index), sorted by letter index.
+    std::vector<std::pair<uint32_t, uint32_t>> children;
+  };
+
+  /// Child of `node` along `letter`, or `kNoNode`.
+  static constexpr uint32_t kNoNode = UINT32_MAX;
+  uint32_t FindChild(const Node& node, uint32_t letter) const;
+
+  uint64_t CountFrom(uint32_t node_index, const Bitset& mask) const;
+
+  uint32_t num_letters_;
+  std::vector<Node> nodes_;  // nodes_[0] is the root (C_max).
+  uint64_t num_hits_ = 0;
+  uint64_t total_hit_count_ = 0;
+};
+
+}  // namespace ppm
+
+#endif  // PPM_CORE_MAX_SUBPATTERN_TREE_H_

@@ -1,0 +1,26 @@
+#include "core/maximal.h"
+
+namespace ppm {
+
+bool HasProperSuperpattern(const Pattern& candidate,
+                           const std::vector<FrequentPattern>& patterns) {
+  for (const FrequentPattern& entry : patterns) {
+    if (entry.pattern == candidate) continue;
+    if (candidate.IsSubpatternOf(entry.pattern)) return true;
+  }
+  return false;
+}
+
+std::vector<FrequentPattern> MaximalPatterns(const MiningResult& result) {
+  std::vector<FrequentPattern> maximal;
+  const std::vector<FrequentPattern>& all = result.patterns();
+  // Canonical order sorts by letter count; only patterns with at least as
+  // many letters can be proper superpatterns, but a simple full pass keeps
+  // this obviously correct (result sets are small relative to the series).
+  for (const FrequentPattern& entry : all) {
+    if (!HasProperSuperpattern(entry.pattern, all)) maximal.push_back(entry);
+  }
+  return maximal;
+}
+
+}  // namespace ppm

@@ -1,0 +1,27 @@
+#ifndef PPM_CORE_MAXIMAL_H_
+#define PPM_CORE_MAXIMAL_H_
+
+#include <vector>
+
+#include "core/mining_result.h"
+
+namespace ppm {
+
+/// Extracts the *maximal* frequent patterns from a full mining result: the
+/// subset in which no pattern is a proper subpattern of another (Section 4's
+/// discussion of MaxMiner-style output). Every frequent pattern is a
+/// subpattern of some returned pattern, so this is a lossless summary of the
+/// frequent set's shape (counts of non-maximal patterns are dropped).
+///
+/// `result` must be canonicalized (as returned by the miners). The returned
+/// entries preserve their counts/confidences and canonical order.
+std::vector<FrequentPattern> MaximalPatterns(const MiningResult& result);
+
+/// True iff `candidate` is a subpattern of some pattern in `patterns` other
+/// than itself. Helper shared with tests.
+bool HasProperSuperpattern(const Pattern& candidate,
+                           const std::vector<FrequentPattern>& patterns);
+
+}  // namespace ppm
+
+#endif  // PPM_CORE_MAXIMAL_H_

@@ -1,0 +1,35 @@
+#ifndef PPM_CORE_MAXIMAL_MINER_H_
+#define PPM_CORE_MAXIMAL_MINER_H_
+
+#include "core/mining_options.h"
+#include "core/mining_result.h"
+#include "tsdb/series_source.h"
+#include "util/status.h"
+
+namespace ppm {
+
+/// Mines only the *maximal* frequent patterns, in two scans.
+///
+/// Section 5 of the paper sketches this as future work: "The mixture of the
+/// max-subpattern hit set method and the MaxMiner can get rid of this
+/// problem [MaxMiner's repeated scans] and will be more efficient than pure
+/// MaxMiner." This implements that hybrid: the two scans of Algorithm 3.2
+/// build the max-subpattern tree, and a MaxMiner/GenMax-style depth-first
+/// search with superset lookahead then explores the subpattern lattice of
+/// `C_max` using the tree as a frequency oracle -- no further scans.
+///
+/// The payoff over deriving everything and filtering: when letters are
+/// strongly correlated the full frequent set is exponential in the length
+/// of its longest member (all `2^k` subpatterns are frequent), while the
+/// lookahead jumps straight to the long maximal patterns. Use this when
+/// `MineHitSet` output would be unmanageably large.
+///
+/// The result contains one entry per maximal frequent pattern (count and
+/// confidence included) in canonical order. Patterns of a single letter are
+/// included when no larger frequent pattern contains them.
+Result<MiningResult> MineMaximalHitSet(tsdb::SeriesSource& source,
+                                       const MiningOptions& options);
+
+}  // namespace ppm
+
+#endif  // PPM_CORE_MAXIMAL_MINER_H_

@@ -1,0 +1,35 @@
+#include "core/miner.h"
+
+#include "core/apriori_miner.h"
+#include "core/hitset_miner.h"
+
+namespace ppm {
+
+std::string_view AlgorithmToString(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kApriori:
+      return "apriori";
+    case Algorithm::kMaxSubpatternHitSet:
+      return "hit-set";
+  }
+  return "unknown";
+}
+
+Result<MiningResult> Mine(tsdb::SeriesSource& source,
+                          const MiningOptions& options, Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kApriori:
+      return MineApriori(source, options);
+    case Algorithm::kMaxSubpatternHitSet:
+      return MineHitSet(source, options);
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+Result<MiningResult> Mine(const tsdb::TimeSeries& series,
+                          const MiningOptions& options, Algorithm algorithm) {
+  tsdb::InMemorySeriesSource source(&series);
+  return Mine(source, options, algorithm);
+}
+
+}  // namespace ppm

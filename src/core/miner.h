@@ -1,0 +1,37 @@
+#ifndef PPM_CORE_MINER_H_
+#define PPM_CORE_MINER_H_
+
+#include <string_view>
+
+#include "core/mining_options.h"
+#include "core/mining_result.h"
+#include "tsdb/series_source.h"
+#include "tsdb/time_series.h"
+#include "util/status.h"
+
+namespace ppm {
+
+/// Mining algorithm selector for the facade API.
+enum class Algorithm {
+  /// Algorithm 3.1: one scan per pattern level.
+  kApriori = 0,
+  /// Algorithm 3.2: two scans + max-subpattern hit set (recommended).
+  kMaxSubpatternHitSet = 1,
+};
+
+std::string_view AlgorithmToString(Algorithm algorithm);
+
+/// Mines all frequent partial periodic patterns of `options.period` from
+/// `source` with the selected algorithm.
+Result<MiningResult> Mine(tsdb::SeriesSource& source,
+                          const MiningOptions& options,
+                          Algorithm algorithm = Algorithm::kMaxSubpatternHitSet);
+
+/// Convenience overload over an in-memory series.
+Result<MiningResult> Mine(const tsdb::TimeSeries& series,
+                          const MiningOptions& options,
+                          Algorithm algorithm = Algorithm::kMaxSubpatternHitSet);
+
+}  // namespace ppm
+
+#endif  // PPM_CORE_MINER_H_

@@ -1,0 +1,35 @@
+#include "core/mining_options.h"
+
+#include <cmath>
+
+namespace ppm {
+
+Status MiningOptions::Validate(uint64_t series_length) const {
+  if (period == 0) {
+    return Status::InvalidArgument("period must be positive");
+  }
+  if (period > series_length) {
+    return Status::InvalidArgument(
+        "period " + std::to_string(period) + " exceeds series length " +
+        std::to_string(series_length));
+  }
+  if (min_count == 0) {
+    if (!(min_confidence > 0.0) || min_confidence > 1.0) {
+      return Status::InvalidArgument("min_confidence must be in (0, 1]");
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t MiningOptions::EffectiveMinCount(uint64_t num_periods) const {
+  if (min_count > 0) return min_count;
+  // count/m >= conf  <=>  count >= conf*m; counts are integral, so round the
+  // right-hand side up (with a tolerance for floating error when conf*m is
+  // integral, e.g. 0.25 * 100 must give 25, not 26).
+  const double threshold = min_confidence * static_cast<double>(num_periods);
+  uint64_t count = static_cast<uint64_t>(std::ceil(threshold - 1e-9));
+  if (count == 0) count = 1;
+  return count;
+}
+
+}  // namespace ppm

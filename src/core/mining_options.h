@@ -1,0 +1,60 @@
+#ifndef PPM_CORE_MINING_OPTIONS_H_
+#define PPM_CORE_MINING_OPTIONS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "tsdb/symbol_table.h"
+#include "util/status.h"
+
+namespace ppm {
+
+/// Backing store for period-segment hits in the max-subpattern hit-set miner
+/// (Algorithm 3.2). The tree is the paper's data structure (Section 4); the
+/// hash table is an ablation alternative benchmarked in
+/// `bench_ablation_hit_store`.
+enum class HitStoreKind {
+  kMaxSubpatternTree = 0,
+  kHashTable = 1,
+};
+
+/// Parameters shared by all single-period miners.
+struct MiningOptions {
+  /// Period `p` of the patterns to mine. Must be in `[1, series length]`.
+  uint32_t period = 0;
+
+  /// Confidence threshold `min_conf` in `(0, 1]`. A pattern is frequent when
+  /// `count / m >= min_confidence` (`m` = number of whole periods).
+  double min_confidence = 0.5;
+
+  /// When nonzero, overrides `min_confidence` with an absolute frequency
+  /// count threshold.
+  uint64_t min_count = 0;
+
+  /// Upper bound on the number of letters in reported patterns (0 means
+  /// unlimited). Mining stops after this level; useful to bound cost when
+  /// only short patterns are of interest.
+  uint32_t max_letters = 0;
+
+  /// Hit store used by the hit-set miner; ignored by other miners.
+  HitStoreKind hit_store = HitStoreKind::kMaxSubpatternTree;
+
+  /// Optional restriction of the candidate letters considered after the
+  /// first scan: a letter `(position, feature)` participates only when this
+  /// returns true. Used by the multi-level drill-down miner to confine the
+  /// search to children of patterns frequent at the coarser level. Null
+  /// means "no restriction".
+  std::function<bool(uint32_t position, tsdb::FeatureId feature)> letter_filter;
+
+  /// Validates thresholds against a series of `series_length` instants.
+  Status Validate(uint64_t series_length) const;
+
+  /// The frequency-count threshold actually applied given `num_periods`
+  /// whole periods: `min_count` when set, otherwise
+  /// `ceil(min_confidence * num_periods)`, and never less than 1.
+  uint64_t EffectiveMinCount(uint64_t num_periods) const;
+};
+
+}  // namespace ppm
+
+#endif  // PPM_CORE_MINING_OPTIONS_H_

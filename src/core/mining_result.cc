@@ -1,0 +1,38 @@
+#include "core/mining_result.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ppm {
+
+const FrequentPattern* MiningResult::Find(const Pattern& pattern) const {
+  for (const FrequentPattern& entry : patterns_) {
+    if (entry.pattern == pattern) return &entry;
+  }
+  return nullptr;
+}
+
+void MiningResult::Canonicalize() {
+  std::sort(patterns_.begin(), patterns_.end(),
+            [](const FrequentPattern& a, const FrequentPattern& b) {
+              const uint32_t la = a.pattern.LetterCount();
+              const uint32_t lb = b.pattern.LetterCount();
+              if (la != lb) return la < lb;
+              return a.pattern < b.pattern;
+            });
+}
+
+std::string MiningResult::ToString(const tsdb::SymbolTable& symbols) const {
+  std::string out;
+  for (const FrequentPattern& entry : patterns_) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "  count=%llu conf=%.4f\n",
+                  static_cast<unsigned long long>(entry.count),
+                  entry.confidence);
+    out += entry.pattern.Format(symbols);
+    out += buffer;
+  }
+  return out;
+}
+
+}  // namespace ppm

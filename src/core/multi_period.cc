@@ -1,0 +1,170 @@
+#include "core/multi_period.h"
+
+#include <map>
+#include <memory>
+
+#include "core/derivation.h"
+#include "core/f1_scan.h"
+#include "core/hit_store.h"
+#include "core/hitset_miner.h"
+#include "util/stopwatch.h"
+
+namespace ppm {
+
+namespace {
+
+Status ValidateRange(uint32_t period_low, uint32_t period_high,
+                     uint64_t series_length) {
+  if (period_low == 0) {
+    return Status::InvalidArgument("period_low must be positive");
+  }
+  if (period_high < period_low) {
+    return Status::InvalidArgument("period_high below period_low");
+  }
+  if (period_high > series_length) {
+    return Status::InvalidArgument("period_high exceeds series length");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const MiningResult* MultiPeriodResult::ForPeriod(uint32_t period) const {
+  for (const auto& [p, result] : per_period) {
+    if (p == period) return &result;
+  }
+  return nullptr;
+}
+
+Result<MultiPeriodResult> MineMultiPeriodLooped(tsdb::SeriesSource& source,
+                                                uint32_t period_low,
+                                                uint32_t period_high,
+                                                const MiningOptions& options) {
+  Stopwatch stopwatch;
+  PPM_RETURN_IF_ERROR(ValidateRange(period_low, period_high, source.length()));
+
+  MultiPeriodResult result;
+  const uint64_t scans_before = source.stats().scans;
+  for (uint32_t period = period_low; period <= period_high; ++period) {
+    MiningOptions per_period_options = options;
+    per_period_options.period = period;
+    PPM_ASSIGN_OR_RETURN(MiningResult mined,
+                         MineHitSet(source, per_period_options));
+    result.per_period.emplace_back(period, std::move(mined));
+  }
+  result.total_scans = source.stats().scans - scans_before;
+  result.elapsed_seconds = stopwatch.ElapsedSeconds();
+  return result;
+}
+
+Result<MultiPeriodResult> MineMultiPeriodShared(tsdb::SeriesSource& source,
+                                                uint32_t period_low,
+                                                uint32_t period_high,
+                                                const MiningOptions& options) {
+  Stopwatch stopwatch;
+  PPM_RETURN_IF_ERROR(ValidateRange(period_low, period_high, source.length()));
+  const uint64_t scans_before = source.stats().scans;
+  const uint32_t num_ranges = period_high - period_low + 1;
+
+  // --- Scan 1 (shared): per-period, per-position letter counts. ---
+  std::vector<std::vector<std::map<tsdb::FeatureId, uint64_t>>> counts(
+      num_ranges);
+  std::vector<uint64_t> covered(num_ranges);
+  for (uint32_t r = 0; r < num_ranges; ++r) {
+    const uint32_t period = period_low + r;
+    counts[r].resize(period);
+    covered[r] = (source.length() / period) * period;
+  }
+
+  PPM_RETURN_IF_ERROR(source.StartScan());
+  tsdb::FeatureSet instant;
+  uint64_t t = 0;
+  while (source.Next(&instant)) {
+    for (uint32_t r = 0; r < num_ranges; ++r) {
+      if (t >= covered[r]) continue;
+      auto& position_counts = counts[r][t % (period_low + r)];
+      instant.ForEach(
+          [&position_counts](uint32_t feature) { ++position_counts[feature]; });
+    }
+    ++t;
+  }
+  PPM_RETURN_IF_ERROR(source.status());
+
+  // Per-period F_1 spaces, thresholds, and hit stores.
+  std::vector<F1ScanResult> f1(num_ranges);
+  std::vector<std::unique_ptr<HitStore>> stores(num_ranges);
+  for (uint32_t r = 0; r < num_ranges; ++r) {
+    const uint32_t period = period_low + r;
+    MiningOptions per_period_options = options;
+    per_period_options.period = period;
+    PPM_RETURN_IF_ERROR(per_period_options.Validate(source.length()));
+
+    f1[r].num_periods = source.length() / period;
+    f1[r].min_count = per_period_options.EffectiveMinCount(f1[r].num_periods);
+    std::vector<Letter> letters;
+    for (uint32_t position = 0; position < period; ++position) {
+      for (const auto& [feature, count] : counts[r][position]) {
+        if (count < f1[r].min_count) continue;
+        if (options.letter_filter && !options.letter_filter(position, feature)) {
+          continue;
+        }
+        letters.push_back(Letter{position, feature});
+        f1[r].letter_counts.push_back(count);
+      }
+    }
+    f1[r].space = LetterSpace(period, std::move(letters));
+    stores[r] = MakeHitStore(options.hit_store, f1[r].space.full_mask(),
+                             f1[r].space.size());
+    counts[r].clear();  // Release scan-1 memory before scan 2.
+  }
+
+  // --- Scan 2 (shared): feed every period's hit store. ---
+  std::vector<Bitset> segment_masks(num_ranges);
+  for (uint32_t r = 0; r < num_ranges; ++r) {
+    segment_masks[r] = Bitset(f1[r].space.size());
+  }
+  PPM_RETURN_IF_ERROR(source.StartScan());
+  t = 0;
+  while (source.Next(&instant)) {
+    for (uint32_t r = 0; r < num_ranges; ++r) {
+      if (t >= covered[r]) continue;
+      const uint32_t period = period_low + r;
+      const uint32_t position = static_cast<uint32_t>(t % period);
+      if (position == 0) segment_masks[r].Reset();
+      f1[r].space.AccumulatePosition(position, instant, &segment_masks[r]);
+      if (position == period - 1 && segment_masks[r].Count() >= 2) {
+        stores[r]->AddHit(segment_masks[r]);
+      }
+    }
+    ++t;
+  }
+  PPM_RETURN_IF_ERROR(source.status());
+
+  // --- Derivation per period (no series access). ---
+  MultiPeriodResult result;
+  for (uint32_t r = 0; r < num_ranges; ++r) {
+    MiningResult mined;
+    mined.stats().num_f1_letters = f1[r].space.size();
+    mined.stats().num_periods = f1[r].num_periods;
+    const DerivationStats derivation = DeriveFrequentPatterns(
+        f1[r], options.max_letters,
+        [&stores, r](const Bitset& mask) {
+          return stores[r]->CountSuperpatterns(mask);
+        },
+        &mined);
+    mined.Canonicalize();
+    mined.stats().candidates_evaluated = derivation.candidates_evaluated;
+    mined.stats().max_level_reached = derivation.max_level_reached;
+    mined.stats().hit_store_entries = stores[r]->num_entries();
+    mined.stats().tree_nodes =
+        options.hit_store == HitStoreKind::kMaxSubpatternTree
+            ? stores[r]->num_units()
+            : 0;
+    result.per_period.emplace_back(period_low + r, std::move(mined));
+  }
+  result.total_scans = source.stats().scans - scans_before;
+  result.elapsed_seconds = stopwatch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ppm

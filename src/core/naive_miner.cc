@@ -1,0 +1,201 @@
+#include "core/naive_miner.h"
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/letter_space.h"
+#include "util/stopwatch.h"
+
+namespace ppm {
+
+namespace {
+
+/// Everything the oracles need, materialized in memory: the space of every
+/// letter observed in a whole segment (with exact counts) and the letter
+/// mask of every whole segment.
+struct ObservedData {
+  uint64_t num_periods = 0;
+  uint64_t min_count = 0;
+  LetterSpace space{0, {}};
+  std::vector<uint64_t> letter_counts;
+  std::vector<Bitset> segment_masks;
+};
+
+Result<ObservedData> CollectObserved(tsdb::SeriesSource& source,
+                                     const MiningOptions& options) {
+  PPM_RETURN_IF_ERROR(options.Validate(source.length()));
+
+  ObservedData data;
+  data.num_periods = source.length() / options.period;
+  data.min_count = options.EffectiveMinCount(data.num_periods);
+
+  // Buffer the covered prefix of the series.
+  std::vector<tsdb::FeatureSet> instants;
+  instants.reserve(data.num_periods * options.period);
+  PPM_RETURN_IF_ERROR(source.StartScan());
+  const uint64_t covered = data.num_periods * options.period;
+  tsdb::FeatureSet instant;
+  uint64_t t = 0;
+  while (t < covered && source.Next(&instant)) {
+    instants.push_back(instant);
+    ++t;
+  }
+  PPM_RETURN_IF_ERROR(source.status());
+  if (t < covered) {
+    return Status::Internal("source ended before its declared length");
+  }
+
+  // Every observed letter, canonical order, exact counts.
+  std::vector<std::map<tsdb::FeatureId, uint64_t>> counts(options.period);
+  for (uint64_t i = 0; i < instants.size(); ++i) {
+    auto& position_counts = counts[i % options.period];
+    instants[i].ForEach(
+        [&position_counts](uint32_t feature) { ++position_counts[feature]; });
+  }
+  std::vector<Letter> letters;
+  for (uint32_t position = 0; position < options.period; ++position) {
+    for (const auto& [feature, count] : counts[position]) {
+      if (options.letter_filter && !options.letter_filter(position, feature)) {
+        continue;
+      }
+      letters.push_back(Letter{position, feature});
+      data.letter_counts.push_back(count);
+    }
+  }
+  data.space = LetterSpace(options.period, std::move(letters));
+
+  data.segment_masks.resize(data.num_periods);
+  for (uint64_t segment = 0; segment < data.num_periods; ++segment) {
+    data.space.SegmentMask(&instants[segment * options.period],
+                           &data.segment_masks[segment]);
+  }
+  return data;
+}
+
+void EmitPattern(const ObservedData& data, const Bitset& mask, uint64_t count,
+                 MiningResult* result) {
+  FrequentPattern frequent;
+  frequent.pattern = data.space.MaskToPattern(mask);
+  frequent.count = count;
+  frequent.confidence = data.num_periods > 0
+                            ? static_cast<double>(count) /
+                                  static_cast<double>(data.num_periods)
+                            : 0.0;
+  result->patterns().push_back(std::move(frequent));
+}
+
+}  // namespace
+
+Result<MiningResult> MineExhaustive(tsdb::SeriesSource& source,
+                                    const MiningOptions& options,
+                                    uint32_t max_total_letters) {
+  Stopwatch stopwatch;
+  PPM_ASSIGN_OR_RETURN(ObservedData data, CollectObserved(source, options));
+  const uint32_t num_letters = data.space.size();
+  if (num_letters > max_total_letters || max_total_letters > 63) {
+    return Status::InvalidArgument(
+        "exhaustive oracle limited to " + std::to_string(max_total_letters) +
+        " letters, saw " + std::to_string(num_letters));
+  }
+
+  // With <= 63 letters, masks fit in uint64 words: enumerate all of them.
+  std::vector<uint64_t> segment_words(data.segment_masks.size(), 0);
+  for (size_t i = 0; i < data.segment_masks.size(); ++i) {
+    data.segment_masks[i].ForEach([&segment_words, i](uint32_t bit) {
+      segment_words[i] |= uint64_t{1} << bit;
+    });
+  }
+
+  MiningResult result;
+  result.stats().num_periods = data.num_periods;
+  const uint64_t num_masks = uint64_t{1} << num_letters;
+  for (uint64_t word = 1; word < num_masks; ++word) {
+    if (options.max_letters != 0 &&
+        static_cast<uint32_t>(__builtin_popcountll(word)) > options.max_letters) {
+      continue;
+    }
+    uint64_t count = 0;
+    for (const uint64_t segment : segment_words) {
+      if ((word & ~segment) == 0) ++count;
+    }
+    if (count < data.min_count) continue;
+    Bitset mask(num_letters);
+    for (uint32_t bit = 0; bit < num_letters; ++bit) {
+      if ((word >> bit) & 1) mask.Set(bit);
+    }
+    EmitPattern(data, mask, count, &result);
+  }
+
+  result.Canonicalize();
+  result.stats().scans = 1;
+  result.stats().elapsed_seconds = stopwatch.ElapsedSeconds();
+  return result;
+}
+
+Result<MiningResult> MineNaiveLevelwise(tsdb::SeriesSource& source,
+                                        const MiningOptions& options) {
+  Stopwatch stopwatch;
+  PPM_ASSIGN_OR_RETURN(ObservedData data, CollectObserved(source, options));
+
+  const auto count_mask = [&data](const Bitset& mask) {
+    uint64_t count = 0;
+    for (const Bitset& segment : data.segment_masks) {
+      if (mask.IsSubsetOf(segment)) ++count;
+    }
+    return count;
+  };
+
+  MiningResult result;
+  result.stats().num_periods = data.num_periods;
+  result.stats().num_f1_letters = 0;
+
+  // Level 1: observed letters meeting the threshold.
+  std::set<Bitset> frequent;
+  for (uint32_t letter = 0; letter < data.space.size(); ++letter) {
+    if (data.letter_counts[letter] < data.min_count) continue;
+    Bitset mask(data.space.size());
+    mask.Set(letter);
+    EmitPattern(data, mask, data.letter_counts[letter], &result);
+    frequent.insert(std::move(mask));
+    ++result.stats().num_f1_letters;
+  }
+  if (!frequent.empty()) result.stats().max_level_reached = 1;
+
+  // Levels >= 2: extend every frequent set by every frequent letter
+  // (quadratic candidate generation -- deliberately different from the
+  // production prefix join, to cross-validate it).
+  std::vector<Bitset> frequent_letters(frequent.begin(), frequent.end());
+  uint32_t level = 2;
+  while (!frequent.empty()) {
+    if (options.max_letters != 0 && level > options.max_letters) break;
+    std::set<Bitset> candidates;
+    for (const Bitset& base : frequent) {
+      for (const Bitset& letter : frequent_letters) {
+        if (letter.IsSubsetOf(base)) continue;
+        Bitset candidate = base;
+        candidate.UnionWith(letter);
+        candidates.insert(std::move(candidate));
+      }
+    }
+    std::set<Bitset> next;
+    for (const Bitset& candidate : candidates) {
+      ++result.stats().candidates_evaluated;
+      const uint64_t count = count_mask(candidate);
+      if (count < data.min_count) continue;
+      EmitPattern(data, candidate, count, &result);
+      next.insert(candidate);
+    }
+    if (!next.empty()) result.stats().max_level_reached = level;
+    frequent = std::move(next);
+    ++level;
+  }
+
+  result.Canonicalize();
+  result.stats().scans = 1;
+  result.stats().elapsed_seconds = stopwatch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ppm

@@ -1,0 +1,35 @@
+#ifndef PPM_CORE_NAIVE_MINER_H_
+#define PPM_CORE_NAIVE_MINER_H_
+
+#include "core/mining_options.h"
+#include "core/mining_result.h"
+#include "tsdb/series_source.h"
+#include "util/status.h"
+
+namespace ppm {
+
+/// Exhaustive reference miner (test oracle).
+///
+/// Collects every letter that occurs at least once in any whole period
+/// segment, enumerates *all* non-empty letter subsets without any pruning,
+/// and counts each one directly against the stored segment masks. This is a
+/// from-the-definition implementation, deliberately independent of the
+/// Apriori property, `C_max`, and the hit-set machinery, so it can validate
+/// them. Refuses inputs with more than `max_total_letters` observed letters
+/// (cost is `O(2^letters)`).
+Result<MiningResult> MineExhaustive(tsdb::SeriesSource& source,
+                                    const MiningOptions& options,
+                                    uint32_t max_total_letters = 22);
+
+/// Level-wise reference miner with exact per-level counting.
+///
+/// Like `MineExhaustive` it starts from every *observed* letter (not just
+/// the frequent ones), but it prunes with exact counts level by level, so it
+/// scales to inputs where full enumeration is infeasible. Used as a second,
+/// cheaper oracle in property tests.
+Result<MiningResult> MineNaiveLevelwise(tsdb::SeriesSource& source,
+                                        const MiningOptions& options);
+
+}  // namespace ppm
+
+#endif  // PPM_CORE_NAIVE_MINER_H_

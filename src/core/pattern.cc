@@ -1,0 +1,137 @@
+#include "core/pattern.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace ppm {
+
+uint32_t Pattern::LLength() const {
+  uint32_t count = 0;
+  for (const tsdb::FeatureSet& position : positions_) {
+    if (!position.Empty()) ++count;
+  }
+  return count;
+}
+
+uint32_t Pattern::LetterCount() const {
+  uint32_t count = 0;
+  for (const tsdb::FeatureSet& position : positions_) count += position.Count();
+  return count;
+}
+
+bool Pattern::IsSubpatternOf(const Pattern& other) const {
+  if (period() != other.period()) return false;
+  for (uint32_t i = 0; i < period(); ++i) {
+    if (!positions_[i].IsSubsetOf(other.positions_[i])) return false;
+  }
+  return true;
+}
+
+bool Pattern::MatchesSegment(const tsdb::TimeSeries& series,
+                             uint64_t offset) const {
+  PPM_CHECK(offset + period() <= series.length());
+  for (uint32_t i = 0; i < period(); ++i) {
+    if (!positions_[i].IsSubsetOf(series.at(offset + i))) return false;
+  }
+  return true;
+}
+
+Pattern Pattern::UnionWith(const Pattern& other) const {
+  PPM_CHECK(period() == other.period());
+  Pattern result = *this;
+  for (uint32_t i = 0; i < period(); ++i) {
+    result.positions_[i].UnionWith(other.positions_[i]);
+  }
+  return result;
+}
+
+Pattern Pattern::IntersectWith(const Pattern& other) const {
+  PPM_CHECK(period() == other.period());
+  Pattern result = *this;
+  for (uint32_t i = 0; i < period(); ++i) {
+    result.positions_[i].IntersectWith(other.positions_[i]);
+  }
+  return result;
+}
+
+std::string Pattern::Format(const tsdb::SymbolTable& symbols) const {
+  std::string out;
+  for (uint32_t i = 0; i < period(); ++i) {
+    if (i > 0) out += ' ';
+    const tsdb::FeatureSet& position = positions_[i];
+    if (position.Empty()) {
+      out += '*';
+      continue;
+    }
+    if (position.Count() == 1) {
+      out += symbols.NameOrPlaceholder(position.FindFirst());
+      continue;
+    }
+    out += '{';
+    bool first = true;
+    position.ForEach([&](uint32_t id) {
+      if (!first) out += ',';
+      first = false;
+      out += symbols.NameOrPlaceholder(id);
+    });
+    out += '}';
+  }
+  return out;
+}
+
+Result<Pattern> Pattern::Parse(std::string_view text,
+                               tsdb::SymbolTable* symbols) {
+  PPM_CHECK(symbols != nullptr);
+  const std::vector<std::string> tokens =
+      SplitSkipEmpty(StripWhitespace(text), ' ');
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty pattern text");
+  }
+  Pattern pattern(static_cast<uint32_t>(tokens.size()));
+  for (uint32_t i = 0; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (token == "*") continue;
+    if (token.front() == '{') {
+      if (token.size() < 3 || token.back() != '}') {
+        return Status::InvalidArgument("malformed position token: " + token);
+      }
+      const std::string inner = token.substr(1, token.size() - 2);
+      const std::vector<std::string> names = SplitSkipEmpty(inner, ',');
+      if (names.empty()) {
+        return Status::InvalidArgument("empty feature group: " + token);
+      }
+      for (const std::string& name : names) {
+        pattern.AddLetter(i, symbols->Intern(name));
+      }
+      continue;
+    }
+    if (token.find_first_of("{},") != std::string::npos) {
+      return Status::InvalidArgument("malformed position token: " + token);
+    }
+    pattern.AddLetter(i, symbols->Intern(token));
+  }
+  return pattern;
+}
+
+size_t Pattern::Hash() const {
+  uint64_t h = 1469598103934665603ull ^ positions_.size();
+  for (const tsdb::FeatureSet& position : positions_) {
+    h ^= position.Hash();
+    h *= 1099511628211ull;
+  }
+  return static_cast<size_t>(h);
+}
+
+bool operator<(const Pattern& a, const Pattern& b) {
+  if (a.period() != b.period()) return a.period() < b.period();
+  for (uint32_t i = 0; i < a.period(); ++i) {
+    if (a.positions_[i] != b.positions_[i]) {
+      return a.positions_[i] < b.positions_[i];
+    }
+  }
+  return false;
+}
+
+}  // namespace ppm

@@ -1,0 +1,119 @@
+#include "core/pattern_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace ppm {
+
+Status WritePatternsFile(const MiningResult& result,
+                         const tsdb::SymbolTable& symbols,
+                         const std::string& path) {
+  for (const std::string& name : symbols.names()) {
+    if (name.empty() || name.front() == '#') {
+      return Status::InvalidArgument("unwritable feature name: " + name);
+    }
+    for (char c : name) {
+      if (std::isspace(static_cast<unsigned char>(c)) || c == ',' ||
+          c == '{' || c == '}') {
+        return Status::InvalidArgument("unwritable feature name: " + name);
+      }
+    }
+  }
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  if (!result.patterns().empty()) {
+    out << "# period=" << result.patterns().front().pattern.period() << "\n";
+  }
+  char buffer[48];
+  for (const FrequentPattern& entry : result.patterns()) {
+    std::snprintf(buffer, sizeof(buffer), "%llu %.6f ",
+                  static_cast<unsigned long long>(entry.count),
+                  entry.confidence);
+    out << buffer << entry.pattern.Format(symbols) << "\n";
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<MiningResult> ReadPatternsFile(const std::string& path,
+                                      tsdb::SymbolTable* symbols) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+
+  MiningResult result;
+  std::string line;
+  uint64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+
+    // "<count> <confidence> <pattern...>".
+    const size_t first_space = stripped.find(' ');
+    const size_t second_space = first_space == std::string_view::npos
+                                    ? std::string_view::npos
+                                    : stripped.find(' ', first_space + 1);
+    if (second_space == std::string_view::npos) {
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": expected '<count> <conf> <pattern>'");
+    }
+    FrequentPattern entry;
+    if (!ParseUint64(stripped.substr(0, first_space), &entry.count)) {
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": bad count");
+    }
+    const std::string conf_text(
+        stripped.substr(first_space + 1, second_space - first_space - 1));
+    char* end = nullptr;
+    entry.confidence = std::strtod(conf_text.c_str(), &end);
+    if (end == conf_text.c_str() || *end != '\0') {
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": bad confidence");
+    }
+    auto pattern = Pattern::Parse(stripped.substr(second_space + 1), symbols);
+    if (!pattern.ok()) {
+      return Status::Corruption("line " + std::to_string(line_number) + ": " +
+                                pattern.status().message());
+    }
+    entry.pattern = std::move(*pattern);
+    result.patterns().push_back(std::move(entry));
+  }
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return result;
+}
+
+Result<std::vector<AppliedPattern>> ApplyPatterns(
+    const MiningResult& patterns, const tsdb::TimeSeries& series) {
+  std::vector<AppliedPattern> applied;
+  applied.reserve(patterns.size());
+  for (const FrequentPattern& entry : patterns.patterns()) {
+    const uint32_t period = entry.pattern.period();
+    if (period == 0 || period > series.length()) {
+      return Status::InvalidArgument(
+          "pattern period " + std::to_string(period) +
+          " does not fit the series");
+    }
+    const uint64_t m = series.length() / period;
+    AppliedPattern row;
+    row.pattern = entry.pattern;
+    row.old_confidence = entry.confidence;
+    for (uint64_t segment = 0; segment < m; ++segment) {
+      if (entry.pattern.MatchesSegment(series, segment * period)) {
+        ++row.new_count;
+      }
+    }
+    row.new_confidence =
+        m > 0 ? static_cast<double>(row.new_count) / static_cast<double>(m)
+              : 0.0;
+    applied.push_back(std::move(row));
+  }
+  return applied;
+}
+
+}  // namespace ppm

@@ -1,0 +1,52 @@
+#ifndef PPM_CORE_PATTERN_IO_H_
+#define PPM_CORE_PATTERN_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/mining_result.h"
+#include "core/pattern.h"
+#include "tsdb/symbol_table.h"
+#include "tsdb/time_series.h"
+#include "util/status.h"
+
+namespace ppm {
+
+/// Writes mined patterns as text, one per line:
+///
+///   <count> <confidence> <pattern in Format() notation>
+///
+/// with a `# period=<p>` header line. Lines are parseable by
+/// `ReadPatternsFile` and human-greppable. Feature names must satisfy the
+/// text-codec rules (no whitespace, no leading '#').
+Status WritePatternsFile(const MiningResult& result,
+                         const tsdb::SymbolTable& symbols,
+                         const std::string& path);
+
+/// Reads a patterns file. Feature names are interned into `*symbols`
+/// (typically the symbol table of the series the patterns will be applied
+/// to, so ids line up). Count/confidence fields reflect the original
+/// mining run.
+Result<MiningResult> ReadPatternsFile(const std::string& path,
+                                      tsdb::SymbolTable* symbols);
+
+/// Re-evaluates previously mined patterns against a (different) series:
+/// recounts every pattern from the definition and reports old vs new
+/// confidence. The workhorse of "mine on January, check against February"
+/// workflows (Section 6's evolution discussion).
+struct AppliedPattern {
+  Pattern pattern;
+  uint64_t new_count = 0;
+  double new_confidence = 0.0;
+  double old_confidence = 0.0;
+};
+
+/// Fails when a pattern's period does not divide into the series (i.e.
+/// `period > length`) or periods are inconsistent with `period` (0 = use
+/// each pattern's own period).
+Result<std::vector<AppliedPattern>> ApplyPatterns(
+    const MiningResult& patterns, const tsdb::TimeSeries& series);
+
+}  // namespace ppm
+
+#endif  // PPM_CORE_PATTERN_IO_H_

@@ -1,0 +1,211 @@
+#include "discretize/discretizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ppm::discretize {
+
+namespace {
+
+/// Inverse standard normal CDF (Acklam's rational approximation; absolute
+/// error below 1.15e-9, ample for breakpoint placement).
+double Probit(double p) {
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  const double p_high = 1 - p_low;
+  double q, r;
+  if (p < p_low) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p <= p_high) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+  }
+  q = std::sqrt(-2 * std::log(1 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+}
+
+}  // namespace
+
+Result<std::vector<double>> ComputeBreakpoints(
+    const std::vector<double>& values, BinningMethod method,
+    uint32_t num_bins) {
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot discretize an empty series");
+  }
+  if (num_bins < 2) {
+    return Status::InvalidArgument("num_bins must be at least 2");
+  }
+  std::vector<double> breakpoints(num_bins - 1);
+
+  switch (method) {
+    case BinningMethod::kEqualWidth: {
+      const auto [min_it, max_it] =
+          std::minmax_element(values.begin(), values.end());
+      const double lo = *min_it;
+      const double width = (*max_it - lo) / num_bins;
+      for (uint32_t i = 1; i < num_bins; ++i) breakpoints[i - 1] = lo + width * i;
+      break;
+    }
+    case BinningMethod::kEqualFrequency: {
+      std::vector<double> sorted = values;
+      std::sort(sorted.begin(), sorted.end());
+      for (uint32_t i = 1; i < num_bins; ++i) {
+        size_t index = (sorted.size() * i) / num_bins;
+        if (index > 0) --index;
+        breakpoints[i - 1] = sorted[index];
+      }
+      break;
+    }
+    case BinningMethod::kGaussian: {
+      double mean = 0.0;
+      for (double v : values) mean += v;
+      mean /= static_cast<double>(values.size());
+      double variance = 0.0;
+      for (double v : values) variance += (v - mean) * (v - mean);
+      variance /= static_cast<double>(values.size());
+      const double stddev = std::sqrt(variance);
+      for (uint32_t i = 1; i < num_bins; ++i) {
+        breakpoints[i - 1] =
+            mean + stddev * Probit(static_cast<double>(i) / num_bins);
+      }
+      break;
+    }
+  }
+  return breakpoints;
+}
+
+uint32_t BinOf(double value, const std::vector<double>& breakpoints) {
+  // First breakpoint >= value; bins are (bp[i-1], bp[i]].
+  const auto it =
+      std::lower_bound(breakpoints.begin(), breakpoints.end(), value);
+  return static_cast<uint32_t>(it - breakpoints.begin());
+}
+
+Result<tsdb::TimeSeries> Discretize(const std::vector<double>& values,
+                                    const DiscretizeOptions& options) {
+  PPM_ASSIGN_OR_RETURN(
+      std::vector<double> breakpoints,
+      ComputeBreakpoints(values, options.method, options.num_bins));
+
+  tsdb::TimeSeries series;
+  // Intern bin names up front so ids are ordered by bin.
+  for (uint32_t b = 0; b < options.num_bins; ++b) {
+    series.symbols().Intern(options.prefix + std::to_string(b));
+  }
+  for (double value : values) {
+    tsdb::FeatureSet instant;
+    instant.Set(BinOf(value, breakpoints));
+    series.Append(std::move(instant));
+  }
+  return series;
+}
+
+Result<MultiLevelSeries> DiscretizeMultiLevel(const std::vector<double>& values,
+                                              uint32_t coarse_bins,
+                                              uint32_t fine_bins,
+                                              BinningMethod method,
+                                              const std::string& prefix) {
+  if (coarse_bins < 2) {
+    return Status::InvalidArgument("coarse_bins must be at least 2");
+  }
+  if (fine_bins % coarse_bins != 0 || fine_bins == coarse_bins) {
+    return Status::InvalidArgument(
+        "fine_bins must be a proper multiple of coarse_bins so fine bins "
+        "nest inside coarse bins");
+  }
+  // Coarse bins are unions of consecutive fine bins, so both levels derive
+  // from the fine breakpoints and nest exactly.
+  PPM_ASSIGN_OR_RETURN(std::vector<double> breakpoints,
+                       ComputeBreakpoints(values, method, fine_bins));
+  const uint32_t fan_in = fine_bins / coarse_bins;
+
+  MultiLevelSeries out;
+  tsdb::TimeSeries& series = out.series;
+  for (uint32_t b = 0; b < coarse_bins; ++b) {
+    series.symbols().Intern(prefix + "hi" + std::to_string(b));
+  }
+  for (uint32_t b = 0; b < fine_bins; ++b) {
+    const std::string fine_name = prefix + "lo" + std::to_string(b);
+    series.symbols().Intern(fine_name);
+    out.hierarchy.emplace_back(fine_name,
+                               prefix + "hi" + std::to_string(b / fan_in));
+  }
+  for (double value : values) {
+    const uint32_t fine = BinOf(value, breakpoints);
+    tsdb::FeatureSet instant;
+    instant.Set(fine / fan_in);                 // coarse feature id
+    instant.Set(coarse_bins + fine);            // fine feature id
+    series.Append(std::move(instant));
+  }
+  return out;
+}
+
+Result<std::vector<double>> SmoothMovingAverage(
+    const std::vector<double>& values, uint32_t half_window) {
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot smooth an empty series");
+  }
+  if (half_window == 0) return values;
+  std::vector<double> smoothed(values.size());
+  // Prefix sums make each window mean O(1).
+  std::vector<double> prefix(values.size() + 1, 0.0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    prefix[i + 1] = prefix[i] + values[i];
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    const size_t begin = i >= half_window ? i - half_window : 0;
+    const size_t end =
+        std::min(values.size(), i + static_cast<size_t>(half_window) + 1);
+    smoothed[i] = (prefix[end] - prefix[begin]) /
+                  static_cast<double>(end - begin);
+  }
+  return smoothed;
+}
+
+Result<tsdb::TimeSeries> EncodeMovement(const std::vector<double>& values,
+                                        double flat_epsilon,
+                                        const std::string& prefix) {
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot encode an empty series");
+  }
+  if (flat_epsilon < 0.0) {
+    return Status::InvalidArgument("flat_epsilon must be non-negative");
+  }
+  tsdb::TimeSeries series;
+  const tsdb::FeatureId up = series.symbols().Intern(prefix + "up");
+  const tsdb::FeatureId down = series.symbols().Intern(prefix + "down");
+  const tsdb::FeatureId flat = series.symbols().Intern(prefix + "flat");
+  series.AppendEmpty();  // No movement defined for the first instant.
+  for (size_t i = 1; i < values.size(); ++i) {
+    const double delta = values[i] - values[i - 1];
+    tsdb::FeatureSet instant;
+    if (delta > flat_epsilon) {
+      instant.Set(up);
+    } else if (delta < -flat_epsilon) {
+      instant.Set(down);
+    } else {
+      instant.Set(flat);
+    }
+    series.Append(std::move(instant));
+  }
+  return series;
+}
+
+}  // namespace ppm::discretize

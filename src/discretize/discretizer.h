@@ -1,0 +1,88 @@
+#ifndef PPM_DISCRETIZE_DISCRETIZER_H_
+#define PPM_DISCRETIZE_DISCRETIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tsdb/time_series.h"
+#include "util/status.h"
+
+namespace ppm::discretize {
+
+/// How numeric values are split into bins (Section 6: "examine the
+/// distribution of numerical values ... and discretize them into single- or
+/// multiple-level categorical data").
+enum class BinningMethod {
+  /// Equal-width bins between the observed min and max.
+  kEqualWidth = 0,
+  /// Equal-frequency (quantile) bins.
+  kEqualFrequency = 1,
+  /// Bins equiprobable under a Gaussian fit of the data (the SAX-style
+  /// breakpoints commonly used for symbolic time-series representations).
+  kGaussian = 2,
+};
+
+struct DiscretizeOptions {
+  BinningMethod method = BinningMethod::kEqualWidth;
+  /// Number of bins (>= 2).
+  uint32_t num_bins = 4;
+  /// Feature names are `<prefix><bin>`, e.g. "lvl0".."lvl3".
+  std::string prefix = "lvl";
+};
+
+/// Computes the `num_bins - 1` interior breakpoints for `values` under
+/// `method`. Bin `b` covers `(breakpoints[b-1], breakpoints[b]]` with the
+/// outer bins open-ended. Fails on empty input or `num_bins < 2`.
+Result<std::vector<double>> ComputeBreakpoints(const std::vector<double>& values,
+                                               BinningMethod method,
+                                               uint32_t num_bins);
+
+/// Bin index of `value` for the given interior `breakpoints`
+/// (`values <= breakpoints[i]` fall in bin `i` or lower).
+uint32_t BinOf(double value, const std::vector<double>& breakpoints);
+
+/// Converts a numeric series into a categorical `TimeSeries` with one
+/// feature per instant naming the value's bin.
+Result<tsdb::TimeSeries> Discretize(const std::vector<double>& values,
+                                    const DiscretizeOptions& options);
+
+/// A two-level discretization: each instant carries both a coarse feature
+/// (`<prefix>hi<bin>`) and a fine feature (`<prefix>lo<bin>`), plus the
+/// fine-to-coarse name mapping for building a `multilevel::Taxonomy`.
+/// `fine_bins` must be a positive multiple of `coarse_bins` so fine bins
+/// nest inside coarse ones.
+struct MultiLevelSeries {
+  tsdb::TimeSeries series;
+  /// (fine feature name, coarse feature name) pairs.
+  std::vector<std::pair<std::string, std::string>> hierarchy;
+};
+
+Result<MultiLevelSeries> DiscretizeMultiLevel(const std::vector<double>& values,
+                                              uint32_t coarse_bins,
+                                              uint32_t fine_bins,
+                                              BinningMethod method,
+                                              const std::string& prefix = "lvl");
+
+/// Centered moving-average smoothing over `half_window` values on each
+/// side (shrunk at the edges). Section 6 suggests employing "regression
+/// technique to reduce the noise of perturbation" before discretizing
+/// numeric data; this is the standard local-mean regression for that.
+/// `half_window == 0` returns the input unchanged.
+Result<std::vector<double>> SmoothMovingAverage(
+    const std::vector<double>& values, uint32_t half_window);
+
+/// Encodes consecutive differences as movement features -- the
+/// stock-movement representation of Lu, Han & Feng (reference [9] of the
+/// paper): instant `i` (for `i >= 1`) gets `<prefix>up` when
+/// `values[i] - values[i-1] > flat_epsilon`, `<prefix>down` when below
+/// `-flat_epsilon`, else `<prefix>flat`. Instant 0 has no features.
+/// `flat_epsilon` must be non-negative.
+Result<tsdb::TimeSeries> EncodeMovement(const std::vector<double>& values,
+                                        double flat_epsilon,
+                                        const std::string& prefix = "");
+
+}  // namespace ppm::discretize
+
+#endif  // PPM_DISCRETIZE_DISCRETIZER_H_

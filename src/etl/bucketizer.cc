@@ -1,0 +1,104 @@
+#include "etl/bucketizer.h"
+
+#include <string>
+
+namespace ppm::etl {
+
+namespace {
+
+/// Floor division for possibly-negative numerators.
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+int64_t FloorMod(int64_t a, int64_t b) { return a - FloorDiv(a, b) * b; }
+
+}  // namespace
+
+Result<tsdb::TimeSeries> Bucketize(const EventLog& log,
+                                   const BucketizeOptions& options) {
+  if (options.bucket_width <= 0) {
+    return Status::InvalidArgument("bucket_width must be positive");
+  }
+  if (log.empty()) {
+    return Status::InvalidArgument("cannot bucketize an empty event log");
+  }
+
+  PPM_ASSIGN_OR_RETURN(const int64_t origin, ResolveOrigin(log, options));
+  int64_t end = options.end;
+  if (end == BucketizeOptions::kAutoEnd) {
+    PPM_ASSIGN_OR_RETURN(const int64_t last, log.MaxTimestamp());
+    end = last + 1;
+  }
+  if (end <= origin) {
+    return Status::InvalidArgument("end must be after origin");
+  }
+
+  const uint64_t num_buckets = static_cast<uint64_t>(
+      FloorDiv(end - origin - 1, options.bucket_width) + 1);
+  // A hard sanity cap: one billion instants is beyond any sane bucketing
+  // and indicates mismatched units (e.g. nanosecond stamps, second width).
+  if (num_buckets > 1000000000ull) {
+    return Status::InvalidArgument(
+        "bucketing would produce " + std::to_string(num_buckets) +
+        " instants; check timestamp units vs bucket_width");
+  }
+
+  tsdb::TimeSeries series;
+  series.AppendEmpty(num_buckets);
+  for (const Event& event : log.events()) {
+    if (event.timestamp < origin || event.timestamp >= end) continue;
+    const uint64_t bucket = static_cast<uint64_t>(
+        FloorDiv(event.timestamp - origin, options.bucket_width));
+    series.at(bucket).Set(series.symbols().Intern(event.feature));
+  }
+  return series;
+}
+
+Result<int64_t> ResolveOrigin(const EventLog& log,
+                              const BucketizeOptions& options) {
+  if (options.bucket_width <= 0) {
+    return Status::InvalidArgument("bucket_width must be positive");
+  }
+  if (options.origin != BucketizeOptions::kAutoOrigin) return options.origin;
+  PPM_ASSIGN_OR_RETURN(const int64_t first, log.MinTimestamp());
+  return FloorDiv(first, options.bucket_width) * options.bucket_width;
+}
+
+int64_t DaysSinceEpoch(int64_t timestamp) {
+  return FloorDiv(timestamp, 86400);
+}
+
+int DayOfWeek(int64_t timestamp) {
+  // 1970-01-01 (day 0) was a Thursday; Monday-based index 3.
+  return static_cast<int>(FloorMod(DaysSinceEpoch(timestamp) + 3, 7));
+}
+
+int HourOfDay(int64_t timestamp) {
+  return static_cast<int>(FloorMod(timestamp, 86400) / 3600);
+}
+
+int HourOfWeek(int64_t timestamp) {
+  return DayOfWeek(timestamp) * 24 + HourOfDay(timestamp);
+}
+
+void AnnotateCalendar(tsdb::TimeSeries* series, int64_t origin,
+                      int64_t bucket_width, CalendarFeature feature) {
+  for (uint64_t i = 0; i < series->length(); ++i) {
+    const int64_t timestamp = origin + static_cast<int64_t>(i) * bucket_width;
+    std::string name;
+    switch (feature) {
+      case CalendarFeature::kDayOfWeek:
+        name = "dow" + std::to_string(DayOfWeek(timestamp));
+        break;
+      case CalendarFeature::kHourOfDay:
+        name = "hour" + std::to_string(HourOfDay(timestamp));
+        break;
+    }
+    series->at(i).Set(series->symbols().Intern(name));
+  }
+}
+
+}  // namespace ppm::etl

@@ -1,0 +1,65 @@
+#ifndef PPM_ETL_BUCKETIZER_H_
+#define PPM_ETL_BUCKETIZER_H_
+
+#include <cstdint>
+
+#include "etl/event_log.h"
+#include "tsdb/time_series.h"
+#include "util/status.h"
+
+namespace ppm::etl {
+
+/// How an event log becomes a feature time series.
+struct BucketizeOptions {
+  /// Width of one time instant, in the log's timestamp unit (e.g. 3600 for
+  /// hourly instants over epoch-second logs). Must be positive.
+  int64_t bucket_width = 3600;
+
+  /// Timestamp of the left edge of instant 0. `kAutoOrigin` snaps to the
+  /// earliest event, rounded down to a multiple of `bucket_width` -- so
+  /// e.g. hourly buckets start on the hour regardless of the first event's
+  /// offset, keeping period offsets aligned with wall-clock slots.
+  static constexpr int64_t kAutoOrigin = INT64_MIN;
+  int64_t origin = kAutoOrigin;
+
+  /// Timestamp past the last instant; `kAutoEnd` covers the latest event.
+  static constexpr int64_t kAutoEnd = INT64_MIN;
+  int64_t end = kAutoEnd;
+};
+
+/// Groups events into fixed-width buckets: instant `i` holds the set of
+/// distinct features observed in `[origin + i*w, origin + (i+1)*w)`.
+/// Buckets with no events become empty instants (time passes even when
+/// nothing happens -- required for period offsets to stay aligned).
+/// Events outside `[origin, end)` are dropped.
+Result<tsdb::TimeSeries> Bucketize(const EventLog& log,
+                                   const BucketizeOptions& options);
+
+/// The origin `Bucketize` will use: `options.origin`, or for `kAutoOrigin`
+/// the earliest event floored to a `bucket_width` boundary (floor division,
+/// correct for negative timestamps).
+Result<int64_t> ResolveOrigin(const EventLog& log,
+                              const BucketizeOptions& options);
+
+/// Calendar helpers for epoch-second timestamps (UTC, Gregorian).
+/// 1970-01-01 was a Thursday.
+int64_t DaysSinceEpoch(int64_t timestamp);
+/// 0 = Monday .. 6 = Sunday.
+int DayOfWeek(int64_t timestamp);
+/// 0..23.
+int HourOfDay(int64_t timestamp);
+/// Offset of `timestamp` within a week of hourly slots: 0..167,
+/// 0 = Monday 00:00 UTC. Useful as the period offset for weekly mining.
+int HourOfWeek(int64_t timestamp);
+
+/// Appends a calendar feature (e.g. "dow3", "hour17") to every instant of a
+/// bucketized series, so patterns can anchor on wall-clock context even when
+/// mined at a different period. `series` must have been produced with the
+/// given `origin`/`bucket_width`.
+enum class CalendarFeature { kDayOfWeek, kHourOfDay };
+void AnnotateCalendar(tsdb::TimeSeries* series, int64_t origin,
+                      int64_t bucket_width, CalendarFeature feature);
+
+}  // namespace ppm::etl
+
+#endif  // PPM_ETL_BUCKETIZER_H_

@@ -1,0 +1,80 @@
+#include "etl/event_log.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace ppm::etl {
+
+void EventLog::SortByTime() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+}
+
+Result<int64_t> EventLog::MinTimestamp() const {
+  if (events_.empty()) return Status::InvalidArgument("empty event log");
+  int64_t min = events_.front().timestamp;
+  for (const Event& event : events_) {
+    if (event.timestamp < min) min = event.timestamp;
+  }
+  return min;
+}
+
+Result<int64_t> EventLog::MaxTimestamp() const {
+  if (events_.empty()) return Status::InvalidArgument("empty event log");
+  int64_t max = events_.front().timestamp;
+  for (const Event& event : events_) {
+    if (event.timestamp > max) max = event.timestamp;
+  }
+  return max;
+}
+
+Result<EventLog> ReadEventLog(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  EventLog log;
+  std::string line;
+  uint64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    const size_t space = stripped.find(' ');
+    if (space == std::string_view::npos) {
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": expected '<timestamp> <feature>'");
+    }
+    const std::string ts_text(stripped.substr(0, space));
+    char* end = nullptr;
+    const long long timestamp = std::strtoll(ts_text.c_str(), &end, 10);
+    if (end == ts_text.c_str() || *end != '\0') {
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": bad timestamp '" + ts_text + "'");
+    }
+    const std::string_view feature = StripWhitespace(stripped.substr(space + 1));
+    if (feature.empty()) {
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": empty feature");
+    }
+    log.Add(static_cast<int64_t>(timestamp), feature);
+  }
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return log;
+}
+
+Status WriteEventLog(const EventLog& log, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  for (const Event& event : log.events()) {
+    out << event.timestamp << ' ' << event.feature << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace ppm::etl

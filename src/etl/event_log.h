@@ -1,0 +1,62 @@
+#ifndef PPM_ETL_EVENT_LOG_H_
+#define PPM_ETL_EVENT_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ppm::etl {
+
+/// One raw observation: a named event at an absolute time.
+///
+/// Timestamps are int64 seconds since the Unix epoch (UTC); any other
+/// monotone tick unit works as long as it is used consistently with the
+/// bucket width.
+struct Event {
+  int64_t timestamp = 0;
+  std::string feature;
+
+  friend bool operator==(const Event& a, const Event& b) {
+    return a.timestamp == b.timestamp && a.feature == b.feature;
+  }
+};
+
+/// An append-only log of raw events, the input of feature derivation
+/// (Section 2: "for each time instant i, let D_i be a set of features
+/// derived from the dataset collected at the instant").
+class EventLog {
+ public:
+  EventLog() = default;
+
+  void Add(int64_t timestamp, std::string_view feature) {
+    events_.push_back(Event{timestamp, std::string(feature)});
+  }
+
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const std::vector<Event>& events() const { return events_; }
+
+  /// Sorts events by timestamp (stable, so same-instant order is kept).
+  void SortByTime();
+
+  /// Smallest / largest timestamp; error when empty.
+  Result<int64_t> MinTimestamp() const;
+  Result<int64_t> MaxTimestamp() const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// Parses a text event log: one event per line, `<timestamp> <feature>`,
+/// '#' comments and blank lines skipped. Timestamps are signed integers.
+Result<EventLog> ReadEventLog(const std::string& path);
+
+/// Writes the inverse of `ReadEventLog`.
+Status WriteEventLog(const EventLog& log, const std::string& path);
+
+}  // namespace ppm::etl
+
+#endif  // PPM_ETL_EVENT_LOG_H_

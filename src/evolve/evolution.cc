@@ -1,0 +1,105 @@
+#include "evolve/evolution.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "core/hitset_miner.h"
+#include "tsdb/series_source.h"
+
+namespace ppm::evolve {
+
+Result<std::vector<WindowResult>> MineWindows(const tsdb::TimeSeries& series,
+                                              uint64_t window_length,
+                                              const MiningOptions& options) {
+  if (window_length == 0) {
+    return Status::InvalidArgument("window_length must be positive");
+  }
+  if (options.period == 0 || window_length < options.period) {
+    return Status::InvalidArgument(
+        "window_length must hold at least one period");
+  }
+
+  std::vector<WindowResult> windows;
+  for (uint64_t start = 0; start + options.period <= series.length();
+       start += window_length) {
+    WindowResult window;
+    window.start = start;
+    window.length = std::min<uint64_t>(window_length, series.length() - start);
+    if (window.length < options.period) break;  // Sub-period tail: drop.
+
+    // Copy the window into its own series; symbol table is shared content
+    // (ids are preserved by copying the table itself).
+    tsdb::TimeSeries slice;
+    slice.symbols() = series.symbols();
+    for (uint64_t t = start; t < start + window.length; ++t) {
+      slice.Append(series.at(t));
+    }
+    tsdb::InMemorySeriesSource source(&slice);
+    PPM_ASSIGN_OR_RETURN(window.result, MineHitSet(source, options));
+    windows.push_back(std::move(window));
+  }
+  return windows;
+}
+
+PatternDiff DiffResults(const MiningResult& before, const MiningResult& after,
+                        double min_shift) {
+  PatternDiff diff;
+  std::unordered_map<Pattern, const FrequentPattern*, PatternHash> before_map;
+  before_map.reserve(before.size());
+  for (const FrequentPattern& entry : before.patterns()) {
+    before_map.emplace(entry.pattern, &entry);
+  }
+
+  std::unordered_map<Pattern, bool, PatternHash> seen_in_after;
+  for (const FrequentPattern& entry : after.patterns()) {
+    seen_in_after.emplace(entry.pattern, true);
+    const auto it = before_map.find(entry.pattern);
+    if (it == before_map.end()) {
+      diff.appeared.push_back(entry);
+      continue;
+    }
+    const double delta = entry.confidence - it->second->confidence;
+    if (delta >= min_shift || delta <= -min_shift) {
+      diff.shifted.push_back(
+          PatternChange{entry.pattern, it->second->confidence,
+                        entry.confidence});
+    }
+  }
+  for (const FrequentPattern& entry : before.patterns()) {
+    if (!seen_in_after.contains(entry.pattern)) {
+      diff.vanished.push_back(entry);
+    }
+  }
+  return diff;
+}
+
+std::vector<PatternStability> StabilityReport(
+    const std::vector<WindowResult>& windows) {
+  std::map<Pattern, PatternStability> accumulator;
+  for (const WindowResult& window : windows) {
+    for (const FrequentPattern& entry : window.result.patterns()) {
+      PatternStability& stability = accumulator[entry.pattern];
+      stability.pattern = entry.pattern;
+      ++stability.windows_present;
+      stability.mean_confidence += entry.confidence;
+    }
+  }
+  std::vector<PatternStability> report;
+  report.reserve(accumulator.size());
+  for (auto& [pattern, stability] : accumulator) {
+    stability.mean_confidence /=
+        static_cast<double>(stability.windows_present);
+    report.push_back(std::move(stability));
+  }
+  std::stable_sort(report.begin(), report.end(),
+                   [](const PatternStability& a, const PatternStability& b) {
+                     if (a.windows_present != b.windows_present) {
+                       return a.windows_present > b.windows_present;
+                     }
+                     return a.mean_confidence > b.mean_confidence;
+                   });
+  return report;
+}
+
+}  // namespace ppm::evolve

@@ -1,0 +1,71 @@
+#ifndef PPM_EVOLVE_EVOLUTION_H_
+#define PPM_EVOLVE_EVOLUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mining_options.h"
+#include "core/mining_result.h"
+#include "tsdb/time_series.h"
+#include "util/status.h"
+
+namespace ppm::evolve {
+
+/// Frequent patterns of one time window of the series.
+struct WindowResult {
+  /// First instant of the window.
+  uint64_t start = 0;
+  /// Number of instants in the window.
+  uint64_t length = 0;
+  MiningResult result;
+};
+
+/// Mining partial periodicity with *evolution* (Section 6): the periodic
+/// behaviour itself may change over the life of the series, so a single
+/// whole-series run blurs old and new regimes together. `MineWindows`
+/// splits the series into consecutive non-overlapping windows of
+/// `window_length` instants and mines each independently (hit-set miner,
+/// same options). A trailing partial window shorter than one period is
+/// dropped; a final window with at least one whole period is kept.
+Result<std::vector<WindowResult>> MineWindows(const tsdb::TimeSeries& series,
+                                              uint64_t window_length,
+                                              const MiningOptions& options);
+
+/// Differences between two mined pattern sets (e.g. adjacent windows).
+struct PatternChange {
+  Pattern pattern;
+  double before_confidence = 0.0;
+  double after_confidence = 0.0;
+};
+struct PatternDiff {
+  /// Frequent after but not before.
+  std::vector<FrequentPattern> appeared;
+  /// Frequent before but not after.
+  std::vector<FrequentPattern> vanished;
+  /// Frequent in both with |Δconfidence| >= the reporting threshold.
+  std::vector<PatternChange> shifted;
+};
+
+/// Diffs two results; `min_shift` is the confidence delta below which a
+/// pattern present in both is not reported in `shifted`.
+PatternDiff DiffResults(const MiningResult& before, const MiningResult& after,
+                        double min_shift = 0.05);
+
+/// How persistently each pattern (ever frequent in any window) stays
+/// frequent across all windows.
+struct PatternStability {
+  Pattern pattern;
+  /// Windows in which the pattern was frequent.
+  uint32_t windows_present = 0;
+  /// Mean confidence over the windows where present.
+  double mean_confidence = 0.0;
+};
+
+/// Aggregates window results into a per-pattern stability report, sorted by
+/// `windows_present` descending then mean confidence descending.
+std::vector<PatternStability> StabilityReport(
+    const std::vector<WindowResult>& windows);
+
+}  // namespace ppm::evolve
+
+#endif  // PPM_EVOLVE_EVOLUTION_H_

@@ -1,0 +1,73 @@
+#ifndef PPM_MULTIDIM_MULTIDIM_H_
+#define PPM_MULTIDIM_MULTIDIM_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/mining_result.h"
+#include "core/pattern.h"
+#include "tsdb/time_series.h"
+#include "util/status.h"
+
+namespace ppm::multidim {
+
+/// Multi-dimensional partial periodicity (Section 6): the data at each
+/// instant has values along several dimensions (e.g. weather, traffic,
+/// day-type), and patterns may mix letters from different dimensions --
+/// "cold AND jammed every Monday morning".
+///
+/// The encoding is the standard one: each dimension's value at instant `t`
+/// becomes the feature `<dimension>:<value>` in a single combined series,
+/// after which the ordinary miners apply unchanged. This builder zips
+/// parallel value streams, and the helpers below slice mined patterns back
+/// into per-dimension views.
+class DimensionedSeriesBuilder {
+ public:
+  DimensionedSeriesBuilder() = default;
+
+  /// Adds one dimension with one value per instant. Every dimension must
+  /// have the same length; an empty value string means "no observation"
+  /// along that dimension at that instant. Fails on a duplicate dimension
+  /// name, an empty name, or a name containing ':'.
+  Status AddDimension(std::string_view name,
+                      const std::vector<std::string>& values);
+
+  /// Builds the combined series. Fails when no dimension was added.
+  Result<tsdb::TimeSeries> Build() const;
+
+  /// Dimension names added so far, in insertion order.
+  const std::vector<std::string>& dimensions() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<std::string>> values_;
+};
+
+/// The separator between dimension and value in combined feature names.
+inline constexpr char kDimensionSeparator = ':';
+
+/// Dimension of a combined feature name ("" when the name has no
+/// separator, i.e. was not produced by the builder).
+std::string_view DimensionOf(std::string_view feature_name);
+
+/// The sub-pattern of `pattern` containing only the letters of `dimension`.
+Pattern ProjectPattern(const Pattern& pattern,
+                       const tsdb::SymbolTable& symbols,
+                       std::string_view dimension);
+
+/// Number of distinct dimensions appearing in `pattern`.
+uint32_t DimensionCount(const Pattern& pattern,
+                        const tsdb::SymbolTable& symbols);
+
+/// The entries of `result` whose pattern spans at least `min_dimensions`
+/// distinct dimensions -- the genuinely inter-dimensional regularities
+/// (single-dimension patterns are already found by mining that dimension
+/// alone).
+std::vector<FrequentPattern> CrossDimensionalPatterns(
+    const MiningResult& result, const tsdb::SymbolTable& symbols,
+    uint32_t min_dimensions = 2);
+
+}  // namespace ppm::multidim
+
+#endif  // PPM_MULTIDIM_MULTIDIM_H_

@@ -1,0 +1,40 @@
+#ifndef PPM_MULTILEVEL_MULTILEVEL_MINER_H_
+#define PPM_MULTILEVEL_MULTILEVEL_MINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mining_options.h"
+#include "core/mining_result.h"
+#include "multilevel/taxonomy.h"
+#include "tsdb/time_series.h"
+#include "util/status.h"
+
+namespace ppm::multilevel {
+
+/// The mining result at one abstraction level of a drill-down run.
+struct LevelResult {
+  /// Taxonomy depth mined (1 = most general).
+  uint32_t depth = 0;
+  /// The series generalized to `depth` (owns the symbol table the patterns
+  /// of `result` are expressed in).
+  tsdb::TimeSeries series;
+  MiningResult result;
+};
+
+/// Level-shared drill-down mining (Section 6): mines the series generalized
+/// to depth 1, then at each deeper level restricts candidate letters to
+/// those whose generalized letter was frequent one level up ("progressively
+/// drilling-down with the discovered periodic patterns to see whether they
+/// are still periodic at a lower level").
+///
+/// `options.period` etc. apply at every level; `options.letter_filter` is
+/// overridden internally. Returns one entry per depth from 1 to
+/// `taxonomy.MaxDepth()`.
+Result<std::vector<LevelResult>> MineDrillDown(const tsdb::TimeSeries& series,
+                                               const Taxonomy& taxonomy,
+                                               const MiningOptions& options);
+
+}  // namespace ppm::multilevel
+
+#endif  // PPM_MULTILEVEL_MULTILEVEL_MINER_H_

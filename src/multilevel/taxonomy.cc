@@ -1,0 +1,93 @@
+#include "multilevel/taxonomy.h"
+
+namespace ppm::multilevel {
+
+Status Taxonomy::AddEdge(std::string_view child, std::string_view parent) {
+  if (child == parent) {
+    return Status::InvalidArgument("feature cannot be its own parent: " +
+                                   std::string(child));
+  }
+  const std::string child_name(child);
+  const auto it = parent_.find(child_name);
+  if (it != parent_.end()) {
+    if (it->second == parent) return Status::OK();  // Idempotent re-add.
+    return Status::AlreadyExists("feature " + child_name +
+                                 " already has parent " + it->second);
+  }
+  // Reject cycles: walking up from `parent` must not reach `child`.
+  std::string cursor(parent);
+  while (!cursor.empty()) {
+    if (cursor == child) {
+      return Status::InvalidArgument("edge would create a cycle at " +
+                                     child_name);
+    }
+    cursor = ParentOf(cursor);
+  }
+  parent_.emplace(child_name, std::string(parent));
+  return Status::OK();
+}
+
+std::string Taxonomy::ParentOf(std::string_view name) const {
+  const auto it = parent_.find(std::string(name));
+  if (it == parent_.end()) return std::string();
+  return it->second;
+}
+
+uint32_t Taxonomy::DepthOf(std::string_view name) const {
+  uint32_t depth = 1;
+  std::string cursor = ParentOf(name);
+  while (!cursor.empty()) {
+    ++depth;
+    cursor = ParentOf(cursor);
+  }
+  return depth;
+}
+
+std::string Taxonomy::AncestorAtDepth(std::string_view name,
+                                      uint32_t depth) const {
+  uint32_t my_depth = DepthOf(name);
+  std::string cursor(name);
+  while (my_depth > depth) {
+    cursor = ParentOf(cursor);
+    --my_depth;
+  }
+  return cursor;
+}
+
+uint32_t Taxonomy::MaxDepth() const {
+  uint32_t max_depth = 1;
+  for (const auto& [child, parent] : parent_) {
+    const uint32_t depth = DepthOf(child);
+    if (depth > max_depth) max_depth = depth;
+  }
+  return max_depth;
+}
+
+tsdb::TimeSeries GeneralizeToDepth(const tsdb::TimeSeries& series,
+                                   const Taxonomy& taxonomy, uint32_t depth) {
+  tsdb::TimeSeries generalized;
+  // Precompute the id rewrite for every source feature.
+  std::vector<tsdb::FeatureId> rewrite;
+  rewrite.reserve(series.symbols().size());
+  for (const std::string& name : series.symbols().names()) {
+    rewrite.push_back(
+        generalized.symbols().Intern(taxonomy.AncestorAtDepth(name, depth)));
+  }
+  for (const tsdb::FeatureSet& instant : series.instants()) {
+    tsdb::FeatureSet mapped;
+    instant.ForEach([&](uint32_t id) { mapped.Set(rewrite[id]); });
+    generalized.Append(std::move(mapped));
+  }
+  return generalized;
+}
+
+Result<Taxonomy> TaxonomyFromPairs(
+    const std::vector<std::pair<std::string, std::string>>& edges) {
+  Taxonomy taxonomy;
+  for (const auto& [child, parent] : edges) {
+    PPM_RETURN_IF_ERROR(taxonomy.AddEdge(child, parent));
+  }
+  return taxonomy;
+}
+
+}  // namespace ppm::multilevel

@@ -1,0 +1,60 @@
+#ifndef PPM_MULTILEVEL_TAXONOMY_H_
+#define PPM_MULTILEVEL_TAXONOMY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "tsdb/time_series.h"
+#include "util/status.h"
+
+namespace ppm::multilevel {
+
+/// A feature hierarchy (is-a taxonomy) over feature *names*.
+///
+/// Names are used rather than ids because generalizing a series produces a
+/// new series with its own symbol table. A feature without a parent is a
+/// root. Depth 1 is a root; a feature's depth is one more than its
+/// parent's.
+class Taxonomy {
+ public:
+  Taxonomy() = default;
+
+  /// Declares `parent` as the parent of `child`. Fails if `child` already
+  /// has a different parent or the edge would create a cycle.
+  Status AddEdge(std::string_view child, std::string_view parent);
+
+  /// Parent of `name`, or empty when `name` is a root / unknown.
+  std::string ParentOf(std::string_view name) const;
+
+  /// Ancestor of `name` at `depth` (1 = root of its chain). When `name`
+  /// itself is at or above that depth, returns `name` unchanged, so features
+  /// outside the taxonomy pass through generalization untouched.
+  std::string AncestorAtDepth(std::string_view name, uint32_t depth) const;
+
+  /// Depth of `name`: 1 for roots and unknown names.
+  uint32_t DepthOf(std::string_view name) const;
+
+  /// Largest depth of any declared feature (1 when empty).
+  uint32_t MaxDepth() const;
+
+ private:
+  std::unordered_map<std::string, std::string> parent_;
+};
+
+/// Rewrites every feature of `series` to its ancestor at `depth`, producing
+/// the level-`depth` generalized series of Section 6's level-shared mining.
+tsdb::TimeSeries GeneralizeToDepth(const tsdb::TimeSeries& series,
+                                   const Taxonomy& taxonomy, uint32_t depth);
+
+/// Builds a taxonomy from (child, parent) name pairs (e.g. the `hierarchy`
+/// of `discretize::DiscretizeMultiLevel`).
+Result<Taxonomy> TaxonomyFromPairs(
+    const std::vector<std::pair<std::string, std::string>>& edges);
+
+}  // namespace ppm::multilevel
+
+#endif  // PPM_MULTILEVEL_TAXONOMY_H_

@@ -1,0 +1,28 @@
+#include "perturb/perturbation.h"
+
+namespace ppm::perturb {
+
+tsdb::TimeSeries EnlargeTimeSlots(const tsdb::TimeSeries& series,
+                                  uint32_t half_window) {
+  tsdb::TimeSeries enlarged;
+  enlarged.symbols() = series.symbols();
+  const uint64_t n = series.length();
+  for (uint64_t t = 0; t < n; ++t) {
+    const uint64_t begin = t >= half_window ? t - half_window : 0;
+    const uint64_t end = t + half_window + 1 < n ? t + half_window + 1 : n;
+    tsdb::FeatureSet merged;
+    for (uint64_t i = begin; i < end; ++i) merged.UnionWith(series.at(i));
+    enlarged.Append(std::move(merged));
+  }
+  return enlarged;
+}
+
+Result<MiningResult> MineWithPerturbation(const tsdb::TimeSeries& series,
+                                          const MiningOptions& options,
+                                          uint32_t half_window,
+                                          Algorithm algorithm) {
+  const tsdb::TimeSeries enlarged = EnlargeTimeSlots(series, half_window);
+  return Mine(enlarged, options, algorithm);
+}
+
+}  // namespace ppm::perturb

@@ -1,0 +1,32 @@
+#ifndef PPM_PERTURB_PERTURBATION_H_
+#define PPM_PERTURB_PERTURBATION_H_
+
+#include <cstdint>
+
+#include "core/miner.h"
+#include "core/mining_options.h"
+#include "core/mining_result.h"
+#include "tsdb/time_series.h"
+#include "util/status.h"
+
+namespace ppm::perturb {
+
+/// Slot enlargement for perturbation-tolerant mining (Section 6): each
+/// instant's feature set is replaced by the union of the feature sets within
+/// `half_window` instants on either side, so events that drift a little in
+/// time still land in the slot being analyzed. `half_window == 0` returns a
+/// copy of the input.
+tsdb::TimeSeries EnlargeTimeSlots(const tsdb::TimeSeries& series,
+                                  uint32_t half_window);
+
+/// Mines `series` after slot enlargement. Confidences are computed against
+/// the enlarged series; patterns tolerate occurrence jitter up to
+/// `half_window` instants.
+Result<MiningResult> MineWithPerturbation(
+    const tsdb::TimeSeries& series, const MiningOptions& options,
+    uint32_t half_window,
+    Algorithm algorithm = Algorithm::kMaxSubpatternHitSet);
+
+}  // namespace ppm::perturb
+
+#endif  // PPM_PERTURB_PERTURBATION_H_

@@ -1,0 +1,48 @@
+#ifndef PPM_RULES_RULES_H_
+#define PPM_RULES_RULES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/mining_result.h"
+#include "core/pattern.h"
+#include "tsdb/symbol_table.h"
+#include "util/status.h"
+
+namespace ppm::rules {
+
+/// A periodic association rule `A => B` within one period: if the earlier
+/// offsets of a segment match `A`, the later offsets match `B` with the
+/// given rule confidence. `A` and `B` partition the non-`*` positions of a
+/// frequent pattern at a temporal split point.
+struct PeriodicRule {
+  Pattern antecedent;
+  Pattern consequent;
+  /// Frequency count of the combined pattern `A ∪ B`.
+  uint64_t support_count = 0;
+  /// `count(A ∪ B) / count(A)` -- conditional confidence of the rule.
+  double rule_confidence = 0.0;
+  /// `count(A ∪ B) / m` -- the combined pattern's periodicity confidence.
+  double pattern_confidence = 0.0;
+
+  /// "A => B  (conf=..., supp=...)" using `symbols` for feature names.
+  std::string Format(const tsdb::SymbolTable& symbols) const;
+};
+
+/// Derives all rules with `rule_confidence >= min_rule_confidence` from a
+/// mining result: every frequent pattern with L-length >= 2 is split at each
+/// position boundary between its first and last non-`*` positions. The
+/// antecedent's count is looked up in `result` (always present by the
+/// Apriori property); fails with `Internal` if `result` is inconsistent.
+Result<std::vector<PeriodicRule>> GenerateRules(const MiningResult& result,
+                                                double min_rule_confidence);
+
+/// The rules whose combined pattern holds in *every* period segment
+/// (pattern confidence 1): the perfect-periodicity special case mined by
+/// cyclic association rules (Ozden et al., discussed in Section 1).
+std::vector<PeriodicRule> PerfectRules(const std::vector<PeriodicRule>& rules);
+
+}  // namespace ppm::rules
+
+#endif  // PPM_RULES_RULES_H_

@@ -1,0 +1,142 @@
+#include "stream/streaming_miner.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "core/derivation.h"
+#include "tsdb/series_source.h"
+#include "util/check.h"
+
+namespace ppm::stream {
+
+Result<std::unique_ptr<StreamingMiner>> StreamingMiner::Create(
+    const MiningOptions& options, std::vector<Letter> seed_letters,
+    uint32_t drift_window) {
+  // Period-vs-length is meaningless for an unbounded stream; validate the
+  // thresholds only.
+  PPM_RETURN_IF_ERROR(
+      options.Validate(std::numeric_limits<uint64_t>::max()));
+  for (const Letter& letter : seed_letters) {
+    if (letter.position >= options.period) {
+      return Status::InvalidArgument("seed letter position beyond period");
+    }
+  }
+  std::sort(seed_letters.begin(), seed_letters.end());
+  seed_letters.erase(std::unique(seed_letters.begin(), seed_letters.end()),
+                     seed_letters.end());
+  LetterSpace space(options.period, std::move(seed_letters));
+  return std::unique_ptr<StreamingMiner>(
+      new StreamingMiner(options, std::move(space), drift_window));
+}
+
+Result<std::unique_ptr<StreamingMiner>> StreamingMiner::SeedFromPrefix(
+    const MiningOptions& options, const tsdb::TimeSeries& prefix,
+    uint32_t drift_window) {
+  tsdb::InMemorySeriesSource source(&prefix);
+  PPM_ASSIGN_OR_RETURN(const F1ScanResult f1, ScanForF1(source, options));
+  PPM_ASSIGN_OR_RETURN(std::unique_ptr<StreamingMiner> miner,
+                       Create(options, f1.space.letters(), drift_window));
+  for (const tsdb::FeatureSet& instant : prefix.instants()) {
+    miner->Append(instant);
+  }
+  return miner;
+}
+
+StreamingMiner::StreamingMiner(const MiningOptions& options, LetterSpace space,
+                               uint32_t drift_window)
+    : options_(options),
+      space_(std::move(space)),
+      drift_window_(drift_window),
+      store_(MakeHitStore(options.hit_store, space_.full_mask(),
+                          space_.size())),
+      seeded_counts_(space_.size(), 0),
+      other_counts_(options.period),
+      segment_mask_(space_.size()) {}
+
+void StreamingMiner::Append(const tsdb::FeatureSet& instant) {
+  ++instants_seen_;
+  const uint32_t position = segment_position_;
+
+  // Seeded letters accumulate into the in-flight segment mask; everything
+  // else is tallied for drift detection. Counts commit with the segment so
+  // a trailing partial segment never skews confidences.
+  space_.AccumulatePosition(position, instant, &segment_mask_);
+  instant.ForEach([this, position](uint32_t feature) {
+    if (space_.IndexOf(position, feature) == Bitset::kNoBit) {
+      pending_other_.push_back(Letter{position, feature});
+    }
+  });
+
+  if (++segment_position_ == options_.period) CommitSegment();
+}
+
+void StreamingMiner::CommitSegment() {
+  segment_mask_.ForEach(
+      [this](uint32_t letter) { ++seeded_counts_[letter]; });
+  if (segment_mask_.Count() >= 2) store_->AddHit(segment_mask_);
+  for (const Letter& letter : pending_other_) {
+    ++other_counts_[letter.position][letter.feature];
+  }
+  if (drift_window_ > 0) {
+    window_history_.push_back(pending_other_);
+    if (window_history_.size() > drift_window_) {
+      // Expire the oldest segment's contribution to the window counts.
+      for (const Letter& letter : window_history_.front()) {
+        auto& counts = other_counts_[letter.position];
+        const auto it = counts.find(letter.feature);
+        if (it != counts.end() && --it->second == 0) counts.erase(it);
+      }
+      window_history_.pop_front();
+    }
+  }
+  ++segments_committed_;
+  segment_mask_.Reset();
+  pending_other_.clear();
+  segment_position_ = 0;
+}
+
+MiningResult StreamingMiner::Snapshot() const {
+  MiningResult result;
+  result.stats().num_periods = segments_committed_;
+  if (segments_committed_ == 0) return result;
+
+  F1ScanResult f1;
+  f1.num_periods = segments_committed_;
+  f1.min_count = options_.EffectiveMinCount(segments_committed_);
+  f1.space = space_;
+  f1.letter_counts = seeded_counts_;
+
+  const DerivationStats derivation = DeriveFrequentPatterns(
+      f1, options_.max_letters,
+      [this](const Bitset& mask) { return store_->CountSuperpatterns(mask); },
+      &result);
+  result.Canonicalize();
+  result.stats().num_f1_letters = space_.size();
+  result.stats().candidates_evaluated = derivation.candidates_evaluated;
+  result.stats().max_level_reached = derivation.max_level_reached;
+  result.stats().hit_store_entries = store_->num_entries();
+  result.stats().tree_nodes =
+      options_.hit_store == HitStoreKind::kMaxSubpatternTree
+          ? store_->num_units()
+          : 0;
+  return result;
+}
+
+std::vector<Letter> StreamingMiner::DriftedLetters() const {
+  std::vector<Letter> drifted;
+  if (segments_committed_ == 0) return drifted;
+  const uint64_t horizon =
+      drift_window_ > 0
+          ? std::min<uint64_t>(segments_committed_, drift_window_)
+          : segments_committed_;
+  const uint64_t min_count = options_.EffectiveMinCount(horizon);
+  for (uint32_t position = 0; position < options_.period; ++position) {
+    for (const auto& [feature, count] : other_counts_[position]) {
+      if (count >= min_count) drifted.push_back(Letter{position, feature});
+    }
+  }
+  return drifted;
+}
+
+}  // namespace ppm::stream

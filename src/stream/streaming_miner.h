@@ -1,0 +1,114 @@
+#ifndef PPM_STREAM_STREAMING_MINER_H_
+#define PPM_STREAM_STREAMING_MINER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/f1_scan.h"
+#include "core/hit_store.h"
+#include "core/letter_space.h"
+#include "core/mining_options.h"
+#include "core/mining_result.h"
+#include "tsdb/time_series.h"
+#include "util/status.h"
+
+namespace ppm::stream {
+
+/// Incremental partial periodic pattern mining over an append-only series.
+///
+/// The max-subpattern hit-set method is naturally one-pass once the
+/// candidate max-pattern `C_max` is fixed: every arriving period segment
+/// contributes one hit mask. This class exploits that for monitoring
+/// workloads: seed the letter space from a prefix of the stream (or an
+/// explicit letter list), then `Append` instants forever; `Snapshot`
+/// derives the current frequent patterns at any moment without ever
+/// re-reading history.
+///
+/// The trade-off is explicit: letters outside the seeded space are not
+/// tracked as pattern letters (their combinations cannot be recovered
+/// without a rescan). The miner *does* keep exact per-letter counts for
+/// every (position, feature) it sees, so it can detect when an unseeded
+/// letter crosses the frequency threshold -- `DriftedLetters` reports them,
+/// signalling that a reseed (one full rescan via `MineHitSet`) is due.
+class StreamingMiner {
+ public:
+  /// Creates a miner for patterns of `options.period`, tracking exactly
+  /// `seed_letters` as pattern letters (sorted/deduplicated internally).
+  /// `options` must validate with a nonzero period.
+  ///
+  /// `drift_window` controls `DriftedLetters`: 0 evaluates unseeded letters
+  /// over the whole stream (consistent with what a batch `F_1` scan would
+  /// find); a positive value evaluates them over the last `drift_window`
+  /// committed segments, which notices *newly appearing* periodic behaviour
+  /// promptly instead of waiting for it to dominate all of history.
+  static Result<std::unique_ptr<StreamingMiner>> Create(
+      const MiningOptions& options, std::vector<Letter> seed_letters,
+      uint32_t drift_window = 0);
+
+  /// Convenience: seeds the letter space with the frequent 1-patterns of
+  /// `prefix` (mined with `options`), then replays the prefix into the
+  /// miner so its state covers the prefix too.
+  static Result<std::unique_ptr<StreamingMiner>> SeedFromPrefix(
+      const MiningOptions& options, const tsdb::TimeSeries& prefix,
+      uint32_t drift_window = 0);
+
+  /// Feeds the next instant. Whole segments are committed as their last
+  /// instant arrives; a trailing partial segment is held back and excluded
+  /// from counts until completed.
+  void Append(const tsdb::FeatureSet& instant);
+
+  /// Instants consumed so far.
+  uint64_t instants_seen() const { return instants_seen_; }
+
+  /// Whole segments committed so far (`m`).
+  uint64_t segments_committed() const { return segments_committed_; }
+
+  /// Derives all currently frequent patterns over the seeded letter space.
+  /// Cost is independent of the stream length (it touches only the hit
+  /// store). The result's stats report hit-store sizes; `scans` is 0.
+  MiningResult Snapshot() const;
+
+  /// Unseeded letters whose exact count meets the frequency threshold over
+  /// the drift horizon (whole stream, or the last `drift_window` segments):
+  /// non-empty means the seeded space is stale and pattern results may be
+  /// missing combinations involving these letters.
+  std::vector<Letter> DriftedLetters() const;
+
+  const LetterSpace& space() const { return space_; }
+
+ private:
+  StreamingMiner(const MiningOptions& options, LetterSpace space,
+                 uint32_t drift_window);
+
+  void CommitSegment();
+
+  MiningOptions options_;
+  LetterSpace space_;
+  uint32_t drift_window_;
+  std::unique_ptr<HitStore> store_;
+
+  // Exact counts for seeded letters (indexed by letter) and for every other
+  // observed (position, feature) pair, over the drift horizon.
+  std::vector<uint64_t> seeded_counts_;
+  std::vector<std::unordered_map<tsdb::FeatureId, uint64_t>> other_counts_;
+  // With a finite drift window: the unseeded letters of each of the last
+  // `drift_window_` committed segments, so expired segments can be
+  // subtracted from `other_counts_`.
+  std::deque<std::vector<Letter>> window_history_;
+
+  // In-flight segment state; committed only when the segment completes so
+  // a trailing partial segment never skews any count.
+  Bitset segment_mask_;
+  std::vector<Letter> pending_other_;
+  uint32_t segment_position_ = 0;
+
+  uint64_t instants_seen_ = 0;
+  uint64_t segments_committed_ = 0;
+};
+
+}  // namespace ppm::stream
+
+#endif  // PPM_STREAM_STREAMING_MINER_H_

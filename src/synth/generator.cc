@@ -1,0 +1,135 @@
+#include "synth/generator.h"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "util/random.h"
+
+namespace ppm::synth {
+
+namespace {
+
+Status ValidateOptions(const GeneratorOptions& options) {
+  if (options.period == 0) {
+    return Status::InvalidArgument("period must be positive");
+  }
+  if (options.length < options.period) {
+    return Status::InvalidArgument("length below one period");
+  }
+  if (options.max_pat_length == 0) {
+    return Status::InvalidArgument("max_pat_length must be positive");
+  }
+  if (options.max_pat_length > options.num_f1) {
+    return Status::InvalidArgument("max_pat_length exceeds num_f1");
+  }
+  if (options.num_f1 > options.period) {
+    return Status::InvalidArgument(
+        "num_f1 exceeds period (one planted letter per position)");
+  }
+  if (options.num_features <= options.num_f1) {
+    return Status::InvalidArgument("num_features must exceed num_f1");
+  }
+  if (!(options.anchor_confidence > 0.0) || options.anchor_confidence > 1.0) {
+    return Status::InvalidArgument("anchor_confidence must be in (0, 1]");
+  }
+  if (!(options.independent_confidence > 0.0) ||
+      options.independent_confidence > 1.0) {
+    return Status::InvalidArgument("independent_confidence must be in (0, 1]");
+  }
+  if (options.noise_mean < 0.0) {
+    return Status::InvalidArgument("noise_mean must be non-negative");
+  }
+  return Status::OK();
+}
+
+/// Segment gap until the next occurrence of a planted unit: one plus the
+/// floor of an exponential variate with rate -ln(1 - confidence), i.e. the
+/// discretization of the paper's exponential placement. Expected occupancy
+/// equals `confidence`. A confidence of 1 occupies every segment.
+uint64_t NextGap(Rng& rng, double confidence) {
+  if (confidence >= 1.0) return 1;
+  const double rate = -std::log(1.0 - confidence);
+  return 1 + static_cast<uint64_t>(std::floor(rng.NextExponential(1.0 / rate)));
+}
+
+}  // namespace
+
+Result<GeneratedSeries> GenerateSeries(const GeneratorOptions& options) {
+  PPM_RETURN_IF_ERROR(ValidateOptions(options));
+  Rng rng(options.seed);
+
+  GeneratedSeries out;
+  tsdb::TimeSeries& series = out.series;
+
+  // Planted letters get ids 0..num_f1-1; noise features follow.
+  for (uint32_t i = 0; i < options.num_f1; ++i) {
+    std::string name = "f";
+    name += std::to_string(i);
+    series.symbols().Intern(name);
+  }
+  const uint32_t num_noise = options.num_features - options.num_f1;
+  for (uint32_t i = 0; i < num_noise; ++i) {
+    std::string name = "n";
+    name += std::to_string(i);
+    series.symbols().Intern(name);
+  }
+
+  series.AppendEmpty(options.length);
+  const uint64_t num_segments = options.length / options.period;
+
+  // Unit 0 is the anchor pattern (letters 0..max_pat_length-1, planted
+  // jointly); units 1.. are the independent extra letters.
+  const uint32_t num_units = 1 + options.num_f1 - options.max_pat_length;
+  std::vector<uint64_t> next_occurrence(num_units);
+  const auto unit_confidence = [&options](uint32_t unit) {
+    return unit == 0 ? options.anchor_confidence
+                     : options.independent_confidence;
+  };
+  for (uint32_t unit = 0; unit < num_units; ++unit) {
+    next_occurrence[unit] = NextGap(rng, unit_confidence(unit)) - 1;
+  }
+
+  for (uint64_t segment = 0; segment < num_segments; ++segment) {
+    const uint64_t base = segment * options.period;
+    // Anchor.
+    if (segment == next_occurrence[0]) {
+      for (uint32_t i = 0; i < options.max_pat_length; ++i) {
+        series.at(base + i).Set(i);
+      }
+      next_occurrence[0] += NextGap(rng, unit_confidence(0));
+    }
+    // Independent letters live at positions max_pat_length..num_f1-1.
+    for (uint32_t unit = 1; unit < num_units; ++unit) {
+      if (segment != next_occurrence[unit]) continue;
+      const uint32_t letter = options.max_pat_length + (unit - 1);
+      series.at(base + letter).Set(letter);
+      next_occurrence[unit] += NextGap(rng, unit_confidence(unit));
+    }
+  }
+
+  // Background noise over the whole series (including the tail beyond the
+  // last whole segment), drawn from the disjoint noise alphabet.
+  if (options.noise_mean > 0.0 && num_noise > 0) {
+    for (uint64_t t = 0; t < options.length; ++t) {
+      const uint32_t burst = rng.NextPoisson(options.noise_mean);
+      for (uint32_t i = 0; i < burst; ++i) {
+        series.at(t).Set(options.num_f1 +
+                         static_cast<uint32_t>(rng.NextBelow(num_noise)));
+      }
+    }
+  }
+
+  out.anchor = Pattern(options.period);
+  for (uint32_t i = 0; i < options.max_pat_length; ++i) {
+    out.anchor.AddLetter(i, i);
+  }
+  for (uint32_t i = 0; i < options.num_f1; ++i) {
+    Pattern letter(options.period);
+    letter.AddLetter(i, i);
+    out.planted_letters.push_back(std::move(letter));
+  }
+  return out;
+}
+
+}  // namespace ppm::synth

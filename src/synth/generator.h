@@ -1,0 +1,65 @@
+#ifndef PPM_SYNTH_GENERATOR_H_
+#define PPM_SYNTH_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pattern.h"
+#include "tsdb/time_series.h"
+#include "util/status.h"
+
+namespace ppm::synth {
+
+/// Parameters of the randomized periodicity data generator (Section 5.1,
+/// Table 1 of the paper).
+///
+/// The generator plants one maximal *anchor* pattern of L-length
+/// `max_pat_length` whose occurrences arrive segment-to-segment with
+/// exponential inter-arrival gaps, plus `num_f1 - max_pat_length` extra
+/// letters that are individually frequent but mutually independent, so the
+/// mined `F_1` has `num_f1` letters while the longest frequent pattern has
+/// L-length `max_pat_length`. Background noise draws a Poisson number of
+/// features per instant from an alphabet disjoint from the planted letters.
+struct GeneratorOptions {
+  /// LENGTH: number of time instants.
+  uint64_t length = 100000;
+  /// p: the period the patterns live at.
+  uint32_t period = 50;
+  /// MAX-PAT-LENGTH: L-length of the planted maximal pattern.
+  uint32_t max_pat_length = 8;
+  /// |F_1|: total number of frequent letters to plant
+  /// (must satisfy max_pat_length <= num_f1 <= period).
+  uint32_t num_f1 = 12;
+  /// Total alphabet size, planted letters plus noise features
+  /// (must exceed num_f1).
+  uint32_t num_features = 100;
+  /// Fraction of segments expressing the anchor pattern (mean of the
+  /// exponential inter-arrival process). Must exceed the mining threshold
+  /// for the anchor to surface.
+  double anchor_confidence = 0.9;
+  /// Per-segment occurrence rate of each independent extra letter. Keep
+  /// `independent_confidence^2` below the mining threshold so conjunctions
+  /// of independent letters stay infrequent.
+  double independent_confidence = 0.85;
+  /// Mean of the Poisson number of noise features added per instant.
+  double noise_mean = 1.0;
+  /// RNG seed; equal options generate equal series.
+  uint64_t seed = 42;
+};
+
+/// A generated series together with its ground truth.
+struct GeneratedSeries {
+  tsdb::TimeSeries series;
+  /// The planted maximal pattern (letters at positions 0..max_pat_length-1).
+  Pattern anchor;
+  /// All planted frequent letters, anchor letters first.
+  std::vector<Pattern> planted_letters;
+};
+
+/// Generates a synthetic series per `options`; fails on inconsistent
+/// parameters (see field comments).
+Result<GeneratedSeries> GenerateSeries(const GeneratorOptions& options);
+
+}  // namespace ppm::synth
+
+#endif  // PPM_SYNTH_GENERATOR_H_

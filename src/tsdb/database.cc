@@ -1,0 +1,135 @@
+#include "tsdb/database.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+
+#include "tsdb/series_codec.h"
+#include "util/string_util.h"
+
+namespace ppm::tsdb {
+
+namespace fs = std::filesystem;
+
+bool IsValidSeriesName(std::string_view name) {
+  if (name.empty() || name.size() > 128) return false;
+  if (name == "." || name == "..") return false;
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+                    c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& root) {
+  std::error_code ec;
+  fs::create_directories(root, ec);
+  if (ec) {
+    return Status::IoError("cannot create database directory " + root + ": " +
+                           ec.message());
+  }
+  std::unique_ptr<Database> db(new Database(root));
+
+  const std::string manifest_path = root + "/MANIFEST";
+  if (!fs::exists(manifest_path)) {
+    PPM_RETURN_IF_ERROR(db->WriteManifest());
+    return db;
+  }
+
+  std::ifstream manifest(manifest_path);
+  if (!manifest) return Status::IoError("cannot read manifest in " + root);
+  std::string line;
+  while (std::getline(manifest, line)) {
+    const std::string_view name = StripWhitespace(line);
+    if (name.empty() || name.front() == '#') continue;
+    if (!IsValidSeriesName(name)) {
+      return Status::Corruption("invalid series name in manifest: " +
+                                std::string(name));
+    }
+    db->names_.emplace_back(name);
+    if (!fs::exists(db->PayloadPath(name))) {
+      return Status::Corruption("manifest references missing payload: " +
+                                std::string(name));
+    }
+  }
+  if (manifest.bad()) return Status::IoError("manifest read failed");
+  std::sort(db->names_.begin(), db->names_.end());
+  db->names_.erase(std::unique(db->names_.begin(), db->names_.end()),
+                   db->names_.end());
+  return db;
+}
+
+std::string Database::PayloadPath(std::string_view name) const {
+  return root_ + "/" + std::string(name) + ".series";
+}
+
+Status Database::WriteManifest() const {
+  // Write-then-rename so a crash never leaves a half-written manifest.
+  const std::string tmp_path = root_ + "/MANIFEST.tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out) return Status::IoError("cannot write manifest in " + root_);
+    out << "# ppm series catalog\n";
+    for (const std::string& name : names_) out << name << "\n";
+    out.flush();
+    if (!out) return Status::IoError("manifest write failed in " + root_);
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, root_ + "/MANIFEST", ec);
+  if (ec) return Status::IoError("manifest rename failed: " + ec.message());
+  return Status::OK();
+}
+
+Status Database::Put(std::string_view name, const TimeSeries& series) {
+  if (!IsValidSeriesName(name)) {
+    return Status::InvalidArgument("invalid series name: " + std::string(name));
+  }
+  // Payload first, manifest second: a crash in between leaves an orphan
+  // file but never a manifest entry without data.
+  PPM_RETURN_IF_ERROR(WriteBinarySeries(series, PayloadPath(name)));
+  if (!Contains(name)) {
+    names_.emplace_back(name);
+    std::sort(names_.begin(), names_.end());
+    PPM_RETURN_IF_ERROR(WriteManifest());
+  }
+  return Status::OK();
+}
+
+Result<TimeSeries> Database::Get(std::string_view name) const {
+  if (!Contains(name)) {
+    return Status::NotFound("no series named " + std::string(name));
+  }
+  return ReadBinarySeries(PayloadPath(name));
+}
+
+Result<std::unique_ptr<FileSeriesSource>> Database::Scan(
+    std::string_view name) const {
+  if (!Contains(name)) {
+    return Status::NotFound("no series named " + std::string(name));
+  }
+  return FileSeriesSource::Open(PayloadPath(name));
+}
+
+Status Database::Drop(std::string_view name) {
+  const auto it = std::find(names_.begin(), names_.end(), name);
+  if (it == names_.end()) {
+    return Status::NotFound("no series named " + std::string(name));
+  }
+  names_.erase(it);
+  // Manifest first so a crash cannot leave an entry pointing at nothing.
+  PPM_RETURN_IF_ERROR(WriteManifest());
+  std::error_code ec;
+  fs::remove(PayloadPath(name), ec);
+  if (ec) return Status::IoError("payload delete failed: " + ec.message());
+  return Status::OK();
+}
+
+std::vector<std::string> Database::List() const { return names_; }
+
+bool Database::Contains(std::string_view name) const {
+  return std::binary_search(names_.begin(), names_.end(), name);
+}
+
+}  // namespace ppm::tsdb

@@ -1,0 +1,71 @@
+#ifndef PPM_TSDB_DATABASE_H_
+#define PPM_TSDB_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tsdb/series_source.h"
+#include "tsdb/time_series.h"
+#include "util/status.h"
+
+namespace ppm::tsdb {
+
+/// A directory of named feature time series -- the "time series database"
+/// the paper mines against, as a concrete on-disk catalog.
+///
+/// Layout: `<root>/MANIFEST` lists one series name per line;
+/// `<root>/<name>.series` holds the binary-v2 payload. Names are restricted
+/// to `[A-Za-z0-9._-]` so they are safe as file names. All mutating
+/// operations rewrite the manifest last, so a crash mid-`Put` leaves at
+/// worst an orphaned payload file, never a dangling manifest entry.
+///
+/// The class is single-process, single-threaded: it is a catalog, not a
+/// server.
+class Database {
+ public:
+  /// Opens the catalog at `root`, creating the directory and an empty
+  /// manifest if absent. Fails when the manifest exists but is unreadable
+  /// or references missing payload files.
+  static Result<std::unique_ptr<Database>> Open(const std::string& root);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Writes (or atomically replaces) the series stored under `name`.
+  Status Put(std::string_view name, const TimeSeries& series);
+
+  /// Loads the series `name` fully into memory.
+  Result<TimeSeries> Get(std::string_view name) const;
+
+  /// Opens a streaming scan source over `name` without loading it.
+  Result<std::unique_ptr<FileSeriesSource>> Scan(std::string_view name) const;
+
+  /// Removes `name` and its payload. NotFound when absent.
+  Status Drop(std::string_view name);
+
+  /// Sorted names of all stored series.
+  std::vector<std::string> List() const;
+
+  bool Contains(std::string_view name) const;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  explicit Database(std::string root) : root_(std::move(root)) {}
+
+  std::string PayloadPath(std::string_view name) const;
+  Status WriteManifest() const;
+
+  std::string root_;
+  std::vector<std::string> names_;  // Sorted.
+};
+
+/// True iff `name` is a legal series name (non-empty, `[A-Za-z0-9._-]`,
+/// at most 128 bytes, not "." or "..").
+bool IsValidSeriesName(std::string_view name);
+
+}  // namespace ppm::tsdb
+
+#endif  // PPM_TSDB_DATABASE_H_

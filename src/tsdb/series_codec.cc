@@ -1,0 +1,179 @@
+#include "tsdb/series_codec.h"
+
+#include <cctype>
+#include <fstream>
+#include <string_view>
+
+#include "tsdb/binary_format.h"
+#include "util/string_util.h"
+
+namespace ppm::tsdb {
+
+namespace {
+using internal::kMagic;
+using internal::kMagicV2;
+using internal::ReadU32;
+using internal::ReadU64;
+using internal::ReadVarint32;
+using internal::WriteU32;
+using internal::WriteU64;
+using internal::WriteVarint32;
+}  // namespace
+
+Status WriteBinarySeries(const TimeSeries& series, const std::string& path,
+                         BinaryFormatVersion version) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+
+  out.write(version == BinaryFormatVersion::kV1 ? kMagic : kMagicV2,
+            sizeof(kMagic));
+  const SymbolTable& symbols = series.symbols();
+  WriteU32(out, symbols.size());
+  for (const std::string& name : symbols.names()) {
+    WriteU32(out, static_cast<uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+  }
+  WriteU64(out, series.length());
+  for (const FeatureSet& instant : series.instants()) {
+    if (version == BinaryFormatVersion::kV1) {
+      WriteU32(out, instant.Count());
+      instant.ForEach([&out](uint32_t id) { WriteU32(out, id); });
+    } else {
+      WriteVarint32(out, instant.Count());
+      // ForEach iterates ascending, so delta encoding needs no sort.
+      uint32_t previous = 0;
+      bool first = true;
+      instant.ForEach([&out, &previous, &first](uint32_t id) {
+        WriteVarint32(out, first ? id : id - previous);
+        previous = id;
+        first = false;
+      });
+    }
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<TimeSeries> ReadBinarySeries(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+
+  char magic[sizeof(kMagic)];
+  if (!in.read(magic, sizeof(magic))) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  BinaryFormatVersion version;
+  if (std::string_view(magic, sizeof(magic)) ==
+      std::string_view(kMagic, sizeof(kMagic))) {
+    version = BinaryFormatVersion::kV1;
+  } else if (std::string_view(magic, sizeof(magic)) ==
+             std::string_view(kMagicV2, sizeof(kMagicV2))) {
+    version = BinaryFormatVersion::kV2;
+  } else {
+    return Status::Corruption("bad magic in " + path);
+  }
+
+  TimeSeries series;
+  uint32_t num_symbols = 0;
+  if (!ReadU32(in, &num_symbols)) return Status::Corruption("truncated header");
+  for (uint32_t i = 0; i < num_symbols; ++i) {
+    uint32_t len = 0;
+    if (!ReadU32(in, &len)) return Status::Corruption("truncated symbol table");
+    // Cap before allocating: a corrupt length must not trigger a
+    // multi-gigabyte allocation.
+    if (len > internal::kMaxSymbolNameBytes) {
+      return Status::Corruption("implausible symbol name length");
+    }
+    std::string name(len, '\0');
+    if (!in.read(name.data(), len)) {
+      return Status::Corruption("truncated symbol name");
+    }
+    const FeatureId id = series.symbols().Intern(name);
+    if (id != i) return Status::Corruption("duplicate symbol: " + name);
+  }
+
+  uint64_t num_instants = 0;
+  if (!ReadU64(in, &num_instants)) return Status::Corruption("truncated length");
+  const bool v1 = version == BinaryFormatVersion::kV1;
+  for (uint64_t t = 0; t < num_instants; ++t) {
+    uint32_t count = 0;
+    if (v1 ? !ReadU32(in, &count) : !ReadVarint32(in, &count)) {
+      return Status::Corruption("truncated instant");
+    }
+    // Distinct ids per instant cannot exceed the symbol table; fail fast on
+    // corrupt counts instead of looping through bogus reads.
+    if (count > num_symbols) {
+      return Status::Corruption("instant feature count " +
+                                std::to_string(count) +
+                                " exceeds symbol table");
+    }
+    FeatureSet features;
+    uint32_t previous = 0;
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t value = 0;
+      if (v1 ? !ReadU32(in, &value) : !ReadVarint32(in, &value)) {
+        return Status::Corruption("truncated feature id");
+      }
+      const uint32_t id = v1 || i == 0 ? value : previous + value;
+      if (id >= num_symbols) {
+        return Status::Corruption("feature id out of range: " +
+                                  std::to_string(id));
+      }
+      features.Set(id);
+      previous = id;
+    }
+    series.Append(std::move(features));
+  }
+  return series;
+}
+
+Status WriteTextSeries(const TimeSeries& series, const std::string& path) {
+  for (const std::string& name : series.symbols().names()) {
+    if (name.empty()) return Status::InvalidArgument("empty feature name");
+    if (name.front() == '#') {
+      return Status::InvalidArgument("feature name starts with '#': " + name);
+    }
+    for (char c : name) {
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        return Status::InvalidArgument("feature name has whitespace: " + name);
+      }
+    }
+  }
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  for (const FeatureSet& instant : series.instants()) {
+    bool first = true;
+    instant.ForEach([&](uint32_t id) {
+      if (!first) out << ' ';
+      first = false;
+      out << series.symbols().NameOrPlaceholder(id);
+    });
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<TimeSeries> ReadTextSeries(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+
+  TimeSeries series;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view stripped = StripWhitespace(line);
+    if (!stripped.empty() && stripped.front() == '#') continue;
+    FeatureSet features;
+    for (const std::string& token : SplitSkipEmpty(stripped, ' ')) {
+      features.Set(series.symbols().Intern(token));
+    }
+    series.Append(std::move(features));
+  }
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return series;
+}
+
+}  // namespace ppm::tsdb

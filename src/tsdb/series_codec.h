@@ -1,0 +1,39 @@
+#ifndef PPM_TSDB_SERIES_CODEC_H_
+#define PPM_TSDB_SERIES_CODEC_H_
+
+#include <string>
+
+#include "tsdb/time_series.h"
+#include "util/status.h"
+
+namespace ppm::tsdb {
+
+/// On-disk encodings of the binary series format. Readers auto-detect the
+/// version from the magic; writers pick via the parameter below.
+enum class BinaryFormatVersion {
+  /// Fixed-width u32 feature ids (simple, seekable arithmetic).
+  kV1 = 1,
+  /// Delta+varint compressed ids (typically 3-4x smaller). Default.
+  kV2 = 2,
+};
+
+/// Writes `series` to `path` in the library's binary format (see
+/// `binary_format.h`). Overwrites an existing file.
+Status WriteBinarySeries(const TimeSeries& series, const std::string& path,
+                         BinaryFormatVersion version = BinaryFormatVersion::kV2);
+
+/// Loads a binary series written by `WriteBinarySeries`.
+Result<TimeSeries> ReadBinarySeries(const std::string& path);
+
+/// Writes `series` as text: one instant per line, feature names separated by
+/// single spaces; an empty line is an instant with no features. Lines
+/// starting with '#' are comments on read. Feature names must not contain
+/// whitespace or start with '#'.
+Status WriteTextSeries(const TimeSeries& series, const std::string& path);
+
+/// Loads a text series written by `WriteTextSeries` (or by hand).
+Result<TimeSeries> ReadTextSeries(const std::string& path);
+
+}  // namespace ppm::tsdb
+
+#endif  // PPM_TSDB_SERIES_CODEC_H_

@@ -1,0 +1,153 @@
+#include "tsdb/series_source.h"
+
+#include <utility>
+
+#include "tsdb/binary_format.h"
+#include "util/check.h"
+
+namespace ppm::tsdb {
+
+namespace {
+using internal::kMagic;
+using internal::kMaxSymbolNameBytes;
+using internal::ReadU32;
+using internal::ReadU64;
+}  // namespace
+
+InMemorySeriesSource::InMemorySeriesSource(const TimeSeries* series)
+    : series_(series) {
+  PPM_CHECK(series != nullptr);
+}
+
+Status InMemorySeriesSource::StartScan() {
+  position_ = 0;
+  ++stats_.scans;
+  return Status::OK();
+}
+
+bool InMemorySeriesSource::Next(FeatureSet* out) {
+  if (position_ >= series_->length()) return false;
+  *out = series_->at(position_++);
+  ++stats_.instants_read;
+  return true;
+}
+
+uint64_t InMemorySeriesSource::length() const { return series_->length(); }
+
+const SymbolTable& InMemorySeriesSource::symbols() const {
+  return series_->symbols();
+}
+
+Result<std::unique_ptr<FileSeriesSource>> FileSeriesSource::Open(
+    const std::string& path) {
+  std::unique_ptr<FileSeriesSource> source(new FileSeriesSource());
+  source->path_ = path;
+  source->file_.open(path, std::ios::binary);
+  if (!source->file_) return Status::IoError("cannot open: " + path);
+
+  char magic[sizeof(kMagic)];
+  if (!source->file_.read(magic, sizeof(magic))) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  const std::string_view magic_view(magic, sizeof(magic));
+  if (magic_view == std::string_view(kMagic, sizeof(kMagic))) {
+    source->fixed_width_ = true;
+  } else if (magic_view ==
+             std::string_view(internal::kMagicV2, sizeof(internal::kMagicV2))) {
+    source->fixed_width_ = false;
+  } else {
+    return Status::Corruption("bad magic in " + path);
+  }
+  uint32_t num_symbols = 0;
+  if (!ReadU32(source->file_, &num_symbols)) {
+    return Status::Corruption("truncated header in " + path);
+  }
+  for (uint32_t i = 0; i < num_symbols; ++i) {
+    uint32_t len = 0;
+    if (!ReadU32(source->file_, &len)) {
+      return Status::Corruption("truncated symbol table in " + path);
+    }
+    // Cap before allocating: a corrupt length must not trigger a
+    // multi-gigabyte allocation.
+    if (len > kMaxSymbolNameBytes) {
+      return Status::Corruption("implausible symbol name length in " + path);
+    }
+    std::string name(len, '\0');
+    if (!source->file_.read(name.data(), len)) {
+      return Status::Corruption("truncated symbol name in " + path);
+    }
+    source->symbols_.Intern(name);
+  }
+  if (!ReadU64(source->file_, &source->num_instants_)) {
+    return Status::Corruption("truncated length in " + path);
+  }
+  source->data_offset_ = source->file_.tellg();
+  return source;
+}
+
+Status FileSeriesSource::StartScan() {
+  status_ = Status::OK();
+  delivered_ = 0;
+  file_.clear();
+  file_.seekg(data_offset_);
+  if (!file_) {
+    status_ = Status::IoError("seek failed: " + path_);
+    return status_;
+  }
+  ++stats_.scans;
+  return Status::OK();
+}
+
+bool FileSeriesSource::Next(FeatureSet* out) {
+  if (!status_.ok()) return false;
+  if (delivered_ >= num_instants_) return false;
+
+  uint32_t count = 0;
+  int count_bytes = 4;
+  const bool count_ok = fixed_width_
+                            ? ReadU32(file_, &count)
+                            : internal::ReadVarint32(file_, &count,
+                                                     &count_bytes);
+  if (!count_ok) {
+    status_ = Status::Corruption("truncated instant in " + path_);
+    return false;
+  }
+  // An instant holds distinct feature ids, so its count can never exceed
+  // the symbol table; a larger value is corruption and must fail fast
+  // rather than grinding through billions of bogus reads.
+  if (count > symbols_.size()) {
+    status_ = Status::Corruption("instant feature count " +
+                                 std::to_string(count) + " exceeds symbol "
+                                 "table in " + path_);
+    return false;
+  }
+  out->Reset();
+  uint64_t data_bytes = 0;
+  uint32_t previous = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t value = 0;
+    int value_bytes = 4;
+    const bool value_ok = fixed_width_
+                              ? ReadU32(file_, &value)
+                              : internal::ReadVarint32(file_, &value,
+                                                       &value_bytes);
+    if (!value_ok) {
+      status_ = Status::Corruption("truncated feature id in " + path_);
+      return false;
+    }
+    const uint32_t id = fixed_width_ || i == 0 ? value : previous + value;
+    if (id >= symbols_.size()) {
+      status_ = Status::Corruption("feature id out of range in " + path_);
+      return false;
+    }
+    out->Set(id);
+    previous = id;
+    data_bytes += static_cast<uint64_t>(value_bytes);
+  }
+  ++delivered_;
+  ++stats_.instants_read;
+  stats_.bytes_read += static_cast<uint64_t>(count_bytes) + data_bytes;
+  return true;
+}
+
+}  // namespace ppm::tsdb

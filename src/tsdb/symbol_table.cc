@@ -1,0 +1,34 @@
+#include "tsdb/symbol_table.h"
+
+namespace ppm::tsdb {
+
+FeatureId SymbolTable::Intern(std::string_view name) {
+  const auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  const FeatureId id = static_cast<FeatureId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+Result<FeatureId> SymbolTable::Lookup(std::string_view name) const {
+  const auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) {
+    return Status::NotFound("unknown feature name: " + std::string(name));
+  }
+  return it->second;
+}
+
+Result<std::string> SymbolTable::Name(FeatureId id) const {
+  if (id >= names_.size()) {
+    return Status::OutOfRange("unknown feature id: " + std::to_string(id));
+  }
+  return names_[id];
+}
+
+std::string SymbolTable::NameOrPlaceholder(FeatureId id) const {
+  if (id < names_.size()) return names_[id];
+  return "#" + std::to_string(id);
+}
+
+}  // namespace ppm::tsdb

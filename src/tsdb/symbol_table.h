@@ -1,0 +1,51 @@
+#ifndef PPM_TSDB_SYMBOL_TABLE_H_
+#define PPM_TSDB_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ppm::tsdb {
+
+/// Identifier of a feature (categorical event type) within a `SymbolTable`.
+using FeatureId = uint32_t;
+
+/// Bidirectional mapping between feature names and dense `FeatureId`s.
+///
+/// Ids are assigned densely starting at zero in interning order, which lets
+/// the mining code use ids directly as bitset indices.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  /// Returns the id of `name`, interning it on first sight.
+  FeatureId Intern(std::string_view name);
+
+  /// Returns the id of `name`, or `NotFound` if never interned.
+  Result<FeatureId> Lookup(std::string_view name) const;
+
+  /// Returns the name of `id`, or `OutOfRange` for unknown ids.
+  Result<std::string> Name(FeatureId id) const;
+
+  /// Name of `id`; returns a placeholder like "#7" for unknown ids.
+  /// Intended for diagnostics and formatting.
+  std::string NameOrPlaceholder(FeatureId id) const;
+
+  /// Number of interned features.
+  uint32_t size() const { return static_cast<uint32_t>(names_.size()); }
+
+  /// All names in id order.
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, FeatureId> ids_;
+};
+
+}  // namespace ppm::tsdb
+
+#endif  // PPM_TSDB_SYMBOL_TABLE_H_

@@ -1,0 +1,15 @@
+#include "tsdb/time_series.h"
+
+namespace ppm::tsdb {
+
+void TimeSeries::AppendNamed(std::initializer_list<std::string_view> names) {
+  FeatureSet features;
+  for (std::string_view name : names) features.Set(symbols_.Intern(name));
+  instants_.push_back(std::move(features));
+}
+
+void TimeSeries::AppendEmpty(uint64_t count) {
+  for (uint64_t i = 0; i < count; ++i) instants_.emplace_back();
+}
+
+}  // namespace ppm::tsdb

@@ -1,0 +1,65 @@
+#ifndef PPM_TSDB_TIME_SERIES_H_
+#define PPM_TSDB_TIME_SERIES_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string_view>
+#include <vector>
+
+#include "tsdb/symbol_table.h"
+#include "util/bitset.h"
+#include "util/status.h"
+
+namespace ppm::tsdb {
+
+/// The set of features observed at one time instant.
+using FeatureSet = Bitset;
+
+/// An in-memory feature time series: for each time instant `i`, the set of
+/// features `D_i` derived from the dataset collected at that instant
+/// (Section 2 of the paper). Owns the `SymbolTable` that names its features.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  TimeSeries(const TimeSeries&) = default;
+  TimeSeries& operator=(const TimeSeries&) = default;
+  TimeSeries(TimeSeries&&) noexcept = default;
+  TimeSeries& operator=(TimeSeries&&) noexcept = default;
+
+  /// Appends one instant with an already-built feature set.
+  void Append(FeatureSet features) { instants_.push_back(std::move(features)); }
+
+  /// Appends one instant whose features are given by name (interned).
+  void AppendNamed(std::initializer_list<std::string_view> names);
+
+  /// Appends `count` empty instants (no features observed).
+  void AppendEmpty(uint64_t count = 1);
+
+  /// Number of time instants.
+  uint64_t length() const { return instants_.size(); }
+
+  /// Feature set at instant `t` (must be `< length()`).
+  const FeatureSet& at(uint64_t t) const { return instants_[t]; }
+  FeatureSet& at(uint64_t t) { return instants_[t]; }
+
+  const std::vector<FeatureSet>& instants() const { return instants_; }
+
+  SymbolTable& symbols() { return symbols_; }
+  const SymbolTable& symbols() const { return symbols_; }
+
+  /// Number of whole period segments of length `period` ("m" in the paper);
+  /// zero when `period` is zero or exceeds the series length.
+  uint64_t NumPeriods(uint32_t period) const {
+    if (period == 0) return 0;
+    return length() / period;
+  }
+
+ private:
+  SymbolTable symbols_;
+  std::vector<FeatureSet> instants_;
+};
+
+}  // namespace ppm::tsdb
+
+#endif  // PPM_TSDB_TIME_SERIES_H_

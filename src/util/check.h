@@ -1,0 +1,21 @@
+#ifndef PPM_UTIL_CHECK_H_
+#define PPM_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Internal invariant checks. These fire in all build modes: a failed check
+/// means a bug inside the library (never a user input error -- those are
+/// reported through `Status`).
+#define PPM_CHECK(condition)                                              \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      std::fprintf(stderr, "PPM_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #condition);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#define PPM_DCHECK(condition) PPM_CHECK(condition)
+
+#endif  // PPM_UTIL_CHECK_H_

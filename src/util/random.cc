@@ -1,0 +1,106 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ppm {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (uint64_t& word : state_) word = SplitMix64(&sm);
+  // xoshiro must not start in the all-zero state.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  PPM_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  while (true) {
+    const uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+uint32_t Rng::NextPoisson(double mean) {
+  PPM_CHECK(mean > 0.0);
+  if (mean < 30.0) {
+    const double limit = std::exp(-mean);
+    uint32_t count = 0;
+    double product = NextDouble();
+    while (product > limit) {
+      ++count;
+      product *= NextDouble();
+    }
+    return count;
+  }
+  const double draw = mean + std::sqrt(mean) * NextGaussian();
+  if (draw < 0.0) return 0;
+  return static_cast<uint32_t>(std::lround(draw));
+}
+
+double Rng::NextExponential(double mean) {
+  PPM_CHECK(mean > 0.0);
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::NextGaussian() {
+  // Box-Muller; one value per call keeps the generator stateless beyond
+  // `state_`, which keeps replays simple.
+  double u1 = NextDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  return radius * std::cos(2.0 * M_PI * u2);
+}
+
+uint32_t Rng::NextZipf(uint32_t n, double s) {
+  PPM_CHECK(n > 0);
+  PPM_CHECK(s > 0.0);
+  double total = 0.0;
+  for (uint32_t rank = 1; rank <= n; ++rank) total += 1.0 / std::pow(rank, s);
+  const double target = NextDouble() * total;
+  double cumulative = 0.0;
+  for (uint32_t rank = 1; rank <= n; ++rank) {
+    cumulative += 1.0 / std::pow(rank, s);
+    if (cumulative >= target) return rank - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace ppm

@@ -1,0 +1,51 @@
+#ifndef PPM_UTIL_RANDOM_H_
+#define PPM_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace ppm {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256**).
+///
+/// Used everywhere randomness is needed (synthetic data, property tests) so
+/// runs are reproducible from a seed. Not cryptographically secure.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal streams.
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in `[0, bound)`. `bound` must be positive.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform in `[0, 1)`.
+  double NextDouble();
+
+  /// Bernoulli draw with probability `p` of true.
+  bool NextBool(double p);
+
+  /// Poisson-distributed count with the given `mean` (> 0).
+  ///
+  /// Uses Knuth's product method for small means and a normal approximation
+  /// (rounded, clamped at zero) for large means.
+  uint32_t NextPoisson(double mean);
+
+  /// Exponentially distributed value with the given `mean` (> 0).
+  double NextExponential(double mean);
+
+  /// Standard normal draw (Box-Muller).
+  double NextGaussian();
+
+  /// Zipf-distributed rank in `[0, n)` with exponent `s` (> 0); rank 0 is the
+  /// most likely. Sampled by inverting the empirical CDF.
+  uint32_t NextZipf(uint32_t n, double s);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace ppm
+
+#endif  // PPM_UTIL_RANDOM_H_

@@ -1,0 +1,52 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ppm {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result(StatusCodeToString(code_));
+  result += ": ";
+  result += message_;
+  return result;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+namespace internal {
+
+void DieOnBadResultAccess(const Status& status) {
+  std::fprintf(stderr, "Fatal: accessed value of errored Result: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+
+}  // namespace ppm

@@ -1,0 +1,178 @@
+#ifndef PPM_UTIL_STATUS_H_
+#define PPM_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace ppm {
+
+/// Error categories used across the library.
+///
+/// The library does not use C++ exceptions; fallible operations return a
+/// `Status` (or a `Result<T>` when they also produce a value), following the
+/// idiom of RocksDB / Apache Arrow.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kIoError = 5,
+  kCorruption = 6,
+  kInternal = 7,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error outcome carrying an error code and message.
+///
+/// `Status` is cheap to copy in the success case (empty message) and is
+/// intended to be returned by value. Callers must check `ok()` before relying
+/// on any out-parameters of the call that produced it.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status Corruption(std::string message) {
+    return Status(StatusCode::kCorruption, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A value-or-error sum type (the `StatusOr` idiom).
+///
+/// A `Result<T>` holds either a `T` (when `ok()`) or a non-OK `Status`.
+/// Accessing the value of a non-OK result aborts the process, so callers
+/// must check `ok()` (or use `PPM_ASSIGN_OR_RETURN`) first.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so functions can `return value;`).
+  Result(T value) : data_(std::move(value)) {}
+
+  /// Constructs from an error status (implicit so functions can
+  /// `return Status::InvalidArgument(...);`). Must not be OK.
+  Result(Status status) : data_(std::move(status)) {
+    if (std::get<Status>(data_).ok()) {
+      std::get<Status>(data_) =
+          Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The error status; `Status::OK()` when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  std::variant<T, Status> data_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::DieOnBadResultAccess(std::get<Status>(data_));
+}
+
+}  // namespace ppm
+
+/// Propagates a non-OK `Status` to the caller.
+#define PPM_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::ppm::Status ppm_status_macro_tmp_ = (expr);  \
+    if (!ppm_status_macro_tmp_.ok()) {             \
+      return ppm_status_macro_tmp_;                \
+    }                                              \
+  } while (false)
+
+#define PPM_MACRO_CONCAT_INNER_(a, b) a##b
+#define PPM_MACRO_CONCAT_(a, b) PPM_MACRO_CONCAT_INNER_(a, b)
+
+/// Evaluates `rexpr` (a `Result<T>`); on error returns the status to the
+/// caller, otherwise moves the value into `lhs`.
+#define PPM_ASSIGN_OR_RETURN(lhs, rexpr)                                     \
+  PPM_ASSIGN_OR_RETURN_IMPL_(PPM_MACRO_CONCAT_(ppm_result_, __LINE__), lhs, \
+                             rexpr)
+
+#define PPM_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                               \
+  if (!result.ok()) {                                  \
+    return result.status();                            \
+  }                                                    \
+  lhs = std::move(result).value()
+
+#endif  // PPM_UTIL_STATUS_H_

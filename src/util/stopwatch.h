@@ -1,0 +1,31 @@
+#ifndef PPM_UTIL_STOPWATCH_H_
+#define PPM_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace ppm {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last `Restart()`.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last `Restart()`.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ppm
+
+#endif  // PPM_UTIL_STOPWATCH_H_

@@ -1,0 +1,29 @@
+#ifndef PPM_UTIL_STRING_UTIL_H_
+#define PPM_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppm {
+
+/// Splits `text` on `separator`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view text, char separator);
+
+/// Splits `text` on `separator`, dropping empty pieces.
+std::vector<std::string> SplitSkipEmpty(std::string_view text, char separator);
+
+/// Joins `pieces` with `separator` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Parses a non-negative integer; fails on empty input, non-digits, or
+/// overflow of `uint64_t`.
+bool ParseUint64(std::string_view text, uint64_t* out);
+
+}  // namespace ppm
+
+#endif  // PPM_UTIL_STRING_UTIL_H_

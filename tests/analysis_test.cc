@@ -1,0 +1,176 @@
+#include "analysis/period_suggest.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ppm::analysis {
+namespace {
+
+using tsdb::TimeSeries;
+
+TimeSeries MakePlantedSeries(uint32_t true_period, double conf,
+                             uint64_t length, uint64_t seed) {
+  Rng rng(seed);
+  TimeSeries series;
+  series.symbols().Intern("planted");
+  series.symbols().Intern("noise");
+  for (uint64_t t = 0; t < length; ++t) {
+    tsdb::FeatureSet instant;
+    if (t % true_period == 2 && rng.NextBool(conf)) instant.Set(0);
+    if (rng.NextBool(0.2)) instant.Set(1);
+    series.Append(std::move(instant));
+  }
+  return series;
+}
+
+TEST(SuggestPeriodsTest, RanksTruePeriodFirst) {
+  const TimeSeries series = MakePlantedSeries(7, 0.9, 2000, 42);
+  auto scores = SuggestPeriods(series, 2, 20);
+  ASSERT_TRUE(scores.ok()) << scores.status();
+  ASSERT_FALSE(scores->empty());
+  // Period 7 (or a multiple) must rank first; 7 itself should win since
+  // multiples halve m without improving concentration.
+  EXPECT_EQ(scores->front().period % 7, 0u);
+  EXPECT_EQ(scores->front().feature, 0u);
+  EXPECT_EQ(scores->front().position % 7, 2u);
+  EXPECT_GT(scores->front().concentration, 0.5);
+}
+
+TEST(SuggestPeriodsTest, AlwaysOnFeatureScoresNearZero) {
+  TimeSeries series;
+  series.symbols().Intern("always");
+  for (int t = 0; t < 500; ++t) {
+    tsdb::FeatureSet instant;
+    instant.Set(0);
+    series.Append(std::move(instant));
+  }
+  auto scores = SuggestPeriods(series, 2, 10);
+  ASSERT_TRUE(scores.ok());
+  for (const PeriodScore& score : *scores) {
+    EXPECT_NEAR(score.concentration, 0.0, 1e-9);
+    EXPECT_DOUBLE_EQ(score.confidence, 1.0);
+  }
+}
+
+TEST(SuggestPeriodsTest, SkipsPeriodsWithFewerThanTwoSegments) {
+  TimeSeries series;
+  series.symbols().Intern("x");
+  for (int t = 0; t < 10; ++t) {
+    tsdb::FeatureSet instant;
+    instant.Set(0);
+    series.Append(std::move(instant));
+  }
+  auto scores = SuggestPeriods(series, 2, 10);
+  ASSERT_TRUE(scores.ok());
+  for (const PeriodScore& score : *scores) {
+    EXPECT_LE(score.period, 5u);  // Period 6..10 would give m < 2.
+  }
+}
+
+TEST(SuggestPeriodsTest, RejectsBadArguments) {
+  TimeSeries series;
+  series.AppendEmpty(10);
+  EXPECT_FALSE(SuggestPeriods(series, 0, 5).ok());
+  EXPECT_FALSE(SuggestPeriods(series, 5, 3).ok());
+  EXPECT_FALSE(SuggestPeriods(TimeSeries(), 2, 3).ok());
+}
+
+TEST(SuggestPerFeatureTest, WeakerSignalNotShadowed) {
+  // Feature 0: strong daily (period 4) signal; feature 1: weekly (period 8)
+  // signal, weaker. The aggregate ranking at period 8 is dominated by
+  // feature 0; the per-feature ranking keeps feature 1's period-8 entry.
+  Rng rng(3);
+  TimeSeries series;
+  series.symbols().Intern("daily");
+  series.symbols().Intern("weekly");
+  for (uint64_t t = 0; t < 4000; ++t) {
+    tsdb::FeatureSet instant;
+    if (t % 4 == 1 && rng.NextBool(0.95)) instant.Set(0);
+    if (t % 8 == 6 && rng.NextBool(0.7)) instant.Set(1);
+    series.Append(std::move(instant));
+  }
+  auto per_feature = SuggestPeriodsPerFeature(series, 2, 12);
+  ASSERT_TRUE(per_feature.ok());
+  const auto fundamentals = FundamentalPeriods(*per_feature, 0.1);
+  bool weekly_found = false;
+  for (const PeriodScore& score : fundamentals) {
+    if (score.feature == 1 && score.period == 8) weekly_found = true;
+    // Feature 0's period-8 harmonic must be collapsed.
+    EXPECT_FALSE(score.feature == 0 && score.period == 8 &&
+                 score.position % 4 == 1)
+        << "uncollapsed harmonic";
+  }
+  EXPECT_TRUE(weekly_found);
+}
+
+TEST(FundamentalPeriodsTest, CollapsesHarmonics) {
+  const TimeSeries series = MakePlantedSeries(7, 0.9, 3000, 11);
+  auto scores = SuggestPeriods(series, 2, 30);
+  ASSERT_TRUE(scores.ok());
+  const auto fundamentals = FundamentalPeriods(*scores, 0.1);
+  ASSERT_FALSE(fundamentals.empty());
+  EXPECT_EQ(fundamentals.front().period, 7u);
+  // 14, 21, 28 are harmonics of 7 and must be gone.
+  for (const PeriodScore& score : fundamentals) {
+    if (score.period == 7) continue;
+    EXPECT_NE(score.period % 7, 0u) << score.period;
+  }
+}
+
+TEST(FundamentalPeriodsTest, KeepsIndependentPeriods) {
+  // Two scores at unrelated periods both survive.
+  std::vector<PeriodScore> scores(2);
+  scores[0].period = 5;
+  scores[0].concentration = 0.9;
+  scores[1].period = 7;
+  scores[1].concentration = 0.8;
+  const auto fundamentals = FundamentalPeriods(scores);
+  EXPECT_EQ(fundamentals.size(), 2u);
+}
+
+TEST(FundamentalPeriodsTest, WeakDivisorDoesNotSuppress) {
+  // The divisor exists but with far lower concentration: keep the multiple.
+  std::vector<PeriodScore> scores(2);
+  scores[0].period = 6;
+  scores[0].concentration = 0.9;
+  scores[1].period = 3;
+  scores[1].concentration = 0.1;
+  const auto fundamentals = FundamentalPeriods(scores, 0.05);
+  ASSERT_EQ(fundamentals.size(), 2u);
+}
+
+TEST(AutocorrelationTest, PeaksAtTruePeriod) {
+  const TimeSeries series = MakePlantedSeries(6, 0.95, 3000, 7);
+  auto scores = OccurrenceAutocorrelation(series, 0, 1, 12);
+  ASSERT_TRUE(scores.ok());
+  ASSERT_EQ(scores->size(), 12u);
+  // Lag 6 and 12 dominate all non-multiples.
+  const double at6 = (*scores)[5];
+  const double at12 = (*scores)[11];
+  for (uint32_t lag = 1; lag <= 12; ++lag) {
+    if (lag % 6 == 0) continue;
+    EXPECT_LT((*scores)[lag - 1], at6) << "lag " << lag;
+  }
+  EXPECT_GT(at6, 0.8);
+  EXPECT_GT(at12, 0.8);
+}
+
+TEST(AutocorrelationTest, AbsentFeatureGivesZeros) {
+  TimeSeries series;
+  series.AppendEmpty(100);
+  auto scores = OccurrenceAutocorrelation(series, 99, 1, 5);
+  ASSERT_TRUE(scores.ok());
+  for (double score : *scores) EXPECT_DOUBLE_EQ(score, 0.0);
+}
+
+TEST(AutocorrelationTest, RejectsBadLags) {
+  TimeSeries series;
+  series.AppendEmpty(10);
+  EXPECT_FALSE(OccurrenceAutocorrelation(series, 0, 0, 5).ok());
+  EXPECT_FALSE(OccurrenceAutocorrelation(series, 0, 5, 3).ok());
+  EXPECT_FALSE(OccurrenceAutocorrelation(series, 0, 1, 10).ok());
+}
+
+}  // namespace
+}  // namespace ppm::analysis

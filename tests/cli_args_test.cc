@@ -1,0 +1,82 @@
+#include "cli/args.h"
+
+#include <gtest/gtest.h>
+
+namespace ppm::cli {
+namespace {
+
+TEST(ArgMapTest, ParsesKeyValuePairs) {
+  auto args = ArgMap::Parse({"--input", "a.bin", "--period=7", "--verbose"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args->GetString("input", ""), "a.bin");
+  EXPECT_EQ(*args->GetUint("period", 0), 7u);
+  EXPECT_TRUE(args->Has("verbose"));
+  EXPECT_EQ(args->GetString("verbose", ""), "true");
+  EXPECT_FALSE(args->Has("missing"));
+}
+
+TEST(ArgMapTest, Defaults) {
+  auto args = ArgMap::Parse({});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args->GetString("x", "fallback"), "fallback");
+  EXPECT_EQ(*args->GetUint("n", 9), 9u);
+  EXPECT_DOUBLE_EQ(*args->GetDouble("d", 0.5), 0.5);
+}
+
+TEST(ArgMapTest, Positionals) {
+  auto args = ArgMap::Parse({"one", "--k", "v", "two"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args->positional(),
+            (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(ArgMapTest, DoubleDashEndsFlags) {
+  auto args = ArgMap::Parse({"--k", "v", "--", "--not-a-flag"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args->positional(),
+            (std::vector<std::string>{"--not-a-flag"}));
+}
+
+TEST(ArgMapTest, DuplicateFlagRejected) {
+  auto args = ArgMap::Parse({"--k", "1", "--k", "2"});
+  EXPECT_FALSE(args.ok());
+}
+
+TEST(ArgMapTest, NumericParseErrors) {
+  auto args = ArgMap::Parse({"--n", "abc", "--d", "1.5x"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_FALSE(args->GetUint("n", 0).ok());
+  EXPECT_FALSE(args->GetDouble("d", 0).ok());
+}
+
+TEST(ArgMapTest, DoubleParsing) {
+  auto args = ArgMap::Parse({"--conf=0.85"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_DOUBLE_EQ(*args->GetDouble("conf", 0), 0.85);
+}
+
+TEST(ArgMapTest, CheckAllowedCatchesTypos) {
+  auto args = ArgMap::Parse({"--min-cof", "0.8"});
+  ASSERT_TRUE(args.ok());
+  const Status status = args->CheckAllowed({"min-conf", "input"});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("min-cof"), std::string::npos);
+  EXPECT_TRUE(args->CheckAllowed({"min-cof"}).ok());
+}
+
+TEST(ArgMapTest, EmptyFlagNameRejected) {
+  // "--" alone is the separator; "--=v" has an empty name.
+  auto args = ArgMap::Parse({"--=v"});
+  EXPECT_FALSE(args.ok());
+}
+
+TEST(ArgMapTest, FlagValueCanBeNegativeLookingPositional) {
+  // A following token starting with "--" is not consumed as a value.
+  auto args = ArgMap::Parse({"--a", "--b"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args->GetString("a", ""), "true");
+  EXPECT_EQ(args->GetString("b", ""), "true");
+}
+
+}  // namespace
+}  // namespace ppm::cli

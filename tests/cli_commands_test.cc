@@ -1,0 +1,372 @@
+#include "cli/commands.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "tsdb/series_codec.h"
+
+namespace ppm::cli {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir();
+    series_txt_ = dir_ + "/cli_series.txt";
+    // Period-3 series, 4 segments (the hand series from the miner tests).
+    std::ofstream out(series_txt_);
+    out << "a\nb\nc\n"
+           "a\nb\n\n"
+           "a\n\nc\n"
+           "d\nb\nc\n";
+  }
+  void TearDown() override { std::remove(series_txt_.c_str()); }
+
+  int Run(const std::vector<std::string>& args) {
+    out_.str("");
+    err_.str("");
+    return RunCli(args, out_, err_);
+  }
+
+  std::string dir_;
+  std::string series_txt_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(CliTest, HelpAndUnknownCommand) {
+  EXPECT_EQ(Run({"help"}), 0);
+  EXPECT_NE(out_.str().find("usage: ppm"), std::string::npos);
+  EXPECT_EQ(Run({}), 2);
+  EXPECT_EQ(Run({"frobnicate"}), 2);
+  EXPECT_NE(err_.str().find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, MineHitSet) {
+  ASSERT_EQ(Run({"mine", "--input", series_txt_, "--period", "3",
+                 "--min-conf", "0.5"}),
+            0)
+      << err_.str();
+  const std::string text = out_.str();
+  EXPECT_NE(text.find("patterns=6"), std::string::npos) << text;
+  EXPECT_NE(text.find("a b *"), std::string::npos) << text;
+  EXPECT_NE(text.find("scans=2"), std::string::npos) << text;
+}
+
+TEST_F(CliTest, MineAprioriAndMaximalAgree) {
+  ASSERT_EQ(Run({"mine", "--input", series_txt_, "--period", "3",
+                 "--min-conf", "0.5", "--algorithm", "apriori"}),
+            0);
+  EXPECT_NE(out_.str().find("patterns=6"), std::string::npos);
+
+  ASSERT_EQ(Run({"mine", "--input", series_txt_, "--period", "3",
+                 "--min-conf", "0.5", "--algorithm", "maximal"}),
+            0);
+  EXPECT_NE(out_.str().find("patterns=3"), std::string::npos);
+}
+
+TEST_F(CliTest, MineMaximalFilterFlag) {
+  ASSERT_EQ(Run({"mine", "--input", series_txt_, "--period", "3",
+                 "--min-conf", "0.5", "--maximal"}),
+            0);
+  EXPECT_NE(out_.str().find("maximal patterns: 3"), std::string::npos);
+}
+
+TEST_F(CliTest, MineWithRules) {
+  ASSERT_EQ(Run({"mine", "--input", series_txt_, "--period", "3",
+                 "--min-conf", "0.5", "--rules", "0.5"}),
+            0);
+  EXPECT_NE(out_.str().find("=>"), std::string::npos);
+}
+
+TEST_F(CliTest, MineTopLimitsOutput) {
+  ASSERT_EQ(Run({"mine", "--input", series_txt_, "--period", "3",
+                 "--min-conf", "0.5", "--top", "2"}),
+            0);
+  EXPECT_NE(out_.str().find("more; use --top 0"), std::string::npos);
+}
+
+TEST_F(CliTest, MineRejectsBadFlags) {
+  EXPECT_EQ(Run({"mine", "--input", series_txt_, "--perod", "3"}), 1);
+  EXPECT_NE(err_.str().find("--perod"), std::string::npos);
+  EXPECT_EQ(Run({"mine", "--input", series_txt_, "--period", "0"}), 1);
+  EXPECT_EQ(Run({"mine", "--input", series_txt_, "--period", "3",
+                 "--algorithm", "fft"}),
+            1);
+  EXPECT_EQ(Run({"mine", "--period", "3"}), 1);  // Missing input.
+}
+
+TEST_F(CliTest, ScanShared) {
+  ASSERT_EQ(Run({"scan", "--input", series_txt_, "--period-low", "2",
+                 "--period-high", "4", "--min-conf", "0.5"}),
+            0)
+      << err_.str();
+  const std::string text = out_.str();
+  EXPECT_NE(text.find("scanned periods 2..4 in 2 scans"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("period 3:"), std::string::npos);
+}
+
+TEST_F(CliTest, ScanLooped) {
+  ASSERT_EQ(Run({"scan", "--input", series_txt_, "--period-low", "2",
+                 "--period-high", "4", "--min-conf", "0.5", "--method",
+                 "looped"}),
+            0);
+  EXPECT_NE(out_.str().find("in 6 scans"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateStatsConvertMineRoundTrip) {
+  const std::string bin = dir_ + "/cli_gen.bin";
+  const std::string txt = dir_ + "/cli_gen.txt";
+  ASSERT_EQ(Run({"generate", "--output", bin, "--length", "5000", "--period",
+                 "20", "--max-pat-length", "3", "--num-f1", "5",
+                 "--num-features", "20", "--seed", "3"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("wrote 5000 instants"), std::string::npos);
+  EXPECT_NE(out_.str().find("planted max-pattern"), std::string::npos);
+
+  ASSERT_EQ(Run({"stats", "--input", bin}), 0);
+  EXPECT_NE(out_.str().find("instants:        5000"), std::string::npos);
+
+  ASSERT_EQ(Run({"convert", "--input", bin, "--output", txt}), 0);
+  ASSERT_EQ(Run({"stats", "--input", txt}), 0);
+  EXPECT_NE(out_.str().find("instants:        5000"), std::string::npos);
+
+  // Mining the generated file recovers the planted pattern family.
+  ASSERT_EQ(Run({"mine", "--input", bin, "--period", "20", "--min-conf",
+                 "0.8", "--algorithm", "maximal"}),
+            0);
+  EXPECT_NE(out_.str().find("f0 f1 f2"), std::string::npos) << out_.str();
+
+  std::remove(bin.c_str());
+  std::remove(txt.c_str());
+}
+
+TEST_F(CliTest, GenerateRejectsInvalidParams) {
+  EXPECT_EQ(Run({"generate", "--output", dir_ + "/x.bin", "--period", "0"}), 1);
+  EXPECT_EQ(Run({"generate", "--length", "100"}), 1);  // Missing output.
+}
+
+TEST_F(CliTest, SuggestRanksPlantedPeriod) {
+  // Feature every 3rd line for 60 lines.
+  const std::string path = dir_ + "/cli_suggest.txt";
+  {
+    std::ofstream out(path);
+    for (int t = 0; t < 60; ++t) out << (t % 3 == 1 ? "tick\n" : "\n");
+  }
+  ASSERT_EQ(Run({"suggest", "--input", path, "--period-low", "2",
+                 "--period-high", "10"}),
+            0)
+      << err_.str();
+  // First data row should be period 3.
+  EXPECT_NE(out_.str().find("\n3 "), std::string::npos) << out_.str();
+  EXPECT_NE(out_.str().find("tick@+1"), std::string::npos);
+
+  ASSERT_EQ(Run({"suggest", "--input", path, "--period-low", "2",
+                 "--period-high", "10", "--per-feature", "--top", "1"}),
+            0);
+  EXPECT_NE(out_.str().find("tick@+1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(CliTest, BucketizeEventsToSeries) {
+  const std::string events = dir_ + "/cli_events.log";
+  const std::string series = dir_ + "/cli_bucketized.txt";
+  {
+    std::ofstream out(events);
+    out << "# comment\n0 login\n5 click\n25 login\n";
+  }
+  ASSERT_EQ(Run({"bucketize", "--events", events, "--output", series,
+                 "--width", "10"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("bucketized 3 events into 3 instants"),
+            std::string::npos)
+      << out_.str();
+  ASSERT_EQ(Run({"stats", "--input", series}), 0);
+  EXPECT_NE(out_.str().find("instants:        3"), std::string::npos);
+  std::remove(events.c_str());
+  std::remove(series.c_str());
+}
+
+TEST_F(CliTest, BucketizeWithCalendarAnnotation) {
+  const std::string events = dir_ + "/cli_events_cal.log";
+  const std::string series = dir_ + "/cli_bucketized_cal.txt";
+  {
+    std::ofstream out(events);
+    // Monday 1970-01-05 00:00 = 345600.
+    out << "345600 x\n432000 y\n";
+  }
+  ASSERT_EQ(Run({"bucketize", "--events", events, "--output", series,
+                 "--width", "86400", "--calendar", "dow"}),
+            0)
+      << err_.str();
+  std::ifstream check(series);
+  std::string contents((std::istreambuf_iterator<char>(check)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("dow0"), std::string::npos);  // Monday.
+  EXPECT_NE(contents.find("dow1"), std::string::npos);  // Tuesday.
+  std::remove(events.c_str());
+  std::remove(series.c_str());
+}
+
+TEST_F(CliTest, BucketizeErrors) {
+  EXPECT_EQ(Run({"bucketize", "--output", "/tmp/x.txt"}), 1);  // No events.
+  const std::string events = dir_ + "/cli_events_bad.log";
+  std::ofstream(events) << "notanumber foo\n";
+  EXPECT_EQ(Run({"bucketize", "--events", events, "--output", "/tmp/x.txt"}),
+            1);
+  EXPECT_NE(err_.str().find("Corruption"), std::string::npos);
+  std::remove(events.c_str());
+}
+
+TEST_F(CliTest, DiscretizeBinsAndMine) {
+  const std::string values = dir_ + "/cli_values.txt";
+  const std::string series = dir_ + "/cli_discretized.txt";
+  {
+    std::ofstream out(values);
+    out << "# daily curve\n";
+    for (int day = 0; day < 50; ++day) {
+      out << "1.0\n9.0\n5.0\n";  // Low, high, mid: period 3.
+    }
+  }
+  ASSERT_EQ(Run({"discretize", "--values", values, "--output", series,
+                 "--bins", "3", "--method", "freq"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("discretized 150 values"), std::string::npos);
+
+  ASSERT_EQ(Run({"mine", "--input", series, "--period", "3", "--min-conf",
+                 "0.9"}),
+            0);
+  EXPECT_NE(out_.str().find("lvl0 lvl2 lvl1"), std::string::npos)
+      << out_.str();
+  std::remove(values.c_str());
+  std::remove(series.c_str());
+}
+
+TEST_F(CliTest, DiscretizeMovement) {
+  const std::string values = dir_ + "/cli_movement.txt";
+  const std::string series = dir_ + "/cli_movement_series.txt";
+  std::ofstream(values) << "1\n2\n1\n2\n1\n2\n";
+  ASSERT_EQ(Run({"discretize", "--values", values, "--output", series,
+                 "--movement", "--epsilon", "0.5"}),
+            0)
+      << err_.str();
+  std::ifstream check(series);
+  std::string contents((std::istreambuf_iterator<char>(check)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("up"), std::string::npos);
+  EXPECT_NE(contents.find("down"), std::string::npos);
+  std::remove(values.c_str());
+  std::remove(series.c_str());
+}
+
+TEST_F(CliTest, DiscretizeErrors) {
+  EXPECT_EQ(Run({"discretize", "--output", "/tmp/x.txt"}), 1);
+  const std::string values = dir_ + "/cli_badvalues.txt";
+  std::ofstream(values) << "1.5\nnot_a_number\n";
+  EXPECT_EQ(Run({"discretize", "--values", values, "--output", "/tmp/x.txt"}),
+            1);
+  EXPECT_NE(err_.str().find("Corruption"), std::string::npos);
+  std::remove(values.c_str());
+}
+
+TEST_F(CliTest, MineSaveThenApply) {
+  const std::string patterns = dir_ + "/cli_patterns.txt";
+  ASSERT_EQ(Run({"mine", "--input", series_txt_, "--period", "3",
+                 "--min-conf", "0.5", "--save", patterns}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("saved 6 patterns"), std::string::npos);
+
+  // Apply back onto the same series: confidences unchanged.
+  ASSERT_EQ(Run({"apply", "--patterns", patterns, "--input", series_txt_}), 0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("applied 6 patterns"), std::string::npos);
+  EXPECT_NE(out_.str().find("(+0.0000)"), std::string::npos);
+
+  // min-drop filters unchanged patterns away.
+  ASSERT_EQ(Run({"apply", "--patterns", patterns, "--input", series_txt_,
+                 "--min-drop", "0.1"}),
+            0);
+  EXPECT_EQ(out_.str().find("old="), std::string::npos) << out_.str();
+  std::remove(patterns.c_str());
+}
+
+TEST_F(CliTest, ApplyErrors) {
+  EXPECT_EQ(Run({"apply", "--input", series_txt_}), 1);  // No patterns.
+  EXPECT_EQ(Run({"apply", "--patterns", "/no/such.txt", "--input",
+                 series_txt_}),
+            1);
+}
+
+TEST_F(CliTest, EvolveReportsWindows) {
+  // 2 windows of 6 instants each over the 12-instant hand series.
+  ASSERT_EQ(Run({"evolve", "--input", series_txt_, "--period", "3",
+                 "--window", "6", "--min-conf", "0.5"}),
+            0)
+      << err_.str();
+  const std::string text = out_.str();
+  EXPECT_NE(text.find("2 windows of 6 instants"), std::string::npos) << text;
+  EXPECT_NE(text.find("most stable patterns"), std::string::npos);
+}
+
+TEST_F(CliTest, DbLifecycle) {
+  const std::string db_dir = dir_ + "/cli_db";
+  std::filesystem::remove_all(db_dir);
+
+  // Empty list.
+  ASSERT_EQ(Run({"db", "list", "--dir", db_dir}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("0 series"), std::string::npos);
+
+  // Put the hand series, list, export, drop.
+  ASSERT_EQ(Run({"db", "put", "--dir", db_dir, "--name", "hand", "--input",
+                 series_txt_}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("stored 12 instants"), std::string::npos);
+
+  ASSERT_EQ(Run({"db", "list", "--dir", db_dir}), 0);
+  EXPECT_NE(out_.str().find("hand  (12 instants"), std::string::npos)
+      << out_.str();
+
+  const std::string exported = dir_ + "/cli_db_export.txt";
+  ASSERT_EQ(Run({"db", "get", "--dir", db_dir, "--name", "hand", "--output",
+                 exported}),
+            0);
+  ASSERT_EQ(Run({"stats", "--input", exported}), 0);
+  EXPECT_NE(out_.str().find("instants:        12"), std::string::npos);
+
+  ASSERT_EQ(Run({"db", "drop", "--dir", db_dir, "--name", "hand"}), 0);
+  ASSERT_EQ(Run({"db", "list", "--dir", db_dir}), 0);
+  EXPECT_NE(out_.str().find("0 series"), std::string::npos);
+
+  std::remove(exported.c_str());
+  std::filesystem::remove_all(db_dir);
+}
+
+TEST_F(CliTest, DbErrors) {
+  const std::string db_dir = dir_ + "/cli_db_err";
+  EXPECT_EQ(Run({"db", "--dir", db_dir}), 1);  // No action.
+  EXPECT_EQ(Run({"db", "frob", "--dir", db_dir}), 1);
+  EXPECT_EQ(Run({"db", "list"}), 1);  // No dir.
+  EXPECT_EQ(Run({"db", "get", "--dir", db_dir, "--name", "missing",
+                 "--output", "/tmp/x.txt"}),
+            1);
+  EXPECT_NE(err_.str().find("NotFound"), std::string::npos);
+  std::filesystem::remove_all(db_dir);
+}
+
+TEST_F(CliTest, StatsMissingFile) {
+  EXPECT_EQ(Run({"stats", "--input", "/no/such/file.bin"}), 1);
+  EXPECT_NE(err_.str().find("IoError"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppm::cli

@@ -1,0 +1,109 @@
+#include "core/candidate_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace ppm {
+namespace {
+
+LevelEntry Entry(std::vector<uint32_t> items) {
+  LevelEntry entry;
+  for (uint32_t item : items) entry.mask.Set(item);
+  entry.items = std::move(items);
+  return entry;
+}
+
+std::set<std::vector<uint32_t>> ItemSets(const std::vector<LevelEntry>& v) {
+  std::set<std::vector<uint32_t>> out;
+  for (const LevelEntry& entry : v) out.insert(entry.items);
+  return out;
+}
+
+TEST(MakeLevelOneTest, OneEntryPerLetter) {
+  const auto level = MakeLevelOne({10, 20, 30});
+  ASSERT_EQ(level.size(), 3u);
+  EXPECT_EQ(level[0].items, (std::vector<uint32_t>{0}));
+  EXPECT_EQ(level[1].count, 20u);
+  EXPECT_TRUE(level[2].mask.Test(2));
+  EXPECT_EQ(level[2].mask.Count(), 1u);
+}
+
+TEST(MakeLevelOneTest, EmptyCounts) {
+  EXPECT_TRUE(MakeLevelOne({}).empty());
+}
+
+TEST(GenerateCandidatesTest, PairsFromSingletons) {
+  const auto candidates = GenerateCandidates(MakeLevelOne({1, 1, 1}));
+  EXPECT_EQ(ItemSets(candidates),
+            (std::set<std::vector<uint32_t>>{{0, 1}, {0, 2}, {1, 2}}));
+}
+
+TEST(GenerateCandidatesTest, EmptyInput) {
+  EXPECT_TRUE(GenerateCandidates({}).empty());
+}
+
+TEST(GenerateCandidatesTest, SingleEntryYieldsNothing) {
+  EXPECT_TRUE(GenerateCandidates(MakeLevelOne({5})).empty());
+}
+
+TEST(GenerateCandidatesTest, JoinRequiresSharedPrefix) {
+  // Frequent 2-sets {0,1} and {2,3} share no prefix: no candidate.
+  const auto candidates = GenerateCandidates({Entry({0, 1}), Entry({2, 3})});
+  EXPECT_TRUE(candidates.empty());
+}
+
+TEST(GenerateCandidatesTest, AprioriPruneDropsCandidateWithInfrequentSubset) {
+  // {0,1}, {0,2} join to {0,1,2}, but {1,2} is not frequent: pruned.
+  const auto candidates = GenerateCandidates({Entry({0, 1}), Entry({0, 2})});
+  EXPECT_TRUE(candidates.empty());
+}
+
+TEST(GenerateCandidatesTest, TriangleSurvivesPrune) {
+  const auto candidates =
+      GenerateCandidates({Entry({0, 1}), Entry({0, 2}), Entry({1, 2})});
+  EXPECT_EQ(ItemSets(candidates),
+            (std::set<std::vector<uint32_t>>{{0, 1, 2}}));
+}
+
+TEST(GenerateCandidatesTest, Level4FromCompleteLevel3) {
+  // All four 3-subsets of {0,1,2,3} frequent -> only candidate {0,1,2,3}.
+  const auto candidates = GenerateCandidates(
+      {Entry({0, 1, 2}), Entry({0, 1, 3}), Entry({0, 2, 3}), Entry({1, 2, 3})});
+  EXPECT_EQ(ItemSets(candidates),
+            (std::set<std::vector<uint32_t>>{{0, 1, 2, 3}}));
+}
+
+// Reference implementation: all (k)-supersets of pairs of frequent (k-1)
+// sets whose every (k-1)-subset is frequent.
+TEST(GenerateCandidatesPropertyTest, MatchesBruteForceDefinition) {
+  // Frequent 2-sets over 5 items, arbitrary but fixed.
+  const std::vector<std::vector<uint32_t>> frequent2 = {
+      {0, 1}, {0, 2}, {0, 4}, {1, 2}, {1, 3}, {2, 4}, {3, 4}};
+  std::vector<LevelEntry> entries;
+  for (const auto& items : frequent2) entries.push_back(Entry(items));
+  std::sort(entries.begin(), entries.end(),
+            [](const LevelEntry& a, const LevelEntry& b) {
+              return a.items < b.items;
+            });
+
+  std::set<std::vector<uint32_t>> frequent_set(frequent2.begin(),
+                                               frequent2.end());
+  std::set<std::vector<uint32_t>> expected;
+  for (uint32_t a = 0; a < 5; ++a) {
+    for (uint32_t b = a + 1; b < 5; ++b) {
+      for (uint32_t c = b + 1; c < 5; ++c) {
+        const bool all_subsets_frequent = frequent_set.contains({a, b}) &&
+                                          frequent_set.contains({a, c}) &&
+                                          frequent_set.contains({b, c});
+        if (all_subsets_frequent) expected.insert({a, b, c});
+      }
+    }
+  }
+  EXPECT_EQ(ItemSets(GenerateCandidates(entries)), expected);
+}
+
+}  // namespace
+}  // namespace ppm

@@ -1,0 +1,140 @@
+#include "core/f1_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "tsdb/series_source.h"
+
+namespace ppm {
+namespace {
+
+using tsdb::InMemorySeriesSource;
+using tsdb::TimeSeries;
+
+TEST(MiningOptionsTest, ValidateRejectsBadInputs) {
+  MiningOptions options;
+  options.period = 0;
+  EXPECT_FALSE(options.Validate(100).ok());
+  options.period = 101;
+  EXPECT_FALSE(options.Validate(100).ok());
+  options.period = 10;
+  options.min_confidence = 0.0;
+  EXPECT_FALSE(options.Validate(100).ok());
+  options.min_confidence = 1.5;
+  EXPECT_FALSE(options.Validate(100).ok());
+  options.min_confidence = 1.0;
+  EXPECT_TRUE(options.Validate(100).ok());
+  // Explicit min_count bypasses the confidence check.
+  options.min_confidence = 0.0;
+  options.min_count = 3;
+  EXPECT_TRUE(options.Validate(100).ok());
+}
+
+TEST(MiningOptionsTest, EffectiveMinCountRounding) {
+  MiningOptions options;
+  options.min_confidence = 0.25;
+  EXPECT_EQ(options.EffectiveMinCount(100), 25u);  // Exact.
+  options.min_confidence = 0.251;
+  EXPECT_EQ(options.EffectiveMinCount(100), 26u);  // Rounds up.
+  options.min_confidence = 1.0;
+  EXPECT_EQ(options.EffectiveMinCount(7), 7u);
+  options.min_confidence = 0.001;
+  EXPECT_EQ(options.EffectiveMinCount(10), 1u);  // Never below 1.
+  options.min_count = 4;
+  EXPECT_EQ(options.EffectiveMinCount(100), 4u);  // Override wins.
+}
+
+TEST(F1ScanTest, ExactCountsAndThreshold) {
+  // Period 2, 4 whole segments: 'a' at even offsets in 3 segments,
+  // 'b' at odd offsets in 2 segments, 'c' once.
+  TimeSeries series;
+  series.AppendNamed({"a"});       // seg 0, pos 0
+  series.AppendNamed({"b"});       // seg 0, pos 1
+  series.AppendNamed({"a"});       // seg 1
+  series.AppendNamed({});          //
+  series.AppendNamed({"a", "c"});  // seg 2
+  series.AppendNamed({"b"});       //
+  series.AppendNamed({});          // seg 3
+  series.AppendNamed({});          //
+
+  InMemorySeriesSource source(&series);
+  MiningOptions options;
+  options.period = 2;
+  options.min_confidence = 0.5;  // min_count = 2 of 4.
+
+  auto f1 = ScanForF1(source, options);
+  ASSERT_TRUE(f1.ok()) << f1.status();
+  EXPECT_EQ(f1->num_periods, 4u);
+  EXPECT_EQ(f1->min_count, 2u);
+  // Frequent letters: a@0 (count 3), b@1 (count 2). c@0 has count 1.
+  ASSERT_EQ(f1->space.size(), 2u);
+  const auto a = *series.symbols().Lookup("a");
+  const auto b = *series.symbols().Lookup("b");
+  EXPECT_EQ(f1->space.IndexOf(0, a), 0u);
+  EXPECT_EQ(f1->space.IndexOf(1, b), 1u);
+  EXPECT_EQ(f1->letter_counts, (std::vector<uint64_t>{3, 2}));
+}
+
+TEST(F1ScanTest, TailBeyondWholePeriodsIgnored) {
+  TimeSeries series;
+  // Period 3, length 7: only 2 whole segments; the tail instant has 'z'
+  // which must not be counted.
+  for (int i = 0; i < 6; ++i) series.AppendNamed({"a"});
+  series.AppendNamed({"z"});
+
+  InMemorySeriesSource source(&series);
+  MiningOptions options;
+  options.period = 3;
+  options.min_confidence = 0.5;
+  auto f1 = ScanForF1(source, options);
+  ASSERT_TRUE(f1.ok());
+  EXPECT_EQ(f1->num_periods, 2u);
+  const auto z = *series.symbols().Lookup("z");
+  for (uint32_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(f1->space.IndexOf(p, z), Bitset::kNoBit);
+  }
+  EXPECT_EQ(f1->space.size(), 3u);  // a at each of 3 positions, count 2 each.
+}
+
+TEST(F1ScanTest, LetterFilterDropsLetters) {
+  TimeSeries series;
+  for (int i = 0; i < 8; ++i) series.AppendNamed({"a", "b"});
+  InMemorySeriesSource source(&series);
+  MiningOptions options;
+  options.period = 2;
+  options.min_confidence = 0.5;
+  const auto b = *series.symbols().Lookup("b");
+  options.letter_filter = [b](uint32_t, tsdb::FeatureId feature) {
+    return feature != b;
+  };
+  auto f1 = ScanForF1(source, options);
+  ASSERT_TRUE(f1.ok());
+  EXPECT_EQ(f1->space.size(), 2u);  // Only 'a' at both positions.
+  for (uint32_t i = 0; i < f1->space.size(); ++i) {
+    EXPECT_NE(f1->space.letter(i).feature, b);
+  }
+}
+
+TEST(F1ScanTest, InvalidOptionsPropagate) {
+  TimeSeries series;
+  series.AppendEmpty(10);
+  InMemorySeriesSource source(&series);
+  MiningOptions options;
+  options.period = 0;
+  EXPECT_FALSE(ScanForF1(source, options).ok());
+}
+
+TEST(F1ScanTest, EmptyFrequentSetIsValid) {
+  TimeSeries series;
+  series.AppendNamed({"a"});
+  series.AppendEmpty(9);
+  InMemorySeriesSource source(&series);
+  MiningOptions options;
+  options.period = 2;
+  options.min_confidence = 0.9;
+  auto f1 = ScanForF1(source, options);
+  ASSERT_TRUE(f1.ok());
+  EXPECT_EQ(f1->space.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ppm

@@ -1,0 +1,204 @@
+#include "core/maximal_miner.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/maximal.h"
+#include "core/miner.h"
+#include "tsdb/series_source.h"
+#include "util/random.h"
+
+namespace ppm {
+namespace {
+
+using tsdb::InMemorySeriesSource;
+using tsdb::TimeSeries;
+
+std::map<std::string, uint64_t> AsCountMap(
+    const std::vector<FrequentPattern>& patterns,
+    const tsdb::SymbolTable& symbols) {
+  std::map<std::string, uint64_t> out;
+  for (const FrequentPattern& entry : patterns) {
+    out[entry.pattern.Format(symbols)] = entry.count;
+  }
+  return out;
+}
+
+TEST(MaximalMinerTest, HandSeries) {
+  // (a b c) (a b -) (a - c) (d b c): maximal at conf 0.5 are ab, ac, bc.
+  TimeSeries series;
+  const char* grid[4][3] = {{"a", "b", "c"},
+                            {"a", "b", ""},
+                            {"a", "", "c"},
+                            {"d", "b", "c"}};
+  for (const auto& segment : grid) {
+    for (const char* name : segment) {
+      if (*name) {
+        series.AppendNamed({name});
+      } else {
+        series.AppendEmpty();
+      }
+    }
+  }
+  MiningOptions options;
+  options.period = 3;
+  options.min_confidence = 0.5;
+  InMemorySeriesSource source(&series);
+  auto result = MineMaximalHitSet(source, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 3u);
+  for (const auto& entry : result->patterns()) {
+    EXPECT_EQ(entry.pattern.LetterCount(), 2u);
+    EXPECT_EQ(entry.count, 2u);
+  }
+  EXPECT_EQ(result->stats().scans, 2u);
+}
+
+TEST(MaximalMinerTest, SingleMaximalLetter) {
+  TimeSeries series;
+  for (int i = 0; i < 4; ++i) {
+    series.AppendNamed({"x"});
+    series.AppendEmpty();
+  }
+  MiningOptions options;
+  options.period = 2;
+  options.min_confidence = 1.0;
+  InMemorySeriesSource source(&series);
+  auto result = MineMaximalHitSet(source, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->patterns()[0].pattern.LetterCount(), 1u);
+  EXPECT_EQ(result->patterns()[0].count, 4u);
+}
+
+TEST(MaximalMinerTest, EmptyWhenNothingFrequent) {
+  TimeSeries series;
+  series.AppendEmpty(20);
+  MiningOptions options;
+  options.period = 4;
+  options.min_confidence = 0.5;
+  InMemorySeriesSource source(&series);
+  auto result = MineMaximalHitSet(source, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(MaximalMinerTest, CorrelatedExplosionStaysCheap) {
+  // 16 perfectly correlated letters: the full frequent set has 2^16 - 1
+  // members, but there is exactly one maximal pattern. The lookahead must
+  // find it with a number of oracle calls that is tiny compared to 2^16.
+  TimeSeries series;
+  for (int f = 0; f < 16; ++f) series.symbols().Intern("f" + std::to_string(f));
+  Rng rng(5);
+  for (int segment = 0; segment < 40; ++segment) {
+    const bool on = rng.NextBool(0.9);
+    for (uint32_t position = 0; position < 16; ++position) {
+      tsdb::FeatureSet instant;
+      if (on) instant.Set(position);
+      series.Append(std::move(instant));
+    }
+  }
+  MiningOptions options;
+  options.period = 16;
+  options.min_confidence = 0.7;
+  InMemorySeriesSource source(&series);
+  auto result = MineMaximalHitSet(source, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->patterns()[0].pattern.LetterCount(), 16u);
+  EXPECT_LT(result->stats().candidates_evaluated, 100u);
+}
+
+TEST(MaximalMinerTest, MaxLettersCapsSearch) {
+  TimeSeries series;
+  for (int i = 0; i < 10; ++i) {
+    series.AppendNamed({"a"});
+    series.AppendNamed({"b"});
+    series.AppendNamed({"c"});
+  }
+  MiningOptions options;
+  options.period = 3;
+  options.min_confidence = 0.9;
+  options.max_letters = 2;
+  InMemorySeriesSource source(&series);
+  auto result = MineMaximalHitSet(source, options);
+  ASSERT_TRUE(result.ok());
+  // abc is frequent but capped out; maximal-within-cap are the 3 pairs.
+  EXPECT_EQ(result->size(), 3u);
+  for (const auto& entry : result->patterns()) {
+    EXPECT_EQ(entry.pattern.LetterCount(), 2u);
+  }
+}
+
+TEST(MaximalMinerTest, InvalidOptionsRejected) {
+  TimeSeries series;
+  series.AppendEmpty(10);
+  MiningOptions options;
+  options.period = 0;
+  InMemorySeriesSource source(&series);
+  EXPECT_FALSE(MineMaximalHitSet(source, options).ok());
+}
+
+struct RandomParams {
+  uint64_t seed;
+  uint32_t period;
+  uint32_t num_features;
+  double density;
+  double min_confidence;
+};
+
+class MaximalMinerPropertyTest
+    : public ::testing::TestWithParam<RandomParams> {};
+
+TEST_P(MaximalMinerPropertyTest, MatchesFilteredFullEnumeration) {
+  const RandomParams& params = GetParam();
+  Rng rng(params.seed);
+  TimeSeries series;
+  for (uint32_t f = 0; f < params.num_features; ++f) {
+    series.symbols().Intern("f" + std::to_string(f));
+  }
+  for (int t = 0; t < 240; ++t) {
+    tsdb::FeatureSet instant;
+    for (uint32_t f = 0; f < params.num_features; ++f) {
+      const bool aligned =
+          (static_cast<uint32_t>(t) % params.period) == (f % params.period);
+      if (rng.NextBool(aligned ? params.density : params.density / 3)) {
+        instant.Set(f);
+      }
+    }
+    series.Append(std::move(instant));
+  }
+
+  MiningOptions options;
+  options.period = params.period;
+  options.min_confidence = params.min_confidence;
+
+  InMemorySeriesSource full_source(&series);
+  auto full = Mine(full_source, options);
+  ASSERT_TRUE(full.ok());
+  const auto expected = MaximalPatterns(*full);
+
+  InMemorySeriesSource direct_source(&series);
+  auto direct = MineMaximalHitSet(direct_source, options);
+  ASSERT_TRUE(direct.ok());
+
+  EXPECT_EQ(AsCountMap(direct->patterns(), series.symbols()),
+            AsCountMap(expected, series.symbols()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSweep, MaximalMinerPropertyTest,
+    ::testing::Values(RandomParams{1, 3, 5, 0.8, 0.5},
+                      RandomParams{2, 4, 4, 0.7, 0.4},
+                      RandomParams{3, 5, 6, 0.9, 0.6},
+                      RandomParams{4, 6, 3, 0.85, 0.5},
+                      RandomParams{5, 2, 8, 0.6, 0.35},
+                      RandomParams{6, 8, 4, 0.9, 0.7},
+                      RandomParams{7, 4, 7, 0.75, 0.45},
+                      RandomParams{8, 10, 3, 0.9, 0.6}),
+    [](const auto& info) { return "seed" + std::to_string(info.param.seed); });
+
+}  // namespace
+}  // namespace ppm

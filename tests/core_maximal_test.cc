@@ -1,0 +1,113 @@
+#include "core/maximal.h"
+
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "tsdb/time_series.h"
+
+namespace ppm {
+namespace {
+
+FrequentPattern Make(const Pattern& pattern, uint64_t count) {
+  FrequentPattern out;
+  out.pattern = pattern;
+  out.count = count;
+  out.confidence = 0.5;
+  return out;
+}
+
+TEST(MaximalTest, PaperExample) {
+  // Section 4: frequent set {a*b*, ab**, *c*a} -> maximal set is itself
+  // when none contains another; subpatterns get filtered.
+  Pattern ab(4), a(4), b(4), cxa(4);
+  ab.AddLetter(0, 0);
+  ab.AddLetter(2, 1);
+  a.AddLetter(0, 0);
+  b.AddLetter(2, 1);
+  cxa.AddLetter(1, 2);
+  cxa.AddLetter(3, 0);
+
+  MiningResult result;
+  result.patterns() = {Make(a, 9), Make(b, 8), Make(ab, 6), Make(cxa, 7)};
+  result.Canonicalize();
+
+  const auto maximal = MaximalPatterns(result);
+  ASSERT_EQ(maximal.size(), 2u);
+  // a and b are subsumed by ab; cxa stands alone.
+  bool has_ab = false, has_cxa = false;
+  for (const auto& entry : maximal) {
+    if (entry.pattern == ab) has_ab = true;
+    if (entry.pattern == cxa) has_cxa = true;
+  }
+  EXPECT_TRUE(has_ab);
+  EXPECT_TRUE(has_cxa);
+}
+
+TEST(MaximalTest, EmptyInput) {
+  MiningResult result;
+  EXPECT_TRUE(MaximalPatterns(result).empty());
+}
+
+TEST(MaximalTest, SingletonIsMaximal) {
+  Pattern p(2);
+  p.AddLetter(0, 0);
+  MiningResult result;
+  result.patterns() = {Make(p, 3)};
+  const auto maximal = MaximalPatterns(result);
+  ASSERT_EQ(maximal.size(), 1u);
+  EXPECT_EQ(maximal[0].count, 3u);
+}
+
+TEST(MaximalTest, MultiLetterPositionSubsumption) {
+  // *{b1,b2} subsumes *b1 and *b2.
+  Pattern both(2), b1(2), b2(2);
+  both.AddLetter(1, 1);
+  both.AddLetter(1, 2);
+  b1.AddLetter(1, 1);
+  b2.AddLetter(1, 2);
+  MiningResult result;
+  result.patterns() = {Make(b1, 5), Make(b2, 5), Make(both, 4)};
+  result.Canonicalize();
+  const auto maximal = MaximalPatterns(result);
+  ASSERT_EQ(maximal.size(), 1u);
+  EXPECT_EQ(maximal[0].pattern, both);
+}
+
+TEST(HasProperSuperpatternTest, SelfIsExcluded) {
+  Pattern p(2);
+  p.AddLetter(0, 0);
+  std::vector<FrequentPattern> set = {Make(p, 1)};
+  EXPECT_FALSE(HasProperSuperpattern(p, set));
+}
+
+TEST(MaximalTest, EndToEndFromMiner) {
+  // Mined result: letters a,b,c and pairs ab, ac, bc (from the hand series
+  // of the miner tests) -- maximal set is exactly the three pairs.
+  tsdb::TimeSeries series;
+  const char* segments[4][3] = {{"a", "b", "c"},
+                                {"a", "b", ""},
+                                {"a", "", "c"},
+                                {"d", "b", "c"}};
+  for (const auto& segment : segments) {
+    for (const char* name : segment) {
+      if (*name) {
+        series.AppendNamed({name});
+      } else {
+        series.AppendEmpty();
+      }
+    }
+  }
+  MiningOptions options;
+  options.period = 3;
+  options.min_confidence = 0.5;
+  auto result = Mine(series, options);
+  ASSERT_TRUE(result.ok());
+  const auto maximal = MaximalPatterns(*result);
+  EXPECT_EQ(maximal.size(), 3u);
+  for (const auto& entry : maximal) {
+    EXPECT_EQ(entry.pattern.LetterCount(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace ppm

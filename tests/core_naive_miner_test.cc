@@ -1,0 +1,108 @@
+#include "core/naive_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "tsdb/series_source.h"
+
+namespace ppm {
+namespace {
+
+using tsdb::InMemorySeriesSource;
+using tsdb::TimeSeries;
+
+TimeSeries MakeTinySeries() {
+  TimeSeries series;
+  // Period 2, 3 segments: (a b) (a b) (a -).
+  series.AppendNamed({"a"});
+  series.AppendNamed({"b"});
+  series.AppendNamed({"a"});
+  series.AppendNamed({"b"});
+  series.AppendNamed({"a"});
+  series.AppendNamed({});
+  return series;
+}
+
+TEST(ExhaustiveTest, CountsFromDefinition) {
+  TimeSeries series = MakeTinySeries();
+  InMemorySeriesSource source(&series);
+  MiningOptions options;
+  options.period = 2;
+  options.min_confidence = 0.5;  // min_count = 2.
+  auto result = MineExhaustive(source, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // a@0 count 3, b@1 count 2, ab count 2.
+  ASSERT_EQ(result->size(), 3u);
+  EXPECT_EQ(result->patterns()[0].pattern.LetterCount(), 1u);
+  auto ab = Pattern::Parse("a b", &series.symbols());
+  ASSERT_TRUE(ab.ok());
+  const FrequentPattern* found = result->Find(*ab);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->count, 2u);
+}
+
+TEST(ExhaustiveTest, RefusesTooManyLetters) {
+  TimeSeries series;
+  for (int t = 0; t < 20; ++t) {
+    series.AppendNamed({("f" + std::to_string(t)).c_str()});
+  }
+  InMemorySeriesSource source(&series);
+  MiningOptions options;
+  options.period = 10;
+  options.min_confidence = 0.4;
+  // 20 distinct letters observed > cap of 4.
+  auto result = MineExhaustive(source, options, /*max_total_letters=*/4);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExhaustiveTest, RefusesCapAbove63) {
+  TimeSeries series = MakeTinySeries();
+  InMemorySeriesSource source(&series);
+  MiningOptions options;
+  options.period = 2;
+  auto result = MineExhaustive(source, options, /*max_total_letters=*/64);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExhaustiveTest, RespectsMaxLetters) {
+  TimeSeries series = MakeTinySeries();
+  InMemorySeriesSource source(&series);
+  MiningOptions options;
+  options.period = 2;
+  options.min_confidence = 0.5;
+  options.max_letters = 1;
+  auto result = MineExhaustive(source, options);
+  ASSERT_TRUE(result.ok());
+  for (const auto& entry : result->patterns()) {
+    EXPECT_EQ(entry.pattern.LetterCount(), 1u);
+  }
+}
+
+TEST(NaiveLevelwiseTest, MatchesExhaustiveOnTinyInput) {
+  TimeSeries series = MakeTinySeries();
+  InMemorySeriesSource s1(&series), s2(&series);
+  MiningOptions options;
+  options.period = 2;
+  options.min_confidence = 0.5;
+  auto exhaustive = MineExhaustive(s1, options);
+  auto levelwise = MineNaiveLevelwise(s2, options);
+  ASSERT_TRUE(exhaustive.ok());
+  ASSERT_TRUE(levelwise.ok());
+  ASSERT_EQ(exhaustive->size(), levelwise->size());
+  for (size_t i = 0; i < exhaustive->size(); ++i) {
+    EXPECT_EQ(exhaustive->patterns()[i].pattern,
+              levelwise->patterns()[i].pattern);
+    EXPECT_EQ(exhaustive->patterns()[i].count, levelwise->patterns()[i].count);
+  }
+}
+
+TEST(NaiveLevelwiseTest, InvalidOptionsPropagate) {
+  TimeSeries series = MakeTinySeries();
+  InMemorySeriesSource source(&series);
+  MiningOptions options;
+  options.period = 0;
+  EXPECT_FALSE(MineNaiveLevelwise(source, options).ok());
+}
+
+}  // namespace
+}  // namespace ppm

@@ -1,0 +1,191 @@
+#include "discretize/discretizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace ppm::discretize {
+namespace {
+
+TEST(BreakpointsTest, EqualWidth) {
+  auto bp = ComputeBreakpoints({0.0, 10.0}, BinningMethod::kEqualWidth, 4);
+  ASSERT_TRUE(bp.ok());
+  ASSERT_EQ(bp->size(), 3u);
+  EXPECT_DOUBLE_EQ((*bp)[0], 2.5);
+  EXPECT_DOUBLE_EQ((*bp)[1], 5.0);
+  EXPECT_DOUBLE_EQ((*bp)[2], 7.5);
+}
+
+TEST(BreakpointsTest, EqualFrequencyBalancesBins) {
+  std::vector<double> values;
+  Rng rng(3);
+  for (int i = 0; i < 4000; ++i) values.push_back(rng.NextExponential(5.0));
+  auto bp = ComputeBreakpoints(values, BinningMethod::kEqualFrequency, 4);
+  ASSERT_TRUE(bp.ok());
+  std::vector<int> histogram(4, 0);
+  for (double v : values) ++histogram[BinOf(v, *bp)];
+  for (int count : histogram) {
+    EXPECT_NEAR(count, 1000, 60);
+  }
+}
+
+TEST(BreakpointsTest, GaussianBalancesBinsOnNormalData) {
+  std::vector<double> values;
+  Rng rng(4);
+  for (int i = 0; i < 4000; ++i) values.push_back(3.0 + 2.0 * rng.NextGaussian());
+  auto bp = ComputeBreakpoints(values, BinningMethod::kGaussian, 4);
+  ASSERT_TRUE(bp.ok());
+  // Middle breakpoint is the mean; outer ones symmetric around it.
+  EXPECT_NEAR((*bp)[1], 3.0, 0.15);
+  EXPECT_NEAR((*bp)[1] - (*bp)[0], (*bp)[2] - (*bp)[1], 0.05);
+  std::vector<int> histogram(4, 0);
+  for (double v : values) ++histogram[BinOf(v, *bp)];
+  for (int count : histogram) EXPECT_NEAR(count, 1000, 100);
+}
+
+TEST(BreakpointsTest, RejectsBadInput) {
+  EXPECT_FALSE(ComputeBreakpoints({}, BinningMethod::kEqualWidth, 4).ok());
+  EXPECT_FALSE(ComputeBreakpoints({1.0}, BinningMethod::kEqualWidth, 1).ok());
+}
+
+TEST(BinOfTest, EdgeSemantics) {
+  const std::vector<double> bp = {1.0, 2.0};
+  EXPECT_EQ(BinOf(0.5, bp), 0u);
+  EXPECT_EQ(BinOf(1.0, bp), 0u);  // Boundary belongs to the lower bin.
+  EXPECT_EQ(BinOf(1.5, bp), 1u);
+  EXPECT_EQ(BinOf(2.0, bp), 1u);
+  EXPECT_EQ(BinOf(9.9, bp), 2u);
+}
+
+TEST(DiscretizeTest, OneFeaturePerInstant) {
+  DiscretizeOptions options;
+  options.num_bins = 3;
+  options.prefix = "v";
+  auto series = Discretize({0.0, 5.0, 10.0, 2.0}, options);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->length(), 4u);
+  EXPECT_EQ(series->symbols().size(), 3u);
+  for (uint64_t t = 0; t < series->length(); ++t) {
+    EXPECT_EQ(series->at(t).Count(), 1u);
+  }
+  // 0.0 -> v0, 10.0 -> v2.
+  EXPECT_TRUE(series->at(0).Test(*series->symbols().Lookup("v0")));
+  EXPECT_TRUE(series->at(2).Test(*series->symbols().Lookup("v2")));
+}
+
+TEST(DiscretizeMultiLevelTest, NestingInvariant) {
+  std::vector<double> values;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.NextDouble() * 100);
+  auto ml = DiscretizeMultiLevel(values, 2, 8, BinningMethod::kEqualWidth);
+  ASSERT_TRUE(ml.ok()) << ml.status();
+
+  EXPECT_EQ(ml->hierarchy.size(), 8u);
+  // Every instant has exactly one coarse and one fine feature, and the fine
+  // one maps to the coarse one through the hierarchy.
+  std::unordered_map<std::string, std::string> parent(ml->hierarchy.begin(),
+                                                      ml->hierarchy.end());
+  for (uint64_t t = 0; t < ml->series.length(); ++t) {
+    std::vector<std::string> coarse, fine;
+    ml->series.at(t).ForEach([&](uint32_t id) {
+      const std::string name = ml->series.symbols().NameOrPlaceholder(id);
+      if (name.find("hi") != std::string::npos) coarse.push_back(name);
+      if (name.find("lo") != std::string::npos) fine.push_back(name);
+    });
+    ASSERT_EQ(coarse.size(), 1u);
+    ASSERT_EQ(fine.size(), 1u);
+    EXPECT_EQ(parent[fine[0]], coarse[0]);
+  }
+}
+
+TEST(DiscretizeMultiLevelTest, RejectsNonNestedBinCounts) {
+  const std::vector<double> values = {1, 2, 3, 4};
+  EXPECT_FALSE(DiscretizeMultiLevel(values, 3, 8, BinningMethod::kEqualWidth).ok());
+  EXPECT_FALSE(DiscretizeMultiLevel(values, 4, 4, BinningMethod::kEqualWidth).ok());
+  EXPECT_FALSE(DiscretizeMultiLevel(values, 1, 4, BinningMethod::kEqualWidth).ok());
+}
+
+TEST(SmoothTest, ZeroWindowIsIdentity) {
+  const std::vector<double> values = {1, 5, 2};
+  auto smoothed = SmoothMovingAverage(values, 0);
+  ASSERT_TRUE(smoothed.ok());
+  EXPECT_EQ(*smoothed, values);
+}
+
+TEST(SmoothTest, CenteredMeanWithEdgeShrink) {
+  auto smoothed = SmoothMovingAverage({0, 6, 0, 6, 0}, 1);
+  ASSERT_TRUE(smoothed.ok());
+  ASSERT_EQ(smoothed->size(), 5u);
+  EXPECT_DOUBLE_EQ((*smoothed)[0], 3.0);  // Mean of {0,6}.
+  EXPECT_DOUBLE_EQ((*smoothed)[1], 2.0);  // Mean of {0,6,0}.
+  EXPECT_DOUBLE_EQ((*smoothed)[2], 4.0);
+  EXPECT_DOUBLE_EQ((*smoothed)[4], 3.0);
+}
+
+TEST(SmoothTest, ConstantSeriesUnchanged) {
+  auto smoothed = SmoothMovingAverage({7, 7, 7, 7}, 2);
+  ASSERT_TRUE(smoothed.ok());
+  for (double v : *smoothed) EXPECT_DOUBLE_EQ(v, 7.0);
+}
+
+TEST(SmoothTest, ReducesNoiseVariance) {
+  Rng rng(21);
+  std::vector<double> noisy;
+  for (int i = 0; i < 2000; ++i) noisy.push_back(rng.NextGaussian());
+  auto smoothed = SmoothMovingAverage(noisy, 3);
+  ASSERT_TRUE(smoothed.ok());
+  double var_raw = 0, var_smooth = 0;
+  for (size_t i = 0; i < noisy.size(); ++i) {
+    var_raw += noisy[i] * noisy[i];
+    var_smooth += (*smoothed)[i] * (*smoothed)[i];
+  }
+  EXPECT_LT(var_smooth, var_raw / 3);  // 7-wide mean cuts variance ~7x.
+}
+
+TEST(SmoothTest, RejectsEmpty) {
+  EXPECT_FALSE(SmoothMovingAverage({}, 1).ok());
+}
+
+TEST(EncodeMovementTest, UpDownFlat) {
+  auto series = EncodeMovement({10.0, 12.0, 11.5, 11.5001, 9.0}, 0.1);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->length(), 5u);
+  EXPECT_TRUE(series->at(0).Empty());
+  EXPECT_TRUE(series->at(1).Test(*series->symbols().Lookup("up")));
+  EXPECT_TRUE(series->at(2).Test(*series->symbols().Lookup("down")));
+  EXPECT_TRUE(series->at(3).Test(*series->symbols().Lookup("flat")));
+  EXPECT_TRUE(series->at(4).Test(*series->symbols().Lookup("down")));
+  for (uint64_t t = 1; t < 5; ++t) EXPECT_EQ(series->at(t).Count(), 1u);
+}
+
+TEST(EncodeMovementTest, PrefixAndValidation) {
+  auto series = EncodeMovement({1.0, 2.0}, 0.0, "stockA_");
+  ASSERT_TRUE(series.ok());
+  EXPECT_TRUE(series->symbols().Lookup("stockA_up").ok());
+  EXPECT_FALSE(EncodeMovement({}, 0.1).ok());
+  EXPECT_FALSE(EncodeMovement({1.0}, -0.1).ok());
+}
+
+TEST(EncodeMovementTest, ZeroEpsilonBoundary) {
+  auto series = EncodeMovement({1.0, 1.0, 1.0 + 1e-12}, 0.0);
+  ASSERT_TRUE(series.ok());
+  EXPECT_TRUE(series->at(1).Test(*series->symbols().Lookup("flat")));
+  EXPECT_TRUE(series->at(2).Test(*series->symbols().Lookup("up")));
+}
+
+TEST(DiscretizeTest, ConstantSeriesAllInOneBin) {
+  DiscretizeOptions options;
+  options.num_bins = 4;
+  auto series = Discretize({5.0, 5.0, 5.0}, options);
+  ASSERT_TRUE(series.ok());
+  // Degenerate width: every value lands in the same bin (no crash).
+  uint32_t first_id = series->at(0).FindFirst();
+  for (uint64_t t = 1; t < series->length(); ++t) {
+    EXPECT_EQ(series->at(t).FindFirst(), first_id);
+  }
+}
+
+}  // namespace
+}  // namespace ppm::discretize

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "etl/bucketizer.h"
+#include "etl/event_log.h"
+
+namespace ppm::etl {
+namespace {
+
+TEST(EventLogTest, AddAndBounds) {
+  EventLog log;
+  EXPECT_TRUE(log.empty());
+  EXPECT_FALSE(log.MinTimestamp().ok());
+  log.Add(100, "a");
+  log.Add(50, "b");
+  log.Add(200, "a");
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(*log.MinTimestamp(), 50);
+  EXPECT_EQ(*log.MaxTimestamp(), 200);
+}
+
+TEST(EventLogTest, SortIsStable) {
+  EventLog log;
+  log.Add(10, "second");
+  log.Add(5, "first");
+  log.Add(10, "third");
+  log.SortByTime();
+  EXPECT_EQ(log.events()[0].feature, "first");
+  EXPECT_EQ(log.events()[1].feature, "second");
+  EXPECT_EQ(log.events()[2].feature, "third");
+}
+
+TEST(EventLogIoTest, RoundTrip) {
+  const std::string path = testing::TempDir() + "/ppm_etl_roundtrip.log";
+  EventLog log;
+  log.Add(-5, "before_epoch");
+  log.Add(1000, "login");
+  log.Add(2000, "logout");
+  ASSERT_TRUE(WriteEventLog(log, path).ok());
+  auto loaded = ReadEventLog(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ(loaded->events()[0], (Event{-5, "before_epoch"}));
+  EXPECT_EQ(loaded->events()[2], (Event{2000, "logout"}));
+  std::remove(path.c_str());
+}
+
+TEST(EventLogIoTest, SkipsCommentsRejectsGarbage) {
+  const std::string path = testing::TempDir() + "/ppm_etl_garbage.log";
+  std::ofstream(path) << "# header\n\n10 ok\nbadline\n";
+  auto loaded = ReadEventLog(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+
+  std::ofstream(path, std::ios::trunc) << "xx yy\n";
+  EXPECT_EQ(ReadEventLog(path).status().code(), StatusCode::kCorruption);
+
+  std::ofstream(path, std::ios::trunc) << "# only comments\n\n";
+  auto empty = ReadEventLog(path);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  std::remove(path.c_str());
+}
+
+TEST(BucketizeTest, GroupsEventsAndKeepsEmptyBuckets) {
+  EventLog log;
+  log.Add(0, "a");
+  log.Add(5, "b");    // Same bucket as a (width 10).
+  log.Add(25, "a");   // Bucket 2; bucket 1 empty.
+  BucketizeOptions options;
+  options.bucket_width = 10;
+  auto series = Bucketize(log, options);
+  ASSERT_TRUE(series.ok()) << series.status();
+  ASSERT_EQ(series->length(), 3u);
+  EXPECT_EQ(series->at(0).Count(), 2u);
+  EXPECT_TRUE(series->at(1).Empty());
+  EXPECT_EQ(series->at(2).Count(), 1u);
+}
+
+TEST(BucketizeTest, AutoOriginSnapsToBucketBoundary) {
+  EventLog log;
+  log.Add(3605, "x");  // 01:00:05.
+  log.Add(7200, "y");  // 02:00:00.
+  BucketizeOptions options;
+  options.bucket_width = 3600;
+  auto series = Bucketize(log, options);
+  ASSERT_TRUE(series.ok());
+  // Origin snaps to 3600, so x is in bucket 0 and y in bucket 1.
+  ASSERT_EQ(series->length(), 2u);
+  EXPECT_TRUE(series->at(0).Test(*series->symbols().Lookup("x")));
+  EXPECT_TRUE(series->at(1).Test(*series->symbols().Lookup("y")));
+}
+
+TEST(BucketizeTest, ExplicitRangeDropsOutsiders) {
+  EventLog log;
+  log.Add(-100, "early");
+  log.Add(15, "in");
+  log.Add(999, "late");
+  BucketizeOptions options;
+  options.bucket_width = 10;
+  options.origin = 0;
+  options.end = 30;
+  auto series = Bucketize(log, options);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->length(), 3u);
+  EXPECT_FALSE(series->symbols().Lookup("early").ok());
+  EXPECT_FALSE(series->symbols().Lookup("late").ok());
+  EXPECT_TRUE(series->symbols().Lookup("in").ok());
+}
+
+TEST(BucketizeTest, NegativeTimestampsFloorCorrectly) {
+  EventLog log;
+  log.Add(-25, "a");
+  log.Add(-1, "b");
+  BucketizeOptions options;
+  options.bucket_width = 10;
+  auto series = Bucketize(log, options);
+  ASSERT_TRUE(series.ok());
+  // Auto origin floors -25 to -30: buckets [-30,-20), [-20,-10), [-10,0).
+  ASSERT_EQ(series->length(), 3u);
+  EXPECT_TRUE(series->at(0).Test(*series->symbols().Lookup("a")));
+  EXPECT_TRUE(series->at(2).Test(*series->symbols().Lookup("b")));
+}
+
+TEST(BucketizeTest, RejectsBadOptions) {
+  EventLog log;
+  log.Add(0, "a");
+  BucketizeOptions options;
+  options.bucket_width = 0;
+  EXPECT_FALSE(Bucketize(log, options).ok());
+  options.bucket_width = 10;
+  options.origin = 100;
+  options.end = 50;
+  EXPECT_FALSE(Bucketize(log, options).ok());
+  EXPECT_FALSE(Bucketize(EventLog(), BucketizeOptions()).ok());
+}
+
+TEST(BucketizeTest, RejectsInsaneBucketCounts) {
+  EventLog log;
+  log.Add(0, "a");
+  log.Add(2000000000000, "b");  // ~63k years of seconds.
+  BucketizeOptions options;
+  options.bucket_width = 1;
+  EXPECT_EQ(Bucketize(log, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CalendarTest, EpochIsThursday) {
+  EXPECT_EQ(DayOfWeek(0), 3);          // Thursday, Monday-based.
+  EXPECT_EQ(DayOfWeek(4 * 86400), 0);  // Monday 1970-01-05.
+  EXPECT_EQ(DayOfWeek(-86400), 2);     // Wednesday 1969-12-31.
+  EXPECT_EQ(HourOfDay(0), 0);
+  EXPECT_EQ(HourOfDay(3 * 3600 + 59), 3);
+  EXPECT_EQ(HourOfDay(-1), 23);  // One second before the epoch.
+  EXPECT_EQ(HourOfWeek(4 * 86400), 0);
+  EXPECT_EQ(HourOfWeek(4 * 86400 + 25 * 3600), 25);
+}
+
+TEST(CalendarTest, AnnotateCalendarAddsSlotFeatures) {
+  EventLog log;
+  const int64_t monday = 4 * 86400;
+  log.Add(monday, "x");
+  log.Add(monday + 86400, "y");
+  BucketizeOptions options;
+  options.bucket_width = 86400;
+  options.origin = monday;
+  auto series = Bucketize(log, options);
+  ASSERT_TRUE(series.ok());
+  AnnotateCalendar(&*series, monday, 86400, CalendarFeature::kDayOfWeek);
+  EXPECT_TRUE(series->at(0).Test(*series->symbols().Lookup("dow0")));
+  EXPECT_TRUE(series->at(1).Test(*series->symbols().Lookup("dow1")));
+}
+
+}  // namespace
+}  // namespace ppm::etl

@@ -1,0 +1,134 @@
+#include "evolve/evolution.h"
+
+#include <gtest/gtest.h>
+
+#include "tsdb/time_series.h"
+
+namespace ppm::evolve {
+namespace {
+
+using tsdb::TimeSeries;
+
+/// First half: (a b) every period; second half: (a c) every period.
+TimeSeries MakeRegimeShiftSeries(int segments_per_regime) {
+  TimeSeries series;
+  for (int i = 0; i < segments_per_regime; ++i) {
+    series.AppendNamed({"a"});
+    series.AppendNamed({"b"});
+  }
+  for (int i = 0; i < segments_per_regime; ++i) {
+    series.AppendNamed({"a"});
+    series.AppendNamed({"c"});
+  }
+  return series;
+}
+
+MiningOptions DefaultOptions() {
+  MiningOptions options;
+  options.period = 2;
+  options.min_confidence = 0.8;
+  return options;
+}
+
+TEST(MineWindowsTest, SplitsAndMinesEachWindow) {
+  const TimeSeries series = MakeRegimeShiftSeries(20);  // 80 instants.
+  auto windows = MineWindows(series, 40, DefaultOptions());
+  ASSERT_TRUE(windows.ok()) << windows.status();
+  ASSERT_EQ(windows->size(), 2u);
+  EXPECT_EQ((*windows)[0].start, 0u);
+  EXPECT_EQ((*windows)[1].start, 40u);
+  EXPECT_EQ((*windows)[0].length, 40u);
+
+  // Window 1 has ab; window 2 has ac.
+  const auto& symbols = series.symbols();
+  tsdb::SymbolTable mutable_symbols = symbols;
+  auto ab = Pattern::Parse("a b", &mutable_symbols);
+  auto ac = Pattern::Parse("a c", &mutable_symbols);
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(ac.ok());
+  EXPECT_NE((*windows)[0].result.Find(*ab), nullptr);
+  EXPECT_EQ((*windows)[0].result.Find(*ac), nullptr);
+  EXPECT_EQ((*windows)[1].result.Find(*ab), nullptr);
+  EXPECT_NE((*windows)[1].result.Find(*ac), nullptr);
+}
+
+TEST(MineWindowsTest, TrailingPartialWindowKeptIfAtLeastOnePeriod) {
+  const TimeSeries series = MakeRegimeShiftSeries(11);  // 44 instants.
+  auto windows = MineWindows(series, 40, DefaultOptions());
+  ASSERT_TRUE(windows.ok());
+  ASSERT_EQ(windows->size(), 2u);
+  EXPECT_EQ((*windows)[1].length, 4u);
+}
+
+TEST(MineWindowsTest, RejectsBadWindowLength) {
+  const TimeSeries series = MakeRegimeShiftSeries(5);
+  EXPECT_FALSE(MineWindows(series, 0, DefaultOptions()).ok());
+  MiningOptions options = DefaultOptions();
+  options.period = 10;
+  EXPECT_FALSE(MineWindows(series, 5, options).ok());
+}
+
+TEST(DiffResultsTest, AppearedVanishedShifted) {
+  const TimeSeries series = MakeRegimeShiftSeries(20);
+  auto windows = MineWindows(series, 40, DefaultOptions());
+  ASSERT_TRUE(windows.ok());
+  const PatternDiff diff =
+      DiffResults((*windows)[0].result, (*windows)[1].result, 0.05);
+
+  // b-letter patterns vanish, c-letter patterns appear, a persists.
+  EXPECT_FALSE(diff.appeared.empty());
+  EXPECT_FALSE(diff.vanished.empty());
+  for (const FrequentPattern& entry : diff.appeared) {
+    const std::string text = entry.pattern.Format(series.symbols());
+    EXPECT_NE(text.find("c"), std::string::npos) << text;
+  }
+  for (const FrequentPattern& entry : diff.vanished) {
+    const std::string text = entry.pattern.Format(series.symbols());
+    EXPECT_NE(text.find("b"), std::string::npos) << text;
+  }
+  // 'a' holds at confidence 1.0 in both windows: not shifted.
+  EXPECT_TRUE(diff.shifted.empty());
+}
+
+TEST(DiffResultsTest, ShiftThresholdRespected) {
+  // Build two synthetic results sharing one pattern at different conf.
+  Pattern p(2);
+  p.AddLetter(0, 0);
+  MiningResult before, after;
+  before.patterns().push_back(FrequentPattern{p, 9, 0.9});
+  after.patterns().push_back(FrequentPattern{p, 8, 0.8});
+
+  EXPECT_TRUE(DiffResults(before, after, 0.2).shifted.empty());
+  const PatternDiff sensitive = DiffResults(before, after, 0.05);
+  ASSERT_EQ(sensitive.shifted.size(), 1u);
+  EXPECT_DOUBLE_EQ(sensitive.shifted[0].before_confidence, 0.9);
+  EXPECT_DOUBLE_EQ(sensitive.shifted[0].after_confidence, 0.8);
+}
+
+TEST(StabilityReportTest, CountsWindowsAndAverages) {
+  const TimeSeries series = MakeRegimeShiftSeries(20);
+  auto windows = MineWindows(series, 20, DefaultOptions());  // 4 windows.
+  ASSERT_TRUE(windows.ok());
+  ASSERT_EQ(windows->size(), 4u);
+  const auto report = StabilityReport(*windows);
+  ASSERT_FALSE(report.empty());
+  // 'a' is frequent in all 4 windows and must rank first.
+  tsdb::SymbolTable mutable_symbols = series.symbols();
+  auto a = Pattern::Parse("a *", &mutable_symbols);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(report.front().pattern, *a);
+  EXPECT_EQ(report.front().windows_present, 4u);
+  EXPECT_DOUBLE_EQ(report.front().mean_confidence, 1.0);
+  // Regime-specific patterns appear in exactly 2 windows.
+  for (const PatternStability& entry : report) {
+    EXPECT_LE(entry.windows_present, 4u);
+    EXPECT_GE(entry.windows_present, 1u);
+  }
+}
+
+TEST(StabilityReportTest, EmptyInput) {
+  EXPECT_TRUE(StabilityReport({}).empty());
+}
+
+}  // namespace
+}  // namespace ppm::evolve

@@ -1,0 +1,181 @@
+#include "synth/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "core/maximal.h"
+#include "tsdb/series_source.h"
+
+namespace ppm::synth {
+namespace {
+
+GeneratorOptions SmallOptions() {
+  GeneratorOptions options;
+  options.length = 5000;
+  options.period = 20;
+  options.max_pat_length = 4;
+  options.num_f1 = 6;
+  options.num_features = 30;
+  options.noise_mean = 0.5;
+  options.seed = 7;
+  return options;
+}
+
+TEST(GeneratorTest, DeterministicFromSeed) {
+  auto a = GenerateSeries(SmallOptions());
+  auto b = GenerateSeries(SmallOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->series.length(), b->series.length());
+  for (uint64_t t = 0; t < a->series.length(); ++t) {
+    ASSERT_EQ(a->series.at(t), b->series.at(t)) << "instant " << t;
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  auto a = GenerateSeries(SmallOptions());
+  GeneratorOptions other = SmallOptions();
+  other.seed = 8;
+  auto b = GenerateSeries(other);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  uint64_t differing = 0;
+  for (uint64_t t = 0; t < a->series.length(); ++t) {
+    if (!(a->series.at(t) == b->series.at(t))) ++differing;
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(GeneratorTest, ValidatesParameters) {
+  GeneratorOptions options = SmallOptions();
+  options.period = 0;
+  EXPECT_FALSE(GenerateSeries(options).ok());
+  options = SmallOptions();
+  options.length = 5;
+  EXPECT_FALSE(GenerateSeries(options).ok());
+  options = SmallOptions();
+  options.max_pat_length = 0;
+  EXPECT_FALSE(GenerateSeries(options).ok());
+  options = SmallOptions();
+  options.max_pat_length = options.num_f1 + 1;
+  EXPECT_FALSE(GenerateSeries(options).ok());
+  options = SmallOptions();
+  options.num_f1 = options.period + 1;
+  EXPECT_FALSE(GenerateSeries(options).ok());
+  options = SmallOptions();
+  options.num_features = options.num_f1;
+  EXPECT_FALSE(GenerateSeries(options).ok());
+  options = SmallOptions();
+  options.anchor_confidence = 0.0;
+  EXPECT_FALSE(GenerateSeries(options).ok());
+  options = SmallOptions();
+  options.independent_confidence = 1.5;
+  EXPECT_FALSE(GenerateSeries(options).ok());
+  options = SmallOptions();
+  options.noise_mean = -1.0;
+  EXPECT_FALSE(GenerateSeries(options).ok());
+}
+
+TEST(GeneratorTest, GroundTruthShapes) {
+  auto generated = GenerateSeries(SmallOptions());
+  ASSERT_TRUE(generated.ok());
+  EXPECT_EQ(generated->series.length(), 5000u);
+  EXPECT_EQ(generated->anchor.period(), 20u);
+  EXPECT_EQ(generated->anchor.LLength(), 4u);
+  EXPECT_EQ(generated->planted_letters.size(), 6u);
+  for (const Pattern& letter : generated->planted_letters) {
+    EXPECT_EQ(letter.LetterCount(), 1u);
+    EXPECT_TRUE(letter.IsSubpatternOf(letter));
+  }
+  // Anchor letters are the first max_pat_length planted letters.
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(generated->planted_letters[i].IsSubpatternOf(generated->anchor));
+  }
+}
+
+TEST(GeneratorTest, PlantedAnchorOccupancyNearConfidence) {
+  GeneratorOptions options = SmallOptions();
+  options.length = 40000;
+  options.anchor_confidence = 0.9;
+  options.noise_mean = 0.0;
+  auto generated = GenerateSeries(options);
+  ASSERT_TRUE(generated.ok());
+
+  const uint64_t m = generated->series.length() / options.period;
+  uint64_t hits = 0;
+  for (uint64_t segment = 0; segment < m; ++segment) {
+    if (generated->anchor.MatchesSegment(generated->series,
+                                         segment * options.period)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / static_cast<double>(m), 0.9, 0.05);
+}
+
+TEST(GeneratorTest, MinerRecoversPlantedAnchorAsMaximal) {
+  GeneratorOptions options = SmallOptions();
+  options.length = 20000;
+  auto generated = GenerateSeries(options);
+  ASSERT_TRUE(generated.ok());
+
+  MiningOptions mining;
+  mining.period = options.period;
+  mining.min_confidence = 0.8;
+  auto result = Mine(generated->series, mining);
+  ASSERT_TRUE(result.ok());
+
+  // The anchor itself must be frequent...
+  const FrequentPattern* anchor = result->Find(generated->anchor);
+  ASSERT_NE(anchor, nullptr);
+  EXPECT_GE(anchor->confidence, 0.8);
+  // ...and maximal: nothing longer survives.
+  const auto maximal = MaximalPatterns(*result);
+  uint32_t longest = 0;
+  for (const auto& entry : maximal) {
+    longest = std::max(longest, entry.pattern.LetterCount());
+  }
+  EXPECT_EQ(longest, options.max_pat_length);
+  // All planted letters are frequent.
+  for (const Pattern& letter : generated->planted_letters) {
+    EXPECT_NE(result->Find(letter), nullptr);
+  }
+}
+
+TEST(GeneratorTest, IndependentLettersDoNotFormPairs) {
+  GeneratorOptions options = SmallOptions();
+  options.length = 50000;
+  options.independent_confidence = 0.85;
+  auto generated = GenerateSeries(options);
+  ASSERT_TRUE(generated.ok());
+
+  MiningOptions mining;
+  mining.period = options.period;
+  mining.min_confidence = 0.8;
+  auto result = Mine(generated->series, mining);
+  ASSERT_TRUE(result.ok());
+
+  // A pair of two independent letters has expected confidence
+  // 0.85^2 = 0.72 < 0.8 and must not be frequent.
+  const Pattern& l4 = generated->planted_letters[4];
+  const Pattern& l5 = generated->planted_letters[5];
+  EXPECT_EQ(result->Find(l4.UnionWith(l5)), nullptr);
+}
+
+TEST(GeneratorTest, NoiseOnlyWhenNothingPlanted) {
+  GeneratorOptions options = SmallOptions();
+  options.noise_mean = 2.0;
+  auto generated = GenerateSeries(options);
+  ASSERT_TRUE(generated.ok());
+  // Noise features live in the disjoint id range [num_f1, num_features).
+  uint64_t noise_features = 0;
+  for (uint64_t t = 0; t < generated->series.length(); ++t) {
+    generated->series.at(t).ForEach([&](uint32_t id) {
+      if (id >= options.num_f1) ++noise_features;
+      ASSERT_LT(id, options.num_features);
+    });
+  }
+  EXPECT_GT(noise_features, generated->series.length());  // Mean 2 per instant.
+}
+
+}  // namespace
+}  // namespace ppm::synth

@@ -1,0 +1,147 @@
+// Parameterized round-trip sweeps: for a grid of random series shapes, the
+// binary codec must reproduce the series exactly, the file-backed source
+// must stream the identical instants, and the text codec must preserve the
+// feature names per instant.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "tsdb/series_codec.h"
+#include "tsdb/series_source.h"
+#include "util/random.h"
+
+namespace ppm::tsdb {
+namespace {
+
+struct CodecConfig {
+  uint64_t seed;
+  uint32_t num_features;
+  uint64_t length;
+  double density;  // Expected features per instant / num_features.
+};
+
+std::string ConfigName(const ::testing::TestParamInfo<CodecConfig>& info) {
+  return "seed" + std::to_string(info.param.seed) + "_f" +
+         std::to_string(info.param.num_features) + "_n" +
+         std::to_string(info.param.length);
+}
+
+TimeSeries MakeRandomSeries(const CodecConfig& config) {
+  Rng rng(config.seed);
+  TimeSeries series;
+  for (uint32_t f = 0; f < config.num_features; ++f) {
+    series.symbols().Intern("feat_" + std::to_string(f));
+  }
+  for (uint64_t t = 0; t < config.length; ++t) {
+    FeatureSet instant;
+    for (uint32_t f = 0; f < config.num_features; ++f) {
+      if (rng.NextBool(config.density)) instant.Set(f);
+    }
+    series.Append(std::move(instant));
+  }
+  return series;
+}
+
+class CodecPropertyTest : public ::testing::TestWithParam<CodecConfig> {
+ protected:
+  std::string TempPath(const char* tag) {
+    return testing::TempDir() + "/ppm_codec_prop_" + tag + "_" +
+           std::to_string(GetParam().seed) + ".bin";
+  }
+};
+
+TEST_P(CodecPropertyTest, BinaryRoundTripIsIdentityBothVersions) {
+  const TimeSeries series = MakeRandomSeries(GetParam());
+  for (const auto version :
+       {BinaryFormatVersion::kV1, BinaryFormatVersion::kV2}) {
+    const std::string path = TempPath("bin");
+    ASSERT_TRUE(WriteBinarySeries(series, path, version).ok());
+    auto loaded = ReadBinarySeries(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    ASSERT_EQ(loaded->length(), series.length());
+    ASSERT_EQ(loaded->symbols().size(), series.symbols().size());
+    for (uint64_t t = 0; t < series.length(); ++t) {
+      ASSERT_EQ(loaded->at(t), series.at(t))
+          << "v" << static_cast<int>(version) << " instant " << t;
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST_P(CodecPropertyTest, FileSourceStreamsIdenticalInstantsBothVersions) {
+  const TimeSeries series = MakeRandomSeries(GetParam());
+  for (const auto version :
+       {BinaryFormatVersion::kV1, BinaryFormatVersion::kV2}) {
+    const std::string path = TempPath("src");
+    ASSERT_TRUE(WriteBinarySeries(series, path, version).ok());
+    auto source = FileSeriesSource::Open(path);
+    ASSERT_TRUE(source.ok());
+    ASSERT_EQ((*source)->length(), series.length());
+
+    // Two scans must both match (seek-back correctness).
+    for (int scan = 0; scan < 2; ++scan) {
+      ASSERT_TRUE((*source)->StartScan().ok());
+      FeatureSet instant;
+      uint64_t t = 0;
+      while ((*source)->Next(&instant)) {
+        ASSERT_EQ(instant, series.at(t))
+            << "v" << static_cast<int>(version) << " scan " << scan
+            << " instant " << t;
+        ++t;
+      }
+      ASSERT_TRUE((*source)->status().ok());
+      ASSERT_EQ(t, series.length());
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST_P(CodecPropertyTest, V2NeverLargerThanV1) {
+  const TimeSeries series = MakeRandomSeries(GetParam());
+  const std::string v1_path = TempPath("v1");
+  const std::string v2_path = TempPath("v2");
+  ASSERT_TRUE(WriteBinarySeries(series, v1_path, BinaryFormatVersion::kV1).ok());
+  ASSERT_TRUE(WriteBinarySeries(series, v2_path, BinaryFormatVersion::kV2).ok());
+  std::ifstream v1(v1_path, std::ios::binary | std::ios::ate);
+  std::ifstream v2(v2_path, std::ios::binary | std::ios::ate);
+  EXPECT_LE(v2.tellg(), v1.tellg());
+  std::remove(v1_path.c_str());
+  std::remove(v2_path.c_str());
+}
+
+TEST_P(CodecPropertyTest, TextRoundTripPreservesNames) {
+  const TimeSeries series = MakeRandomSeries(GetParam());
+  const std::string path = TempPath("txt");
+  ASSERT_TRUE(WriteTextSeries(series, path).ok());
+  auto loaded = ReadTextSeries(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->length(), series.length());
+  for (uint64_t t = 0; t < series.length(); ++t) {
+    ASSERT_EQ(loaded->at(t).Count(), series.at(t).Count()) << t;
+    series.at(t).ForEach([&](uint32_t id) {
+      const auto reloaded =
+          loaded->symbols().Lookup(series.symbols().NameOrPlaceholder(id));
+      ASSERT_TRUE(reloaded.ok());
+      EXPECT_TRUE(loaded->at(t).Test(*reloaded));
+    });
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, CodecPropertyTest,
+    ::testing::Values(CodecConfig{1, 1, 1, 1.0},      // Minimal.
+                      CodecConfig{2, 3, 100, 0.0},    // All-empty instants.
+                      CodecConfig{3, 8, 500, 0.3},    // Typical.
+                      CodecConfig{4, 64, 200, 0.5},   // Word-boundary ids.
+                      CodecConfig{5, 65, 200, 0.5},   // Just past a word.
+                      CodecConfig{6, 200, 300, 0.05}, // Sparse, wide.
+                      CodecConfig{7, 5, 3000, 0.9},   // Dense, long.
+                      CodecConfig{8, 130, 50, 1.0}),  // Every feature set.
+    ConfigName);
+
+}  // namespace
+}  // namespace ppm::tsdb

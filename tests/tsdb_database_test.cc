@@ -1,0 +1,147 @@
+#include "tsdb/database.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/miner.h"
+
+namespace ppm::tsdb {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = testing::TempDir() + "/ppm_db_test";
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  TimeSeries MakeSeries(int length, const char* feature) {
+    TimeSeries series;
+    for (int i = 0; i < length; ++i) series.AppendNamed({feature});
+    return series;
+  }
+
+  std::string root_;
+};
+
+TEST_F(DatabaseTest, OpenCreatesEmptyCatalog) {
+  auto db = Database::Open(root_);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_TRUE((*db)->List().empty());
+  EXPECT_TRUE(fs::exists(root_ + "/MANIFEST"));
+}
+
+TEST_F(DatabaseTest, PutGetRoundTrip) {
+  auto db = Database::Open(root_);
+  ASSERT_TRUE(db.ok());
+  const TimeSeries original = MakeSeries(10, "x");
+  ASSERT_TRUE((*db)->Put("daily", original).ok());
+  EXPECT_TRUE((*db)->Contains("daily"));
+
+  auto loaded = (*db)->Get("daily");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->length(), 10u);
+  EXPECT_EQ(*loaded->symbols().Name(0), "x");
+}
+
+TEST_F(DatabaseTest, PutReplacesExisting) {
+  auto db = Database::Open(root_);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put("s", MakeSeries(5, "a")).ok());
+  ASSERT_TRUE((*db)->Put("s", MakeSeries(7, "b")).ok());
+  EXPECT_EQ((*db)->List().size(), 1u);
+  auto loaded = (*db)->Get("s");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->length(), 7u);
+}
+
+TEST_F(DatabaseTest, ListSortedAndPersistent) {
+  {
+    auto db = Database::Open(root_);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Put("zeta", MakeSeries(1, "z")).ok());
+    ASSERT_TRUE((*db)->Put("alpha", MakeSeries(1, "a")).ok());
+    ASSERT_TRUE((*db)->Put("mid", MakeSeries(1, "m")).ok());
+  }
+  // Reopen: catalog survives.
+  auto db = Database::Open(root_);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->List(),
+            (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+TEST_F(DatabaseTest, DropRemovesSeries) {
+  auto db = Database::Open(root_);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put("gone", MakeSeries(3, "g")).ok());
+  ASSERT_TRUE((*db)->Drop("gone").ok());
+  EXPECT_FALSE((*db)->Contains("gone"));
+  EXPECT_EQ((*db)->Get("gone").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ((*db)->Drop("gone").code(), StatusCode::kNotFound);
+  EXPECT_FALSE(fs::exists(root_ + "/gone.series"));
+}
+
+TEST_F(DatabaseTest, ScanStreamsSeries) {
+  auto db = Database::Open(root_);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put("stream", MakeSeries(20, "s")).ok());
+  auto source = (*db)->Scan("stream");
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ((*source)->length(), 20u);
+  // Mining straight off the catalog works.
+  MiningOptions options;
+  options.period = 2;
+  options.min_confidence = 0.9;
+  auto result = Mine(**source, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->empty());
+}
+
+TEST_F(DatabaseTest, RejectsInvalidNames) {
+  auto db = Database::Open(root_);
+  ASSERT_TRUE(db.ok());
+  const TimeSeries series = MakeSeries(1, "x");
+  EXPECT_FALSE((*db)->Put("", series).ok());
+  EXPECT_FALSE((*db)->Put("../escape", series).ok());
+  EXPECT_FALSE((*db)->Put("has space", series).ok());
+  EXPECT_FALSE((*db)->Put("..", series).ok());
+  EXPECT_TRUE((*db)->Put("ok-name_1.2", series).ok());
+}
+
+TEST_F(DatabaseTest, CorruptManifestRejected) {
+  {
+    auto db = Database::Open(root_);
+    ASSERT_TRUE(db.ok());
+  }
+  std::ofstream(root_ + "/MANIFEST", std::ios::app) << "../evil\n";
+  EXPECT_EQ(Database::Open(root_).status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(DatabaseTest, ManifestReferencingMissingPayloadRejected) {
+  {
+    auto db = Database::Open(root_);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Put("real", MakeSeries(1, "x")).ok());
+  }
+  fs::remove(root_ + "/real.series");
+  EXPECT_EQ(Database::Open(root_).status().code(), StatusCode::kCorruption);
+}
+
+TEST(SeriesNameTest, Validation) {
+  EXPECT_TRUE(IsValidSeriesName("abc"));
+  EXPECT_TRUE(IsValidSeriesName("A-b_c.9"));
+  EXPECT_FALSE(IsValidSeriesName(""));
+  EXPECT_FALSE(IsValidSeriesName("."));
+  EXPECT_FALSE(IsValidSeriesName(".."));
+  EXPECT_FALSE(IsValidSeriesName("a/b"));
+  EXPECT_FALSE(IsValidSeriesName("a b"));
+  EXPECT_FALSE(IsValidSeriesName(std::string(200, 'a')));
+}
+
+}  // namespace
+}  // namespace ppm::tsdb

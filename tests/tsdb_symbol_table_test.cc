@@ -1,0 +1,58 @@
+#include "tsdb/symbol_table.h"
+
+#include <gtest/gtest.h>
+
+namespace ppm::tsdb {
+namespace {
+
+TEST(SymbolTableTest, InternAssignsDenseIds) {
+  SymbolTable table;
+  EXPECT_EQ(table.Intern("a"), 0u);
+  EXPECT_EQ(table.Intern("b"), 1u);
+  EXPECT_EQ(table.Intern("a"), 0u);  // Idempotent.
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(SymbolTableTest, LookupFindsInterned) {
+  SymbolTable table;
+  table.Intern("x");
+  auto found = table.Lookup("x");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, 0u);
+  EXPECT_EQ(table.Lookup("y").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SymbolTableTest, NameRoundTrips) {
+  SymbolTable table;
+  const FeatureId id = table.Intern("hello");
+  auto name = table.Name(id);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "hello");
+  EXPECT_EQ(table.Name(99).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SymbolTableTest, NameOrPlaceholder) {
+  SymbolTable table;
+  table.Intern("real");
+  EXPECT_EQ(table.NameOrPlaceholder(0), "real");
+  EXPECT_EQ(table.NameOrPlaceholder(7), "#7");
+}
+
+TEST(SymbolTableTest, NamesInIdOrder) {
+  SymbolTable table;
+  table.Intern("z");
+  table.Intern("a");
+  table.Intern("m");
+  EXPECT_EQ(table.names(), (std::vector<std::string>{"z", "a", "m"}));
+}
+
+TEST(SymbolTableTest, EmptyNameIsAllowedAndDistinct) {
+  SymbolTable table;
+  const FeatureId empty = table.Intern("");
+  const FeatureId other = table.Intern("x");
+  EXPECT_NE(empty, other);
+  EXPECT_EQ(table.Intern(""), empty);
+}
+
+}  // namespace
+}  // namespace ppm::tsdb

@@ -1,0 +1,53 @@
+#include "tsdb/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace ppm::tsdb {
+namespace {
+
+TEST(TimeSeriesTest, AppendNamedInternsAndSets) {
+  TimeSeries series;
+  series.AppendNamed({"a", "b"});
+  series.AppendNamed({"b"});
+  ASSERT_EQ(series.length(), 2u);
+  const FeatureId a = *series.symbols().Lookup("a");
+  const FeatureId b = *series.symbols().Lookup("b");
+  EXPECT_TRUE(series.at(0).Test(a));
+  EXPECT_TRUE(series.at(0).Test(b));
+  EXPECT_FALSE(series.at(1).Test(a));
+  EXPECT_TRUE(series.at(1).Test(b));
+}
+
+TEST(TimeSeriesTest, AppendEmpty) {
+  TimeSeries series;
+  series.AppendEmpty(3);
+  EXPECT_EQ(series.length(), 3u);
+  for (uint64_t t = 0; t < 3; ++t) EXPECT_TRUE(series.at(t).Empty());
+}
+
+TEST(TimeSeriesTest, NumPeriods) {
+  TimeSeries series;
+  series.AppendEmpty(10);
+  EXPECT_EQ(series.NumPeriods(3), 3u);  // 10 / 3.
+  EXPECT_EQ(series.NumPeriods(10), 1u);
+  EXPECT_EQ(series.NumPeriods(11), 0u);
+  EXPECT_EQ(series.NumPeriods(0), 0u);  // Guarded, not a crash.
+}
+
+TEST(TimeSeriesTest, MutableAccess) {
+  TimeSeries series;
+  series.AppendEmpty(1);
+  series.at(0).Set(5);
+  EXPECT_TRUE(series.at(0).Test(5));
+}
+
+TEST(TimeSeriesTest, CopyIsIndependent) {
+  TimeSeries series;
+  series.AppendNamed({"a"});
+  TimeSeries copy = series;
+  copy.at(0).Set(99);
+  EXPECT_FALSE(series.at(0).Test(99));
+}
+
+}  // namespace
+}  // namespace ppm::tsdb

@@ -1,0 +1,104 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ppm {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.NextUint64() != b.NextUint64()) ++differences;
+  }
+  EXPECT_GT(differences, 10);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+    EXPECT_EQ(rng.NextBelow(1), 0u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, PoissonMeanSmall) {
+  Rng rng(11);
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += rng.NextPoisson(2.5);
+  EXPECT_NEAR(total / n, 2.5, 0.1);
+}
+
+TEST(RngTest, PoissonMeanLargeUsesNormalApprox) {
+  Rng rng(11);
+  double total = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) total += rng.NextPoisson(100.0);
+  EXPECT_NEAR(total / n, 100.0, 1.5);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextExponential(3.0);
+    EXPECT_GE(x, 0.0);
+    total += x;
+  }
+  EXPECT_NEAR(total / n, 3.0, 0.15);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ZipfBoundsAndSkew) {
+  Rng rng(19);
+  std::vector<int> histogram(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const uint32_t rank = rng.NextZipf(10, 1.0);
+    ASSERT_LT(rank, 10u);
+    ++histogram[rank];
+  }
+  // Rank 0 must dominate rank 9 by roughly the 1/(k+1) law.
+  EXPECT_GT(histogram[0], histogram[9] * 5);
+}
+
+}  // namespace
+}  // namespace ppm

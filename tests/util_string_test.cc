@@ -1,0 +1,50 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ppm {
+namespace {
+
+TEST(SplitTest, KeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitSkipEmptyTest, DropsEmptyPieces) {
+  EXPECT_EQ(SplitSkipEmpty("a  b", ' '), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitSkipEmpty("  ", ' '), std::vector<std::string>{});
+}
+
+TEST(JoinTest, Joins) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  x y\t\n"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+}
+
+TEST(ParseUint64Test, ParsesValidNumbers) {
+  uint64_t value = 0;
+  EXPECT_TRUE(ParseUint64("0", &value));
+  EXPECT_EQ(value, 0u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &value));
+  EXPECT_EQ(value, UINT64_MAX);
+}
+
+TEST(ParseUint64Test, RejectsInvalid) {
+  uint64_t value = 0;
+  EXPECT_FALSE(ParseUint64("", &value));
+  EXPECT_FALSE(ParseUint64("-1", &value));
+  EXPECT_FALSE(ParseUint64("12x", &value));
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &value));  // Overflow.
+}
+
+}  // namespace
+}  // namespace ppm
