@@ -6,14 +6,18 @@
 // Expected shape (paper Section 5.2): hit-set is almost constant in
 // MAX-PAT-LENGTH; Apriori grows almost linearly; the gap is about 2x at
 // MAX-PAT-LENGTH 8 and keeps widening.
+//
+// Besides the terminal table, results are written as a RunReport to
+// BENCH_fig2.json (or argv[1]): one row object per (length, mpl) point
+// under the "rows" section.
 
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "core/apriori_miner.h"
 #include "core/hitset_miner.h"
+#include "obs/json_writer.h"
 #include "tsdb/series_source.h"
-#include "util/stopwatch.h"
 
 namespace ppm::bench {
 namespace {
@@ -56,7 +60,7 @@ Sample RunOne(uint64_t length, uint32_t max_pat_length) {
   return sample;
 }
 
-void RunSweep(uint64_t length) {
+void RunSweep(uint64_t length, obs::JsonWriter* rows) {
   std::printf("\nLENGTH = %llu, p = 50, |F1| = 12, min_conf = 0.8\n",
               static_cast<unsigned long long>(length));
   std::printf("%-16s %14s %14s %8s %8s %10s %10s\n", "max-pat-length",
@@ -70,19 +74,39 @@ void RunSweep(uint64_t length) {
                 static_cast<unsigned long long>(s.hitset_scans),
                 s.apriori_ms / (s.hitset_ms > 0 ? s.hitset_ms : 1e-9),
                 s.num_patterns);
+    rows->BeginObject()
+        .Key("length").Uint(length)
+        .Key("max_pat_length").Uint(mpl)
+        .Key("apriori_ms").Double(s.apriori_ms)
+        .Key("hitset_ms").Double(s.hitset_ms)
+        .Key("scans_apriori").Uint(s.apriori_scans)
+        .Key("scans_hitset").Uint(s.hitset_scans)
+        .Key("patterns").Uint(s.num_patterns);
+    rows->EndObject();
   }
 }
 
 }  // namespace
 }  // namespace ppm::bench
 
-int main() {
+int main(int argc, char** argv) {
   ppm::bench::PrintHeader(
       "Figure 2: runtime vs MAX-PAT-LENGTH (Apriori vs max-subpattern hit-set)");
-  ppm::bench::RunSweep(100000);
-  ppm::bench::RunSweep(500000);
+  ppm::obs::JsonWriter rows;
+  rows.BeginArray();
+  ppm::bench::RunSweep(100000, &rows);
+  ppm::bench::RunSweep(500000, &rows);
+  rows.EndArray();
   std::printf(
       "\nPaper's qualitative result: hit-set ~flat, Apriori ~linear in\n"
       "MAX-PAT-LENGTH; gain ~2x at MAX-PAT-LENGTH 8 and widening.\n");
+
+  ppm::obs::RunReport report("bench_fig2");
+  report.AddMeta("period", "50");
+  report.AddMeta("num_f1", "12");
+  report.AddMeta("min_conf", "0.8");
+  report.AddRawSection("rows", rows.str());
+  ppm::bench::WriteBenchReport(
+      &report, ppm::bench::BenchReportPath("fig2", argc, argv));
   return 0;
 }

@@ -3,19 +3,25 @@
 // reporting runtime of both single-period algorithms. The paper states that
 // runtime is governed by MAX-PAT-LENGTH and |F_1| for a fixed p, and scales
 // with LENGTH; these sweeps verify each axis.
+//
+// Besides the terminal table, results are written as a RunReport to
+// BENCH_table1.json (or argv[1]): one row object per sweep point under the
+// "rows" section.
 
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "core/apriori_miner.h"
 #include "core/hitset_miner.h"
+#include "obs/json_writer.h"
 #include "tsdb/series_source.h"
 
 namespace ppm::bench {
 namespace {
 
 void Report(const char* label, uint64_t value,
-            const synth::GeneratorOptions& generator_options) {
+            const synth::GeneratorOptions& generator_options,
+            obs::JsonWriter* rows) {
   const synth::GeneratedSeries data =
       DieOr(synth::GenerateSeries(generator_options));
   MiningOptions options;
@@ -34,6 +40,18 @@ void Report(const char* label, uint64_t value,
               static_cast<unsigned long long>(apriori.stats().scans),
               static_cast<unsigned long long>(hitset.stats().scans),
               hitset.size());
+
+  rows->BeginObject()
+      .Key("param").String(label)
+      .Key("value").Uint(value)
+      .Key("length").Uint(generator_options.length)
+      .Key("period").Uint(generator_options.period)
+      .Key("apriori_ms").Double(apriori.stats().elapsed_seconds * 1e3)
+      .Key("hitset_ms").Double(hitset.stats().elapsed_seconds * 1e3)
+      .Key("scans_apriori").Uint(apriori.stats().scans)
+      .Key("scans_hitset").Uint(hitset.stats().scans)
+      .Key("patterns").Uint(hitset.size());
+  rows->EndObject();
 }
 
 void PrintColumns() {
@@ -44,16 +62,19 @@ void PrintColumns() {
 }  // namespace
 }  // namespace ppm::bench
 
-int main() {
+int main(int argc, char** argv) {
   using ppm::bench::Figure2Options;
   using ppm::bench::PrintColumns;
   using ppm::bench::PrintHeader;
   using ppm::bench::Report;
 
+  ppm::obs::JsonWriter rows;
+  rows.BeginArray();
+
   PrintHeader("Table 1 sweep: LENGTH (p=50, MPL=6, |F1|=12)");
   PrintColumns();
   for (const uint64_t length : {50000ull, 100000ull, 200000ull, 400000ull}) {
-    Report("LENGTH", length, Figure2Options(length, 6));
+    Report("LENGTH", length, Figure2Options(length, 6), &rows);
   }
 
   PrintHeader("Table 1 sweep: period p (LENGTH=100k, MPL=6, |F1| scales)");
@@ -65,13 +86,13 @@ int main() {
     if (options.max_pat_length > options.num_f1) {
       options.max_pat_length = options.num_f1;
     }
-    Report("period", period, options);
+    Report("period", period, options, &rows);
   }
 
   PrintHeader("Table 1 sweep: MAX-PAT-LENGTH (LENGTH=100k, p=50, |F1|=12)");
   PrintColumns();
   for (const uint32_t mpl : {2u, 4u, 6u, 8u, 10u, 12u}) {
-    Report("max-pat-len", mpl, Figure2Options(100000, mpl));
+    Report("max-pat-len", mpl, Figure2Options(100000, mpl), &rows);
   }
 
   PrintHeader("Table 1 sweep: |F1| (LENGTH=100k, p=50, MPL=4)");
@@ -79,7 +100,14 @@ int main() {
   for (const uint32_t num_f1 : {4u, 8u, 16u, 24u, 32u}) {
     ppm::synth::GeneratorOptions options = Figure2Options(100000, 4);
     options.num_f1 = num_f1;
-    Report("|F1|", num_f1, options);
+    Report("|F1|", num_f1, options, &rows);
   }
+  rows.EndArray();
+
+  ppm::obs::RunReport report("bench_table1");
+  report.AddMeta("min_conf", "0.8");
+  report.AddRawSection("rows", rows.str());
+  ppm::bench::WriteBenchReport(
+      &report, ppm::bench::BenchReportPath("table1", argc, argv));
   return 0;
 }

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/json_writer.h"
+#include "obs/run_report.h"
 #include "synth/generator.h"
 #include "util/status.h"
 
@@ -46,6 +48,22 @@ inline synth::GeneratorOptions Figure2Options(uint64_t length,
 /// Prints a section header in the style used across all bench binaries.
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Output path for a bench's machine-readable report: argv[1] when given,
+/// else `BENCH_<name>.json` in the working directory.
+inline std::string BenchReportPath(const std::string& name, int argc,
+                                   char** argv) {
+  if (argc > 1) return argv[1];
+  return "BENCH_" + name + ".json";
+}
+
+/// Finalizes a bench report: captures the global metrics/span state
+/// accumulated over the sweeps, writes the JSON file, and announces it.
+inline void WriteBenchReport(obs::RunReport* report, const std::string& path) {
+  report->CaptureGlobal();
+  DieIf(report->WriteJson(path));
+  std::printf("\nwrote %s\n", path.c_str());
 }
 
 }  // namespace ppm::bench

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 build + tests with warnings as errors, then a CLI smoke
+# test that validates the emitted stats/trace JSON actually parses.
+#
+# -Wno-error=restrict: GCC 12's libstdc++ emits known-false -Wrestrict
+# warnings from std::string concatenation in a few test files.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-ci}
+
+cmake -B "$BUILD_DIR" -G Ninja \
+  -DCMAKE_CXX_FLAGS="-Werror -Wno-error=restrict"
+cmake --build "$BUILD_DIR"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+# CLI smoke: generate -> mine with reports -> validate the JSON.
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+PPM="$BUILD_DIR/src/cli/ppm"
+
+"$PPM" generate --output "$SMOKE_DIR/series.bin" \
+  --length 20000 --period 50 --seed 7
+"$PPM" mine --input "$SMOKE_DIR/series.bin" --period 50 --min-conf 0.8 \
+  --stats-json "$SMOKE_DIR/stats.json" --trace-out "$SMOKE_DIR/trace.json" \
+  --log-level info > "$SMOKE_DIR/mine.out"
+grep -q "patterns=" "$SMOKE_DIR/mine.out"
+
+python3 - "$SMOKE_DIR/stats.json" "$SMOKE_DIR/trace.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    stats = json.load(f)
+assert stats["run"] == "mine", stats["run"]
+assert stats["meta"]["algorithm"] == "hitset"
+mining = stats["sections"]["mining_stats"]
+assert mining["scans"] == 2, mining
+assert mining["elapsed_seconds"] > 0, mining
+counters = stats["metrics"]["counters"]
+assert counters["ppm.source.scans"] == mining["scans"], counters
+# Every whole segment is either inserted as a hit or skipped (< 2 letters).
+inserted = counters["ppm.hitset.hits_inserted"]
+skipped = counters["ppm.hitset.segments_skipped"]
+assert inserted + skipped == mining["num_periods"], counters
+assert inserted >= mining["hit_store_entries"], counters
+span_names = {s["name"] for s in stats["spans"]}
+assert {"mine.hitset", "f1_scan", "second_scan"} <= span_names, span_names
+
+with open(sys.argv[2]) as f:
+    trace = json.load(f)
+assert isinstance(trace, list) and trace, "trace must be a non-empty array"
+for event in trace:
+    assert event["ph"] == "X", event
+    assert {"name", "ts", "dur"} <= event.keys(), event
+trace_names = {e["name"] for e in trace}
+assert {"f1_scan", "second_scan"} <= trace_names, trace_names
+
+print("smoke OK: stats and trace JSON validate")
+EOF
+
+echo "CI OK"

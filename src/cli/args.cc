@@ -81,6 +81,9 @@ Result<double> ArgMap::GetDouble(std::string_view key, double fallback) const {
 
 Status ArgMap::CheckAllowed(const std::set<std::string>& allowed) const {
   for (const auto& [key, value] : values_) {
+    // Flags the driver (`RunCli`) consumes before dispatch are valid with
+    // every command.
+    if (key == "log-level") continue;
     if (!allowed.contains(key)) {
       return Status::InvalidArgument("unknown flag: --" + key);
     }

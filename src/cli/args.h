@@ -36,7 +36,8 @@ class ArgMap {
   const std::vector<std::string>& positional() const { return positional_; }
 
   /// Errors if any parsed flag is not in `allowed` -- catches typos like
-  /// `--min-cof` instead of silently using the default.
+  /// `--min-cof` instead of silently using the default. Global flags that
+  /// `RunCli` consumes before dispatch (`--log-level`) are always allowed.
   Status CheckAllowed(const std::set<std::string>& allowed) const;
 
  private:

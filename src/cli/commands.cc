@@ -14,11 +14,15 @@
 #include "etl/bucketizer.h"
 #include "etl/event_log.h"
 #include "evolve/evolution.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 #include "rules/rules.h"
 #include "synth/generator.h"
 #include "tsdb/database.h"
 #include "tsdb/series_codec.h"
 #include "tsdb/series_source.h"
+#include "util/log.h"
 
 namespace ppm::cli {
 
@@ -79,11 +83,17 @@ Status RunMine(const ArgMap& args, std::ostream& out) {
   PPM_RETURN_IF_ERROR(args.CheckAllowed({"input", "period", "min-conf",
                                          "min-count", "algorithm",
                                          "max-letters", "maximal", "rules",
-                                         "top", "save"}));
+                                         "top", "save", "stats-json",
+                                         "trace-out"}));
   PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series,
                        LoadSeries(args.GetString("input", "")));
   PPM_ASSIGN_OR_RETURN(MiningOptions options, MiningOptionsFromArgs(args));
   PPM_ASSIGN_OR_RETURN(const uint64_t top, args.GetUint("top", 50));
+
+  // Scope metrics and spans to this run so the emitted report covers only
+  // the work below (the registry is process-global).
+  obs::MetricsRegistry::Global().Reset();
+  obs::Tracer::Global().Clear();
 
   const std::string algorithm = args.GetString("algorithm", "hitset");
   tsdb::InMemorySeriesSource source(&series);
@@ -129,6 +139,23 @@ Status RunMine(const ArgMap& args, std::ostream& out) {
     const std::string save_path = args.GetString("save", "");
     PPM_RETURN_IF_ERROR(WritePatternsFile(result, series.symbols(), save_path));
     out << "saved " << result.size() << " patterns to " << save_path << "\n";
+  }
+  if (args.Has("trace-out")) {
+    const std::string trace_path = args.GetString("trace-out", "");
+    PPM_RETURN_IF_ERROR(obs::Tracer::Global().WriteChromeTrace(trace_path));
+    out << "wrote trace to " << trace_path << "\n";
+  }
+  if (args.Has("stats-json")) {
+    const std::string stats_path = args.GetString("stats-json", "");
+    obs::RunReport report("mine");
+    report.AddMeta("algorithm", algorithm);
+    report.AddMeta("input", args.GetString("input", ""));
+    report.AddMeta("period", std::to_string(options.period));
+    report.AddMeta("patterns", std::to_string(result.size()));
+    report.AddRawSection("mining_stats", result.stats().ToJson());
+    report.CaptureGlobal();
+    PPM_RETURN_IF_ERROR(report.WriteJson(stats_path));
+    out << "wrote stats to " << stats_path << "\n";
   }
   return Status::OK();
 }
@@ -512,7 +539,8 @@ std::string UsageText() {
       "  mine      mine one period: --input F --period N [--min-conf 0.8]\n"
       "            [--min-count N] [--algorithm hitset|apriori|maximal]\n"
       "            [--max-letters K] [--maximal] [--rules CONF] [--top N]\n"
-      "            [--save PATTERNS_FILE]\n"
+      "            [--save PATTERNS_FILE] [--stats-json REPORT_FILE]\n"
+      "            [--trace-out TRACE_FILE]\n"
       "  apply     re-evaluate saved patterns on another series:\n"
       "            --patterns F --input F [--min-drop D]\n"
       "  evolve    windowed re-mining with diffs: --input F --period N\n"
@@ -535,6 +563,10 @@ std::string UsageText() {
       "  db        series catalog: db list|put|get|drop --dir D [--name N]\n"
       "            [--input F] [--output F]\n"
       "\n"
+      "global flags (any command):\n"
+      "  --log-level debug|info|warn|error|off   diagnostic verbosity\n"
+      "                                          (default warn, to stderr)\n"
+      "\n"
       "Series files ending in .txt use the text codec (one instant per\n"
       "line, space-separated feature names); anything else is binary.\n";
 }
@@ -551,6 +583,15 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (!parsed.ok()) {
     err << "error: " << parsed.status().ToString() << "\n";
     return 2;
+  }
+  if (parsed->Has("log-level")) {
+    const Result<LogLevel> level =
+        ParseLogLevel(parsed->GetString("log-level", ""));
+    if (!level.ok()) {
+      err << "error: " << level.status().ToString() << "\n";
+      return 2;
+    }
+    SetLogLevel(*level);
   }
   Status status;
   if (command == "mine") {

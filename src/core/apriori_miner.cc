@@ -5,7 +5,9 @@
 
 #include "core/candidate_gen.h"
 #include "core/f1_scan.h"
-#include "util/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/log.h"
 
 namespace ppm {
 
@@ -59,7 +61,12 @@ void EmitLevel(const F1ScanResult& f1, const std::vector<LevelEntry>& level,
 
 Result<MiningResult> MineApriori(tsdb::SeriesSource& source,
                                  const MiningOptions& options) {
-  Stopwatch stopwatch;
+  obs::TraceSpan mine_span = obs::Tracer::Global().StartSpan("mine.apriori");
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Counter level_scans = registry.GetCounter("ppm.apriori.level_scans");
+  obs::Counter candidates_counted =
+      registry.GetCounter("ppm.apriori.candidates_evaluated");
+
   MiningResult result;
   const uint64_t scans_before = source.stats().scans;
   const uint64_t instants_before = source.stats().instants_read;
@@ -79,8 +86,14 @@ Result<MiningResult> MineApriori(tsdb::SeriesSource& source,
     std::vector<LevelEntry> candidates = GenerateCandidates(frequent);
     if (candidates.empty()) break;
     result.stats().candidates_evaluated += candidates.size();
+    candidates_counted.Inc(candidates.size());
 
-    PPM_RETURN_IF_ERROR(CountCandidatesByScan(source, f1, &candidates));
+    {
+      const obs::TraceSpan scan_span =
+          obs::Tracer::Global().StartSpan("level_scan");
+      level_scans.Inc();
+      PPM_RETURN_IF_ERROR(CountCandidatesByScan(source, f1, &candidates));
+    }
 
     std::vector<LevelEntry> next;
     for (LevelEntry& candidate : candidates) {
@@ -94,7 +107,12 @@ Result<MiningResult> MineApriori(tsdb::SeriesSource& source,
   result.Canonicalize();
   result.stats().scans = source.stats().scans - scans_before;
   result.stats().instants_read = source.stats().instants_read - instants_before;
-  result.stats().elapsed_seconds = stopwatch.ElapsedSeconds();
+  mine_span.End();
+  result.stats().elapsed_seconds = mine_span.ElapsedSeconds();
+  registry.GetHistogram("ppm.mine.latency_us")
+      .Observe(static_cast<uint64_t>(result.stats().elapsed_seconds * 1e6));
+  PPM_LOG(kDebug) << "apriori mine: " << result.size() << " patterns, scans="
+                  << result.stats().scans;
   return result;
 }
 

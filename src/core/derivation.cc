@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "core/candidate_gen.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ppm {
 
@@ -26,6 +28,9 @@ DerivationStats DeriveFrequentPatterns(
     const F1ScanResult& f1, uint32_t max_letters,
     const std::function<uint64_t(const Bitset&)>& count_fn,
     MiningResult* result) {
+  const obs::TraceSpan span = obs::Tracer::Global().StartSpan("derivation");
+  obs::Counter count_queries =
+      obs::MetricsRegistry::Global().GetCounter("ppm.derivation.count_queries");
   DerivationStats stats;
 
   // Level 1: the letters of the space that meet the threshold. For batch
@@ -46,6 +51,7 @@ DerivationStats DeriveFrequentPatterns(
     std::vector<LevelEntry> next;
     for (LevelEntry& candidate : candidates) {
       ++stats.candidates_evaluated;
+      count_queries.Inc();
       candidate.count = count_fn(candidate.mask);
       if (candidate.count >= f1.min_count) next.push_back(std::move(candidate));
     }

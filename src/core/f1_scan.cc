@@ -3,11 +3,16 @@
 #include <map>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/log.h"
+
 namespace ppm {
 
 Result<F1ScanResult> ScanForF1(tsdb::SeriesSource& source,
                                const MiningOptions& options) {
   PPM_RETURN_IF_ERROR(options.Validate(source.length()));
+  const obs::TraceSpan span = obs::Tracer::Global().StartSpan("f1_scan");
 
   F1ScanResult result;
   result.num_periods = source.length() / options.period;
@@ -34,7 +39,9 @@ Result<F1ScanResult> ScanForF1(tsdb::SeriesSource& source,
 
   std::vector<Letter> letters;
   std::vector<uint64_t> letter_counts;
+  uint64_t letters_seen = 0;
   for (uint32_t position = 0; position < options.period; ++position) {
+    letters_seen += counts[position].size();
     for (const auto& [feature, count] : counts[position]) {
       if (count < result.min_count) continue;
       if (options.letter_filter && !options.letter_filter(position, feature)) {
@@ -44,6 +51,12 @@ Result<F1ScanResult> ScanForF1(tsdb::SeriesSource& source,
       letter_counts.push_back(count);
     }
   }
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetGauge("ppm.f1.letters_seen").Set(letters_seen);
+  registry.GetGauge("ppm.f1.letters_frequent").Set(letters.size());
+  PPM_LOG(kDebug) << "f1 scan: " << letters.size() << " frequent of "
+                  << letters_seen << " seen letters, m=" << result.num_periods
+                  << ", min_count=" << result.min_count;
   result.space = LetterSpace(options.period, std::move(letters));
   result.letter_counts = std::move(letter_counts);
   return result;

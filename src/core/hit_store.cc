@@ -2,8 +2,13 @@
 
 namespace ppm {
 
+HashHitStore::HashHitStore()
+    : probes_counter_(obs::MetricsRegistry::Global().GetCounter(
+          "ppm.hit_store.hash_probes")) {}
+
 uint64_t HashHitStore::CountSuperpatterns(const Bitset& mask) const {
   uint64_t total = 0;
+  probes_counter_.Inc(counts_.size());
   for (const auto& [hit, count] : counts_) {
     if (mask.IsSubsetOf(hit)) total += count;
   }

@@ -7,6 +7,7 @@
 
 #include "core/max_subpattern_tree.h"
 #include "core/mining_options.h"
+#include "obs/metrics.h"
 #include "util/bitset.h"
 
 namespace ppm {
@@ -63,7 +64,7 @@ class TreeHitStore : public HitStore {
 /// every distinct entry (no superpattern pruning).
 class HashHitStore : public HitStore {
  public:
-  HashHitStore() = default;
+  HashHitStore();
 
   void AddHit(const Bitset& mask) override { ++counts_[mask]; }
   uint64_t CountSuperpatterns(const Bitset& mask) const override;
@@ -72,6 +73,9 @@ class HashHitStore : public HitStore {
 
  private:
   std::unordered_map<Bitset, uint64_t, BitsetHash> counts_;
+  // Entries examined per query (`ppm.hit_store.hash_probes`); the counter
+  // the DESIGN.md ablation compares against `ppm.tree.query_node_visits`.
+  obs::Counter probes_counter_;
 };
 
 /// Factory keyed on the `MiningOptions::hit_store` selector.

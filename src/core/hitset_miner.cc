@@ -5,13 +5,22 @@
 #include "core/derivation.h"
 #include "core/f1_scan.h"
 #include "core/hit_store.h"
-#include "util/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/log.h"
 
 namespace ppm {
 
 Result<MiningResult> MineHitSet(tsdb::SeriesSource& source,
                                 const MiningOptions& options) {
-  Stopwatch stopwatch;
+  obs::TraceSpan mine_span = obs::Tracer::Global().StartSpan("mine.hitset");
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Counter hits_inserted = registry.GetCounter("ppm.hitset.hits_inserted");
+  obs::Counter segments_skipped =
+      registry.GetCounter("ppm.hitset.segments_skipped");
+  obs::Histogram segment_letters =
+      registry.GetHistogram("ppm.hitset.segment_letters");
+
   MiningResult result;
   const uint64_t scans_before = source.stats().scans;
   const uint64_t instants_before = source.stats().instants_read;
@@ -27,24 +36,35 @@ Result<MiningResult> MineHitSet(tsdb::SeriesSource& source,
   // Scan 2: register the maximal hit subpattern of every whole segment.
   // Hits with fewer than 2 letters carry no information beyond F_1's exact
   // counts and are skipped (Section 3.1.2).
-  PPM_RETURN_IF_ERROR(source.StartScan());
-  const uint32_t period = options.period;
-  const uint64_t covered = f1.num_periods * period;
-  Bitset segment_mask(f1.space.size());
-  tsdb::FeatureSet instant;
-  uint64_t t = 0;
-  while (t < covered && source.Next(&instant)) {
-    const uint32_t position = static_cast<uint32_t>(t % period);
-    if (position == 0) segment_mask.Reset();
-    f1.space.AccumulatePosition(position, instant, &segment_mask);
-    if (position == period - 1 && segment_mask.Count() >= 2) {
-      store->AddHit(segment_mask);
+  {
+    const obs::TraceSpan scan_span =
+        obs::Tracer::Global().StartSpan("second_scan");
+    PPM_RETURN_IF_ERROR(source.StartScan());
+    const uint32_t period = options.period;
+    const uint64_t covered = f1.num_periods * period;
+    Bitset segment_mask(f1.space.size());
+    tsdb::FeatureSet instant;
+    uint64_t t = 0;
+    while (t < covered && source.Next(&instant)) {
+      const uint32_t position = static_cast<uint32_t>(t % period);
+      if (position == 0) segment_mask.Reset();
+      f1.space.AccumulatePosition(position, instant, &segment_mask);
+      if (position == period - 1) {
+        const uint32_t letters = segment_mask.Count();
+        segment_letters.Observe(letters);
+        if (letters >= 2) {
+          store->AddHit(segment_mask);
+          hits_inserted.Inc();
+        } else {
+          segments_skipped.Inc();
+        }
+      }
+      ++t;
     }
-    ++t;
-  }
-  PPM_RETURN_IF_ERROR(source.status());
-  if (t < covered) {
-    return Status::Internal("source ended before its declared length");
+    PPM_RETURN_IF_ERROR(source.status());
+    if (t < covered) {
+      return Status::Internal("source ended before its declared length");
+    }
   }
 
   // Derivation: no further series access.
@@ -62,7 +82,13 @@ Result<MiningResult> MineHitSet(tsdb::SeriesSource& source,
                                                             : 0;
   result.stats().scans = source.stats().scans - scans_before;
   result.stats().instants_read = source.stats().instants_read - instants_before;
-  result.stats().elapsed_seconds = stopwatch.ElapsedSeconds();
+  mine_span.End();
+  result.stats().elapsed_seconds = mine_span.ElapsedSeconds();
+  registry.GetHistogram("ppm.mine.latency_us")
+      .Observe(static_cast<uint64_t>(result.stats().elapsed_seconds * 1e6));
+  PPM_LOG(kDebug) << "hit-set mine: " << result.size() << " patterns, |H|="
+                  << result.stats().hit_store_entries << ", scans="
+                  << result.stats().scans;
   return result;
 }
 

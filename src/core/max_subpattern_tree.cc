@@ -8,7 +8,13 @@ namespace ppm {
 
 MaxSubpatternTree::MaxSubpatternTree(const Bitset& full_mask,
                                      uint32_t num_letters)
-    : num_letters_(num_letters) {
+    : num_letters_(num_letters),
+      inserts_counter_(
+          obs::MetricsRegistry::Global().GetCounter("ppm.tree.inserts")),
+      nodes_created_counter_(
+          obs::MetricsRegistry::Global().GetCounter("ppm.tree.nodes_created")),
+      query_visits_counter_(obs::MetricsRegistry::Global().GetCounter(
+          "ppm.tree.query_node_visits")) {
   PPM_CHECK(full_mask.Count() == num_letters);
   Node root;
   root.mask = full_mask;
@@ -27,6 +33,7 @@ uint32_t MaxSubpatternTree::FindChild(const Node& node, uint32_t letter) const {
 
 void MaxSubpatternTree::Insert(const Bitset& mask) {
   PPM_CHECK(mask.IsSubsetOf(nodes_[0].mask));
+  inserts_counter_.Inc();
 
   // Missing letters relative to C_max, walked in canonical (ascending) order.
   Bitset missing = nodes_[0].mask;
@@ -50,6 +57,7 @@ void MaxSubpatternTree::Insert(const Bitset& mask) {
           });
       children.insert(insert_at, {letter, child});
       nodes_.push_back(std::move(node));
+      nodes_created_counter_.Inc();
     }
     current = child;
   }
@@ -65,6 +73,7 @@ uint64_t MaxSubpatternTree::CountSuperpatterns(const Bitset& mask) const {
 
 uint64_t MaxSubpatternTree::CountFrom(uint32_t node_index,
                                       const Bitset& mask) const {
+  query_visits_counter_.Inc();
   const Node& node = nodes_[node_index];
   // Descendants of `node` only remove letters, so if `mask` is not a subset
   // here it cannot be a subset anywhere below: prune.

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/bitset.h"
 
 namespace ppm {
@@ -82,6 +83,11 @@ class MaxSubpatternTree {
   std::vector<Node> nodes_;  // nodes_[0] is the root (C_max).
   uint64_t num_hits_ = 0;
   uint64_t total_hit_count_ = 0;
+  // Hot-path cost accounting (`ppm.tree.*`): inserts, node allocations, and
+  // nodes visited while answering `CountSuperpatterns` queries.
+  obs::Counter inserts_counter_;
+  obs::Counter nodes_created_counter_;
+  obs::Counter query_visits_counter_;
 };
 
 }  // namespace ppm

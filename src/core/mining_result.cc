@@ -3,7 +3,25 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/json_writer.h"
+
 namespace ppm {
+
+std::string MiningStats::ToJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("scans").Uint(scans);
+  w.Key("instants_read").Uint(instants_read);
+  w.Key("candidates_evaluated").Uint(candidates_evaluated);
+  w.Key("hit_store_entries").Uint(hit_store_entries);
+  w.Key("tree_nodes").Uint(tree_nodes);
+  w.Key("num_f1_letters").Uint(num_f1_letters);
+  w.Key("num_periods").Uint(num_periods);
+  w.Key("max_level_reached").Uint(max_level_reached);
+  w.Key("elapsed_seconds").Double(elapsed_seconds);
+  w.EndObject();
+  return w.str();
+}
 
 const FrequentPattern* MiningResult::Find(const Pattern& pattern) const {
   for (const FrequentPattern& entry : patterns_) {

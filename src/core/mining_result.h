@@ -37,8 +37,13 @@ struct MiningStats {
   uint64_t num_periods = 0;
   /// Deepest letter-count level that produced candidates.
   uint32_t max_level_reached = 0;
-  /// Wall time of the mining call.
+  /// Wall time of the mining call, measured by the miner's root `TraceSpan`
+  /// (both miners populate it the same way).
   double elapsed_seconds = 0.0;
+
+  /// One flat JSON object with every field above, e.g.
+  /// `{"scans":2,"instants_read":12,...,"elapsed_seconds":0.001}`.
+  std::string ToJson() const;
 };
 
 /// The frequent patterns of one (series, period, threshold) mining run,

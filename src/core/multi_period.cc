@@ -7,7 +7,8 @@
 #include "core/f1_scan.h"
 #include "core/hit_store.h"
 #include "core/hitset_miner.h"
-#include "util/stopwatch.h"
+#include "obs/trace.h"
+#include "util/log.h"
 
 namespace ppm {
 
@@ -40,7 +41,8 @@ Result<MultiPeriodResult> MineMultiPeriodLooped(tsdb::SeriesSource& source,
                                                 uint32_t period_low,
                                                 uint32_t period_high,
                                                 const MiningOptions& options) {
-  Stopwatch stopwatch;
+  obs::TraceSpan span =
+      obs::Tracer::Global().StartSpan("mine.multi_period.looped");
   PPM_RETURN_IF_ERROR(ValidateRange(period_low, period_high, source.length()));
 
   MultiPeriodResult result;
@@ -53,7 +55,8 @@ Result<MultiPeriodResult> MineMultiPeriodLooped(tsdb::SeriesSource& source,
     result.per_period.emplace_back(period, std::move(mined));
   }
   result.total_scans = source.stats().scans - scans_before;
-  result.elapsed_seconds = stopwatch.ElapsedSeconds();
+  span.End();
+  result.elapsed_seconds = span.ElapsedSeconds();
   return result;
 }
 
@@ -61,7 +64,8 @@ Result<MultiPeriodResult> MineMultiPeriodShared(tsdb::SeriesSource& source,
                                                 uint32_t period_low,
                                                 uint32_t period_high,
                                                 const MiningOptions& options) {
-  Stopwatch stopwatch;
+  obs::TraceSpan span =
+      obs::Tracer::Global().StartSpan("mine.multi_period.shared");
   PPM_RETURN_IF_ERROR(ValidateRange(period_low, period_high, source.length()));
   const uint64_t scans_before = source.stats().scans;
   const uint32_t num_ranges = period_high - period_low + 1;
@@ -76,6 +80,7 @@ Result<MultiPeriodResult> MineMultiPeriodShared(tsdb::SeriesSource& source,
     covered[r] = (source.length() / period) * period;
   }
 
+  obs::TraceSpan scan1_span = obs::Tracer::Global().StartSpan("shared_scan1");
   PPM_RETURN_IF_ERROR(source.StartScan());
   tsdb::FeatureSet instant;
   uint64_t t = 0;
@@ -89,6 +94,7 @@ Result<MultiPeriodResult> MineMultiPeriodShared(tsdb::SeriesSource& source,
     ++t;
   }
   PPM_RETURN_IF_ERROR(source.status());
+  scan1_span.End();
 
   // Per-period F_1 spaces, thresholds, and hit stores.
   std::vector<F1ScanResult> f1(num_ranges);
@@ -123,6 +129,7 @@ Result<MultiPeriodResult> MineMultiPeriodShared(tsdb::SeriesSource& source,
   for (uint32_t r = 0; r < num_ranges; ++r) {
     segment_masks[r] = Bitset(f1[r].space.size());
   }
+  obs::TraceSpan scan2_span = obs::Tracer::Global().StartSpan("shared_scan2");
   PPM_RETURN_IF_ERROR(source.StartScan());
   t = 0;
   while (source.Next(&instant)) {
@@ -139,6 +146,7 @@ Result<MultiPeriodResult> MineMultiPeriodShared(tsdb::SeriesSource& source,
     ++t;
   }
   PPM_RETURN_IF_ERROR(source.status());
+  scan2_span.End();
 
   // --- Derivation per period (no series access). ---
   MultiPeriodResult result;
@@ -163,7 +171,10 @@ Result<MultiPeriodResult> MineMultiPeriodShared(tsdb::SeriesSource& source,
     result.per_period.emplace_back(period_low + r, std::move(mined));
   }
   result.total_scans = source.stats().scans - scans_before;
-  result.elapsed_seconds = stopwatch.ElapsedSeconds();
+  span.End();
+  result.elapsed_seconds = span.ElapsedSeconds();
+  PPM_LOG(kDebug) << "multi-period shared mine: periods " << period_low << ".."
+                  << period_high << " in " << result.total_scans << " scans";
   return result;
 }
 

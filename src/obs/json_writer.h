@@ -1,0 +1,65 @@
+#ifndef PPM_OBS_JSON_WRITER_H_
+#define PPM_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppm::obs {
+
+/// Minimal streaming JSON writer (objects, arrays, scalars) used by the
+/// observability layer for run reports, trace files, and bench output.
+///
+/// The writer manages commas and nesting; callers are responsible for
+/// well-formedness beyond that (e.g. emitting a key before each object
+/// value). No dependencies beyond the standard library, no DOM.
+///
+///   JsonWriter w;
+///   w.BeginObject().Key("scans").Uint(2).Key("algo").String("hit-set");
+///   w.EndObject();
+///   w.str();  // {"scans":2,"algo":"hit-set"}
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key (quoted + escaped) and the following colon.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Int(int64_t value);
+  /// Doubles print with enough digits to round-trip; NaN and infinity are
+  /// not representable in JSON and are emitted as null.
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// Splices pre-serialized JSON in value position, verbatim.
+  JsonWriter& Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+
+  /// Appends `text` with JSON string escaping (no surrounding quotes).
+  static void AppendEscaped(std::string* out, std::string_view text);
+
+ private:
+  /// Emits the separating comma when a value follows a prior value, and
+  /// marks the enclosing scope as populated.
+  void BeforeValue();
+
+  std::string out_;
+  /// One flag per open scope: true once the scope holds a value.
+  std::vector<bool> scope_has_value_;
+  /// True immediately after `Key()`, suppressing the value comma.
+  bool after_key_ = false;
+};
+
+}  // namespace ppm::obs
+
+#endif  // PPM_OBS_JSON_WRITER_H_

@@ -1,0 +1,147 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/json_writer.h"
+
+namespace ppm::obs {
+
+uint64_t HistogramData::ApproxQuantile(double p) const {
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the requested quantile, 1-based.
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(p * static_cast<double>(count) + 0.5));
+  uint64_t seen = 0;
+  for (uint32_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      const uint64_t edge = Histogram::BucketUpperBound(i);
+      return std::min(edge, max);
+    }
+  }
+  return max;
+}
+
+namespace {
+
+const uint64_t* FindIn(const std::vector<std::pair<std::string, uint64_t>>& entries,
+                       std::string_view name) {
+  for (const auto& [key, value] : entries) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+void WriteValueMap(JsonWriter* w,
+                   const std::vector<std::pair<std::string, uint64_t>>& entries) {
+  w->BeginObject();
+  for (const auto& [name, value] : entries) {
+    w->Key(name).Uint(value);
+  }
+  w->EndObject();
+}
+
+}  // namespace
+
+const uint64_t* MetricsSnapshot::FindCounter(std::string_view name) const {
+  return FindIn(counters, name);
+}
+
+const uint64_t* MetricsSnapshot::FindGauge(std::string_view name) const {
+  return FindIn(gauges, name);
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters");
+  WriteValueMap(&w, counters);
+  w.Key("gauges");
+  WriteValueMap(&w, gauges);
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, data] : histograms) {
+    w.Key(name).BeginObject();
+    w.Key("count").Uint(data.count);
+    w.Key("sum").Uint(data.sum);
+    w.Key("max").Uint(data.max);
+    w.Key("mean").Double(data.Mean());
+    w.Key("p50").Uint(data.ApproxQuantile(0.5));
+    w.Key("p99").Uint(data.ApproxQuantile(0.99));
+    // Trailing zero buckets are trimmed; bucket i spans [2^(i-1), 2^i).
+    size_t last = data.buckets.size();
+    while (last > 0 && data.buckets[last - 1] == 0) --last;
+    w.Key("buckets").BeginArray();
+    for (size_t i = 0; i < last; ++i) w.Uint(data.buckets[i]);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+#ifndef PPM_OBS_DISABLED
+
+Histogram::Cell Histogram::sink_;
+
+Counter MetricsRegistry::GetCounter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), 0).first;
+  }
+  return Counter(&it->second);
+}
+
+Gauge MetricsRegistry::GetGauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), 0).first;
+  }
+  return Gauge(&it->second);
+}
+
+Histogram MetricsRegistry::GetHistogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram::Cell()).first;
+  }
+  return Histogram(&it->second);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, value] : counters_) {
+    snapshot.counters.emplace_back(name, value);
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, value] : gauges_) {
+    snapshot.gauges.emplace_back(name, value);
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, cell] : histograms_) {
+    HistogramData data;
+    data.buckets.assign(cell.buckets, cell.buckets + Histogram::kNumBuckets);
+    data.count = cell.count;
+    data.sum = cell.sum;
+    data.max = cell.max;
+    snapshot.histograms.emplace_back(name, std::move(data));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, value] : counters_) value = 0;
+  for (auto& [name, value] : gauges_) value = 0;
+  for (auto& [name, cell] : histograms_) cell = Histogram::Cell();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+#endif  // PPM_OBS_DISABLED
+
+}  // namespace ppm::obs

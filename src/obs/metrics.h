@@ -1,0 +1,231 @@
+#ifndef PPM_OBS_METRICS_H_
+#define PPM_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ppm::obs {
+
+/// Exported state of one histogram (see `Histogram` for bucket layout).
+struct HistogramData {
+  std::vector<uint64_t> buckets;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+
+  double Mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Upper-bound estimate of the `p`-quantile (p in [0,1]) from the bucket
+  /// counts: the upper edge of the bucket containing that rank.
+  uint64_t ApproxQuantile(double p) const;
+};
+
+/// Point-in-time copy of a registry, safe to keep after further updates.
+/// Entries are sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, uint64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramData>> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Value of the named counter, or null when absent (test convenience).
+  const uint64_t* FindCounter(std::string_view name) const;
+  const uint64_t* FindGauge(std::string_view name) const;
+
+  /// `{"counters":{...},"gauges":{...},"histograms":{name:{"count":..,
+  /// "sum":..,"max":..,"buckets":[...]}}}`. Zero-valued entries are kept so
+  /// a metric's existence is observable.
+  std::string ToJson() const;
+};
+
+#ifndef PPM_OBS_DISABLED
+
+/// Monotonically increasing event tally. A `Counter` is a copyable handle
+/// onto a cell owned by its `MetricsRegistry`; bumping it is a plain
+/// `uint64_t` add, cheap enough for per-instant hot loops. Handles stay
+/// valid for the registry's lifetime (including across `Reset()`).
+class Counter {
+ public:
+  /// Unbound handle; increments go to a shared sink cell. Lets callers hold
+  /// a `Counter` member before binding.
+  Counter() = default;
+
+  void Inc(uint64_t delta = 1) const { *cell_ += delta; }
+  uint64_t value() const { return *cell_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(uint64_t* cell) : cell_(cell) {}
+
+  inline static uint64_t sink_ = 0;
+  uint64_t* cell_ = &sink_;
+};
+
+/// Last-write-wins instantaneous value (sizes, levels, fan-outs).
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void Set(uint64_t value) const { *cell_ = value; }
+  void Add(uint64_t delta) const { *cell_ += delta; }
+  uint64_t value() const { return *cell_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(uint64_t* cell) : cell_(cell) {}
+
+  inline static uint64_t sink_ = 0;
+  uint64_t* cell_ = &sink_;
+};
+
+/// Fixed-bucket exponential histogram for latencies and sizes.
+///
+/// Bucket `i` (1 <= i <= 63) counts values in `[2^(i-1), 2^i)` -- i.e. values
+/// of bit width `i`; bucket 0 counts zeros. `kNumBuckets` caps the range:
+/// anything wider lands in the last bucket. Recording is a shift-free
+/// bit-width computation plus three adds.
+class Histogram {
+ public:
+  static constexpr uint32_t kNumBuckets = 40;
+
+  Histogram() = default;
+
+  void Observe(uint64_t value) const {
+    cell_->buckets[BucketIndex(value)] += 1;
+    cell_->count += 1;
+    cell_->sum += value;
+    if (value > cell_->max) cell_->max = value;
+  }
+
+  uint64_t count() const { return cell_->count; }
+  uint64_t sum() const { return cell_->sum; }
+
+  static uint32_t BucketIndex(uint64_t value) {
+    uint32_t width = 0;
+    while (value != 0) {
+      ++width;
+      value >>= 1;
+    }
+    return width < kNumBuckets ? width : kNumBuckets - 1;
+  }
+
+  /// Largest value belonging to `bucket` (inclusive upper edge).
+  static uint64_t BucketUpperBound(uint32_t bucket) {
+    if (bucket == 0) return 0;
+    if (bucket >= 63) return ~0ull;
+    return (1ull << bucket) - 1;
+  }
+
+ private:
+  friend class MetricsRegistry;
+
+  struct Cell {
+    uint64_t buckets[kNumBuckets] = {};
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+  };
+
+  explicit Histogram(Cell* cell) : cell_(cell) {}
+
+  // Defined in metrics.cc: an in-class initializer would need Cell complete.
+  static Cell sink_;
+  Cell* cell_ = &sink_;
+};
+
+/// Named metric store. `Get*` registers on first use and returns a stable
+/// handle; the same name always maps to the same cell. Counters, gauges,
+/// and histograms live in separate namespaces.
+///
+/// Not thread-safe: miners are single-threaded today, and the planned
+/// sharding design gives each worker its own registry merged at the end.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter GetCounter(std::string_view name);
+  Gauge GetGauge(std::string_view name);
+  Histogram GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every value while keeping registrations, so previously handed
+  /// out handles remain bound. Call between runs to scope a report.
+  void Reset();
+
+  /// Process-wide registry the library's built-in instrumentation uses.
+  static MetricsRegistry& Global();
+
+ private:
+  // std::map nodes never move, so handles can point into them.
+  std::map<std::string, uint64_t, std::less<>> counters_;
+  std::map<std::string, uint64_t, std::less<>> gauges_;
+  std::map<std::string, Histogram::Cell, std::less<>> histograms_;
+};
+
+#else  // PPM_OBS_DISABLED
+
+// No-op mirrors of the instrumentation API: every operation compiles to
+// nothing and every read returns zero, so instrumented code builds
+// unchanged with observability compiled out.
+
+class Counter {
+ public:
+  Counter() = default;
+  void Inc(uint64_t = 1) const {}
+  uint64_t value() const { return 0; }
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  void Set(uint64_t) const {}
+  void Add(uint64_t) const {}
+  uint64_t value() const { return 0; }
+};
+
+class Histogram {
+ public:
+  static constexpr uint32_t kNumBuckets = 40;
+  Histogram() = default;
+  void Observe(uint64_t) const {}
+  uint64_t count() const { return 0; }
+  uint64_t sum() const { return 0; }
+  static uint32_t BucketIndex(uint64_t) { return 0; }
+  static uint64_t BucketUpperBound(uint32_t) { return 0; }
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter GetCounter(std::string_view) { return Counter(); }
+  Gauge GetGauge(std::string_view) { return Gauge(); }
+  Histogram GetHistogram(std::string_view) { return Histogram(); }
+  MetricsSnapshot Snapshot() const { return MetricsSnapshot(); }
+  void Reset() {}
+
+  static MetricsRegistry& Global() {
+    static MetricsRegistry registry;
+    return registry;
+  }
+};
+
+#endif  // PPM_OBS_DISABLED
+
+}  // namespace ppm::obs
+
+#endif  // PPM_OBS_METRICS_H_

@@ -1,0 +1,101 @@
+#include "obs/run_report.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json_writer.h"
+
+namespace ppm::obs {
+
+void RunReport::AddMeta(std::string key, std::string value) {
+  meta_.emplace_back(std::move(key), std::move(value));
+}
+
+void RunReport::AddRawSection(std::string key, std::string json) {
+  sections_.emplace_back(std::move(key), std::move(json));
+}
+
+void RunReport::CaptureGlobal() {
+  metrics_ = MetricsRegistry::Global().Snapshot();
+  spans_ = Tracer::Global().events();
+}
+
+std::string RunReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("run").String(name_);
+  w.Key("meta").BeginObject();
+  for (const auto& [key, value] : meta_) w.Key(key).String(value);
+  w.EndObject();
+  w.Key("sections").BeginObject();
+  for (const auto& [key, json] : sections_) w.Key(key).Raw(json);
+  w.EndObject();
+  w.Key("metrics").Raw(metrics_.ToJson());
+  w.Key("spans").BeginArray();
+  for (const TraceEvent& span : spans_) {
+    w.BeginObject();
+    w.Key("name").String(span.name);
+    w.Key("start_us").Uint(span.start_us);
+    w.Key("dur_us").Uint(span.dur_us);
+    w.Key("depth").Uint(span.depth);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::string RunReport::ToText() const {
+  std::string out = "== run: " + name_ + " ==\n";
+  for (const auto& [key, value] : meta_) {
+    out += "  " + key + ": " + value + "\n";
+  }
+  for (const auto& [key, json] : sections_) {
+    out += "  [" + key + "] " + json + "\n";
+  }
+  if (!metrics_.counters.empty()) {
+    out += "  counters:\n";
+    for (const auto& [name, value] : metrics_.counters) {
+      out += "    " + name + " = " + std::to_string(value) + "\n";
+    }
+  }
+  if (!metrics_.gauges.empty()) {
+    out += "  gauges:\n";
+    for (const auto& [name, value] : metrics_.gauges) {
+      out += "    " + name + " = " + std::to_string(value) + "\n";
+    }
+  }
+  if (!metrics_.histograms.empty()) {
+    out += "  histograms:\n";
+    for (const auto& [name, data] : metrics_.histograms) {
+      char buffer[128];
+      std::snprintf(buffer, sizeof(buffer),
+                    " = count %llu, mean %.1f, p99 %llu, max %llu\n",
+                    static_cast<unsigned long long>(data.count), data.Mean(),
+                    static_cast<unsigned long long>(data.ApproxQuantile(0.99)),
+                    static_cast<unsigned long long>(data.max));
+      out += "    " + name + buffer;
+    }
+  }
+  if (!spans_.empty()) {
+    out += "  spans:\n";
+    for (const TraceEvent& span : spans_) {
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), " %.3f ms\n",
+                    static_cast<double>(span.dur_us) * 1e-3);
+      out += "    " + std::string(2 * span.depth, ' ') + span.name + buffer;
+    }
+  }
+  return out;
+}
+
+Status RunReport::WriteJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << ToJson() << "\n";
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace ppm::obs

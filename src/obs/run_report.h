@@ -1,0 +1,53 @@
+#ifndef PPM_OBS_RUN_REPORT_H_
+#define PPM_OBS_RUN_REPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace ppm::obs {
+
+/// Structured record of one run (a mine, a bench sweep, a stream session):
+/// string metadata, pre-serialized JSON sections from higher layers (e.g.
+/// `MiningStats::ToJson()` -- obs cannot depend on core), a metrics
+/// snapshot, and the span tree. Serializes to machine-readable JSON and a
+/// human-readable text block; this is the format every BENCH_*.json and
+/// `--stats-json` file uses.
+class RunReport {
+ public:
+  explicit RunReport(std::string name) : name_(std::move(name)) {}
+
+  void AddMeta(std::string key, std::string value);
+  /// Attaches `json` (already serialized, spliced verbatim) as section `key`.
+  void AddRawSection(std::string key, std::string json);
+  void SetMetrics(MetricsSnapshot metrics) { metrics_ = std::move(metrics); }
+  void SetSpans(std::vector<TraceEvent> spans) { spans_ = std::move(spans); }
+
+  /// Convenience: captures `MetricsRegistry::Global()` + `Tracer::Global()`.
+  void CaptureGlobal();
+
+  const std::string& name() const { return name_; }
+
+  /// `{"run":...,"meta":{...},"sections":{...},"metrics":{...},"spans":[...]}`
+  std::string ToJson() const;
+
+  /// Indented, aligned plain text for terminals and logs.
+  std::string ToText() const;
+
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::pair<std::string, std::string>> sections_;
+  MetricsSnapshot metrics_;
+  std::vector<TraceEvent> spans_;
+};
+
+}  // namespace ppm::obs
+
+#endif  // PPM_OBS_RUN_REPORT_H_

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/derivation.h"
+#include "obs/trace.h"
 #include "tsdb/series_source.h"
 #include "util/check.h"
 
@@ -52,10 +53,17 @@ StreamingMiner::StreamingMiner(const MiningOptions& options, LetterSpace space,
                           space_.size())),
       seeded_counts_(space_.size(), 0),
       other_counts_(options.period),
-      segment_mask_(space_.size()) {}
+      segment_mask_(space_.size()),
+      instants_counter_(
+          obs::MetricsRegistry::Global().GetCounter("ppm.stream.instants")),
+      segments_counter_(obs::MetricsRegistry::Global().GetCounter(
+          "ppm.stream.segments_committed")),
+      snapshots_counter_(
+          obs::MetricsRegistry::Global().GetCounter("ppm.stream.snapshots")) {}
 
 void StreamingMiner::Append(const tsdb::FeatureSet& instant) {
   ++instants_seen_;
+  instants_counter_.Inc();
   const uint32_t position = segment_position_;
 
   // Seeded letters accumulate into the in-flight segment mask; everything
@@ -91,12 +99,15 @@ void StreamingMiner::CommitSegment() {
     }
   }
   ++segments_committed_;
+  segments_counter_.Inc();
   segment_mask_.Reset();
   pending_other_.clear();
   segment_position_ = 0;
 }
 
 MiningResult StreamingMiner::Snapshot() const {
+  obs::TraceSpan span = obs::Tracer::Global().StartSpan("stream.snapshot");
+  snapshots_counter_.Inc();
   MiningResult result;
   result.stats().num_periods = segments_committed_;
   if (segments_committed_ == 0) return result;
@@ -120,6 +131,8 @@ MiningResult StreamingMiner::Snapshot() const {
       options_.hit_store == HitStoreKind::kMaxSubpatternTree
           ? store_->num_units()
           : 0;
+  span.End();
+  result.stats().elapsed_seconds = span.ElapsedSeconds();
   return result;
 }
 

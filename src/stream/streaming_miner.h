@@ -12,6 +12,7 @@
 #include "core/letter_space.h"
 #include "core/mining_options.h"
 #include "core/mining_result.h"
+#include "obs/metrics.h"
 #include "tsdb/time_series.h"
 #include "util/status.h"
 
@@ -107,6 +108,12 @@ class StreamingMiner {
 
   uint64_t instants_seen_ = 0;
   uint64_t segments_committed_ = 0;
+
+  // Stream traffic metrics (`ppm.stream.*`), process-global like all
+  // built-in instrumentation.
+  obs::Counter instants_counter_;
+  obs::Counter segments_counter_;
+  obs::Counter snapshots_counter_;
 };
 
 }  // namespace ppm::stream

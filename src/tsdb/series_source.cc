@@ -14,6 +14,13 @@ using internal::ReadU32;
 using internal::ReadU64;
 }  // namespace
 
+SeriesSource::SeriesSource()
+    : scans_counter_(obs::MetricsRegistry::Global().GetCounter("ppm.source.scans")),
+      instants_counter_(
+          obs::MetricsRegistry::Global().GetCounter("ppm.source.instants_read")),
+      bytes_counter_(
+          obs::MetricsRegistry::Global().GetCounter("ppm.source.bytes_read")) {}
+
 InMemorySeriesSource::InMemorySeriesSource(const TimeSeries* series)
     : series_(series) {
   PPM_CHECK(series != nullptr);
@@ -22,6 +29,7 @@ InMemorySeriesSource::InMemorySeriesSource(const TimeSeries* series)
 Status InMemorySeriesSource::StartScan() {
   position_ = 0;
   ++stats_.scans;
+  scans_counter_.Inc();
   return Status::OK();
 }
 
@@ -29,6 +37,7 @@ bool InMemorySeriesSource::Next(FeatureSet* out) {
   if (position_ >= series_->length()) return false;
   *out = series_->at(position_++);
   ++stats_.instants_read;
+  instants_counter_.Inc();
   return true;
 }
 
@@ -95,6 +104,7 @@ Status FileSeriesSource::StartScan() {
     return status_;
   }
   ++stats_.scans;
+  scans_counter_.Inc();
   return Status::OK();
 }
 
@@ -147,6 +157,8 @@ bool FileSeriesSource::Next(FeatureSet* out) {
   ++delivered_;
   ++stats_.instants_read;
   stats_.bytes_read += static_cast<uint64_t>(count_bytes) + data_bytes;
+  instants_counter_.Inc();
+  bytes_counter_.Inc(static_cast<uint64_t>(count_bytes) + data_bytes);
   return true;
 }
 

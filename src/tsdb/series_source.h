@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.h"
 #include "tsdb/symbol_table.h"
 #include "tsdb/time_series.h"
 #include "util/status.h"
@@ -62,9 +63,14 @@ class SeriesSource {
   void ResetStats() { stats_ = ScanStats(); }
 
  protected:
-  SeriesSource() = default;
+  SeriesSource();
 
   ScanStats stats_;
+  // Process-global mirrors of `stats_` (`ppm.source.*`), so run reports see
+  // series traffic without threading the source through every layer.
+  obs::Counter scans_counter_;
+  obs::Counter instants_counter_;
+  obs::Counter bytes_counter_;
 };
 
 /// Zero-copy source over an in-memory `TimeSeries` (not owned; the series

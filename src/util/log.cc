@@ -1,0 +1,58 @@
+#include "util/log.h"
+
+#include <iostream>
+
+namespace ppm {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+std::ostream* g_sink = nullptr;
+
+}  // namespace
+
+std::string_view LogLevelToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+Result<LogLevel> ParseLogLevel(std::string_view text) {
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn" || text == "warning") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off" || text == "none") return LogLevel::kOff;
+  return Status::InvalidArgument(
+      "log level must be one of: debug, info, warn, error, off (got '" +
+      std::string(text) + "')");
+}
+
+LogLevel GetLogLevel() { return g_level; }
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+void SetLogSink(std::ostream* sink) { g_sink = sink; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level) : level_(level) {}
+
+LogMessage::~LogMessage() {
+  std::ostream& sink = g_sink != nullptr ? *g_sink : std::cerr;
+  sink << "[" << LogLevelToString(level_) << "] " << stream_.str() << "\n";
+  sink.flush();
+}
+
+}  // namespace internal
+}  // namespace ppm

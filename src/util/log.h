@@ -1,0 +1,73 @@
+#ifndef PPM_UTIL_LOG_H_
+#define PPM_UTIL_LOG_H_
+
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace ppm {
+
+/// Severity levels for the library logger, least to most severe. `kOff`
+/// is a threshold-only value that silences everything.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Stable lowercase name ("debug", "info", "warn", "error", "off").
+std::string_view LogLevelToString(LogLevel level);
+
+/// Parses the names accepted by `--log-level`; error on anything else.
+Result<LogLevel> ParseLogLevel(std::string_view text);
+
+/// Threshold below which messages are dropped. Default: kWarn, so library
+/// internals stay quiet unless a caller opts in.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Redirects log output (default and `nullptr`: stderr). The sink must
+/// outlive logging; tests point this at an `ostringstream`.
+void SetLogSink(std::ostream* sink);
+
+namespace internal {
+
+/// One log statement: buffers stream insertions, flushes a single line
+/// "[level] message" to the sink on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Lets the macro's ternary discard the stream expression (glog idiom).
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace ppm
+
+/// Leveled logging: `PPM_LOG(kInfo) << "mined " << n << " patterns";`
+/// Statements below the threshold cost one comparison; the stream
+/// expression is not evaluated.
+#define PPM_LOG(severity)                                        \
+  (::ppm::LogLevel::severity < ::ppm::GetLogLevel())             \
+      ? (void)0                                                  \
+      : ::ppm::internal::LogVoidify() &                          \
+            ::ppm::internal::LogMessage(::ppm::LogLevel::severity).stream()
+
+#endif  // PPM_UTIL_LOG_H_

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "tsdb/series_codec.h"
+#include "util/log.h"
 
 namespace ppm::cli {
 namespace {
@@ -55,6 +56,52 @@ TEST_F(CliTest, MineHitSet) {
   EXPECT_NE(text.find("patterns=6"), std::string::npos) << text;
   EXPECT_NE(text.find("a b *"), std::string::npos) << text;
   EXPECT_NE(text.find("scans=2"), std::string::npos) << text;
+}
+
+TEST_F(CliTest, MineWritesStatsJsonAndTrace) {
+  const std::string stats_path = dir_ + "/cli_stats.json";
+  const std::string trace_path = dir_ + "/cli_trace.json";
+  ASSERT_EQ(Run({"mine", "--input", series_txt_, "--period", "3",
+                 "--min-conf", "0.5", "--stats-json", stats_path,
+                 "--trace-out", trace_path}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("wrote stats to"), std::string::npos);
+  EXPECT_NE(out_.str().find("wrote trace to"), std::string::npos);
+
+  std::stringstream stats;
+  stats << std::ifstream(stats_path).rdbuf();
+  const std::string report = stats.str();
+  EXPECT_NE(report.find("\"run\":\"mine\""), std::string::npos) << report;
+  EXPECT_NE(report.find("\"algorithm\":\"hitset\""), std::string::npos);
+  // MiningStats section and the matching source counters from the registry.
+  EXPECT_NE(report.find("\"mining_stats\":{\"scans\":2"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("\"ppm.source.scans\":2"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("\"ppm.hitset.hits_inserted\":4"), std::string::npos)
+      << report;
+
+  std::stringstream trace;
+  trace << std::ifstream(trace_path).rdbuf();
+  const std::string events = trace.str();
+  EXPECT_EQ(events.front(), '[');
+  EXPECT_NE(events.find("\"name\":\"f1_scan\""), std::string::npos) << events;
+  EXPECT_NE(events.find("\"name\":\"second_scan\""), std::string::npos)
+      << events;
+  EXPECT_NE(events.find("\"ph\":\"X\""), std::string::npos) << events;
+
+  std::remove(stats_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST_F(CliTest, LogLevelFlagIsAcceptedEverywhere) {
+  ASSERT_EQ(Run({"stats", "--input", series_txt_, "--log-level", "info"}), 0)
+      << err_.str();
+  EXPECT_EQ(Run({"stats", "--input", series_txt_, "--log-level", "loudest"}),
+            2);
+  EXPECT_NE(err_.str().find("log level"), std::string::npos) << err_.str();
+  SetLogLevel(LogLevel::kWarn);  // Restore the default for other tests.
 }
 
 TEST_F(CliTest, MineAprioriAndMaximalAgree) {

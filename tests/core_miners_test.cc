@@ -3,6 +3,8 @@
 #include "core/apriori_miner.h"
 #include "core/hitset_miner.h"
 #include "core/miner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tsdb/series_source.h"
 
 namespace ppm {
@@ -226,6 +228,70 @@ TEST(HitSetHashStoreTest, SameResultAsTreeStore) {
               hash_result->patterns()[i].count);
   }
   EXPECT_EQ(hash_result->stats().tree_nodes, 0u);
+}
+
+TEST_P(MinersTest, ElapsedSecondsIsPopulated) {
+  TimeSeries series = MakeHandSeries();
+  MiningOptions options;
+  options.period = 3;
+  options.min_confidence = 0.5;
+  auto result = Mine(series, options, GetParam());
+  ASSERT_TRUE(result.ok());
+  // Both miners time themselves through their root trace span.
+  EXPECT_GT(result->stats().elapsed_seconds, 0.0);
+  EXPECT_LT(result->stats().elapsed_seconds, 60.0);
+}
+
+TEST(MinersObservabilityTest, MiningPopulatesGlobalTraceAndMetrics) {
+  obs::MetricsRegistry::Global().Reset();
+  obs::Tracer::Global().Clear();
+
+  const TimeSeries series = MakeHandSeries();
+  InMemorySeriesSource source(&series);
+  MiningOptions options;
+  options.period = 3;
+  options.min_confidence = 0.5;
+  auto result = MineHitSet(source, options);
+  ASSERT_TRUE(result.ok());
+
+  const obs::Tracer& tracer = obs::Tracer::Global();
+  EXPECT_TRUE(tracer.HasSpan("mine.hitset"));
+  EXPECT_TRUE(tracer.HasSpan("f1_scan"));
+  EXPECT_TRUE(tracer.HasSpan("second_scan"));
+
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  const uint64_t* scans = snapshot.FindCounter("ppm.source.scans");
+  ASSERT_NE(scans, nullptr);
+  EXPECT_EQ(*scans, result->stats().scans);
+  // Every hand-series segment has >= 2 frequent letters, so each of the 4
+  // segments is inserted as a hit and none are skipped.
+  const uint64_t* hits = snapshot.FindCounter("ppm.hitset.hits_inserted");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(*hits, result->stats().num_periods);
+  const uint64_t* skipped =
+      snapshot.FindCounter("ppm.hitset.segments_skipped");
+  ASSERT_NE(skipped, nullptr);
+  EXPECT_EQ(*skipped, 0u);
+
+  obs::MetricsRegistry::Global().Reset();
+  obs::Tracer::Global().Clear();
+}
+
+TEST(MiningStatsTest, ToJsonCarriesTheCounters) {
+  const TimeSeries series = MakeHandSeries();
+  InMemorySeriesSource source(&series);
+  MiningOptions options;
+  options.period = 3;
+  options.min_confidence = 0.5;
+  auto result = MineHitSet(source, options);
+  ASSERT_TRUE(result.ok());
+  const std::string json = result->stats().ToJson();
+  EXPECT_NE(json.find("\"scans\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"num_periods\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"num_f1_letters\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"hit_store_entries\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"elapsed_seconds\":"), std::string::npos) << json;
 }
 
 TEST(MinerFacadeTest, AlgorithmNames) {

@@ -205,7 +205,9 @@ TEST(PatternPropertyTest, SubpatternRelationIsPartialOrder) {
     EXPECT_TRUE(a.IsSubpatternOf(a));  // Reflexive.
     for (const Pattern& b : patterns) {
       // Antisymmetric.
-      if (a.IsSubpatternOf(b) && b.IsSubpatternOf(a)) EXPECT_EQ(a, b);
+      if (a.IsSubpatternOf(b) && b.IsSubpatternOf(a)) {
+        EXPECT_EQ(a, b);
+      }
       for (const Pattern& c : patterns) {
         // Transitive.
         if (a.IsSubpatternOf(b) && b.IsSubpatternOf(c)) {

@@ -1,0 +1,89 @@
+// Compiled with PPM_OBS_DISABLED (via the ppm_obs_noop library): verifies the
+// instrumentation API still compiles and behaves as a no-op, and that
+// TraceSpan keeps measuring wall time so miner `elapsed_seconds` stays
+// meaningful with observability compiled out.
+
+#ifndef PPM_OBS_DISABLED
+#error "this test must be built with PPM_OBS_DISABLED"
+#endif
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+
+namespace ppm::obs {
+namespace {
+
+TEST(DisabledMetricsTest, EverythingReadsZero) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const Counter counter = registry.GetCounter("disabled.counter");
+  counter.Inc();
+  counter.Inc(100);
+  EXPECT_EQ(counter.value(), 0u);
+
+  const Gauge gauge = registry.GetGauge("disabled.gauge");
+  gauge.Set(42);
+  gauge.Add(1);
+  EXPECT_EQ(gauge.value(), 0u);
+
+  const Histogram hist = registry.GetHistogram("disabled.hist");
+  hist.Observe(1000);
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.sum(), 0u);
+}
+
+TEST(DisabledMetricsTest, SnapshotIsEmpty) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("disabled.visible").Inc(5);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_TRUE(snapshot.empty());
+  EXPECT_EQ(snapshot.FindCounter("disabled.visible"), nullptr);
+  registry.Reset();  // Must compile and not crash.
+}
+
+TEST(DisabledTraceTest, NothingIsRecorded) {
+  Tracer& tracer = Tracer::Global();
+  {
+    const TraceSpan outer = tracer.StartSpan("outer");
+    const TraceSpan inner = tracer.StartSpan("inner");
+  }
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_FALSE(tracer.HasSpan("outer"));
+  EXPECT_EQ(tracer.ToChromeTraceJson(), "[]");
+}
+
+TEST(DisabledTraceTest, SpanStillMeasuresTime) {
+  TraceSpan span = Tracer::Global().StartSpan("timed");
+  volatile uint64_t sink = 0;
+  for (uint64_t i = 0; i < 200000; ++i) sink = sink + i;
+  EXPECT_GE(span.ElapsedSeconds(), 0.0);
+  span.End();
+  const double frozen = span.ElapsedSeconds();
+  EXPECT_GT(frozen, 0.0);
+  // End is idempotent; elapsed stays frozen afterwards.
+  span.End();
+  EXPECT_EQ(span.ElapsedSeconds(), frozen);
+}
+
+TEST(DisabledTraceTest, WriteChromeTraceWritesEmptyArray) {
+  const std::string path = testing::TempDir() + "/obs_disabled_trace.json";
+  ASSERT_TRUE(Tracer::Global().WriteChromeTrace(path).ok());
+}
+
+TEST(DisabledReportTest, ReportStillSerializes) {
+  RunReport report("disabled");
+  report.AddMeta("mode", "noop");
+  report.AddRawSection("stats", R"({"scans":2})");
+  report.CaptureGlobal();
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"run\":\"disabled\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"stats\":{\"scans\":2}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"spans\":[]"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace ppm::obs

@@ -1,0 +1,190 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ppm::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  MetricsRegistry registry;
+  const Counter counter = registry.GetCounter("test.events");
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Inc();
+  counter.Inc(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(CounterTest, SameNameSharesOneCell) {
+  MetricsRegistry registry;
+  const Counter a = registry.GetCounter("test.shared");
+  const Counter b = registry.GetCounter("test.shared");
+  a.Inc(3);
+  b.Inc(4);
+  EXPECT_EQ(a.value(), 7u);
+  EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(CounterTest, UnboundHandleIsSafe) {
+  const Counter unbound;
+  unbound.Inc(100);  // Goes to the sink; must not crash.
+  const Counter another;
+  SUCCEED();
+}
+
+TEST(CounterTest, HandlesSurviveReset) {
+  MetricsRegistry registry;
+  const Counter counter = registry.GetCounter("test.reset");
+  counter.Inc(9);
+  registry.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Inc(2);
+  EXPECT_EQ(counter.value(), 2u);
+  const uint64_t* found = registry.Snapshot().FindCounter("test.reset");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(*found, 2u);
+}
+
+TEST(GaugeTest, SetIsLastWriteWins) {
+  MetricsRegistry registry;
+  const Gauge gauge = registry.GetGauge("test.level");
+  gauge.Set(5);
+  gauge.Set(3);
+  EXPECT_EQ(gauge.value(), 3u);
+  gauge.Add(4);
+  EXPECT_EQ(gauge.value(), 7u);
+}
+
+TEST(HistogramTest, BucketIndexIsBitWidth) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  // Values wider than the bucket range land in the last bucket.
+  EXPECT_EQ(Histogram::BucketIndex(~0ull), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, BucketUpperBoundMatchesIndex) {
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1023u);
+  // Every value's bucket contains it.
+  for (const uint64_t value : {0ull, 1ull, 7ull, 100ull, 65536ull}) {
+    EXPECT_LE(value, Histogram::BucketUpperBound(Histogram::BucketIndex(value)));
+  }
+}
+
+TEST(HistogramTest, ObserveTracksCountSumMax) {
+  MetricsRegistry registry;
+  const Histogram hist = registry.GetHistogram("test.sizes");
+  hist.Observe(10);
+  hist.Observe(20);
+  hist.Observe(5);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_EQ(hist.sum(), 35u);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  const HistogramData& data = snapshot.histograms[0].second;
+  EXPECT_EQ(data.count, 3u);
+  EXPECT_EQ(data.sum, 35u);
+  EXPECT_EQ(data.max, 20u);
+  EXPECT_NEAR(data.Mean(), 35.0 / 3.0, 1e-9);
+}
+
+TEST(HistogramTest, ApproxQuantileBracketsTheData) {
+  MetricsRegistry registry;
+  const Histogram hist = registry.GetHistogram("test.quantile");
+  for (uint64_t i = 0; i < 100; ++i) hist.Observe(i);
+  const HistogramData data = registry.Snapshot().histograms[0].second;
+  // p50 of 0..99 is ~50; the bucket upper edge containing it is 63.
+  EXPECT_GE(data.ApproxQuantile(0.5), 31u);
+  EXPECT_LE(data.ApproxQuantile(0.5), 63u);
+  // p99 lands in the top bucket; the estimate is clamped to the max seen.
+  EXPECT_LE(data.ApproxQuantile(0.99), 99u);
+  EXPECT_GE(data.ApproxQuantile(1.0), data.ApproxQuantile(0.0));
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  HistogramData data;
+  data.buckets.assign(Histogram::kNumBuckets, 0);
+  EXPECT_EQ(data.ApproxQuantile(0.5), 0u);
+  EXPECT_EQ(data.Mean(), 0.0);
+}
+
+TEST(SnapshotTest, EntriesAreSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("z.last").Inc();
+  registry.GetCounter("a.first").Inc();
+  registry.GetCounter("m.middle").Inc();
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 3u);
+  EXPECT_EQ(snapshot.counters[0].first, "a.first");
+  EXPECT_EQ(snapshot.counters[1].first, "m.middle");
+  EXPECT_EQ(snapshot.counters[2].first, "z.last");
+}
+
+TEST(SnapshotTest, FindMissingReturnsNull) {
+  MetricsRegistry registry;
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_TRUE(snapshot.empty());
+  EXPECT_EQ(snapshot.FindCounter("nope"), nullptr);
+  EXPECT_EQ(snapshot.FindGauge("nope"), nullptr);
+}
+
+TEST(SnapshotTest, SnapshotIsDetachedFromRegistry) {
+  MetricsRegistry registry;
+  const Counter counter = registry.GetCounter("test.detach");
+  counter.Inc(1);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  counter.Inc(10);
+  EXPECT_EQ(*snapshot.FindCounter("test.detach"), 1u);
+  EXPECT_EQ(*registry.Snapshot().FindCounter("test.detach"), 11u);
+}
+
+TEST(SnapshotTest, ToJsonHasAllSections) {
+  MetricsRegistry registry;
+  registry.GetCounter("c.one").Inc(7);
+  registry.GetGauge("g.one").Set(3);
+  registry.GetHistogram("h.one").Observe(100);
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\":{\"c.one\":7}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"gauges\":{\"g.one\":3}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"h.one\":{\"count\":1,\"sum\":100,\"max\":100"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"buckets\":["), std::string::npos) << json;
+}
+
+TEST(SnapshotTest, ZeroValuedMetricsStayVisible) {
+  MetricsRegistry registry;
+  registry.GetCounter("c.untouched");
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"c.untouched\":0"), std::string::npos) << json;
+}
+
+TEST(RegistryTest, GlobalIsStable) {
+  MetricsRegistry& a = MetricsRegistry::Global();
+  MetricsRegistry& b = MetricsRegistry::Global();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(RegistryTest, NamespacesAreIndependent) {
+  MetricsRegistry registry;
+  registry.GetCounter("same.name").Inc(1);
+  registry.GetGauge("same.name").Set(2);
+  registry.GetHistogram("same.name").Observe(3);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(*snapshot.FindCounter("same.name"), 1u);
+  EXPECT_EQ(*snapshot.FindGauge("same.name"), 2u);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].second.sum, 3u);
+}
+
+}  // namespace
+}  // namespace ppm::obs

@@ -1,0 +1,152 @@
+#include "obs/run_report.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ppm::obs {
+namespace {
+
+TEST(JsonWriterTest, ObjectWithScalars) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("s").String("hi")
+      .Key("u").Uint(7)
+      .Key("i").Int(-3)
+      .Key("b").Bool(true)
+      .Key("n").Null();
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"s":"hi","u":7,"i":-3,"b":true,"n":null})");
+}
+
+TEST(JsonWriterTest, NestedArraysAndObjects) {
+  JsonWriter w;
+  w.BeginArray();
+  w.BeginObject().Key("a").Uint(1).EndObject();
+  w.BeginObject().Key("b").BeginArray().Uint(2).Uint(3).EndArray().EndObject();
+  w.EndArray();
+  EXPECT_EQ(w.str(), R"([{"a":1},{"b":[2,3]}])");
+}
+
+TEST(JsonWriterTest, EscapesControlAndQuoteCharacters) {
+  JsonWriter w;
+  w.BeginObject().Key("k\"ey").String("line\nbreak\ttab \\ \"q\"");
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"k\\\"ey\":\"line\\nbreak\\ttab \\\\ \\\"q\\\"\"}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray().Double(1.5).Double(0.0 / 0.0).Double(1.0 / 0.0).EndArray();
+  EXPECT_EQ(w.str(), "[1.5,null,null]");
+}
+
+TEST(JsonWriterTest, RawSplicesVerbatim) {
+  JsonWriter w;
+  w.BeginObject().Key("inner").Raw(R"({"x":1})").Key("after").Uint(2);
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"inner":{"x":1},"after":2})");
+}
+
+TEST(RunReportTest, JsonHasAllTopLevelKeys) {
+  RunReport report("unit");
+  report.AddMeta("algorithm", "hitset");
+  report.AddRawSection("mining_stats", R"({"scans":2})");
+
+  MetricsRegistry registry;
+  registry.GetCounter("test.count").Inc(5);
+  report.SetMetrics(registry.Snapshot());
+
+  Tracer tracer;
+  tracer.StartSpan("phase").End();
+  report.SetSpans(tracer.events());
+
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"run\":\"unit\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"meta\":{\"algorithm\":\"hitset\"}"),
+            std::string::npos)
+      << json;
+  // The raw section is spliced as JSON, not re-quoted as a string.
+  EXPECT_NE(json.find("\"mining_stats\":{\"scans\":2}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"test.count\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"phase\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"depth\":0"), std::string::npos) << json;
+}
+
+TEST(RunReportTest, EmptyReportStillWellFormed) {
+  const RunReport report("empty");
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"run\":\"empty\""), std::string::npos);
+  EXPECT_NE(json.find("\"meta\":{}"), std::string::npos);
+  EXPECT_NE(json.find("\"sections\":{}"), std::string::npos);
+  EXPECT_NE(json.find("\"spans\":[]"), std::string::npos);
+}
+
+TEST(RunReportTest, TextIncludesMetaMetricsAndSpanTree) {
+  RunReport report("text");
+  report.AddMeta("input", "series.bin");
+
+  MetricsRegistry registry;
+  registry.GetCounter("scan.count").Inc(2);
+  registry.GetHistogram("latency").Observe(1000);
+  report.SetMetrics(registry.Snapshot());
+
+  Tracer tracer;
+  {
+    const TraceSpan outer = tracer.StartSpan("mine");
+    const TraceSpan inner = tracer.StartSpan("second_scan");
+  }
+  report.SetSpans(tracer.events());
+
+  const std::string text = report.ToText();
+  EXPECT_NE(text.find("== run: text =="), std::string::npos) << text;
+  EXPECT_NE(text.find("input: series.bin"), std::string::npos) << text;
+  EXPECT_NE(text.find("scan.count = 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("latency = count 1"), std::string::npos) << text;
+  // Nested span is indented two extra spaces under its parent.
+  EXPECT_NE(text.find("    mine"), std::string::npos) << text;
+  EXPECT_NE(text.find("      second_scan"), std::string::npos) << text;
+}
+
+TEST(RunReportTest, CaptureGlobalReadsProcessState) {
+  MetricsRegistry::Global().Reset();
+  Tracer::Global().Clear();
+  MetricsRegistry::Global().GetCounter("capture.test").Inc(3);
+  Tracer::Global().StartSpan("captured").End();
+
+  RunReport report("global");
+  report.CaptureGlobal();
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"capture.test\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"captured\""), std::string::npos) << json;
+
+  MetricsRegistry::Global().Reset();
+  Tracer::Global().Clear();
+}
+
+TEST(RunReportTest, WriteJsonRoundTrips) {
+  RunReport report("file");
+  report.AddMeta("k", "v");
+  const std::string path = testing::TempDir() + "/obs_report_test.json";
+  ASSERT_TRUE(report.WriteJson(path).ok());
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), report.ToJson() + "\n");
+}
+
+TEST(RunReportTest, WriteJsonBadPathFails) {
+  const RunReport report("bad");
+  EXPECT_FALSE(report.WriteJson("/nonexistent-dir/report.json").ok());
+}
+
+}  // namespace
+}  // namespace ppm::obs

@@ -1,0 +1,98 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace ppm {
+namespace {
+
+/// Redirects the log sink to a buffer and restores defaults on exit.
+class LogTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    SetLogSink(&captured_);
+    SetLogLevel(LogLevel::kWarn);
+  }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetLogLevel(LogLevel::kWarn);
+  }
+
+  std::string captured() const { return captured_.str(); }
+
+  std::ostringstream captured_;
+};
+
+TEST_F(LogTest, DefaultThresholdDropsInfo) {
+  PPM_LOG(kInfo) << "quiet";
+  EXPECT_EQ(captured(), "");
+  PPM_LOG(kWarn) << "loud";
+  EXPECT_EQ(captured(), "[warn] loud\n");
+}
+
+TEST_F(LogTest, FormatsLevelPrefixAndStreamedValues) {
+  SetLogLevel(LogLevel::kDebug);
+  PPM_LOG(kDebug) << "mined " << 42 << " patterns at conf " << 0.5;
+  EXPECT_EQ(captured(), "[debug] mined 42 patterns at conf 0.5\n");
+}
+
+TEST_F(LogTest, ErrorAlwaysPassesBelowOff) {
+  SetLogLevel(LogLevel::kError);
+  PPM_LOG(kWarn) << "dropped";
+  PPM_LOG(kError) << "kept";
+  EXPECT_EQ(captured(), "[error] kept\n");
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  SetLogLevel(LogLevel::kOff);
+  PPM_LOG(kError) << "never";
+  EXPECT_EQ(captured(), "");
+}
+
+TEST_F(LogTest, SuppressedStatementDoesNotEvaluateOperands) {
+  int evaluations = 0;
+  const auto count = [&evaluations]() {
+    ++evaluations;
+    return 1;
+  };
+  PPM_LOG(kDebug) << count();  // Below threshold: operand must not run.
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(LogLevel::kDebug);
+  PPM_LOG(kDebug) << count();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, MacroIsSafeInUnbracedIf) {
+  // The ternary form must bind as a single statement.
+  if (true)
+    PPM_LOG(kError) << "then";
+  else
+    PPM_LOG(kError) << "else";
+  EXPECT_EQ(captured(), "[error] then\n");
+}
+
+TEST(LogLevelTest, ToStringRoundTrips) {
+  for (const LogLevel level : {LogLevel::kDebug, LogLevel::kInfo,
+                               LogLevel::kWarn, LogLevel::kError,
+                               LogLevel::kOff}) {
+    const auto parsed = ParseLogLevel(LogLevelToString(level));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, level);
+  }
+}
+
+TEST(LogLevelTest, ParseAcceptsAliases) {
+  EXPECT_EQ(*ParseLogLevel("warning"), LogLevel::kWarn);
+  EXPECT_EQ(*ParseLogLevel("none"), LogLevel::kOff);
+}
+
+TEST(LogLevelTest, ParseRejectsUnknown) {
+  EXPECT_FALSE(ParseLogLevel("verbose").ok());
+  EXPECT_FALSE(ParseLogLevel("").ok());
+  EXPECT_FALSE(ParseLogLevel("WARN").ok());
+}
+
+}  // namespace
+}  // namespace ppm
