@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("obs")
+subdirs("tsdb")
+subdirs("core")
+subdirs("synth")
+subdirs("discretize")
+subdirs("multilevel")
+subdirs("perturb")
+subdirs("rules")
+subdirs("etl")
+subdirs("analysis")
+subdirs("evolve")
+subdirs("stream")
+subdirs("multidim")
+subdirs("query")
+subdirs("cli")
