@@ -1,0 +1,149 @@
+// Parallel scaling of the sharded miners (docs/PARALLELISM.md): the
+// Figure 2 workload mined at 1, 2, 4, and 8 workers for single-period
+// hit-set mining and both multi-period methods. Reports best-of-N wall time
+// and speedup relative to the sequential (1-thread) run, and verifies that
+// every thread count produces the same pattern set size.
+//
+// Speedups are only meaningful up to the machine's core count, which is
+// recorded in the report meta; on a single-core host every speedup is ~1x
+// (the shards serialize on the one core) and the numbers mostly measure
+// sharding overhead.
+
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "core/hitset_miner.h"
+#include "core/multi_period.h"
+#include "obs/json_writer.h"
+#include "tsdb/series_source.h"
+
+namespace ppm::bench {
+namespace {
+
+constexpr int kReps = 3;
+constexpr uint32_t kThreadCounts[] = {1, 2, 4, 8};
+
+struct Timed {
+  double best_seconds = 0.0;
+  size_t patterns = 0;
+};
+
+template <typename Fn>
+Timed BestOf(const Fn& run) {
+  Timed timed;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const Timed once = run();
+    if (rep == 0 || once.best_seconds < timed.best_seconds) {
+      timed.best_seconds = once.best_seconds;
+    }
+    timed.patterns = once.patterns;
+  }
+  return timed;
+}
+
+void ReportRow(const char* workload, uint32_t threads, const Timed& timed,
+               double baseline_seconds, obs::JsonWriter* rows) {
+  const double speedup =
+      timed.best_seconds > 0 ? baseline_seconds / timed.best_seconds : 0.0;
+  std::printf("%-18s %8u %14.1f %9.2fx %10zu\n", workload, threads,
+              timed.best_seconds * 1e3, speedup, timed.patterns);
+  rows->BeginObject()
+      .Key("workload").String(workload)
+      .Key("threads").Uint(threads)
+      .Key("best_ms").Double(timed.best_seconds * 1e3)
+      .Key("speedup").Double(speedup)
+      .Key("patterns").Uint(timed.patterns);
+  rows->EndObject();
+}
+
+void SweepHitSet(const tsdb::TimeSeries& series, obs::JsonWriter* rows) {
+  PrintHeader("hit-set mine, p=50 (LENGTH=200k, MPL=6, |F1|=12)");
+  std::printf("%-18s %8s %14s %10s %10s\n", "workload", "threads", "best(ms)",
+              "speedup", "patterns");
+  double baseline = 0.0;
+  size_t baseline_patterns = 0;
+  for (const uint32_t threads : kThreadCounts) {
+    const Timed timed = BestOf([&series, threads] {
+      MiningOptions options;
+      options.period = 50;
+      options.min_confidence = 0.8;
+      options.num_threads = threads;
+      tsdb::InMemorySeriesSource source(&series);
+      const MiningResult result = DieOr(MineHitSet(source, options));
+      return Timed{result.stats().elapsed_seconds, result.size()};
+    });
+    if (threads == 1) {
+      baseline = timed.best_seconds;
+      baseline_patterns = timed.patterns;
+    } else if (timed.patterns != baseline_patterns) {
+      std::fprintf(stderr, "thread-count disagreement: %zu vs %zu patterns\n",
+                   timed.patterns, baseline_patterns);
+      std::exit(1);
+    }
+    ReportRow("hitset", threads, timed, baseline, rows);
+  }
+}
+
+void SweepMultiPeriod(const tsdb::TimeSeries& series, bool shared,
+                      obs::JsonWriter* rows) {
+  const char* workload = shared ? "scan-shared" : "scan-looped";
+  PrintHeader(shared ? "multi-period shared, periods 45..55"
+                     : "multi-period looped, periods 45..55");
+  std::printf("%-18s %8s %14s %10s %10s\n", "workload", "threads", "best(ms)",
+              "speedup", "patterns");
+  double baseline = 0.0;
+  size_t baseline_patterns = 0;
+  for (const uint32_t threads : kThreadCounts) {
+    const Timed timed = BestOf([&series, shared, threads] {
+      MiningOptions options;
+      options.min_confidence = 0.8;
+      options.num_threads = threads;
+      tsdb::InMemorySeriesSource source(&series);
+      const MultiPeriodResult result =
+          DieOr(shared ? MineMultiPeriodShared(source, 45, 55, options)
+                       : MineMultiPeriodLooped(source, 45, 55, options));
+      size_t patterns = 0;
+      for (const auto& [p, r] : result.per_period) patterns += r.size();
+      return Timed{result.elapsed_seconds, patterns};
+    });
+    if (threads == 1) {
+      baseline = timed.best_seconds;
+      baseline_patterns = timed.patterns;
+    } else if (timed.patterns != baseline_patterns) {
+      std::fprintf(stderr, "thread-count disagreement: %zu vs %zu patterns\n",
+                   timed.patterns, baseline_patterns);
+      std::exit(1);
+    }
+    ReportRow(workload, threads, timed, baseline, rows);
+  }
+}
+
+}  // namespace
+}  // namespace ppm::bench
+
+int main(int argc, char** argv) {
+  const unsigned cores = std::thread::hardware_concurrency();
+  const ppm::synth::GeneratedSeries data = ppm::bench::DieOr(
+      ppm::synth::GenerateSeries(ppm::bench::Figure2Options(200000, 6)));
+
+  ppm::obs::JsonWriter rows;
+  rows.BeginArray();
+  ppm::bench::SweepHitSet(data.series, &rows);
+  ppm::bench::SweepMultiPeriod(data.series, /*shared=*/false, &rows);
+  ppm::bench::SweepMultiPeriod(data.series, /*shared=*/true, &rows);
+  rows.EndArray();
+
+  std::printf("\nhardware concurrency: %u core%s\n", cores,
+              cores == 1 ? "" : "s");
+
+  ppm::obs::RunReport report("bench_parallel");
+  report.AddMeta("min_conf", "0.8");
+  report.AddMeta("length", "200000");
+  report.AddMeta("reps", std::to_string(ppm::bench::kReps));
+  report.AddMeta("hardware_concurrency", std::to_string(cores));
+  report.AddRawSection("rows", rows.str());
+  ppm::bench::WriteBenchReport(
+      &report, ppm::bench::BenchReportPath("parallel", argc, argv));
+  return 0;
+}

@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 build + tests with warnings as errors, then a CLI smoke
-# test that validates the emitted stats/trace JSON actually parses.
+# CI gate: tier-1 build + tests with warnings as errors, a CLI smoke test
+# that validates the emitted stats/trace JSON actually parses, and a
+# sanitizer matrix (TSan + ASan) over the concurrency-sensitive tests.
 #
 # -Wno-error=restrict: GCC 12's libstdc++ emits known-false -Wrestrict
 # warnings from std::string concatenation in a few test files.
+#
+# PPM_CI_SANITIZERS=0 skips the sanitizer matrix (each entry is a separate
+# build tree; useful for quick local runs).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-ci}
+SANITIZERS=${PPM_CI_SANITIZERS:-1}
 
 cmake -B "$BUILD_DIR" -G Ninja \
   -DCMAKE_CXX_FLAGS="-Werror -Wno-error=restrict"
@@ -58,5 +63,22 @@ assert {"f1_scan", "second_scan"} <= trace_names, trace_names
 
 print("smoke OK: stats and trace JSON validate")
 EOF
+
+# Sanitizer matrix: the parallel miners, thread pool, and streaming layer
+# under TSan (data races) and ASan (memory errors). Only the tests that
+# exercise threads or own tricky memory are run -- a full suite per
+# sanitizer would triple CI time for no extra coverage.
+SANITIZER_TESTS='util_thread_pool_test|parallel_mine_test|differential_test|determinism_test|boundary_test|stream_test'
+if [[ "$SANITIZERS" == "1" ]]; then
+  for sanitizer in thread address; do
+    SAN_DIR="$BUILD_DIR-$sanitizer"
+    echo "=== sanitizer matrix: $sanitizer ==="
+    cmake -B "$SAN_DIR" -G Ninja \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DPPM_SANITIZE="$sanitizer"
+    cmake --build "$SAN_DIR"
+    ctest --test-dir "$SAN_DIR" -R "$SANITIZER_TESTS" --output-on-failure
+  done
+fi
 
 echo "CI OK"

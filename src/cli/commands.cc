@@ -56,6 +56,8 @@ Result<MiningOptions> MiningOptionsFromArgs(const ArgMap& args) {
   PPM_ASSIGN_OR_RETURN(const uint64_t max_letters,
                        args.GetUint("max-letters", 0));
   options.max_letters = static_cast<uint32_t>(max_letters);
+  PPM_ASSIGN_OR_RETURN(const uint64_t threads, args.GetUint("threads", 1));
+  options.num_threads = static_cast<uint32_t>(threads);
   return options;
 }
 
@@ -82,8 +84,8 @@ void PrintPatterns(const std::vector<FrequentPattern>& patterns,
 Status RunMine(const ArgMap& args, std::ostream& out) {
   PPM_RETURN_IF_ERROR(args.CheckAllowed({"input", "period", "min-conf",
                                          "min-count", "algorithm",
-                                         "max-letters", "maximal", "rules",
-                                         "top", "save", "stats-json",
+                                         "max-letters", "threads", "maximal",
+                                         "rules", "top", "save", "stats-json",
                                          "trace-out"}));
   PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series,
                        LoadSeries(args.GetString("input", "")));
@@ -187,8 +189,9 @@ Status RunApply(const ArgMap& args, std::ostream& out) {
 }
 
 Status RunEvolve(const ArgMap& args, std::ostream& out) {
-  PPM_RETURN_IF_ERROR(args.CheckAllowed(
-      {"input", "period", "window", "min-conf", "min-count", "top"}));
+  PPM_RETURN_IF_ERROR(args.CheckAllowed({"input", "period", "window",
+                                         "min-conf", "min-count", "threads",
+                                         "top"}));
   PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series,
                        LoadSeries(args.GetString("input", "")));
   PPM_ASSIGN_OR_RETURN(MiningOptions options, MiningOptionsFromArgs(args));
@@ -236,7 +239,7 @@ Status RunEvolve(const ArgMap& args, std::ostream& out) {
 Status RunScan(const ArgMap& args, std::ostream& out) {
   PPM_RETURN_IF_ERROR(args.CheckAllowed({"input", "period-low", "period-high",
                                          "min-conf", "min-count", "method",
-                                         "max-letters", "top"}));
+                                         "max-letters", "threads", "top"}));
   PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series,
                        LoadSeries(args.GetString("input", "")));
   PPM_ASSIGN_OR_RETURN(MiningOptions options, MiningOptionsFromArgs(args));
@@ -538,15 +541,16 @@ std::string UsageText() {
       "commands:\n"
       "  mine      mine one period: --input F --period N [--min-conf 0.8]\n"
       "            [--min-count N] [--algorithm hitset|apriori|maximal]\n"
-      "            [--max-letters K] [--maximal] [--rules CONF] [--top N]\n"
-      "            [--save PATTERNS_FILE] [--stats-json REPORT_FILE]\n"
-      "            [--trace-out TRACE_FILE]\n"
+      "            [--max-letters K] [--threads N] [--maximal]\n"
+      "            [--rules CONF] [--top N] [--save PATTERNS_FILE]\n"
+      "            [--stats-json REPORT_FILE] [--trace-out TRACE_FILE]\n"
       "  apply     re-evaluate saved patterns on another series:\n"
       "            --patterns F --input F [--min-drop D]\n"
       "  evolve    windowed re-mining with diffs: --input F --period N\n"
       "            [--window INSTANTS] [--min-conf 0.8] [--top N]\n"
       "  scan      mine a period range: --input F --period-low A\n"
       "            --period-high B [--min-conf 0.8] [--method shared|looped]\n"
+      "            [--threads N]\n"
       "  suggest   rank candidate periods: --input F [--period-low A]\n"
       "            [--period-high B] [--per-feature] [--top N]\n"
       "  bucketize derive a series from '<timestamp> <feature>' event lines:\n"
@@ -566,6 +570,11 @@ std::string UsageText() {
       "global flags (any command):\n"
       "  --log-level debug|info|warn|error|off   diagnostic verbosity\n"
       "                                          (default warn, to stderr)\n"
+      "\n"
+      "  --threads N selects the mining worker count: 1 (default) runs the\n"
+      "  sequential algorithms, 0 uses the hardware concurrency, and N > 1\n"
+      "  shards the scans and derivation across N workers (identical\n"
+      "  patterns; see docs/PARALLELISM.md).\n"
       "\n"
       "Series files ending in .txt use the text codec (one instant per\n"
       "line, space-separated feature names); anything else is binary.\n";

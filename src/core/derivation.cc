@@ -5,6 +5,7 @@
 #include "core/candidate_gen.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/shard.h"
 
 namespace ppm {
 
@@ -27,7 +28,7 @@ void EmitLevel(const F1ScanResult& f1, const std::vector<LevelEntry>& level,
 DerivationStats DeriveFrequentPatterns(
     const F1ScanResult& f1, uint32_t max_letters,
     const std::function<uint64_t(const Bitset&)>& count_fn,
-    MiningResult* result) {
+    MiningResult* result, ThreadPool* pool) {
   const obs::TraceSpan span = obs::Tracer::Global().StartSpan("derivation");
   obs::Counter count_queries =
       obs::MetricsRegistry::Global().GetCounter("ppm.derivation.count_queries");
@@ -48,11 +49,31 @@ DerivationStats DeriveFrequentPatterns(
     std::vector<LevelEntry> candidates = GenerateCandidates(frequent);
     if (candidates.empty()) break;
 
+    if (pool != nullptr && pool->size() > 1 && candidates.size() > 1) {
+      // Partition this level's slice of the candidate lattice across the
+      // workers. Each worker writes counts only into its own disjoint slice
+      // of `candidates`, so no synchronization is needed, and the filtering
+      // below runs in candidate order regardless of scheduling.
+      parallel::ShardTimings timings = parallel::ShardedRun(
+          *pool, candidates.size(), "derivation",
+          [&candidates, &count_fn](const ThreadPool::Chunk& chunk) {
+            for (uint64_t i = chunk.begin; i < chunk.end; ++i) {
+              candidates[i].count = count_fn(candidates[i].mask);
+            }
+          });
+      parallel::RecordShardMetrics(timings);
+      stats.candidates_evaluated += candidates.size();
+      count_queries.Inc(candidates.size());
+    } else {
+      for (LevelEntry& candidate : candidates) {
+        ++stats.candidates_evaluated;
+        count_queries.Inc();
+        candidate.count = count_fn(candidate.mask);
+      }
+    }
+
     std::vector<LevelEntry> next;
     for (LevelEntry& candidate : candidates) {
-      ++stats.candidates_evaluated;
-      count_queries.Inc();
-      candidate.count = count_fn(candidate.mask);
       if (candidate.count >= f1.min_count) next.push_back(std::move(candidate));
     }
     if (!next.empty()) stats.max_level_reached = level;

@@ -7,6 +7,7 @@
 #include "core/f1_scan.h"
 #include "core/mining_result.h"
 #include "util/bitset.h"
+#include "util/thread_pool.h"
 
 namespace ppm {
 
@@ -22,10 +23,17 @@ struct DerivationStats {
 /// frequent level and evaluates them with `count_fn` (typically
 /// `HitStore::CountSuperpatterns`). Stops at `max_letters` levels when
 /// nonzero. Appends patterns to `*result` (unsorted; callers canonicalize).
+///
+/// When `pool` is non-null, each level's candidates -- a slice of the
+/// subpattern lattice of `C_max` -- are partitioned across the workers and
+/// counted concurrently; `count_fn` must then be safe for concurrent calls
+/// (both hit stores are, once scan 2 finished). Candidate generation,
+/// filtering, and emission stay on the calling thread in candidate order,
+/// so the output is identical at any worker count.
 DerivationStats DeriveFrequentPatterns(
     const F1ScanResult& f1, uint32_t max_letters,
     const std::function<uint64_t(const Bitset&)>& count_fn,
-    MiningResult* result);
+    MiningResult* result, ThreadPool* pool = nullptr);
 
 }  // namespace ppm
 

@@ -5,37 +5,38 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/materialize.h"
+#include "parallel/shard.h"
 #include "util/log.h"
 
 namespace ppm {
 
-Result<F1ScanResult> ScanForF1(tsdb::SeriesSource& source,
-                               const MiningOptions& options) {
-  PPM_RETURN_IF_ERROR(options.Validate(source.length()));
-  const obs::TraceSpan span = obs::Tracer::Global().StartSpan("f1_scan");
+namespace {
 
+/// Per-position letter counts. An ordered map per position keeps letters in
+/// canonical (feature ascending) order for free.
+using CountTable = std::vector<std::map<tsdb::FeatureId, uint64_t>>;
+
+/// Counts the letters of segments `[seg_begin, seg_end)` into `*counts`.
+void CountSegments(const std::vector<tsdb::FeatureSet>& instants,
+                   uint32_t period, uint64_t seg_begin, uint64_t seg_end,
+                   CountTable* counts) {
+  for (uint64_t segment = seg_begin; segment < seg_end; ++segment) {
+    const uint64_t base = segment * period;
+    for (uint32_t position = 0; position < period; ++position) {
+      auto& position_counts = (*counts)[position];
+      instants[base + position].ForEach(
+          [&position_counts](uint32_t feature) { ++position_counts[feature]; });
+    }
+  }
+}
+
+/// Thresholds and filters a finished count table into an `F1ScanResult`.
+F1ScanResult FinishF1(const CountTable& counts, const MiningOptions& options,
+                      uint64_t num_periods) {
   F1ScanResult result;
-  result.num_periods = source.length() / options.period;
-  result.min_count = options.EffectiveMinCount(result.num_periods);
-
-  // Exact per-letter counts. An ordered map per position keeps letters in
-  // canonical (feature ascending) order for free.
-  std::vector<std::map<tsdb::FeatureId, uint64_t>> counts(options.period);
-
-  PPM_RETURN_IF_ERROR(source.StartScan());
-  const uint64_t covered = result.num_periods * options.period;
-  tsdb::FeatureSet instant;
-  uint64_t t = 0;
-  while (t < covered && source.Next(&instant)) {
-    auto& position_counts = counts[t % options.period];
-    instant.ForEach(
-        [&position_counts](uint32_t feature) { ++position_counts[feature]; });
-    ++t;
-  }
-  PPM_RETURN_IF_ERROR(source.status());
-  if (t < covered) {
-    return Status::Internal("source ended before its declared length");
-  }
+  result.num_periods = num_periods;
+  result.min_count = options.EffectiveMinCount(num_periods);
 
   std::vector<Letter> letters;
   std::vector<uint64_t> letter_counts;
@@ -55,11 +56,86 @@ Result<F1ScanResult> ScanForF1(tsdb::SeriesSource& source,
   registry.GetGauge("ppm.f1.letters_seen").Set(letters_seen);
   registry.GetGauge("ppm.f1.letters_frequent").Set(letters.size());
   PPM_LOG(kDebug) << "f1 scan: " << letters.size() << " frequent of "
-                  << letters_seen << " seen letters, m=" << result.num_periods
+                  << letters_seen << " seen letters, m=" << num_periods
                   << ", min_count=" << result.min_count;
   result.space = LetterSpace(options.period, std::move(letters));
   result.letter_counts = std::move(letter_counts);
   return result;
+}
+
+}  // namespace
+
+F1ScanResult BuildF1FromInstants(const std::vector<tsdb::FeatureSet>& instants,
+                                 const MiningOptions& options,
+                                 ThreadPool* pool) {
+  const obs::TraceSpan span = obs::Tracer::Global().StartSpan("f1_scan");
+  const uint64_t num_periods = instants.size() / options.period;
+
+  if (pool == nullptr || pool->size() <= 1 || num_periods <= 1) {
+    CountTable counts(options.period);
+    CountSegments(instants, options.period, 0, num_periods, &counts);
+    return FinishF1(counts, options, num_periods);
+  }
+
+  // Sharded count: one private table per chunk of whole segments, summed in
+  // chunk order afterwards. Letter counts are additive over disjoint
+  // segments, so the merged table equals the sequential one exactly.
+  std::vector<CountTable> shard_counts(pool->size());
+  for (CountTable& table : shard_counts) table.resize(options.period);
+  parallel::ShardTimings timings = parallel::ShardedRun(
+      *pool, num_periods, "f1_scan",
+      [&instants, &options, &shard_counts](const ThreadPool::Chunk& chunk) {
+        CountSegments(instants, options.period, chunk.begin, chunk.end,
+                      &shard_counts[chunk.index]);
+      });
+
+  obs::TraceSpan merge_span = obs::Tracer::Global().StartSpan("f1_scan.merge");
+  CountTable& merged = shard_counts[0];
+  for (uint32_t c = 1; c < shard_counts.size(); ++c) {
+    for (uint32_t position = 0; position < options.period; ++position) {
+      for (const auto& [feature, count] : shard_counts[c][position]) {
+        merged[position][feature] += count;
+      }
+    }
+  }
+  merge_span.End();
+  timings.merge_seconds = merge_span.ElapsedSeconds();
+  parallel::RecordShardMetrics(timings);
+  return FinishF1(merged, options, num_periods);
+}
+
+Result<F1ScanResult> ScanForF1(tsdb::SeriesSource& source,
+                               const MiningOptions& options) {
+  PPM_RETURN_IF_ERROR(options.Validate(source.length()));
+
+  const uint32_t threads = ResolveThreadCount(options.num_threads);
+  const uint64_t num_periods = source.length() / options.period;
+  if (threads > 1 && num_periods > 1) {
+    PPM_ASSIGN_OR_RETURN(
+        const std::vector<tsdb::FeatureSet> instants,
+        parallel::MaterializePrefix(source, num_periods * options.period));
+    ThreadPool pool(threads);
+    return BuildF1FromInstants(instants, options, &pool);
+  }
+
+  const obs::TraceSpan span = obs::Tracer::Global().StartSpan("f1_scan");
+  CountTable counts(options.period);
+
+  PPM_RETURN_IF_ERROR(source.StartScan());
+  const uint64_t covered = num_periods * options.period;
+  tsdb::FeatureSet instant;
+  uint64_t t = 0;
+  while (t < covered && source.Next(&instant)) {
+    auto& position_counts = counts[t % options.period];
+    instant.ForEach(
+        [&position_counts](uint32_t feature) { ++position_counts[feature]; });
+    ++t;
+  }
+  PPM_RETURN_IF_ERROR(source.status());
+  if (t < covered) {
+    return Status::Internal("source ended before its declared length");
+  }
+  return FinishF1(counts, options, num_periods);
 }
 
 }  // namespace ppm

@@ -8,6 +8,7 @@
 #include "core/mining_options.h"
 #include "tsdb/series_source.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace ppm {
 
@@ -31,8 +32,25 @@ struct F1ScanResult {
 /// Honors `options.letter_filter` (filtered letters are dropped regardless
 /// of count). Fails when `options` are invalid for the source length or on
 /// source I/O errors.
+///
+/// With `options.num_threads` resolving to more than one worker, the
+/// covered prefix is materialized (still one scan) and the counting is
+/// sharded over whole period segments; the letter counts -- and therefore
+/// the resulting `F_1` -- are identical to the sequential scan.
 Result<F1ScanResult> ScanForF1(tsdb::SeriesSource& source,
                                const MiningOptions& options);
+
+/// Core of the first scan over already-materialized instants: counts
+/// letters over the `instants.size() / options.period` whole segments and
+/// applies the threshold and `options.letter_filter`.
+///
+/// When `pool` is non-null its workers each count a private table over a
+/// contiguous shard of segments; the tables are summed on the calling
+/// thread in chunk order, making the result identical to a sequential
+/// count. `options` must already be validated against the series length.
+F1ScanResult BuildF1FromInstants(const std::vector<tsdb::FeatureSet>& instants,
+                                 const MiningOptions& options,
+                                 ThreadPool* pool = nullptr);
 
 }  // namespace ppm
 

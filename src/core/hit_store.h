@@ -2,6 +2,7 @@
 #define PPM_CORE_HIT_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 
@@ -28,7 +29,29 @@ class HitStore {
   /// Registers one period segment whose maximal hit subpattern is `mask`.
   virtual void AddHit(const Bitset& mask) = 0;
 
+  /// Registers `count` hits of `mask` at once (bulk form used by `Merge`).
+  /// No-op when `count` is zero.
+  virtual void AddHits(const Bitset& mask, uint64_t count) = 0;
+
+  /// Invokes `fn(mask, count)` for every distinct stored max-subpattern
+  /// with a nonzero count.
+  virtual void ForEachHit(
+      const std::function<void(const Bitset&, uint64_t)>& fn) const = 0;
+
+  /// Folds every hit of `other` into this store. The parallel second scan
+  /// gives each worker a private store over its shard of period segments
+  /// and merges them (in deterministic chunk order) once the workers join;
+  /// `CountSuperpatterns` totals are additive, so the merged store answers
+  /// exactly as a store fed sequentially. `other` may use a different
+  /// backing (tree into hash and vice versa).
+  void Merge(const HitStore& other) {
+    other.ForEachHit(
+        [this](const Bitset& mask, uint64_t count) { AddHits(mask, count); });
+  }
+
   /// Sum of hit counts over stored masks that are supersets of `mask`.
+  /// Safe to call concurrently from multiple threads as long as no thread
+  /// is mutating the store (the parallel derivation's usage).
   virtual uint64_t CountSuperpatterns(const Bitset& mask) const = 0;
 
   /// Number of distinct stored max-subpatterns (`|H|`).
@@ -48,6 +71,15 @@ class TreeHitStore : public HitStore {
       : tree_(full_mask, num_letters) {}
 
   void AddHit(const Bitset& mask) override { tree_.Insert(mask); }
+  void AddHits(const Bitset& mask, uint64_t count) override {
+    tree_.Insert(mask, count);
+  }
+  void ForEachHit(const std::function<void(const Bitset&, uint64_t)>& fn)
+      const override {
+    tree_.ForEachNode([&fn](const Bitset& mask, uint64_t count) {
+      if (count > 0) fn(mask, count);
+    });
+  }
   uint64_t CountSuperpatterns(const Bitset& mask) const override {
     return tree_.CountSuperpatterns(mask);
   }
@@ -67,6 +99,13 @@ class HashHitStore : public HitStore {
   HashHitStore();
 
   void AddHit(const Bitset& mask) override { ++counts_[mask]; }
+  void AddHits(const Bitset& mask, uint64_t count) override {
+    if (count > 0) counts_[mask] += count;
+  }
+  void ForEachHit(const std::function<void(const Bitset&, uint64_t)>& fn)
+      const override {
+    for (const auto& [mask, count] : counts_) fn(mask, count);
+  }
   uint64_t CountSuperpatterns(const Bitset& mask) const override;
   uint64_t num_entries() const override { return counts_.size(); }
   uint64_t num_units() const override { return counts_.size(); }

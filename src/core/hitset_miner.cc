@@ -1,18 +1,136 @@
 #include "core/hitset_miner.h"
 
 #include <memory>
+#include <vector>
 
 #include "core/derivation.h"
 #include "core/f1_scan.h"
 #include "core/hit_store.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/materialize.h"
+#include "parallel/shard.h"
 #include "util/log.h"
+#include "util/thread_pool.h"
 
 namespace ppm {
 
+namespace {
+
+/// Sharded variant of Algorithm 3.2 (docs/PARALLELISM.md): materializes the
+/// covered prefix in one scan, then shards the F_1 count, the hit
+/// registration (private per-worker stores merged in chunk order), and the
+/// per-level candidate counting across `threads` workers. Patterns and
+/// counts are identical to the sequential miner; `stats().scans` is 1
+/// because the materialized buffer serves both logical scans.
+Result<MiningResult> MineHitSetSharded(tsdb::SeriesSource& source,
+                                       const MiningOptions& options,
+                                       uint32_t threads) {
+  obs::TraceSpan mine_span = obs::Tracer::Global().StartSpan("mine.hitset");
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Counter hits_inserted = registry.GetCounter("ppm.hitset.hits_inserted");
+  obs::Counter segments_skipped =
+      registry.GetCounter("ppm.hitset.segments_skipped");
+  obs::Histogram segment_letters =
+      registry.GetHistogram("ppm.hitset.segment_letters");
+
+  MiningResult result;
+  const uint64_t scans_before = source.stats().scans;
+  const uint64_t instants_before = source.stats().instants_read;
+
+  PPM_RETURN_IF_ERROR(options.Validate(source.length()));
+  const uint32_t period = options.period;
+  const uint64_t num_periods = source.length() / period;
+  PPM_ASSIGN_OR_RETURN(
+      const std::vector<tsdb::FeatureSet> instants,
+      parallel::MaterializePrefix(source, num_periods * period));
+
+  ThreadPool pool(threads);
+  registry.GetGauge("ppm.parallel.threads").Set(pool.size());
+
+  // Scan 1 (over the materialized buffer): frequent 1-patterns.
+  const F1ScanResult f1 = BuildF1FromInstants(instants, options, &pool);
+  result.stats().num_f1_letters = f1.space.size();
+  result.stats().num_periods = f1.num_periods;
+
+  std::unique_ptr<HitStore> store =
+      MakeHitStore(options.hit_store, f1.space.full_mask(), f1.space.size());
+
+  // Scan 2 (sharded): each worker registers the maximal hit subpattern of
+  // its own chunk of whole segments into a private store; the private
+  // stores are merged in chunk order, which keeps the merged tree identical
+  // run to run for a fixed thread count.
+  {
+    const obs::TraceSpan scan_span =
+        obs::Tracer::Global().StartSpan("second_scan");
+    std::vector<std::unique_ptr<HitStore>> shard_stores(pool.size());
+    for (auto& shard : shard_stores) {
+      shard = MakeHitStore(options.hit_store, f1.space.full_mask(),
+                           f1.space.size());
+    }
+    parallel::ShardTimings timings = parallel::ShardedRun(
+        pool, f1.num_periods, "second_scan",
+        [&](const ThreadPool::Chunk& chunk) {
+          HitStore& shard = *shard_stores[chunk.index];
+          Bitset segment_mask(f1.space.size());
+          for (uint64_t segment = chunk.begin; segment < chunk.end;
+               ++segment) {
+            f1.space.SegmentMask(&instants[segment * period], &segment_mask);
+            const uint32_t letters = segment_mask.Count();
+            segment_letters.Observe(letters);
+            if (letters >= 2) {
+              shard.AddHit(segment_mask);
+              hits_inserted.Inc();
+            } else {
+              segments_skipped.Inc();
+            }
+          }
+        });
+
+    obs::TraceSpan merge_span =
+        obs::Tracer::Global().StartSpan("second_scan.merge");
+    for (const auto& shard : shard_stores) {
+      if (shard != nullptr) store->Merge(*shard);
+    }
+    merge_span.End();
+    timings.merge_seconds = merge_span.ElapsedSeconds();
+    parallel::RecordShardMetrics(timings);
+  }
+
+  // Derivation: candidate counting partitioned across the same pool.
+  const DerivationStats derivation = DeriveFrequentPatterns(
+      f1, options.max_letters,
+      [&store](const Bitset& mask) { return store->CountSuperpatterns(mask); },
+      &result, &pool);
+
+  result.Canonicalize();
+  result.stats().candidates_evaluated = derivation.candidates_evaluated;
+  result.stats().max_level_reached = derivation.max_level_reached;
+  result.stats().hit_store_entries = store->num_entries();
+  result.stats().tree_nodes =
+      options.hit_store == HitStoreKind::kMaxSubpatternTree ? store->num_units()
+                                                            : 0;
+  result.stats().scans = source.stats().scans - scans_before;
+  result.stats().instants_read = source.stats().instants_read - instants_before;
+  mine_span.End();
+  result.stats().elapsed_seconds = mine_span.ElapsedSeconds();
+  registry.GetHistogram("ppm.mine.latency_us")
+      .Observe(static_cast<uint64_t>(result.stats().elapsed_seconds * 1e6));
+  PPM_LOG(kDebug) << "hit-set mine (sharded x" << pool.size()
+                  << "): " << result.size() << " patterns, |H|="
+                  << result.stats().hit_store_entries;
+  return result;
+}
+
+}  // namespace
+
 Result<MiningResult> MineHitSet(tsdb::SeriesSource& source,
                                 const MiningOptions& options) {
+  const uint32_t threads = ResolveThreadCount(options.num_threads);
+  if (threads > 1) {
+    return MineHitSetSharded(source, options, threads);
+  }
+
   obs::TraceSpan mine_span = obs::Tracer::Global().StartSpan("mine.hitset");
   auto& registry = obs::MetricsRegistry::Global();
   obs::Counter hits_inserted = registry.GetCounter("ppm.hitset.hits_inserted");

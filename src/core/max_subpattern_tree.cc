@@ -31,7 +31,8 @@ uint32_t MaxSubpatternTree::FindChild(const Node& node, uint32_t letter) const {
   return it->second;
 }
 
-void MaxSubpatternTree::Insert(const Bitset& mask) {
+void MaxSubpatternTree::Insert(const Bitset& mask, uint64_t count) {
+  if (count == 0) return;
   PPM_CHECK(mask.IsSubsetOf(nodes_[0].mask));
   inserts_counter_.Inc();
 
@@ -63,8 +64,8 @@ void MaxSubpatternTree::Insert(const Bitset& mask) {
   }
 
   if (nodes_[current].count == 0) ++num_hits_;
-  ++nodes_[current].count;
-  ++total_hit_count_;
+  nodes_[current].count += count;
+  total_hit_count_ += count;
 }
 
 uint64_t MaxSubpatternTree::CountSuperpatterns(const Bitset& mask) const {

@@ -39,7 +39,11 @@ class MaxSubpatternTree {
   /// Registers one hit of the max-subpattern `mask` (Algorithm 4.1).
   /// `mask` must be a subset of the full mask; callers are expected to skip
   /// hits with fewer than 2 letters (Section 3.1.2 stores only those).
-  void Insert(const Bitset& mask);
+  void Insert(const Bitset& mask) { Insert(mask, 1); }
+
+  /// Bulk form: registers `count` hits of `mask` along one path walk. Used
+  /// when merging per-worker shard trees; a no-op when `count` is zero.
+  void Insert(const Bitset& mask, uint64_t count);
 
   /// Total hit count of all stored nodes whose mask is a superset of
   /// `mask` -- the derived frequency count of the pattern `mask` denotes.

@@ -39,6 +39,16 @@ struct MiningOptions {
   /// Hit store used by the hit-set miner; ignored by other miners.
   HitStoreKind hit_store = HitStoreKind::kMaxSubpatternTree;
 
+  /// Worker threads for the hit-set and multi-period miners. 1 (the
+  /// default) runs the exact sequential code paths; 0 means "use the
+  /// hardware concurrency"; anything larger shards the scans, the
+  /// derivation, and the per-period loop across a thread pool (see
+  /// docs/PARALLELISM.md). Mined patterns and counts are identical at any
+  /// thread count; scan accounting differs (sharded runs materialize the
+  /// series once instead of re-scanning it). Ignored by the reference
+  /// (naive/apriori) miners.
+  uint32_t num_threads = 1;
+
   /// Optional restriction of the candidate letters considered after the
   /// first scan: a letter `(position, feature)` participates only when this
   /// returns true. Used by the multi-level drill-down miner to confine the

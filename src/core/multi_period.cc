@@ -2,13 +2,19 @@
 
 #include <map>
 #include <memory>
+#include <utility>
 
 #include "core/derivation.h"
 #include "core/f1_scan.h"
 #include "core/hit_store.h"
 #include "core/hitset_miner.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/materialize.h"
+#include "parallel/shard.h"
+#include "tsdb/series_source.h"
 #include "util/log.h"
+#include "util/thread_pool.h"
 
 namespace ppm {
 
@@ -28,6 +34,183 @@ Status ValidateRange(uint32_t period_low, uint32_t period_high,
   return Status::OK();
 }
 
+/// Concurrent variant of Algorithm 3.3: materializes the series once, then
+/// runs one independent single-period mining task per period on the pool.
+/// Each task mines its own `InMemorySeriesSource` over the shared buffer
+/// with `num_threads = 1` (no nested pools), so per-period results are
+/// byte-identical to the sequential loop; only `total_scans` differs (the
+/// one materializing scan instead of two per period).
+Result<MultiPeriodResult> MineMultiPeriodLoopedConcurrent(
+    tsdb::SeriesSource& source, uint32_t period_low, uint32_t period_high,
+    const MiningOptions& options, uint32_t threads) {
+  obs::TraceSpan span =
+      obs::Tracer::Global().StartSpan("mine.multi_period.looped");
+  PPM_RETURN_IF_ERROR(ValidateRange(period_low, period_high, source.length()));
+  const uint64_t scans_before = source.stats().scans;
+  const uint32_t num_ranges = period_high - period_low + 1;
+
+  PPM_ASSIGN_OR_RETURN(std::vector<tsdb::FeatureSet> instants,
+                       parallel::MaterializePrefix(source, source.length()));
+  tsdb::TimeSeries series;
+  for (tsdb::FeatureSet& instant : instants) series.Append(std::move(instant));
+
+  ThreadPool pool(threads);
+  obs::MetricsRegistry::Global().GetGauge("ppm.parallel.threads")
+      .Set(pool.size());
+
+  std::vector<Result<MiningResult>> slots;
+  slots.reserve(num_ranges);
+  for (uint32_t r = 0; r < num_ranges; ++r) {
+    slots.emplace_back(Status::Internal("period task never ran"));
+  }
+  for (uint32_t r = 0; r < num_ranges; ++r) {
+    pool.Submit([&series, &options, &slots, period_low, r] {
+      const obs::TraceSpan task_span =
+          obs::Tracer::Global().StartSpan("multi_period.task");
+      tsdb::InMemorySeriesSource task_source(&series);
+      MiningOptions per_period_options = options;
+      per_period_options.period = period_low + r;
+      per_period_options.num_threads = 1;
+      slots[r] = MineHitSet(task_source, per_period_options);
+    });
+  }
+  pool.Wait();
+
+  MultiPeriodResult result;
+  for (uint32_t r = 0; r < num_ranges; ++r) {
+    if (!slots[r].ok()) return slots[r].status();
+    result.per_period.emplace_back(period_low + r,
+                                   std::move(slots[r]).value());
+  }
+  result.total_scans = source.stats().scans - scans_before;
+  span.End();
+  result.elapsed_seconds = span.ElapsedSeconds();
+  PPM_LOG(kDebug) << "multi-period looped mine (concurrent x" << pool.size()
+                  << "): periods " << period_low << ".." << period_high;
+  return result;
+}
+
+/// Sharded variant of Algorithm 3.4: one materializing scan, per-period F_1
+/// built concurrently (one task per period), then scan 2 sharded so worker
+/// `w` feeds a private store set `worker_stores[w][r]` from its chunk of
+/// each period's segments; the private sets are merged worker-order at the
+/// end and derivation runs per period over the shared pool.
+Result<MultiPeriodResult> MineMultiPeriodSharedConcurrent(
+    tsdb::SeriesSource& source, uint32_t period_low, uint32_t period_high,
+    const MiningOptions& options, uint32_t threads) {
+  obs::TraceSpan span =
+      obs::Tracer::Global().StartSpan("mine.multi_period.shared");
+  PPM_RETURN_IF_ERROR(ValidateRange(period_low, period_high, source.length()));
+  const uint64_t scans_before = source.stats().scans;
+  const uint32_t num_ranges = period_high - period_low + 1;
+
+  PPM_ASSIGN_OR_RETURN(const std::vector<tsdb::FeatureSet> instants,
+                       parallel::MaterializePrefix(source, source.length()));
+  ThreadPool pool(threads);
+  obs::MetricsRegistry::Global().GetGauge("ppm.parallel.threads")
+      .Set(pool.size());
+
+  // --- Scan 1 (shared buffer): per-period F_1, one task per period. Each
+  // task writes only its own slot. ---
+  std::vector<F1ScanResult> f1(num_ranges);
+  {
+    const obs::TraceSpan scan1_span =
+        obs::Tracer::Global().StartSpan("shared_scan1");
+    for (uint32_t r = 0; r < num_ranges; ++r) {
+      pool.Submit([&instants, &options, &f1, period_low, r] {
+        MiningOptions per_period_options = options;
+        per_period_options.period = period_low + r;
+        f1[r] = BuildF1FromInstants(instants, per_period_options);
+      });
+    }
+    pool.Wait();
+  }
+
+  std::vector<std::unique_ptr<HitStore>> stores(num_ranges);
+  for (uint32_t r = 0; r < num_ranges; ++r) {
+    stores[r] = MakeHitStore(options.hit_store, f1[r].space.full_mask(),
+                             f1[r].space.size());
+  }
+
+  // --- Scan 2 (sharded): worker w walks its chunk of every period's whole
+  // segments into a private per-period store set. ---
+  {
+    const obs::TraceSpan scan2_span =
+        obs::Tracer::Global().StartSpan("shared_scan2");
+    std::vector<std::vector<std::unique_ptr<HitStore>>> worker_stores(
+        pool.size());
+    for (auto& store_set : worker_stores) {
+      store_set.resize(num_ranges);
+      for (uint32_t r = 0; r < num_ranges; ++r) {
+        store_set[r] = MakeHitStore(options.hit_store, f1[r].space.full_mask(),
+                                    f1[r].space.size());
+      }
+    }
+    parallel::ShardTimings timings = parallel::ShardedRun(
+        pool, pool.size(), "shared_scan2",
+        [&](const ThreadPool::Chunk& chunk) {
+          for (uint64_t w = chunk.begin; w < chunk.end; ++w) {
+            for (uint32_t r = 0; r < num_ranges; ++r) {
+              const uint32_t period = period_low + r;
+              const uint64_t num_periods = instants.size() / period;
+              const std::vector<ThreadPool::Chunk> segments =
+                  ThreadPool::SplitRange(num_periods, pool.size());
+              if (w >= segments.size()) continue;
+              Bitset segment_mask(f1[r].space.size());
+              for (uint64_t segment = segments[w].begin;
+                   segment < segments[w].end; ++segment) {
+                f1[r].space.SegmentMask(&instants[segment * period],
+                                        &segment_mask);
+                if (segment_mask.Count() >= 2) {
+                  worker_stores[w][r]->AddHit(segment_mask);
+                }
+              }
+            }
+          }
+        });
+
+    obs::TraceSpan merge_span =
+        obs::Tracer::Global().StartSpan("shared_scan2.merge");
+    for (uint32_t r = 0; r < num_ranges; ++r) {
+      for (const auto& store_set : worker_stores) {
+        stores[r]->Merge(*store_set[r]);
+      }
+    }
+    merge_span.End();
+    timings.merge_seconds = merge_span.ElapsedSeconds();
+    parallel::RecordShardMetrics(timings);
+  }
+
+  // --- Derivation per period, candidate counting over the shared pool. ---
+  MultiPeriodResult result;
+  for (uint32_t r = 0; r < num_ranges; ++r) {
+    MiningResult mined;
+    mined.stats().num_f1_letters = f1[r].space.size();
+    mined.stats().num_periods = f1[r].num_periods;
+    const DerivationStats derivation = DeriveFrequentPatterns(
+        f1[r], options.max_letters,
+        [&stores, r](const Bitset& mask) {
+          return stores[r]->CountSuperpatterns(mask);
+        },
+        &mined, &pool);
+    mined.Canonicalize();
+    mined.stats().candidates_evaluated = derivation.candidates_evaluated;
+    mined.stats().max_level_reached = derivation.max_level_reached;
+    mined.stats().hit_store_entries = stores[r]->num_entries();
+    mined.stats().tree_nodes =
+        options.hit_store == HitStoreKind::kMaxSubpatternTree
+            ? stores[r]->num_units()
+            : 0;
+    result.per_period.emplace_back(period_low + r, std::move(mined));
+  }
+  result.total_scans = source.stats().scans - scans_before;
+  span.End();
+  result.elapsed_seconds = span.ElapsedSeconds();
+  PPM_LOG(kDebug) << "multi-period shared mine (sharded x" << pool.size()
+                  << "): periods " << period_low << ".." << period_high;
+  return result;
+}
+
 }  // namespace
 
 const MiningResult* MultiPeriodResult::ForPeriod(uint32_t period) const {
@@ -41,6 +224,12 @@ Result<MultiPeriodResult> MineMultiPeriodLooped(tsdb::SeriesSource& source,
                                                 uint32_t period_low,
                                                 uint32_t period_high,
                                                 const MiningOptions& options) {
+  const uint32_t threads = ResolveThreadCount(options.num_threads);
+  if (threads > 1) {
+    return MineMultiPeriodLoopedConcurrent(source, period_low, period_high,
+                                           options, threads);
+  }
+
   obs::TraceSpan span =
       obs::Tracer::Global().StartSpan("mine.multi_period.looped");
   PPM_RETURN_IF_ERROR(ValidateRange(period_low, period_high, source.length()));
@@ -64,6 +253,12 @@ Result<MultiPeriodResult> MineMultiPeriodShared(tsdb::SeriesSource& source,
                                                 uint32_t period_low,
                                                 uint32_t period_high,
                                                 const MiningOptions& options) {
+  const uint32_t threads = ResolveThreadCount(options.num_threads);
+  if (threads > 1) {
+    return MineMultiPeriodSharedConcurrent(source, period_low, period_high,
+                                           options, threads);
+  }
+
   obs::TraceSpan span =
       obs::Tracer::Global().StartSpan("mine.multi_period.shared");
   PPM_RETURN_IF_ERROR(ValidateRange(period_low, period_high, source.length()));

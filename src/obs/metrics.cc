@@ -86,55 +86,75 @@ std::string MetricsSnapshot::ToJson() const {
 Histogram::Cell Histogram::sink_;
 
 Counter MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
-    it = counters_.emplace(std::string(name), 0).first;
+    it = counters_.try_emplace(std::string(name), 0).first;
   }
   return Counter(&it->second);
 }
 
 Gauge MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
-    it = gauges_.emplace(std::string(name), 0).first;
+    it = gauges_.try_emplace(std::string(name), 0).first;
   }
   return Gauge(&it->second);
 }
 
 Histogram MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
-    it = histograms_.emplace(std::string(name), Histogram::Cell()).first;
+    it = histograms_.try_emplace(std::string(name)).first;
   }
   return Histogram(&it->second);
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snapshot;
   snapshot.counters.reserve(counters_.size());
   for (const auto& [name, value] : counters_) {
-    snapshot.counters.emplace_back(name, value);
+    snapshot.counters.emplace_back(name,
+                                   value.load(std::memory_order_relaxed));
   }
   snapshot.gauges.reserve(gauges_.size());
   for (const auto& [name, value] : gauges_) {
-    snapshot.gauges.emplace_back(name, value);
+    snapshot.gauges.emplace_back(name, value.load(std::memory_order_relaxed));
   }
   snapshot.histograms.reserve(histograms_.size());
   for (const auto& [name, cell] : histograms_) {
     HistogramData data;
-    data.buckets.assign(cell.buckets, cell.buckets + Histogram::kNumBuckets);
-    data.count = cell.count;
-    data.sum = cell.sum;
-    data.max = cell.max;
+    data.buckets.reserve(Histogram::kNumBuckets);
+    for (uint32_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      data.buckets.push_back(cell.buckets[i].load(std::memory_order_relaxed));
+    }
+    data.count = cell.count.load(std::memory_order_relaxed);
+    data.sum = cell.sum.load(std::memory_order_relaxed);
+    data.max = cell.max.load(std::memory_order_relaxed);
     snapshot.histograms.emplace_back(name, std::move(data));
   }
   return snapshot;
 }
 
 void MetricsRegistry::Reset() {
-  for (auto& [name, value] : counters_) value = 0;
-  for (auto& [name, value] : gauges_) value = 0;
-  for (auto& [name, cell] : histograms_) cell = Histogram::Cell();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, value] : counters_) {
+    value.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, value] : gauges_) {
+    value.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, cell] : histograms_) {
+    for (uint32_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      cell.buckets[i].store(0, std::memory_order_relaxed);
+    }
+    cell.count.store(0, std::memory_order_relaxed);
+    cell.sum.store(0, std::memory_order_relaxed);
+    cell.max.store(0, std::memory_order_relaxed);
+  }
 }
 
 MetricsRegistry& MetricsRegistry::Global() {

@@ -1,8 +1,10 @@
 #ifndef PPM_OBS_METRICS_H_
 #define PPM_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -50,24 +52,27 @@ struct MetricsSnapshot {
 #ifndef PPM_OBS_DISABLED
 
 /// Monotonically increasing event tally. A `Counter` is a copyable handle
-/// onto a cell owned by its `MetricsRegistry`; bumping it is a plain
-/// `uint64_t` add, cheap enough for per-instant hot loops. Handles stay
-/// valid for the registry's lifetime (including across `Reset()`).
+/// onto a cell owned by its `MetricsRegistry`; bumping it is one relaxed
+/// atomic add, cheap enough for per-instant hot loops and safe to call from
+/// the parallel miners' worker threads. Handles stay valid for the
+/// registry's lifetime (including across `Reset()`).
 class Counter {
  public:
   /// Unbound handle; increments go to a shared sink cell. Lets callers hold
   /// a `Counter` member before binding.
   Counter() = default;
 
-  void Inc(uint64_t delta = 1) const { *cell_ += delta; }
-  uint64_t value() const { return *cell_; }
+  void Inc(uint64_t delta = 1) const {
+    cell_->fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return cell_->load(std::memory_order_relaxed); }
 
  private:
   friend class MetricsRegistry;
-  explicit Counter(uint64_t* cell) : cell_(cell) {}
+  explicit Counter(std::atomic<uint64_t>* cell) : cell_(cell) {}
 
-  inline static uint64_t sink_ = 0;
-  uint64_t* cell_ = &sink_;
+  inline static std::atomic<uint64_t> sink_{0};
+  std::atomic<uint64_t>* cell_ = &sink_;
 };
 
 /// Last-write-wins instantaneous value (sizes, levels, fan-outs).
@@ -75,16 +80,20 @@ class Gauge {
  public:
   Gauge() = default;
 
-  void Set(uint64_t value) const { *cell_ = value; }
-  void Add(uint64_t delta) const { *cell_ += delta; }
-  uint64_t value() const { return *cell_; }
+  void Set(uint64_t value) const {
+    cell_->store(value, std::memory_order_relaxed);
+  }
+  void Add(uint64_t delta) const {
+    cell_->fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return cell_->load(std::memory_order_relaxed); }
 
  private:
   friend class MetricsRegistry;
-  explicit Gauge(uint64_t* cell) : cell_(cell) {}
+  explicit Gauge(std::atomic<uint64_t>* cell) : cell_(cell) {}
 
-  inline static uint64_t sink_ = 0;
-  uint64_t* cell_ = &sink_;
+  inline static std::atomic<uint64_t> sink_{0};
+  std::atomic<uint64_t>* cell_ = &sink_;
 };
 
 /// Fixed-bucket exponential histogram for latencies and sizes.
@@ -100,14 +109,17 @@ class Histogram {
   Histogram() = default;
 
   void Observe(uint64_t value) const {
-    cell_->buckets[BucketIndex(value)] += 1;
-    cell_->count += 1;
-    cell_->sum += value;
-    if (value > cell_->max) cell_->max = value;
+    cell_->buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    cell_->count.fetch_add(1, std::memory_order_relaxed);
+    cell_->sum.fetch_add(value, std::memory_order_relaxed);
+    uint64_t seen = cell_->max.load(std::memory_order_relaxed);
+    while (value > seen && !cell_->max.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
   }
 
-  uint64_t count() const { return cell_->count; }
-  uint64_t sum() const { return cell_->sum; }
+  uint64_t count() const { return cell_->count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return cell_->sum.load(std::memory_order_relaxed); }
 
   static uint32_t BucketIndex(uint64_t value) {
     uint32_t width = 0;
@@ -129,10 +141,10 @@ class Histogram {
   friend class MetricsRegistry;
 
   struct Cell {
-    uint64_t buckets[kNumBuckets] = {};
-    uint64_t count = 0;
-    uint64_t sum = 0;
-    uint64_t max = 0;
+    std::atomic<uint64_t> buckets[kNumBuckets] = {};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> max{0};
   };
 
   explicit Histogram(Cell* cell) : cell_(cell) {}
@@ -146,8 +158,12 @@ class Histogram {
 /// handle; the same name always maps to the same cell. Counters, gauges,
 /// and histograms live in separate namespaces.
 ///
-/// Not thread-safe: miners are single-threaded today, and the planned
-/// sharding design gives each worker its own registry merged at the end.
+/// Thread-safe: registration and snapshots serialize on a mutex, and the
+/// handles update their cells with relaxed atomics, so the parallel miners'
+/// workers record into the shared registry directly (see
+/// docs/PARALLELISM.md for the memory model). `Snapshot()`/`Reset()` taken
+/// while workers are mid-update see each cell atomically but not the set of
+/// cells as one consistent cut; miners merge/join before reporting.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -169,8 +185,9 @@ class MetricsRegistry {
 
  private:
   // std::map nodes never move, so handles can point into them.
-  std::map<std::string, uint64_t, std::less<>> counters_;
-  std::map<std::string, uint64_t, std::less<>> gauges_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::atomic<uint64_t>, std::less<>> counters_;
+  std::map<std::string, std::atomic<uint64_t>, std::less<>> gauges_;
   std::map<std::string, Histogram::Cell, std::less<>> histograms_;
 };
 

@@ -35,18 +35,15 @@ TraceSpan& TraceSpan::operator=(TraceSpan&& other) noexcept {
 
 void TraceSpan::End() {
   if (tracer_ == nullptr) return;
-  if (generation_ == tracer_->generation_) {
-    tracer_->EndSpan(index_);
-    elapsed_after_end_ =
-        static_cast<double>(tracer_->events_[index_].dur_us) * 1e-6;
-  }
+  const double elapsed = tracer_->CloseSpan(index_, generation_);
+  if (elapsed >= 0.0) elapsed_after_end_ = elapsed;
   tracer_ = nullptr;
 }
 
 double TraceSpan::ElapsedSeconds() const {
-  if (tracer_ != nullptr && generation_ == tracer_->generation_) {
-    const TraceEvent& event = tracer_->events_[index_];
-    return static_cast<double>(tracer_->NowUs() - event.start_us) * 1e-6;
+  if (tracer_ != nullptr) {
+    const double elapsed = tracer_->SpanElapsed(index_, generation_);
+    if (elapsed >= 0.0) return elapsed;
   }
   return elapsed_after_end_;
 }
@@ -61,6 +58,7 @@ uint64_t Tracer::NowUs() const {
 }
 
 TraceSpan Tracer::StartSpan(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
   TraceEvent event;
   event.name = std::move(name);
   event.start_us = NowUs();
@@ -70,14 +68,24 @@ TraceSpan Tracer::StartSpan(std::string name) {
   return TraceSpan(this, events_.size() - 1, generation_);
 }
 
-void Tracer::EndSpan(size_t index) {
+double Tracer::CloseSpan(size_t index, uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation != generation_) return -1.0;
   TraceEvent& event = events_[index];
   const uint64_t now = NowUs();
   event.dur_us = now > event.start_us ? now - event.start_us : 0;
   if (open_spans_ > 0) --open_spans_;
+  return static_cast<double>(event.dur_us) * 1e-6;
+}
+
+double Tracer::SpanElapsed(size_t index, uint64_t generation) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation != generation_) return -1.0;
+  return static_cast<double>(NowUs() - events_[index].start_us) * 1e-6;
 }
 
 void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
   open_spans_ = 0;
   ++generation_;
@@ -85,6 +93,7 @@ void Tracer::Clear() {
 }
 
 bool Tracer::HasSpan(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const TraceEvent& event : events_) {
     if (event.name == name) return true;
   }
@@ -92,6 +101,7 @@ bool Tracer::HasSpan(std::string_view name) const {
 }
 
 std::string Tracer::ToChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   JsonWriter w;
   w.BeginArray();
   for (const TraceEvent& event : events_) {

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -59,7 +60,11 @@ class TraceSpan {
 /// time, exportable in Chrome's `trace_event` JSON format
 /// (load via chrome://tracing or https://ui.perfetto.dev).
 ///
-/// Single-threaded, like the miners it instruments.
+/// Thread-safe behind a mutex: the parallel miners open per-worker spans
+/// from pool threads. Spans are coarse (phases, not per-item work), so the
+/// lock is uncontended in practice. `events()` returns a reference into the
+/// tracer and must only be read when no spans are being opened or closed
+/// concurrently (i.e. after workers have joined).
 class Tracer {
  public:
   Tracer();
@@ -93,8 +98,15 @@ class Tracer {
   friend class TraceSpan;
 
   uint64_t NowUs() const;
-  void EndSpan(size_t index);
 
+  /// Ends the span if `generation` is still current and returns its final
+  /// duration in seconds; returns a negative value for orphaned spans.
+  double CloseSpan(size_t index, uint64_t generation);
+
+  /// Live elapsed seconds of an open span; negative when orphaned.
+  double SpanElapsed(size_t index, uint64_t generation) const;
+
+  mutable std::mutex mu_;
   std::chrono::steady_clock::time_point epoch_;
   std::vector<TraceEvent> events_;
   uint32_t open_spans_ = 0;

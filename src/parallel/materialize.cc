@@ -1,0 +1,27 @@
+#include "parallel/materialize.h"
+
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace ppm::parallel {
+
+Result<std::vector<tsdb::FeatureSet>> MaterializePrefix(
+    tsdb::SeriesSource& source, uint64_t limit) {
+  const obs::TraceSpan span =
+      obs::Tracer::Global().StartSpan("materialize");
+  std::vector<tsdb::FeatureSet> instants;
+  instants.reserve(limit);
+  PPM_RETURN_IF_ERROR(source.StartScan());
+  tsdb::FeatureSet instant;
+  while (instants.size() < limit && source.Next(&instant)) {
+    instants.push_back(instant);
+  }
+  PPM_RETURN_IF_ERROR(source.status());
+  if (instants.size() < limit) {
+    return Status::Internal("source ended before its declared length");
+  }
+  return instants;
+}
+
+}  // namespace ppm::parallel

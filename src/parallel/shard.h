@@ -1,0 +1,38 @@
+#ifndef PPM_PARALLEL_SHARD_H_
+#define PPM_PARALLEL_SHARD_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace ppm::parallel {
+
+/// Wall-clock busy time of each worker over one sharded region, indexed by
+/// chunk. Recorded by `ShardedRun` and folded into the global metrics by the
+/// calling (main) thread.
+struct ShardTimings {
+  std::vector<double> worker_seconds;
+  double merge_seconds = 0.0;
+};
+
+/// Runs `fn(chunk)` over `[0, n)` via `pool.ParallelFor`, wrapping each
+/// chunk in a per-worker trace span named `<phase>.shard` and timing it.
+///
+/// Returns per-chunk busy times; after the call (all workers joined) the
+/// caller merges per-chunk state in chunk order for deterministic output.
+ShardTimings ShardedRun(ThreadPool& pool, uint64_t n, const std::string& phase,
+                        const std::function<void(const ThreadPool::Chunk&)>& fn);
+
+/// Publishes one sharded region's cost model into the global registry:
+///   ppm.parallel.shards            counter  chunks executed
+///   ppm.parallel.worker_busy_us    histogram  per-chunk busy time
+///   ppm.parallel.merge_us          counter  main-thread merge time
+/// `timings.merge_seconds` is set by the caller once its merge finished.
+void RecordShardMetrics(const ShardTimings& timings);
+
+}  // namespace ppm::parallel
+
+#endif  // PPM_PARALLEL_SHARD_H_

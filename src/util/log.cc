@@ -1,6 +1,7 @@
 #include "util/log.h"
 
 #include <iostream>
+#include <mutex>
 
 namespace ppm {
 
@@ -8,6 +9,8 @@ namespace {
 
 LogLevel g_level = LogLevel::kWarn;
 std::ostream* g_sink = nullptr;
+// Serializes whole lines so messages from pool workers don't interleave.
+std::mutex g_sink_mu;
 
 }  // namespace
 
@@ -49,6 +52,7 @@ namespace internal {
 LogMessage::LogMessage(LogLevel level) : level_(level) {}
 
 LogMessage::~LogMessage() {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
   std::ostream& sink = g_sink != nullptr ? *g_sink : std::cerr;
   sink << "[" << LogLevelToString(level_) << "] " << stream_.str() << "\n";
   sink.flush();

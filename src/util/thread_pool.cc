@@ -1,0 +1,94 @@
+#include "util/thread_pool.h"
+
+#include <utility>
+
+namespace ppm {
+
+uint32_t ResolveThreadCount(uint32_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<uint32_t>(hardware);
+}
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+    ++in_flight_;
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+std::vector<ThreadPool::Chunk> ThreadPool::SplitRange(uint64_t n,
+                                                      uint32_t num_chunks) {
+  std::vector<Chunk> chunks;
+  if (n == 0 || num_chunks == 0) return chunks;
+  const uint64_t k = num_chunks < n ? num_chunks : n;
+  chunks.reserve(k);
+  for (uint64_t c = 0; c < k; ++c) {
+    Chunk chunk;
+    chunk.index = static_cast<uint32_t>(c);
+    chunk.begin = n * c / k;
+    chunk.end = n * (c + 1) / k;
+    chunks.push_back(chunk);
+  }
+  return chunks;
+}
+
+void ThreadPool::ParallelFor(uint64_t n,
+                             const std::function<void(const Chunk&)>& fn) {
+  const std::vector<Chunk> chunks = SplitRange(n, size());
+  if (chunks.empty()) return;
+  if (chunks.size() == 1) {
+    // Degenerate split: run inline, skipping the queue round-trip.
+    fn(chunks[0]);
+    return;
+  }
+  for (const Chunk& chunk : chunks) {
+    Submit([&fn, chunk] { fn(chunk); });
+  }
+  Wait();
+}
+
+}  // namespace ppm

@@ -1,0 +1,83 @@
+#ifndef PPM_UTIL_THREAD_POOL_H_
+#define PPM_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ppm {
+
+/// Resolves a `MiningOptions::num_threads`-style request to a worker count:
+/// 0 means "use the hardware concurrency", anything else is taken literally.
+/// Never returns 0.
+uint32_t ResolveThreadCount(uint32_t requested);
+
+/// A fixed-size pool of worker threads executing submitted closures in FIFO
+/// order.
+///
+/// The pool is deliberately small: `Submit` + `Wait` for task-per-item
+/// dispatch (concurrent multi-period mining) and `ParallelFor` for sharded
+/// index-range loops (the scans and derivation). Tasks must not throw --
+/// the library reports errors through `Status` values captured by the
+/// closures, never exceptions.
+///
+/// Determinism contract: `ParallelFor` always splits `[0, n)` into the same
+/// contiguous chunks for a given `(n, num_chunks)`, so callers that merge
+/// per-chunk results in chunk order get run-to-run identical output
+/// regardless of execution interleaving.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (minimum 1).
+  explicit ThreadPool(uint32_t num_threads);
+
+  /// Joins all workers after draining outstanding tasks.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  uint32_t size() const { return static_cast<uint32_t>(workers_.size()); }
+
+  /// Enqueues one task for asynchronous execution.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  /// One contiguous chunk of an index range (see `SplitRange`).
+  struct Chunk {
+    uint32_t index = 0;
+    uint64_t begin = 0;
+    uint64_t end = 0;
+  };
+
+  /// Splits `[0, n)` into at most `num_chunks` non-empty contiguous chunks
+  /// of near-equal size (fewer when `n < num_chunks`). Deterministic.
+  static std::vector<Chunk> SplitRange(uint64_t n, uint32_t num_chunks);
+
+  /// Runs `fn(chunk)` for every chunk of `SplitRange(n, size())` on the
+  /// workers and blocks until all chunks complete. Chunks are disjoint, so
+  /// `fn` may write to per-chunk state without synchronization.
+  void ParallelFor(uint64_t n,
+                   const std::function<void(const Chunk&)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  uint64_t in_flight_ = 0;  // queued + currently executing tasks
+  bool shutdown_ = false;
+};
+
+}  // namespace ppm
+
+#endif  // PPM_UTIL_THREAD_POOL_H_

@@ -1,0 +1,112 @@
+// Determinism of the sharded miners: for a fixed input, min_conf, and
+// thread count, repeated runs must produce byte-identical serialized
+// results (same patterns, same canonical order, bit-equal counts and
+// confidences) regardless of worker scheduling. Chunking is deterministic
+// and per-chunk results merge in chunk order, so this must hold exactly.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/hitset_miner.h"
+#include "core/multi_period.h"
+#include "diff_harness.h"
+#include "tsdb/series_source.h"
+
+namespace ppm {
+namespace {
+
+using diff::DiffConfig;
+using diff::MakeRandomSeries;
+using diff::Serialize;
+using tsdb::InMemorySeriesSource;
+using tsdb::TimeSeries;
+
+DiffConfig BigConfig() {
+  DiffConfig config;
+  config.seed = 20260806;
+  config.period = 12;
+  config.num_features = 18;
+  config.num_segments = 80;
+  config.feature_prob = 0.45;
+  config.min_confidence = 0.4;
+  return config;
+}
+
+TEST(DeterminismTest, TenRunsAtEightThreadsAreByteIdentical) {
+  const TimeSeries series = MakeRandomSeries(BigConfig());
+  MiningOptions options;
+  options.period = BigConfig().period;
+  options.min_confidence = BigConfig().min_confidence;
+  options.num_threads = 8;
+
+  std::string reference;
+  for (int run = 0; run < 10; ++run) {
+    InMemorySeriesSource source(&series);
+    const auto mined = MineHitSet(source, options);
+    ASSERT_TRUE(mined.ok()) << mined.status();
+    const std::string serialized = Serialize(*mined, series.symbols());
+    if (run == 0) {
+      reference = serialized;
+      ASSERT_FALSE(reference.empty());
+    } else {
+      ASSERT_EQ(serialized, reference) << "run " << run << " diverged";
+    }
+  }
+}
+
+TEST(DeterminismTest, ThreadCountDoesNotChangeResults) {
+  const TimeSeries series = MakeRandomSeries(BigConfig());
+  MiningOptions options;
+  options.period = BigConfig().period;
+  options.min_confidence = BigConfig().min_confidence;
+
+  std::string reference;
+  for (const uint32_t threads : {1u, 2u, 8u}) {
+    options.num_threads = threads;
+    InMemorySeriesSource source(&series);
+    const auto mined = MineHitSet(source, options);
+    ASSERT_TRUE(mined.ok()) << mined.status();
+    const std::string serialized = Serialize(*mined, series.symbols());
+    if (threads == 1) {
+      reference = serialized;
+      ASSERT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(serialized, reference) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(DeterminismTest, MultiPeriodMinersAreDeterministicAtEightThreads) {
+  const TimeSeries series = MakeRandomSeries(BigConfig());
+  MiningOptions options;
+  options.min_confidence = BigConfig().min_confidence;
+  options.num_threads = 8;
+
+  for (const bool shared : {false, true}) {
+    std::string reference;
+    for (int run = 0; run < 3; ++run) {
+      InMemorySeriesSource source(&series);
+      const auto mined =
+          shared ? MineMultiPeriodShared(source, 6, 14, options)
+                 : MineMultiPeriodLooped(source, 6, 14, options);
+      ASSERT_TRUE(mined.ok()) << mined.status();
+      std::string serialized;
+      for (const auto& [period, result] : mined->per_period) {
+        serialized += "period " + std::to_string(period) + "\n";
+        serialized += Serialize(result, series.symbols());
+      }
+      if (run == 0) {
+        reference = serialized;
+        ASSERT_FALSE(reference.empty());
+      } else {
+        ASSERT_EQ(serialized, reference)
+            << (shared ? "shared" : "looped") << " run " << run;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppm

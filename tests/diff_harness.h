@@ -1,0 +1,96 @@
+#ifndef PPM_TESTS_DIFF_HARNESS_H_
+#define PPM_TESTS_DIFF_HARNESS_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "core/mining_result.h"
+#include "tsdb/time_series.h"
+#include "util/random.h"
+
+namespace ppm::diff {
+
+/// One randomized differential-testing workload, fully determined by `seed`
+/// (log the seed and any failure is reproducible).
+struct DiffConfig {
+  uint64_t seed = 0;
+  uint32_t period = 4;
+  uint32_t num_features = 5;
+  uint32_t num_segments = 12;
+  double feature_prob = 0.5;
+  double min_confidence = 0.5;
+};
+
+/// Derives a workload from a seed. Dimensions are chosen so the observed
+/// letter count stays within `MineExhaustive`'s enumeration limit
+/// (`period * num_features <= 21`).
+inline DiffConfig RandomDiffConfig(uint64_t seed) {
+  Rng rng(seed * 2654435761u + 1);
+  DiffConfig config;
+  config.seed = seed;
+  config.period = 3 + static_cast<uint32_t>(rng.NextBelow(5));  // 3..7
+  config.num_features = 2 + static_cast<uint32_t>(
+                                rng.NextBelow(21 / config.period - 1));
+  config.num_segments = 6 + static_cast<uint32_t>(rng.NextBelow(25));
+  config.feature_prob = 0.2 + 0.5 * rng.NextDouble();
+  config.min_confidence = 0.25 + 0.5 * rng.NextDouble();
+  return config;
+}
+
+/// Random series with positionally correlated features (feature `f` fires
+/// at offset `f % period` with elevated probability) plus a trailing
+/// partial segment, which every miner must ignore.
+inline tsdb::TimeSeries MakeRandomSeries(const DiffConfig& config) {
+  Rng rng(config.seed);
+  tsdb::TimeSeries series;
+  for (uint32_t f = 0; f < config.num_features; ++f) {
+    series.symbols().Intern("f" + std::to_string(f));
+  }
+  const uint64_t length =
+      uint64_t{config.num_segments} * config.period + config.period / 2;
+  for (uint64_t t = 0; t < length; ++t) {
+    tsdb::FeatureSet instant;
+    for (uint32_t f = 0; f < config.num_features; ++f) {
+      const bool aligned = (t % config.period) == (f % config.period);
+      const double p =
+          aligned ? config.feature_prob : config.feature_prob / 4;
+      if (rng.NextBool(p)) instant.Set(f);
+    }
+    series.Append(std::move(instant));
+  }
+  return series;
+}
+
+/// Pattern -> count map for order-insensitive cross-miner comparison.
+inline std::map<std::string, uint64_t> CountMap(
+    const MiningResult& result, const tsdb::SymbolTable& symbols) {
+  std::map<std::string, uint64_t> out;
+  for (const FrequentPattern& entry : result.patterns()) {
+    out[entry.pattern.Format(symbols)] = entry.count;
+  }
+  return out;
+}
+
+/// Canonical byte-exact serialization of a result: one line per pattern in
+/// the result's own (canonicalized) order, with the count and the full
+/// round-trip representation of the confidence. Two runs that produce the
+/// same patterns in the same order with bit-equal confidences serialize
+/// identically.
+inline std::string Serialize(const MiningResult& result,
+                             const tsdb::SymbolTable& symbols) {
+  std::string out;
+  for (const FrequentPattern& entry : result.patterns()) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "\t%llu\t%.17g\n",
+                  static_cast<unsigned long long>(entry.count),
+                  entry.confidence);
+    out += entry.pattern.Format(symbols);
+    out += buffer;
+  }
+  return out;
+}
+
+}  // namespace ppm::diff
+
+#endif  // PPM_TESTS_DIFF_HARNESS_H_

@@ -1,0 +1,125 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace ppm {
+namespace {
+
+TEST(ResolveThreadCountTest, LiteralAndHardwareRequests) {
+  EXPECT_EQ(ResolveThreadCount(1), 1u);
+  EXPECT_EQ(ResolveThreadCount(7), 7u);
+  EXPECT_GE(ResolveThreadCount(0), 1u);  // hardware concurrency, never 0
+}
+
+TEST(SplitRangeTest, CoversRangeWithDisjointOrderedChunks) {
+  for (const uint64_t n : {1ull, 2ull, 7ull, 64ull, 1000ull, 1001ull}) {
+    for (const uint32_t k : {1u, 2u, 3u, 8u, 64u}) {
+      const auto chunks = ThreadPool::SplitRange(n, k);
+      ASSERT_FALSE(chunks.empty());
+      ASSERT_LE(chunks.size(), static_cast<size_t>(k));
+      ASSERT_LE(chunks.size(), n);
+      uint64_t expected_begin = 0;
+      for (size_t c = 0; c < chunks.size(); ++c) {
+        EXPECT_EQ(chunks[c].index, c);
+        EXPECT_EQ(chunks[c].begin, expected_begin);
+        EXPECT_GT(chunks[c].end, chunks[c].begin);  // never empty
+        expected_begin = chunks[c].end;
+      }
+      EXPECT_EQ(expected_begin, n);
+    }
+  }
+}
+
+TEST(SplitRangeTest, EmptyRangeAndZeroChunks) {
+  EXPECT_TRUE(ThreadPool::SplitRange(0, 4).empty());
+  EXPECT_TRUE(ThreadPool::SplitRange(10, 0).empty());
+}
+
+TEST(SplitRangeTest, IsDeterministic) {
+  const auto a = ThreadPool::SplitRange(12345, 7);
+  const auto b = ThreadPool::SplitRange(12345, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t c = 0; c < a.size(); ++c) {
+    EXPECT_EQ(a[c].begin, b[c].begin);
+    EXPECT_EQ(a[c].end, b[c].end);
+  }
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<uint32_t>> visits(1000);
+  pool.ParallelFor(visits.size(), [&visits](const ThreadPool::Chunk& chunk) {
+    for (uint64_t i = chunk.begin; i < chunk.end; ++i) {
+      visits[i].fetch_add(1);
+    }
+  });
+  for (const auto& count : visits) EXPECT_EQ(count.load(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForShardedSumMatchesSequential) {
+  ThreadPool pool(4);
+  std::vector<uint64_t> values(10000);
+  std::iota(values.begin(), values.end(), 1);
+  std::vector<uint64_t> partial(pool.size(), 0);
+  pool.ParallelFor(values.size(), [&](const ThreadPool::Chunk& chunk) {
+    for (uint64_t i = chunk.begin; i < chunk.end; ++i) {
+      partial[chunk.index] += values[i];
+    }
+  });
+  const uint64_t total =
+      std::accumulate(partial.begin(), partial.end(), uint64_t{0});
+  EXPECT_EQ(total, 10000ull * 10001 / 2);
+}
+
+TEST(ThreadPoolTest, ParallelForWithFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(3, [&counter](const ThreadPool::Chunk& chunk) {
+    counter.fetch_add(static_cast<int>(chunk.end - chunk.begin));
+  });
+  EXPECT_EQ(counter.load(), 3);
+  pool.ParallelFor(0, [&counter](const ThreadPool::Chunk&) {
+    counter.fetch_add(1000);  // must never run
+  });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPoolTest, SinglethreadedPoolStillCompletesWork) {
+  ThreadPool pool(1);
+  uint64_t sum = 0;  // single worker: no synchronization needed
+  pool.ParallelFor(100, [&sum](const ThreadPool::Chunk& chunk) {
+    for (uint64_t i = chunk.begin; i < chunk.end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 99ull * 100 / 2);
+}
+
+}  // namespace
+}  // namespace ppm
