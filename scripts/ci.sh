@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 build + tests with warnings as errors, a CLI smoke test
-# that validates the emitted stats/trace JSON actually parses, and a
-# sanitizer matrix (TSan + ASan) over the concurrency-sensitive tests.
+# that validates the emitted stats/trace JSON actually parses, a
+# fault-injection smoke job (corruption harness under a nonzero fault seed,
+# deadline and budget exit codes), and a sanitizer matrix (TSan + ASan +
+# UBSan) over the concurrency- and corruption-sensitive tests.
 #
 # -Wno-error=restrict: GCC 12's libstdc++ emits known-false -Wrestrict
 # warnings from std::string concatenation in a few test files.
@@ -64,13 +66,39 @@ assert {"f1_scan", "second_scan"} <= trace_names, trace_names
 print("smoke OK: stats and trace JSON validate")
 EOF
 
-# Sanitizer matrix: the parallel miners, thread pool, and streaming layer
-# under TSan (data races) and ASan (memory errors). Only the tests that
-# exercise threads or own tricky memory are run -- a full suite per
-# sanitizer would triple CI time for no extra coverage.
-SANITIZER_TESTS='util_thread_pool_test|parallel_mine_test|differential_test|determinism_test|boundary_test|stream_test'
+# Fault-injection smoke: the corruption harness under a nonzero fault seed
+# (different flipped bits than the default run), plus the robustness exit
+# codes from a real binary -- a 1 ms deadline on a large series must exit 5
+# and a 1 MB budget with --budget-policy fail must exit 6
+# (docs/ROBUSTNESS.md). --num-f1 30 makes the Property 3.2 bound the number
+# of periods (10000), so the predicted tree bytes (~2 MB) exceed the 1 MB
+# budget deterministically.
+PPM_FAULT_SEED=20260806 ctest --test-dir "$BUILD_DIR" \
+  -R 'tsdb_corruption_test' --output-on-failure
+"$PPM" generate --output "$SMOKE_DIR/big.bin" \
+  --length 500000 --period 50 --num-f1 30 --seed 11
+set +e
+"$PPM" mine --input "$SMOKE_DIR/big.bin" --period 50 --min-conf 0.8 \
+  --deadline-ms 1 2> "$SMOKE_DIR/deadline.err"
+DEADLINE_EXIT=$?
+"$PPM" mine --input "$SMOKE_DIR/big.bin" --period 50 --min-conf 0.8 \
+  --memory-budget-mb 1 --budget-policy fail 2> "$SMOKE_DIR/budget.err"
+BUDGET_EXIT=$?
+set -e
+[[ "$DEADLINE_EXIT" == 5 ]] || { echo "deadline exit was $DEADLINE_EXIT, want 5"; exit 1; }
+grep -q "DeadlineExceeded" "$SMOKE_DIR/deadline.err"
+[[ "$BUDGET_EXIT" == 6 ]] || { echo "budget exit was $BUDGET_EXIT, want 6"; exit 1; }
+grep -q "ResourceExhausted" "$SMOKE_DIR/budget.err"
+echo "fault smoke OK: corruption harness, deadline exit 5, budget exit 6"
+
+# Sanitizer matrix: the parallel miners, thread pool, streaming layer, and
+# the corruption/fault-injection harnesses under TSan (data races), ASan
+# (memory errors), and UBSan (undefined behaviour). Only the tests that
+# exercise threads, tricky memory, or hostile bytes are run -- a full suite
+# per sanitizer would triple CI time for no extra coverage.
+SANITIZER_TESTS='util_thread_pool_test|parallel_mine_test|differential_test|determinism_test|boundary_test|stream_test|tsdb_corruption_test|tsdb_fault_injection_test|fault_tolerance_test'
 if [[ "$SANITIZERS" == "1" ]]; then
-  for sanitizer in thread address; do
+  for sanitizer in thread address undefined; do
     SAN_DIR="$BUILD_DIR-$sanitizer"
     echo "=== sanitizer matrix: $sanitizer ==="
     cmake -B "$SAN_DIR" -G Ninja \

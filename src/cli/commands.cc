@@ -58,6 +58,23 @@ Result<MiningOptions> MiningOptionsFromArgs(const ArgMap& args) {
   options.max_letters = static_cast<uint32_t>(max_letters);
   PPM_ASSIGN_OR_RETURN(const uint64_t threads, args.GetUint("threads", 1));
   options.num_threads = static_cast<uint32_t>(threads);
+  if (args.Has("deadline-ms")) {
+    PPM_ASSIGN_OR_RETURN(const uint64_t deadline_ms,
+                         args.GetUint("deadline-ms", 0));
+    options.deadline = Deadline::After(deadline_ms);  // 0: already expired.
+  }
+  PPM_ASSIGN_OR_RETURN(const uint64_t budget_mb,
+                       args.GetUint("memory-budget-mb", 0));
+  options.memory_budget_bytes = budget_mb * (uint64_t{1} << 20);
+  const std::string policy = args.GetString("budget-policy", "degrade");
+  if (policy == "degrade") {
+    options.budget_policy = BudgetPolicy::kDegrade;
+  } else if (policy == "fail") {
+    options.budget_policy = BudgetPolicy::kFail;
+  } else {
+    return Status::InvalidArgument("--budget-policy must be degrade or fail");
+  }
+  options.cancel = GlobalCancelToken();
   return options;
 }
 
@@ -81,12 +98,37 @@ void PrintPatterns(const std::vector<FrequentPattern>& patterns,
 
 }  // namespace
 
+CancelToken& GlobalCancelToken() {
+  static CancelToken* token = new CancelToken();
+  return *token;
+}
+
+int ExitCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+      return 2;
+    case StatusCode::kNotFound:
+      return 3;
+    case StatusCode::kCorruption:
+      return 4;
+    case StatusCode::kCancelled:
+    case StatusCode::kDeadlineExceeded:
+      return 5;
+    case StatusCode::kResourceExhausted:
+      return 6;
+    default:
+      return 1;
+  }
+}
+
 Status RunMine(const ArgMap& args, std::ostream& out) {
   PPM_RETURN_IF_ERROR(args.CheckAllowed({"input", "period", "min-conf",
                                          "min-count", "algorithm",
                                          "max-letters", "threads", "maximal",
                                          "rules", "top", "save", "stats-json",
-                                         "trace-out"}));
+                                         "trace-out", "deadline-ms",
+                                         "memory-budget-mb",
+                                         "budget-policy"}));
   PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series,
                        LoadSeries(args.GetString("input", "")));
   PPM_ASSIGN_OR_RETURN(MiningOptions options, MiningOptionsFromArgs(args));
@@ -99,18 +141,33 @@ Status RunMine(const ArgMap& args, std::ostream& out) {
 
   const std::string algorithm = args.GetString("algorithm", "hitset");
   tsdb::InMemorySeriesSource source(&series);
-  MiningResult result;
+  Result<MiningResult> mined = Status::Internal("no algorithm selected");
   if (algorithm == "hitset") {
-    PPM_ASSIGN_OR_RETURN(result,
-                         Mine(source, options, Algorithm::kMaxSubpatternHitSet));
+    mined = Mine(source, options, Algorithm::kMaxSubpatternHitSet);
   } else if (algorithm == "apriori") {
-    PPM_ASSIGN_OR_RETURN(result, Mine(source, options, Algorithm::kApriori));
+    mined = Mine(source, options, Algorithm::kApriori);
   } else if (algorithm == "maximal") {
-    PPM_ASSIGN_OR_RETURN(result, MineMaximalHitSet(source, options));
+    mined = MineMaximalHitSet(source, options);
   } else {
     return Status::InvalidArgument(
         "--algorithm must be one of: hitset, apriori, maximal");
   }
+  if (!mined.ok()) {
+    // An interrupted or failed run still emits its report when one was
+    // requested: the captured metrics (segments scanned, fault counters)
+    // are the partial-progress record of how far the run got.
+    if (args.Has("stats-json")) {
+      obs::RunReport report("mine");
+      report.AddMeta("algorithm", algorithm);
+      report.AddMeta("input", args.GetString("input", ""));
+      report.AddMeta("period", std::to_string(options.period));
+      report.AddMeta("error", mined.status().ToString());
+      report.CaptureGlobal();
+      PPM_RETURN_IF_ERROR(report.WriteJson(args.GetString("stats-json", "")));
+    }
+    return mined.status();
+  }
+  MiningResult result = std::move(*mined);
 
   out << "period=" << options.period << " m=" << result.stats().num_periods
       << " |F1|=" << result.stats().num_f1_letters
@@ -191,7 +248,9 @@ Status RunApply(const ArgMap& args, std::ostream& out) {
 Status RunEvolve(const ArgMap& args, std::ostream& out) {
   PPM_RETURN_IF_ERROR(args.CheckAllowed({"input", "period", "window",
                                          "min-conf", "min-count", "threads",
-                                         "top"}));
+                                         "top", "deadline-ms",
+                                         "memory-budget-mb",
+                                         "budget-policy"}));
   PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series,
                        LoadSeries(args.GetString("input", "")));
   PPM_ASSIGN_OR_RETURN(MiningOptions options, MiningOptionsFromArgs(args));
@@ -239,7 +298,9 @@ Status RunEvolve(const ArgMap& args, std::ostream& out) {
 Status RunScan(const ArgMap& args, std::ostream& out) {
   PPM_RETURN_IF_ERROR(args.CheckAllowed({"input", "period-low", "period-high",
                                          "min-conf", "min-count", "method",
-                                         "max-letters", "threads", "top"}));
+                                         "max-letters", "threads", "top",
+                                         "deadline-ms", "memory-budget-mb",
+                                         "budget-policy"}));
   PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series,
                        LoadSeries(args.GetString("input", "")));
   PPM_ASSIGN_OR_RETURN(MiningOptions options, MiningOptionsFromArgs(args));
@@ -571,6 +632,17 @@ std::string UsageText() {
       "  --log-level debug|info|warn|error|off   diagnostic verbosity\n"
       "                                          (default warn, to stderr)\n"
       "\n"
+      "mining flags (mine, scan, evolve):\n"
+      "  --deadline-ms N       stop mining after N wall-clock milliseconds\n"
+      "                        (exit code 5)\n"
+      "  --memory-budget-mb N  cap the miner's working set; with\n"
+      "  --budget-policy degrade|fail   either fall back to the hash hit\n"
+      "                        store (identical patterns) or exit 6\n"
+      "\n"
+      "exit codes: 0 ok, 1 runtime error, 2 invalid argument, 3 not found,\n"
+      "4 corruption, 5 cancelled or deadline exceeded, 6 resource\n"
+      "exhausted (Ctrl-C cancels cooperatively and exits 5).\n"
+      "\n"
       "  --threads N selects the mining worker count: 1 (default) runs the\n"
       "  sequential algorithms, 0 uses the hardware concurrency, and N > 1\n"
       "  shards the scans and derivation across N workers (identical\n"
@@ -591,14 +663,14 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   auto parsed = ArgMap::Parse(rest);
   if (!parsed.ok()) {
     err << "error: " << parsed.status().ToString() << "\n";
-    return 2;
+    return ExitCodeForStatus(parsed.status());
   }
   if (parsed->Has("log-level")) {
     const Result<LogLevel> level =
         ParseLogLevel(parsed->GetString("log-level", ""));
     if (!level.ok()) {
       err << "error: " << level.status().ToString() << "\n";
-      return 2;
+      return ExitCodeForStatus(level.status());
     }
     SetLogLevel(*level);
   }
@@ -630,8 +702,12 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     return 2;
   }
   if (!status.ok()) {
-    err << "error: " << status.ToString() << "\n";
-    return 1;
+    // One structured line: human-readable status plus machine-parseable
+    // code/exit fields (docs/ROBUSTNESS.md documents the exit-code map).
+    const int exit_code = ExitCodeForStatus(status);
+    err << "error: " << status.ToString() << " [code="
+        << static_cast<int>(status.code()) << " exit=" << exit_code << "]\n";
+    return exit_code;
   }
   return 0;
 }

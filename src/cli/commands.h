@@ -6,9 +6,20 @@
 #include <vector>
 
 #include "cli/args.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace ppm::cli {
+
+/// Process-wide cancellation token attached to every mining command's
+/// options. The SIGINT handler in `ppm_main.cc` cancels it, turning Ctrl-C
+/// into a clean `kCancelled` return (exit code 5) instead of a hard kill.
+CancelToken& GlobalCancelToken();
+
+/// Maps a command's failure `Status` to the process exit code:
+/// 2 invalid argument, 3 not found, 4 corruption, 5 cancelled or deadline
+/// exceeded, 6 resource exhausted, 1 anything else (docs/ROBUSTNESS.md).
+int ExitCodeForStatus(const Status& status);
 
 /// `ppm mine`: mine partial periodic patterns of one period from a series
 /// file. Flags: --input, --period, --min-conf|--min-count, --algorithm

@@ -1,13 +1,28 @@
 // Entry point of the `ppm` command-line tool. All logic lives in
 // `cli/commands.{h,cc}` so it can be unit-tested against in-memory streams.
 
+#include <csignal>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "cli/commands.h"
 
+namespace {
+
+// Cancelling the token is one relaxed atomic store, so it is safe from a
+// signal handler. Miners poll it at segment/level granularity and unwind
+// with kCancelled (exit code 5), leaving partial files and the terminal in
+// a clean state; a second Ctrl-C falls back to the default hard kill.
+void HandleSigint(int) {
+  ppm::cli::GlobalCancelToken().Cancel();
+  std::signal(SIGINT, SIG_DFL);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  std::signal(SIGINT, HandleSigint);
   std::vector<std::string> args(argv + 1, argv + argc);
   return ppm::cli::RunCli(args, std::cout, std::cerr);
 }

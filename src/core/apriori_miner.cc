@@ -5,8 +5,10 @@
 
 #include "core/candidate_gen.h"
 #include "core/f1_scan.h"
+#include "core/fault_metrics.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/cancellation.h"
 #include "util/log.h"
 
 namespace ppm {
@@ -15,19 +17,22 @@ namespace {
 
 /// Scans the source once and fills `candidate->count` for every candidate:
 /// a candidate is counted in each whole period segment whose letter mask is
-/// a superset of the candidate's mask.
+/// a superset of the candidate's mask. Polls `interrupt` once per stride of
+/// whole segments.
 Status CountCandidatesByScan(tsdb::SeriesSource& source,
-                             const F1ScanResult& f1,
+                             const F1ScanResult& f1, const Interrupt& interrupt,
                              std::vector<LevelEntry>* candidates) {
   PPM_RETURN_IF_ERROR(source.StartScan());
   const uint32_t period = f1.space.period();
   const uint64_t covered = f1.num_periods * period;
+  const uint64_t check_stride = uint64_t{1024} * period;
 
   Bitset segment_mask(f1.space.size());
   tsdb::FeatureSet instant;
   uint64_t t = 0;
   while (t < covered && source.Next(&instant)) {
     const uint32_t position = static_cast<uint32_t>(t % period);
+    if (t % check_stride == 0) PPM_RETURN_IF_INTERRUPTED_RECORDED(interrupt);
     if (position == 0) segment_mask.Reset();
     f1.space.AccumulatePosition(position, instant, &segment_mask);
     if (position == period - 1) {
@@ -72,6 +77,7 @@ Result<MiningResult> MineApriori(tsdb::SeriesSource& source,
   const uint64_t instants_before = source.stats().instants_read;
 
   // Scan 1: frequent 1-patterns.
+  const Interrupt interrupt = options.interrupt();
   PPM_ASSIGN_OR_RETURN(F1ScanResult f1, ScanForF1(source, options));
   result.stats().num_f1_letters = f1.space.size();
   result.stats().num_periods = f1.num_periods;
@@ -83,6 +89,7 @@ Result<MiningResult> MineApriori(tsdb::SeriesSource& source,
   // Levels 2..: one scan per level (Step 2 of Algorithm 3.1).
   for (uint32_t level = 2; !frequent.empty(); ++level) {
     if (options.max_letters != 0 && level > options.max_letters) break;
+    PPM_RETURN_IF_INTERRUPTED_RECORDED(interrupt);
     std::vector<LevelEntry> candidates = GenerateCandidates(frequent);
     if (candidates.empty()) break;
     result.stats().candidates_evaluated += candidates.size();
@@ -92,7 +99,8 @@ Result<MiningResult> MineApriori(tsdb::SeriesSource& source,
       const obs::TraceSpan scan_span =
           obs::Tracer::Global().StartSpan("level_scan");
       level_scans.Inc();
-      PPM_RETURN_IF_ERROR(CountCandidatesByScan(source, f1, &candidates));
+      PPM_RETURN_IF_ERROR(
+          CountCandidatesByScan(source, f1, interrupt, &candidates));
     }
 
     std::vector<LevelEntry> next;

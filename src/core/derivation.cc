@@ -28,11 +28,16 @@ void EmitLevel(const F1ScanResult& f1, const std::vector<LevelEntry>& level,
 DerivationStats DeriveFrequentPatterns(
     const F1ScanResult& f1, uint32_t max_letters,
     const std::function<uint64_t(const Bitset&)>& count_fn,
-    MiningResult* result, ThreadPool* pool) {
+    MiningResult* result, ThreadPool* pool, const Interrupt& interrupt,
+    MemoryBudget* budget) {
   const obs::TraceSpan span = obs::Tracer::Global().StartSpan("derivation");
   obs::Counter count_queries =
       obs::MetricsRegistry::Global().GetCounter("ppm.derivation.count_queries");
+  // Candidates evaluated between interrupt polls on the sequential path.
+  constexpr uint64_t kCheckStride = 512;
   DerivationStats stats;
+  stats.status = interrupt.Check();
+  if (!stats.status.ok()) return stats;
 
   // Level 1: the letters of the space that meet the threshold. For batch
   // mining the space *is* F_1 so nothing is filtered; the streaming miner
@@ -46,30 +51,64 @@ DerivationStats DeriveFrequentPatterns(
 
   for (uint32_t level = 2; !frequent.empty(); ++level) {
     if (max_letters != 0 && level > max_letters) break;
+    stats.status = interrupt.Check();
+    if (!stats.status.ok()) return stats;
     std::vector<LevelEntry> candidates = GenerateCandidates(frequent);
     if (candidates.empty()) break;
+
+    // Charge the level's candidate table before counting it; a level that
+    // does not fit ends the run rather than silently thrashing.
+    uint64_t charged = 0;
+    if (budget != nullptr) {
+      for (const LevelEntry& candidate : candidates) {
+        charged += sizeof(LevelEntry) + candidate.mask.ApproxMemoryBytes();
+      }
+      if (!budget->TryCharge(charged)) {
+        obs::MetricsRegistry::Global()
+            .GetCounter("ppm.fault.budget_denials")
+            .Inc();
+        stats.status = Status::ResourceExhausted(
+            "derivation level " + std::to_string(level) + " candidate table (" +
+            std::to_string(charged) + " bytes) exceeds memory budget");
+        return stats;
+      }
+    }
 
     if (pool != nullptr && pool->size() > 1 && candidates.size() > 1) {
       // Partition this level's slice of the candidate lattice across the
       // workers. Each worker writes counts only into its own disjoint slice
       // of `candidates`, so no synchronization is needed, and the filtering
-      // below runs in candidate order regardless of scheduling.
+      // below runs in candidate order regardless of scheduling. Workers
+      // cannot return a `Status`, so on interruption they drop their
+      // remaining chunks and the main thread notices after the join.
       parallel::ShardTimings timings = parallel::ShardedRun(
           *pool, candidates.size(), "derivation",
-          [&candidates, &count_fn](const ThreadPool::Chunk& chunk) {
+          [&candidates, &count_fn, &interrupt](const ThreadPool::Chunk& chunk) {
+            if (interrupt.ShouldStop()) return;
             for (uint64_t i = chunk.begin; i < chunk.end; ++i) {
               candidates[i].count = count_fn(candidates[i].mask);
             }
-          });
+          },
+          interrupt);
       parallel::RecordShardMetrics(timings);
       stats.candidates_evaluated += candidates.size();
       count_queries.Inc(candidates.size());
     } else {
+      uint64_t since_check = 0;
       for (LevelEntry& candidate : candidates) {
+        if (++since_check >= kCheckStride) {
+          since_check = 0;
+          if (interrupt.ShouldStop()) break;
+        }
         ++stats.candidates_evaluated;
         count_queries.Inc();
         candidate.count = count_fn(candidate.mask);
       }
+    }
+    stats.status = interrupt.Check();
+    if (!stats.status.ok()) {
+      if (budget != nullptr) budget->Release(charged);
+      return stats;
     }
 
     std::vector<LevelEntry> next;
@@ -79,6 +118,7 @@ DerivationStats DeriveFrequentPatterns(
     if (!next.empty()) stats.max_level_reached = level;
     EmitLevel(f1, next, result);
     frequent = std::move(next);
+    if (budget != nullptr) budget->Release(charged);
   }
   return stats;
 }

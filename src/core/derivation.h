@@ -7,6 +7,9 @@
 #include "core/f1_scan.h"
 #include "core/mining_result.h"
 #include "util/bitset.h"
+#include "util/cancellation.h"
+#include "util/memory_budget.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace ppm {
@@ -15,6 +18,10 @@ namespace ppm {
 struct DerivationStats {
   uint64_t candidates_evaluated = 0;
   uint32_t max_level_reached = 0;
+  /// OK when the run completed; `kCancelled` / `kDeadlineExceeded` /
+  /// `kResourceExhausted` when it stopped early. Patterns appended so far
+  /// remain valid (they are genuinely frequent), just not complete.
+  Status status = Status::OK();
 };
 
 /// Derives the complete frequent pattern set from per-candidate counts
@@ -30,10 +37,17 @@ struct DerivationStats {
 /// (both hit stores are, once scan 2 finished). Candidate generation,
 /// filtering, and emission stay on the calling thread in candidate order,
 /// so the output is identical at any worker count.
+///
+/// `interrupt` is polled between levels and every few hundred candidates;
+/// when it fires the run stops and `DerivationStats::status` carries the
+/// reason. `budget`, when non-null, is charged for each level's candidate
+/// table (released when the level retires); a failed charge stops the run
+/// with `kResourceExhausted`.
 DerivationStats DeriveFrequentPatterns(
     const F1ScanResult& f1, uint32_t max_letters,
     const std::function<uint64_t(const Bitset&)>& count_fn,
-    MiningResult* result, ThreadPool* pool = nullptr);
+    MiningResult* result, ThreadPool* pool = nullptr,
+    const Interrupt& interrupt = Interrupt(), MemoryBudget* budget = nullptr);
 
 }  // namespace ppm
 

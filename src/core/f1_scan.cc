@@ -3,6 +3,7 @@
 #include <map>
 #include <utility>
 
+#include "core/fault_metrics.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/materialize.h"
@@ -17,11 +18,20 @@ namespace {
 /// canonical (feature ascending) order for free.
 using CountTable = std::vector<std::map<tsdb::FeatureId, uint64_t>>;
 
-/// Counts the letters of segments `[seg_begin, seg_end)` into `*counts`.
+/// Segments counted between interrupt polls (never per instant).
+constexpr uint64_t kSegmentCheckStride = 1024;
+
+/// Counts the letters of segments `[seg_begin, seg_end)` into `*counts`,
+/// stopping early (with a partial table) once `interrupt` fires. Callers
+/// re-check the interrupt and discard partial tables.
 void CountSegments(const std::vector<tsdb::FeatureSet>& instants,
                    uint32_t period, uint64_t seg_begin, uint64_t seg_end,
-                   CountTable* counts) {
+                   const Interrupt& interrupt, CountTable* counts) {
   for (uint64_t segment = seg_begin; segment < seg_end; ++segment) {
+    if ((segment - seg_begin) % kSegmentCheckStride == 0 &&
+        interrupt.ShouldStop()) {
+      return;
+    }
     const uint64_t base = segment * period;
     for (uint32_t position = 0; position < period; ++position) {
       auto& position_counts = (*counts)[position];
@@ -70,10 +80,12 @@ F1ScanResult BuildF1FromInstants(const std::vector<tsdb::FeatureSet>& instants,
                                  ThreadPool* pool) {
   const obs::TraceSpan span = obs::Tracer::Global().StartSpan("f1_scan");
   const uint64_t num_periods = instants.size() / options.period;
+  const Interrupt interrupt = options.interrupt();
 
   if (pool == nullptr || pool->size() <= 1 || num_periods <= 1) {
     CountTable counts(options.period);
-    CountSegments(instants, options.period, 0, num_periods, &counts);
+    CountSegments(instants, options.period, 0, num_periods, interrupt,
+                  &counts);
     return FinishF1(counts, options, num_periods);
   }
 
@@ -84,10 +96,12 @@ F1ScanResult BuildF1FromInstants(const std::vector<tsdb::FeatureSet>& instants,
   for (CountTable& table : shard_counts) table.resize(options.period);
   parallel::ShardTimings timings = parallel::ShardedRun(
       *pool, num_periods, "f1_scan",
-      [&instants, &options, &shard_counts](const ThreadPool::Chunk& chunk) {
+      [&instants, &options, &shard_counts,
+       &interrupt](const ThreadPool::Chunk& chunk) {
         CountSegments(instants, options.period, chunk.begin, chunk.end,
-                      &shard_counts[chunk.index]);
-      });
+                      interrupt, &shard_counts[chunk.index]);
+      },
+      interrupt);
 
   obs::TraceSpan merge_span = obs::Tracer::Global().StartSpan("f1_scan.merge");
   CountTable& merged = shard_counts[0];
@@ -107,6 +121,8 @@ F1ScanResult BuildF1FromInstants(const std::vector<tsdb::FeatureSet>& instants,
 Result<F1ScanResult> ScanForF1(tsdb::SeriesSource& source,
                                const MiningOptions& options) {
   PPM_RETURN_IF_ERROR(options.Validate(source.length()));
+  const Interrupt interrupt = options.interrupt();
+  PPM_RETURN_IF_INTERRUPTED_RECORDED(interrupt);
 
   const uint32_t threads = ResolveThreadCount(options.num_threads);
   const uint64_t num_periods = source.length() / options.period;
@@ -115,7 +131,11 @@ Result<F1ScanResult> ScanForF1(tsdb::SeriesSource& source,
         const std::vector<tsdb::FeatureSet> instants,
         parallel::MaterializePrefix(source, num_periods * options.period));
     ThreadPool pool(threads);
-    return BuildF1FromInstants(instants, options, &pool);
+    F1ScanResult f1 = BuildF1FromInstants(instants, options, &pool);
+    // Workers bail on interruption, leaving a partial count table; discard
+    // it rather than report letters with understated counts.
+    PPM_RETURN_IF_INTERRUPTED_RECORDED(interrupt);
+    return f1;
   }
 
   const obs::TraceSpan span = obs::Tracer::Global().StartSpan("f1_scan");
@@ -123,9 +143,12 @@ Result<F1ScanResult> ScanForF1(tsdb::SeriesSource& source,
 
   PPM_RETURN_IF_ERROR(source.StartScan());
   const uint64_t covered = num_periods * options.period;
+  // Poll the interrupt once per stride of instants, not per instant.
+  const uint64_t check_stride = kSegmentCheckStride * options.period;
   tsdb::FeatureSet instant;
   uint64_t t = 0;
   while (t < covered && source.Next(&instant)) {
+    if (t % check_stride == 0) PPM_RETURN_IF_INTERRUPTED_RECORDED(interrupt);
     auto& position_counts = counts[t % options.period];
     instant.ForEach(
         [&position_counts](uint32_t feature) { ++position_counts[feature]; });

@@ -1,0 +1,42 @@
+#ifndef PPM_CORE_FAULT_METRICS_H_
+#define PPM_CORE_FAULT_METRICS_H_
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace ppm {
+
+/// Records an interruption or budget status in the `ppm.fault.*` counters
+/// and passes it through unchanged, so miners can write
+/// `return RecordFault(interrupt.Check());` at their bail-out points.
+/// `util` cannot depend on `obs`, which is why this lives in `core` rather
+/// than next to `Interrupt`.
+inline Status RecordFault(Status status) {
+  auto& registry = obs::MetricsRegistry::Global();
+  switch (status.code()) {
+    case StatusCode::kCancelled:
+      registry.GetCounter("ppm.fault.cancellations").Inc();
+      break;
+    case StatusCode::kDeadlineExceeded:
+      registry.GetCounter("ppm.fault.deadline_hits").Inc();
+      break;
+    default:
+      break;
+  }
+  return status;
+}
+
+/// `PPM_RETURN_IF_INTERRUPTED` with fault accounting.
+#define PPM_RETURN_IF_INTERRUPTED_RECORDED(expr)             \
+  do {                                                       \
+    ::ppm::Status ppm_interrupt_tmp_ = (expr).Check();       \
+    if (!ppm_interrupt_tmp_.ok()) {                          \
+      return ::ppm::RecordFault(std::move(ppm_interrupt_tmp_)); \
+    }                                                        \
+  } while (false)
+
+}  // namespace ppm
+
+#endif  // PPM_CORE_FAULT_METRICS_H_

@@ -15,6 +15,16 @@ uint64_t HashHitStore::CountSuperpatterns(const Bitset& mask) const {
   return total;
 }
 
+uint64_t HashHitStore::ApproxMemoryBytes() const {
+  uint64_t mask_bytes = 0;
+  for (const auto& [hit, count] : counts_) {
+    (void)count;
+    mask_bytes += hit.ApproxMemoryBytes();
+  }
+  // Node, key/value pair, and bucket-array overhead per entry.
+  return mask_bytes + counts_.size() * 48 + counts_.bucket_count() * 8;
+}
+
 std::unique_ptr<HitStore> MakeHitStore(HitStoreKind kind,
                                        const Bitset& full_mask,
                                        uint32_t num_letters) {

@@ -60,6 +60,9 @@ class HitStore {
   /// Allocated bookkeeping units (tree nodes, or hash entries).
   virtual uint64_t num_units() const = 0;
 
+  /// Approximate bytes of owned storage, for `MemoryBudget` accounting.
+  virtual uint64_t ApproxMemoryBytes() const = 0;
+
  protected:
   HitStore() = default;
 };
@@ -85,6 +88,9 @@ class TreeHitStore : public HitStore {
   }
   uint64_t num_entries() const override { return tree_.num_hits(); }
   uint64_t num_units() const override { return tree_.num_nodes(); }
+  uint64_t ApproxMemoryBytes() const override {
+    return tree_.ApproxMemoryBytes();
+  }
 
   const MaxSubpatternTree& tree() const { return tree_; }
 
@@ -109,6 +115,7 @@ class HashHitStore : public HitStore {
   uint64_t CountSuperpatterns(const Bitset& mask) const override;
   uint64_t num_entries() const override { return counts_.size(); }
   uint64_t num_units() const override { return counts_.size(); }
+  uint64_t ApproxMemoryBytes() const override;
 
  private:
   std::unordered_map<Bitset, uint64_t, BitsetHash> counts_;

@@ -89,6 +89,15 @@ uint64_t MaxSubpatternTree::CountFrom(uint32_t node_index,
   return total;
 }
 
+uint64_t MaxSubpatternTree::ApproxMemoryBytes() const {
+  uint64_t total = sizeof(MaxSubpatternTree) + nodes_.capacity() * sizeof(Node);
+  for (const Node& node : nodes_) {
+    total += node.mask.ApproxMemoryBytes() - sizeof(Bitset);
+    total += node.children.capacity() * sizeof(std::pair<uint32_t, uint32_t>);
+  }
+  return total;
+}
+
 std::vector<Bitset> MaxSubpatternTree::ReachableAncestorHits(
     const Bitset& mask) const {
   std::vector<Bitset> ancestors;

@@ -63,6 +63,10 @@ class MaxSubpatternTree {
   /// Sum of all hit counts (number of stored period segments).
   uint64_t total_hit_count() const { return total_hit_count_; }
 
+  /// Approximate bytes of owned storage (nodes, masks, child links), for
+  /// `MemoryBudget` accounting during the second scan.
+  uint64_t ApproxMemoryBytes() const;
+
   /// Invokes `fn(mask, count)` for every node (count may be zero).
   template <typename Fn>
   void ForEachNode(Fn&& fn) const {

@@ -4,8 +4,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/budget.h"
 #include "core/f1_scan.h"
+#include "core/fault_metrics.h"
 #include "core/hit_store.h"
+#include "util/cancellation.h"
 #include "util/stopwatch.h"
 
 namespace ppm {
@@ -14,11 +17,14 @@ namespace {
 
 /// GenMax-style depth-first set-enumeration over the letters of `C_max`,
 /// with superset lookahead, using the hit store as a frequency oracle.
+/// Polls `interrupt` at every search node and unwinds when it fires; the
+/// caller must then discard the partial result.
 class MaximalSearch {
  public:
   MaximalSearch(const F1ScanResult& f1, const HitStore& store,
-                uint32_t max_letters)
-      : f1_(f1), store_(store), max_letters_(max_letters) {}
+                uint32_t max_letters, const Interrupt& interrupt)
+      : f1_(f1), store_(store), max_letters_(max_letters),
+        interrupt_(interrupt) {}
 
   std::vector<std::pair<Bitset, uint64_t>> Run() {
     std::vector<uint32_t> tail;
@@ -71,6 +77,7 @@ class MaximalSearch {
   }
 
   void Explore(const Bitset& current, const std::vector<uint32_t>& tail) {
+    if (interrupt_.ShouldStop()) return;
     // Lookahead: if the union of this subtree is frequent, it subsumes
     // every other node below -- record it and prune the whole subtree.
     if (!tail.empty()) {
@@ -109,6 +116,7 @@ class MaximalSearch {
   const F1ScanResult& f1_;
   const HitStore& store_;
   const uint32_t max_letters_;
+  const Interrupt interrupt_;
   std::unordered_map<Bitset, uint64_t, BitsetHash> count_memo_;
   std::vector<std::pair<Bitset, uint64_t>> maximal_;
   uint64_t oracle_calls_ = 0;
@@ -123,21 +131,27 @@ Result<MiningResult> MineMaximalHitSet(tsdb::SeriesSource& source,
   const uint64_t scans_before = source.stats().scans;
   const uint64_t instants_before = source.stats().instants_read;
 
+  const Interrupt interrupt = options.interrupt();
   PPM_ASSIGN_OR_RETURN(F1ScanResult f1, ScanForF1(source, options));
   result.stats().num_f1_letters = f1.space.size();
   result.stats().num_periods = f1.num_periods;
 
+  PPM_ASSIGN_OR_RETURN(
+      const BudgetDecision budgeted,
+      DecideHitStore(options, f1.num_periods, f1.space.size()));
   std::unique_ptr<HitStore> store =
-      MakeHitStore(options.hit_store, f1.space.full_mask(), f1.space.size());
+      MakeHitStore(budgeted.store, f1.space.full_mask(), f1.space.size());
 
   PPM_RETURN_IF_ERROR(source.StartScan());
   const uint32_t period = options.period;
   const uint64_t covered = f1.num_periods * period;
+  const uint64_t check_stride = uint64_t{1024} * period;
   Bitset segment_mask(f1.space.size());
   tsdb::FeatureSet instant;
   uint64_t t = 0;
   while (t < covered && source.Next(&instant)) {
     const uint32_t position = static_cast<uint32_t>(t % period);
+    if (t % check_stride == 0) PPM_RETURN_IF_INTERRUPTED_RECORDED(interrupt);
     if (position == 0) segment_mask.Reset();
     f1.space.AccumulatePosition(position, instant, &segment_mask);
     if (position == period - 1 && segment_mask.Count() >= 2) {
@@ -150,9 +164,13 @@ Result<MiningResult> MineMaximalHitSet(tsdb::SeriesSource& source,
     return Status::Internal("source ended before its declared length");
   }
 
-  MaximalSearch search(f1, *store, options.max_letters);
+  MaximalSearch search(f1, *store, options.max_letters, interrupt);
+  auto maximal = search.Run();
+  // The search unwinds quietly on interruption; discard the partial
+  // antichain rather than present it as the maximal set.
+  PPM_RETURN_IF_INTERRUPTED_RECORDED(interrupt);
   const double denom = static_cast<double>(f1.num_periods);
-  for (auto& [mask, count] : search.Run()) {
+  for (auto& [mask, count] : maximal) {
     FrequentPattern entry;
     entry.pattern = f1.space.MaskToPattern(mask);
     entry.count = count;
@@ -164,8 +182,8 @@ Result<MiningResult> MineMaximalHitSet(tsdb::SeriesSource& source,
   result.stats().candidates_evaluated = search.oracle_calls();
   result.stats().hit_store_entries = store->num_entries();
   result.stats().tree_nodes =
-      options.hit_store == HitStoreKind::kMaxSubpatternTree ? store->num_units()
-                                                            : 0;
+      budgeted.store == HitStoreKind::kMaxSubpatternTree ? store->num_units()
+                                                         : 0;
   result.stats().scans = source.stats().scans - scans_before;
   result.stats().instants_read = source.stats().instants_read - instants_before;
   result.stats().elapsed_seconds = stopwatch.ElapsedSeconds();

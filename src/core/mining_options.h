@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "tsdb/symbol_table.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace ppm {
@@ -16,6 +17,16 @@ namespace ppm {
 enum class HitStoreKind {
   kMaxSubpatternTree = 0,
   kHashTable = 1,
+};
+
+/// What a miner does when the predicted or observed working set exceeds
+/// `MiningOptions::memory_budget_bytes` (docs/ROBUSTNESS.md).
+enum class BudgetPolicy {
+  /// Return `kResourceExhausted` without starting the oversized phase.
+  kFail = 0,
+  /// Degrade to the cheaper hash hit store (identical patterns, slower
+  /// queries) and fail only if even that does not fit.
+  kDegrade = 1,
 };
 
 /// Parameters shared by all single-period miners.
@@ -48,6 +59,27 @@ struct MiningOptions {
   /// series once instead of re-scanning it). Ignored by the reference
   /// (naive/apriori) miners.
   uint32_t num_threads = 1;
+
+  /// Cooperative cancellation: miners poll this token at segment / level
+  /// granularity and return `kCancelled` when it fires. Copies of the
+  /// options share the token, so cancelling the original stops every
+  /// per-period task spawned from it. The CLI wires SIGINT to this.
+  CancelToken cancel;
+
+  /// Wall-clock deadline for the whole mining call; `kDeadlineExceeded`
+  /// when it passes mid-run. Default: no deadline.
+  Deadline deadline;
+
+  /// Byte cap on the run's dominant data structures (hit store + candidate
+  /// tables), enforced via Property 3.2's hit-set bound before the second
+  /// scan and by live accounting afterwards. 0 means unlimited.
+  uint64_t memory_budget_bytes = 0;
+
+  /// Reaction to a predicted or observed budget overrun.
+  BudgetPolicy budget_policy = BudgetPolicy::kDegrade;
+
+  /// The token + deadline as one checkable handle.
+  Interrupt interrupt() const { return Interrupt(cancel, deadline); }
 
   /// Optional restriction of the candidate letters considered after the
   /// first scan: a letter `(position, feature)` participates only when this

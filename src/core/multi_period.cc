@@ -4,8 +4,10 @@
 #include <memory>
 #include <utility>
 
+#include "core/budget.h"
 #include "core/derivation.h"
 #include "core/f1_scan.h"
+#include "core/fault_metrics.h"
 #include "core/hit_store.h"
 #include "core/hitset_miner.h"
 #include "obs/metrics.h"
@@ -19,6 +21,9 @@
 namespace ppm {
 
 namespace {
+
+/// Instants walked between interrupt polls in the shared-scan loops.
+constexpr uint64_t kInstantCheckStride = 4096;
 
 Status ValidateRange(uint32_t period_low, uint32_t period_high,
                      uint64_t series_length) {
@@ -101,6 +106,8 @@ Result<MultiPeriodResult> MineMultiPeriodSharedConcurrent(
   obs::TraceSpan span =
       obs::Tracer::Global().StartSpan("mine.multi_period.shared");
   PPM_RETURN_IF_ERROR(ValidateRange(period_low, period_high, source.length()));
+  const Interrupt interrupt = options.interrupt();
+  PPM_RETURN_IF_INTERRUPTED_RECORDED(interrupt);
   const uint64_t scans_before = source.stats().scans;
   const uint32_t num_ranges = period_high - period_low + 1;
 
@@ -124,11 +131,18 @@ Result<MultiPeriodResult> MineMultiPeriodSharedConcurrent(
       });
     }
     pool.Wait();
+    // Tasks bail early when interrupted, leaving partial F_1 slots.
+    PPM_RETURN_IF_INTERRUPTED_RECORDED(interrupt);
   }
 
   std::vector<std::unique_ptr<HitStore>> stores(num_ranges);
+  std::vector<HitStoreKind> store_kinds(num_ranges, options.hit_store);
   for (uint32_t r = 0; r < num_ranges; ++r) {
-    stores[r] = MakeHitStore(options.hit_store, f1[r].space.full_mask(),
+    PPM_ASSIGN_OR_RETURN(const BudgetDecision budgeted,
+                         DecideHitStore(options, f1[r].num_periods,
+                                        f1[r].space.size()));
+    store_kinds[r] = budgeted.store;
+    stores[r] = MakeHitStore(budgeted.store, f1[r].space.full_mask(),
                              f1[r].space.size());
   }
 
@@ -142,7 +156,7 @@ Result<MultiPeriodResult> MineMultiPeriodSharedConcurrent(
     for (auto& store_set : worker_stores) {
       store_set.resize(num_ranges);
       for (uint32_t r = 0; r < num_ranges; ++r) {
-        store_set[r] = MakeHitStore(options.hit_store, f1[r].space.full_mask(),
+        store_set[r] = MakeHitStore(store_kinds[r], f1[r].space.full_mask(),
                                     f1[r].space.size());
       }
     }
@@ -151,6 +165,7 @@ Result<MultiPeriodResult> MineMultiPeriodSharedConcurrent(
         [&](const ThreadPool::Chunk& chunk) {
           for (uint64_t w = chunk.begin; w < chunk.end; ++w) {
             for (uint32_t r = 0; r < num_ranges; ++r) {
+              if (interrupt.ShouldStop()) return;
               const uint32_t period = period_low + r;
               const uint64_t num_periods = instants.size() / period;
               const std::vector<ThreadPool::Chunk> segments =
@@ -159,6 +174,10 @@ Result<MultiPeriodResult> MineMultiPeriodSharedConcurrent(
               Bitset segment_mask(f1[r].space.size());
               for (uint64_t segment = segments[w].begin;
                    segment < segments[w].end; ++segment) {
+                if ((segment - segments[w].begin) % 1024 == 0 &&
+                    interrupt.ShouldStop()) {
+                  return;
+                }
                 f1[r].space.SegmentMask(&instants[segment * period],
                                         &segment_mask);
                 if (segment_mask.Count() >= 2) {
@@ -167,7 +186,9 @@ Result<MultiPeriodResult> MineMultiPeriodSharedConcurrent(
               }
             }
           }
-        });
+        },
+        interrupt);
+    PPM_RETURN_IF_INTERRUPTED_RECORDED(interrupt);
 
     obs::TraceSpan merge_span =
         obs::Tracer::Global().StartSpan("shared_scan2.merge");
@@ -192,13 +213,14 @@ Result<MultiPeriodResult> MineMultiPeriodSharedConcurrent(
         [&stores, r](const Bitset& mask) {
           return stores[r]->CountSuperpatterns(mask);
         },
-        &mined, &pool);
+        &mined, &pool, interrupt);
+    if (!derivation.status.ok()) return RecordFault(derivation.status);
     mined.Canonicalize();
     mined.stats().candidates_evaluated = derivation.candidates_evaluated;
     mined.stats().max_level_reached = derivation.max_level_reached;
     mined.stats().hit_store_entries = stores[r]->num_entries();
     mined.stats().tree_nodes =
-        options.hit_store == HitStoreKind::kMaxSubpatternTree
+        store_kinds[r] == HitStoreKind::kMaxSubpatternTree
             ? stores[r]->num_units()
             : 0;
     result.per_period.emplace_back(period_low + r, std::move(mined));
@@ -262,6 +284,8 @@ Result<MultiPeriodResult> MineMultiPeriodShared(tsdb::SeriesSource& source,
   obs::TraceSpan span =
       obs::Tracer::Global().StartSpan("mine.multi_period.shared");
   PPM_RETURN_IF_ERROR(ValidateRange(period_low, period_high, source.length()));
+  const Interrupt interrupt = options.interrupt();
+  PPM_RETURN_IF_INTERRUPTED_RECORDED(interrupt);
   const uint64_t scans_before = source.stats().scans;
   const uint32_t num_ranges = period_high - period_low + 1;
 
@@ -280,6 +304,9 @@ Result<MultiPeriodResult> MineMultiPeriodShared(tsdb::SeriesSource& source,
   tsdb::FeatureSet instant;
   uint64_t t = 0;
   while (source.Next(&instant)) {
+    if (t % kInstantCheckStride == 0) {
+      PPM_RETURN_IF_INTERRUPTED_RECORDED(interrupt);
+    }
     for (uint32_t r = 0; r < num_ranges; ++r) {
       if (t >= covered[r]) continue;
       auto& position_counts = counts[r][t % (period_low + r)];
@@ -294,6 +321,7 @@ Result<MultiPeriodResult> MineMultiPeriodShared(tsdb::SeriesSource& source,
   // Per-period F_1 spaces, thresholds, and hit stores.
   std::vector<F1ScanResult> f1(num_ranges);
   std::vector<std::unique_ptr<HitStore>> stores(num_ranges);
+  std::vector<HitStoreKind> store_kinds(num_ranges, options.hit_store);
   for (uint32_t r = 0; r < num_ranges; ++r) {
     const uint32_t period = period_low + r;
     MiningOptions per_period_options = options;
@@ -314,7 +342,11 @@ Result<MultiPeriodResult> MineMultiPeriodShared(tsdb::SeriesSource& source,
       }
     }
     f1[r].space = LetterSpace(period, std::move(letters));
-    stores[r] = MakeHitStore(options.hit_store, f1[r].space.full_mask(),
+    PPM_ASSIGN_OR_RETURN(const BudgetDecision budgeted,
+                         DecideHitStore(per_period_options, f1[r].num_periods,
+                                        f1[r].space.size()));
+    store_kinds[r] = budgeted.store;
+    stores[r] = MakeHitStore(budgeted.store, f1[r].space.full_mask(),
                              f1[r].space.size());
     counts[r].clear();  // Release scan-1 memory before scan 2.
   }
@@ -328,6 +360,9 @@ Result<MultiPeriodResult> MineMultiPeriodShared(tsdb::SeriesSource& source,
   PPM_RETURN_IF_ERROR(source.StartScan());
   t = 0;
   while (source.Next(&instant)) {
+    if (t % kInstantCheckStride == 0) {
+      PPM_RETURN_IF_INTERRUPTED_RECORDED(interrupt);
+    }
     for (uint32_t r = 0; r < num_ranges; ++r) {
       if (t >= covered[r]) continue;
       const uint32_t period = period_low + r;
@@ -354,13 +389,14 @@ Result<MultiPeriodResult> MineMultiPeriodShared(tsdb::SeriesSource& source,
         [&stores, r](const Bitset& mask) {
           return stores[r]->CountSuperpatterns(mask);
         },
-        &mined);
+        &mined, nullptr, interrupt);
+    if (!derivation.status.ok()) return RecordFault(derivation.status);
     mined.Canonicalize();
     mined.stats().candidates_evaluated = derivation.candidates_evaluated;
     mined.stats().max_level_reached = derivation.max_level_reached;
     mined.stats().hit_store_entries = stores[r]->num_entries();
     mined.stats().tree_nodes =
-        options.hit_store == HitStoreKind::kMaxSubpatternTree
+        store_kinds[r] == HitStoreKind::kMaxSubpatternTree
             ? stores[r]->num_units()
             : 0;
     result.per_period.emplace_back(period_low + r, std::move(mined));

@@ -7,17 +7,22 @@ namespace ppm::parallel {
 
 ShardTimings ShardedRun(
     ThreadPool& pool, uint64_t n, const std::string& phase,
-    const std::function<void(const ThreadPool::Chunk&)>& fn) {
+    const std::function<void(const ThreadPool::Chunk&)>& fn,
+    const Interrupt& interrupt) {
   ShardTimings timings;
   timings.worker_seconds.assign(pool.size(), 0.0);
   const std::string span_name = phase + ".shard";
-  pool.ParallelFor(n, [&fn, &timings, &span_name](const ThreadPool::Chunk& c) {
-    obs::TraceSpan span = obs::Tracer::Global().StartSpan(span_name);
-    fn(c);
-    span.End();
-    // Chunks are disjoint, so each slot is written by exactly one task.
-    timings.worker_seconds[c.index] = span.ElapsedSeconds();
-  });
+  pool.ParallelFor(
+      n, [&fn, &timings, &span_name, &interrupt](const ThreadPool::Chunk& c) {
+        // Chunks already interrupted never start; the caller re-checks the
+        // interrupt after the join and discards the partial state.
+        if (interrupt.ShouldStop()) return;
+        obs::TraceSpan span = obs::Tracer::Global().StartSpan(span_name);
+        fn(c);
+        span.End();
+        // Chunks are disjoint, so each slot is written by exactly one task.
+        timings.worker_seconds[c.index] = span.ElapsedSeconds();
+      });
   return timings;
 }
 

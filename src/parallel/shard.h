@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "util/cancellation.h"
 #include "util/thread_pool.h"
 
 namespace ppm::parallel {
@@ -23,8 +24,14 @@ struct ShardTimings {
 ///
 /// Returns per-chunk busy times; after the call (all workers joined) the
 /// caller merges per-chunk state in chunk order for deterministic output.
+///
+/// When `interrupt` fires, chunks that have not started yet are skipped at
+/// the dispatch layer (running chunks finish or bail on their own polls).
+/// Workers cannot return a `Status`, so the caller must re-check the
+/// interrupt after the join and discard the partial per-chunk state.
 ShardTimings ShardedRun(ThreadPool& pool, uint64_t n, const std::string& phase,
-                        const std::function<void(const ThreadPool::Chunk&)>& fn);
+                        const std::function<void(const ThreadPool::Chunk&)>& fn,
+                        const Interrupt& interrupt = Interrupt());
 
 /// Publishes one sharded region's cost model into the global registry:
 ///   ppm.parallel.shards            counter  chunks executed

@@ -118,10 +118,13 @@ MiningResult StreamingMiner::Snapshot() const {
   f1.space = space_;
   f1.letter_counts = seeded_counts_;
 
+  // A snapshot honors the run's interrupt: when it fires mid-derivation the
+  // snapshot simply carries the levels finished so far (each individually
+  // correct), since `Snapshot` has no error channel.
   const DerivationStats derivation = DeriveFrequentPatterns(
       f1, options_.max_letters,
       [this](const Bitset& mask) { return store_->CountSuperpatterns(mask); },
-      &result);
+      &result, nullptr, options_.interrupt());
   result.Canonicalize();
   result.stats().num_f1_letters = space_.size();
   result.stats().candidates_evaluated = derivation.candidates_evaluated;

@@ -22,11 +22,31 @@ inline constexpr char kMagic[8] = {'P', 'P', 'M', 'T', 'S', '1', '\n', '\0'};
 /// larger values as corruption before allocating.
 inline constexpr uint32_t kMaxSymbolNameBytes = 1 << 20;
 
+/// Upper bound on a v3 block's declared length; readers reject larger
+/// values as corruption before allocating the block buffer.
+inline constexpr uint64_t kMaxBlockBytes = uint64_t{1} << 31;
+
 /// Version 2 layout: identical header (magic aside), but instant data is
 /// compressed -- per instant a varint feature count followed by the sorted
 /// feature ids delta-encoded as varints (first id absolute, then gaps).
 /// Typically 3-4x smaller than v1 for realistic series.
 inline constexpr char kMagicV2[8] = {'P', 'P', 'M', 'T', 'S', '2', '\n', '\0'};
+
+/// Version 3 layout: v2's compressed payload wrapped in CRC32C-checksummed
+/// blocks so truncation and bit rot are always detected before decoding
+/// (docs/FILE_FORMATS.md, docs/ROBUSTNESS.md):
+///
+///   magic            8 bytes  "PPMTS3\n\0"
+///   header_len       u32      bytes in the header block
+///   header_crc       u32      CRC32C of the header block
+///   header block:    num_symbols u32, num_symbols x { name_len u32, name },
+///                    num_instants u64
+///   payload_len      u64      bytes in the payload block
+///   payload_crc      u32      CRC32C of the payload block
+///   payload block:   num_instants x v2-encoded instants
+///
+/// Readers verify each block's CRC before parsing a single field of it.
+inline constexpr char kMagicV3[8] = {'P', 'P', 'M', 'T', 'S', '3', '\n', '\0'};
 
 /// LEB128 unsigned varint. Returns the number of bytes written (1..5 for
 /// 32-bit values).

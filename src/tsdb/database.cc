@@ -1,16 +1,41 @@
 #include "tsdb/database.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
+#include "obs/metrics.h"
+#include "tsdb/fault_injection.h"
 #include "tsdb/series_codec.h"
 #include "util/string_util.h"
 
 namespace ppm::tsdb {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// Flushes `path` (a file or a directory) to stable storage. Directory
+/// fsync is what makes a rename durable on POSIX filesystems.
+Status SyncPath(const std::string& path) {
+  if (FaultInjector::Global().FsyncShouldFail()) {
+    return Status::IoError("injected fsync failure: " + path);
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open for fsync: " + path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IoError("fsync failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace
 
 bool IsValidSeriesName(std::string_view name) {
   if (name.empty() || name.size() > 128) return false;
@@ -66,7 +91,9 @@ std::string Database::PayloadPath(std::string_view name) const {
 }
 
 Status Database::WriteManifest() const {
-  // Write-then-rename so a crash never leaves a half-written manifest.
+  // Write-then-fsync-then-rename: any failure before the rename leaves the
+  // previous MANIFEST untouched, and fsyncing the temp file plus the parent
+  // directory makes the swap durable across a crash, not just atomic.
   const std::string tmp_path = root_ + "/MANIFEST.tmp";
   {
     std::ofstream out(tmp_path, std::ios::trunc);
@@ -76,10 +103,16 @@ Status Database::WriteManifest() const {
     out.flush();
     if (!out) return Status::IoError("manifest write failed in " + root_);
   }
+  const Status synced = SyncPath(tmp_path);
+  if (!synced.ok()) {
+    std::error_code ignored;
+    fs::remove(tmp_path, ignored);
+    return synced;
+  }
   std::error_code ec;
   fs::rename(tmp_path, root_ + "/MANIFEST", ec);
   if (ec) return Status::IoError("manifest rename failed: " + ec.message());
-  return Status::OK();
+  return SyncPath(root_);
 }
 
 Status Database::Put(std::string_view name, const TimeSeries& series) {
@@ -101,7 +134,22 @@ Result<TimeSeries> Database::Get(std::string_view name) const {
   if (!Contains(name)) {
     return Status::NotFound("no series named " + std::string(name));
   }
-  return ReadBinarySeries(PayloadPath(name));
+  // Transient I/O errors (EINTR-class flakes, injected faults) are retried
+  // with a short backoff; corruption is never retried -- a bad checksum is
+  // a property of the bytes on disk, not of the read attempt.
+  constexpr int kMaxAttempts = 3;
+  constexpr std::chrono::milliseconds kBackoff[] = {
+      std::chrono::milliseconds(1), std::chrono::milliseconds(4)};
+  Result<TimeSeries> result = ReadBinarySeries(PayloadPath(name));
+  for (int attempt = 1;
+       attempt < kMaxAttempts && !result.ok() &&
+       result.status().code() == StatusCode::kIoError;
+       ++attempt) {
+    obs::MetricsRegistry::Global().GetCounter("ppm.fault.retries").Inc();
+    std::this_thread::sleep_for(kBackoff[attempt - 1]);
+    result = ReadBinarySeries(PayloadPath(name));
+  }
+  return result;
 }
 
 Result<std::unique_ptr<FileSeriesSource>> Database::Scan(

@@ -13,14 +13,17 @@ namespace ppm::tsdb {
 enum class BinaryFormatVersion {
   /// Fixed-width u32 feature ids (simple, seekable arithmetic).
   kV1 = 1,
-  /// Delta+varint compressed ids (typically 3-4x smaller). Default.
+  /// Delta+varint compressed ids (typically 3-4x smaller).
   kV2 = 2,
+  /// v2's payload wrapped in CRC32C-checksummed blocks, so corruption is
+  /// detected before decoding instead of surfacing as garbage data. Default.
+  kV3 = 3,
 };
 
 /// Writes `series` to `path` in the library's binary format (see
 /// `binary_format.h`). Overwrites an existing file.
 Status WriteBinarySeries(const TimeSeries& series, const std::string& path,
-                         BinaryFormatVersion version = BinaryFormatVersion::kV2);
+                         BinaryFormatVersion version = BinaryFormatVersion::kV3);
 
 /// Loads a binary series written by `WriteBinarySeries`.
 Result<TimeSeries> ReadBinarySeries(const std::string& path);

@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <fstream>
+#include <istream>
 #include <memory>
+#include <streambuf>
 #include <string>
 
 #include "obs/metrics.h"
@@ -93,6 +95,10 @@ class InMemorySeriesSource : public SeriesSource {
 /// Streaming source over a binary series file written by
 /// `WriteBinarySeries`. Each `StartScan` re-reads the file from the start of
 /// the instant data, so `stats().bytes_read` reflects true re-scan cost.
+///
+/// v3 files are integrity-checked once at `Open` (header and payload CRCs,
+/// one extra sequential pass over the payload); scans then stream the
+/// verified region without recomputing checksums.
 class FileSeriesSource : public SeriesSource {
  public:
   /// Opens `path`, validates the header, and loads the symbol table.
@@ -105,15 +111,19 @@ class FileSeriesSource : public SeriesSource {
   const SymbolTable& symbols() const override { return symbols_; }
 
  private:
-  FileSeriesSource() = default;
+  FileSeriesSource() : stream_(nullptr) {}
 
   std::string path_;
   std::ifstream file_;
+  // Reads go through `stream_`, whose buffer is either the file's own or a
+  // fault-injecting wrapper around it (tests); `fault_buf_` owns the latter.
+  std::unique_ptr<std::streambuf> fault_buf_;
+  std::istream stream_;
   SymbolTable symbols_;
   uint64_t num_instants_ = 0;
   std::streampos data_offset_ = 0;
   uint64_t delivered_ = 0;
-  bool fixed_width_ = true;  // v1 fixed-width vs v2 delta+varint data.
+  bool fixed_width_ = true;  // v1 fixed-width vs v2/v3 delta+varint data.
   Status status_;
 };
 

@@ -142,6 +142,12 @@ class Bitset {
     return out;
   }
 
+  /// Approximate bytes of owned storage (object + heap words), for
+  /// `MemoryBudget` accounting of mask-keyed structures.
+  uint64_t ApproxMemoryBytes() const {
+    return sizeof(Bitset) + words_.capacity() * sizeof(uint64_t);
+  }
+
   /// Content hash, independent of trailing capacity.
   size_t Hash() const {
     // FNV-1a over the significant words.

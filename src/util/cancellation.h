@@ -1,0 +1,121 @@
+#ifndef PPM_UTIL_CANCELLATION_H_
+#define PPM_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "util/status.h"
+
+namespace ppm {
+
+/// Cooperative cancellation flag shared by everyone holding a copy of the
+/// token. `Cancel()` is sticky, thread-safe, and async-signal-safe (a single
+/// relaxed atomic store), so a SIGINT handler may call it directly.
+///
+/// A default-constructed token owns fresh shared state; copying shares it,
+/// so cancelling the original cancels every copy (the per-period options
+/// copies made by the multi-period miners all answer to one token).
+class CancelToken {
+ public:
+  CancelToken() : cancelled_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation. Idempotent.
+  void Cancel() const { cancelled_->store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return cancelled_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+};
+
+/// A wall-clock execution deadline. Default-constructed deadlines never
+/// expire and skip the clock read entirely, so an unset deadline costs one
+/// branch per check.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires.
+  Deadline() = default;
+
+  /// Expires `ms` milliseconds from now (0 is already expired).
+  static Deadline After(uint64_t ms) {
+    Deadline deadline;
+    deadline.infinite_ = false;
+    deadline.at_ = Clock::now() + std::chrono::milliseconds(ms);
+    return deadline;
+  }
+
+  static Deadline Infinite() { return Deadline(); }
+
+  bool infinite() const { return infinite_; }
+
+  bool expired() const { return !infinite_ && Clock::now() >= at_; }
+
+  /// Milliseconds until expiry (0 when expired; UINT64_MAX when infinite).
+  uint64_t remaining_ms() const {
+    if (infinite_) return UINT64_MAX;
+    const auto left = at_ - Clock::now();
+    if (left <= Clock::duration::zero()) return 0;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(left).count());
+  }
+
+ private:
+  bool infinite_ = true;
+  Clock::time_point at_{};
+};
+
+/// Bundles a token and a deadline into one cheap, copyable interruption
+/// check, the form the miners and `parallel::ShardedRun` thread through
+/// their loops. Checks are made at segment / level / chunk granularity --
+/// never per instant -- so a check costs one atomic load plus (with a
+/// finite deadline) one clock read.
+class Interrupt {
+ public:
+  /// Never fires.
+  Interrupt() = default;
+
+  Interrupt(CancelToken token, Deadline deadline)
+      : token_(std::move(token)), deadline_(deadline) {}
+
+  /// True when work should stop (cancelled or past the deadline). Safe to
+  /// call concurrently from worker threads.
+  bool ShouldStop() const { return token_.cancelled() || deadline_.expired(); }
+
+  /// OK, or the `Status` a miner must return: cancellation wins over the
+  /// deadline when both fired (the user's explicit action is the better
+  /// explanation).
+  Status Check() const {
+    if (token_.cancelled()) return Status::Cancelled("mining cancelled");
+    if (deadline_.expired()) {
+      return Status::DeadlineExceeded("mining deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+  const CancelToken& token() const { return token_; }
+  const Deadline& deadline() const { return deadline_; }
+
+ private:
+  CancelToken token_;
+  Deadline deadline_;
+};
+
+/// Propagates interruption to the caller, like `PPM_RETURN_IF_ERROR` for an
+/// `Interrupt` (`expr` is any `Interrupt` expression).
+#define PPM_RETURN_IF_INTERRUPTED(expr)             \
+  do {                                              \
+    ::ppm::Status ppm_interrupt_tmp_ = (expr).Check(); \
+    if (!ppm_interrupt_tmp_.ok()) {                 \
+      return ppm_interrupt_tmp_;                    \
+    }                                               \
+  } while (false)
+
+}  // namespace ppm
+
+#endif  // PPM_UTIL_CANCELLATION_H_

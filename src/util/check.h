@@ -4,9 +4,14 @@
 #include <cstdio>
 #include <cstdlib>
 
-/// Internal invariant checks. These fire in all build modes: a failed check
-/// means a bug inside the library (never a user input error -- those are
-/// reported through `Status`).
+/// Internal invariant checks. A failed check means a bug inside the library
+/// (never a user input error -- those are reported through `Status`).
+///
+/// `PPM_CHECK` fires in all build modes. `PPM_DCHECK` is for hot-path
+/// invariants: it fires only in debug builds (compiled out under `NDEBUG`,
+/// where the condition is never evaluated). A translation unit may force a
+/// mode by defining `PPM_DCHECK_ENABLED` to 1 or 0 before including this
+/// header (used by the compile-mode tests).
 #define PPM_CHECK(condition)                                              \
   do {                                                                    \
     if (!(condition)) {                                                   \
@@ -16,6 +21,25 @@
     }                                                                     \
   } while (false)
 
+#ifndef PPM_DCHECK_ENABLED
+#ifdef NDEBUG
+#define PPM_DCHECK_ENABLED 0
+#else
+#define PPM_DCHECK_ENABLED 1
+#endif
+#endif
+
+#if PPM_DCHECK_ENABLED
 #define PPM_DCHECK(condition) PPM_CHECK(condition)
+#else
+// The condition still compiles (catching type errors and "unused variable"
+// warnings) but is never evaluated at run time.
+#define PPM_DCHECK(condition)      \
+  do {                             \
+    if (false) {                   \
+      (void)(condition);           \
+    }                              \
+  } while (false)
+#endif
 
 #endif  // PPM_UTIL_CHECK_H_

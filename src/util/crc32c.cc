@@ -1,0 +1,41 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace ppm::crc32c {
+
+namespace {
+
+/// Byte-wise lookup table for the reflected Castagnoli polynomial,
+/// generated once at startup (256 entries, 1 KiB).
+std::array<uint32_t, 256> BuildTable() {
+  constexpr uint32_t kPoly = 0x82F63B78u;  // 0x1EDC6F41 reflected.
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t crc, const void* data, size_t n) {
+  const auto& table = Table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace ppm::crc32c

@@ -1,0 +1,27 @@
+#ifndef PPM_UTIL_CRC32C_H_
+#define PPM_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ppm::crc32c {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected): the checksum
+/// used by the v3 `.ppmts` layout, chosen to match the storage-format
+/// convention of RocksDB / LevelDB (table-driven software implementation;
+/// byte-for-byte the same function, so external tooling can verify files).
+
+/// Extends `crc` (a running value, initially 0) over `data[0, n)`.
+uint32_t Extend(uint32_t crc, const void* data, size_t n);
+
+/// CRC-32C of a whole buffer.
+inline uint32_t Value(const void* data, size_t n) { return Extend(0, data, n); }
+
+inline uint32_t Value(std::string_view data) {
+  return Value(data.data(), data.size());
+}
+
+}  // namespace ppm::crc32c
+
+#endif  // PPM_UTIL_CRC32C_H_

@@ -1,0 +1,67 @@
+#ifndef PPM_UTIL_MEMORY_BUDGET_H_
+#define PPM_UTIL_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace ppm {
+
+/// A thread-safe byte account capping the working-set of one mining run.
+///
+/// The budget is advisory bookkeeping, not an allocator hook: components
+/// that own large structures (hit stores, candidate tables) charge their
+/// approximate footprint and the miners react to a failed charge by
+/// degrading or returning `kResourceExhausted` (see docs/ROBUSTNESS.md).
+/// A limit of 0 means unlimited; every charge then succeeds.
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(uint64_t limit_bytes) : limit_(limit_bytes) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// Reserves `bytes`; false (and no reservation) when that would push
+  /// usage past the limit.
+  bool TryCharge(uint64_t bytes) {
+    if (limit_ == 0) return true;
+    uint64_t current = used_.load(std::memory_order_relaxed);
+    while (true) {
+      if (bytes > limit_ || current > limit_ - bytes) return false;
+      if (used_.compare_exchange_weak(current, current + bytes,
+                                      std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  /// Returns a previous charge (clamped at zero for safety).
+  void Release(uint64_t bytes) {
+    uint64_t current = used_.load(std::memory_order_relaxed);
+    while (true) {
+      const uint64_t next = bytes > current ? 0 : current - bytes;
+      if (used_.compare_exchange_weak(current, next,
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  /// True when `used() + extra` would exceed a finite limit.
+  bool WouldExceed(uint64_t extra) const {
+    if (limit_ == 0) return false;
+    const uint64_t current = used_.load(std::memory_order_relaxed);
+    return extra > limit_ || current > limit_ - extra;
+  }
+
+  uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+  uint64_t limit() const { return limit_; }
+  bool unlimited() const { return limit_ == 0; }
+
+ private:
+  const uint64_t limit_;
+  std::atomic<uint64_t> used_{0};
+};
+
+}  // namespace ppm
+
+#endif  // PPM_UTIL_MEMORY_BUDGET_H_

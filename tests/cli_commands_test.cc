@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -138,13 +139,72 @@ TEST_F(CliTest, MineTopLimitsOutput) {
 }
 
 TEST_F(CliTest, MineRejectsBadFlags) {
-  EXPECT_EQ(Run({"mine", "--input", series_txt_, "--perod", "3"}), 1);
+  EXPECT_EQ(Run({"mine", "--input", series_txt_, "--perod", "3"}), 2);
   EXPECT_NE(err_.str().find("--perod"), std::string::npos);
-  EXPECT_EQ(Run({"mine", "--input", series_txt_, "--period", "0"}), 1);
+  EXPECT_EQ(Run({"mine", "--input", series_txt_, "--period", "0"}), 2);
   EXPECT_EQ(Run({"mine", "--input", series_txt_, "--period", "3",
                  "--algorithm", "fft"}),
-            1);
-  EXPECT_EQ(Run({"mine", "--period", "3"}), 1);  // Missing input.
+            2);
+  EXPECT_EQ(Run({"mine", "--period", "3"}), 2);  // Missing input.
+  EXPECT_EQ(Run({"mine", "--input", series_txt_, "--period", "3",
+                 "--budget-policy", "panic"}),
+            2);
+}
+
+TEST_F(CliTest, ErrorLineIsStructured) {
+  EXPECT_EQ(Run({"mine", "--period", "3"}), 2);
+  // One stderr line carrying the status text plus code/exit fields.
+  const std::string text = err_.str();
+  EXPECT_NE(text.find("error: InvalidArgument"), std::string::npos) << text;
+  EXPECT_NE(text.find("exit=2]"), std::string::npos) << text;
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1) << text;
+}
+
+TEST_F(CliTest, MineDeadlineExitsFive) {
+  // An already-expired deadline must surface as DeadlineExceeded (exit 5),
+  // never a hang or crash, at any thread count.
+  for (const char* threads : {"1", "8"}) {
+    EXPECT_EQ(Run({"mine", "--input", series_txt_, "--period", "3",
+                   "--min-conf", "0.5", "--threads", threads,
+                   "--deadline-ms", "0"}),
+              5)
+        << err_.str();
+    EXPECT_NE(err_.str().find("DeadlineExceeded"), std::string::npos)
+        << err_.str();
+  }
+}
+
+TEST_F(CliTest, AbortedMineStillWritesStatsJson) {
+  // Partial-progress record: an interrupted run with --stats-json still
+  // emits the report, with the failure recorded in its meta.
+  const std::string stats_path = dir_ + "/cli_aborted_stats.json";
+  EXPECT_EQ(Run({"mine", "--input", series_txt_, "--period", "3",
+                 "--min-conf", "0.5", "--deadline-ms", "0", "--stats-json",
+                 stats_path}),
+            5)
+      << err_.str();
+  std::stringstream stats;
+  stats << std::ifstream(stats_path).rdbuf();
+  const std::string report = stats.str();
+  EXPECT_NE(report.find("\"run\":\"mine\""), std::string::npos) << report;
+  EXPECT_NE(report.find("DeadlineExceeded"), std::string::npos) << report;
+  std::remove(stats_path.c_str());
+}
+
+TEST_F(CliTest, MineBudgetPolicies) {
+  // A generous budget changes nothing; the flag itself must be accepted by
+  // mine and scan. (Exhaustion-path exit code 6 is exercised at the library
+  // level in fault_tolerance_test, where sub-MB budgets are expressible.)
+  EXPECT_EQ(Run({"mine", "--input", series_txt_, "--period", "3",
+                 "--min-conf", "0.5", "--memory-budget-mb", "100",
+                 "--budget-policy", "fail"}),
+            0)
+      << err_.str();
+  EXPECT_EQ(Run({"scan", "--input", series_txt_, "--period-low", "2",
+                 "--period-high", "4", "--min-conf", "0.5",
+                 "--memory-budget-mb", "100"}),
+            0)
+      << err_.str();
 }
 
 TEST_F(CliTest, ScanShared) {
@@ -195,8 +255,8 @@ TEST_F(CliTest, GenerateStatsConvertMineRoundTrip) {
 }
 
 TEST_F(CliTest, GenerateRejectsInvalidParams) {
-  EXPECT_EQ(Run({"generate", "--output", dir_ + "/x.bin", "--period", "0"}), 1);
-  EXPECT_EQ(Run({"generate", "--length", "100"}), 1);  // Missing output.
+  EXPECT_EQ(Run({"generate", "--output", dir_ + "/x.bin", "--period", "0"}), 2);
+  EXPECT_EQ(Run({"generate", "--length", "100"}), 2);  // Missing output.
 }
 
 TEST_F(CliTest, SuggestRanksPlantedPeriod) {
@@ -263,11 +323,11 @@ TEST_F(CliTest, BucketizeWithCalendarAnnotation) {
 }
 
 TEST_F(CliTest, BucketizeErrors) {
-  EXPECT_EQ(Run({"bucketize", "--output", "/tmp/x.txt"}), 1);  // No events.
+  EXPECT_EQ(Run({"bucketize", "--output", "/tmp/x.txt"}), 2);  // No events.
   const std::string events = dir_ + "/cli_events_bad.log";
   std::ofstream(events) << "notanumber foo\n";
   EXPECT_EQ(Run({"bucketize", "--events", events, "--output", "/tmp/x.txt"}),
-            1);
+            4);
   EXPECT_NE(err_.str().find("Corruption"), std::string::npos);
   std::remove(events.c_str());
 }
@@ -315,11 +375,11 @@ TEST_F(CliTest, DiscretizeMovement) {
 }
 
 TEST_F(CliTest, DiscretizeErrors) {
-  EXPECT_EQ(Run({"discretize", "--output", "/tmp/x.txt"}), 1);
+  EXPECT_EQ(Run({"discretize", "--output", "/tmp/x.txt"}), 2);
   const std::string values = dir_ + "/cli_badvalues.txt";
   std::ofstream(values) << "1.5\nnot_a_number\n";
   EXPECT_EQ(Run({"discretize", "--values", values, "--output", "/tmp/x.txt"}),
-            1);
+            4);
   EXPECT_NE(err_.str().find("Corruption"), std::string::npos);
   std::remove(values.c_str());
 }
@@ -347,10 +407,10 @@ TEST_F(CliTest, MineSaveThenApply) {
 }
 
 TEST_F(CliTest, ApplyErrors) {
-  EXPECT_EQ(Run({"apply", "--input", series_txt_}), 1);  // No patterns.
+  EXPECT_EQ(Run({"apply", "--input", series_txt_}), 2);  // No patterns.
   EXPECT_EQ(Run({"apply", "--patterns", "/no/such.txt", "--input",
                  series_txt_}),
-            1);
+            1);  // IoError.
 }
 
 TEST_F(CliTest, EvolveReportsWindows) {
@@ -400,12 +460,12 @@ TEST_F(CliTest, DbLifecycle) {
 
 TEST_F(CliTest, DbErrors) {
   const std::string db_dir = dir_ + "/cli_db_err";
-  EXPECT_EQ(Run({"db", "--dir", db_dir}), 1);  // No action.
-  EXPECT_EQ(Run({"db", "frob", "--dir", db_dir}), 1);
-  EXPECT_EQ(Run({"db", "list"}), 1);  // No dir.
+  EXPECT_EQ(Run({"db", "--dir", db_dir}), 2);  // No action.
+  EXPECT_EQ(Run({"db", "frob", "--dir", db_dir}), 2);
+  EXPECT_EQ(Run({"db", "list"}), 2);  // No dir.
   EXPECT_EQ(Run({"db", "get", "--dir", db_dir, "--name", "missing",
                  "--output", "/tmp/x.txt"}),
-            1);
+            3);
   EXPECT_NE(err_.str().find("NotFound"), std::string::npos);
   std::filesystem::remove_all(db_dir);
 }

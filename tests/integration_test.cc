@@ -111,8 +111,14 @@ TEST_F(FileMiningTest, TruncatedFileSurfacesCorruption) {
             static_cast<std::streamsize>(contents.size() / 2));
   out.close();
 
+  // v3 (the default) detects the truncated payload at Open via its
+  // checksum pass; if an older format ever gets this far, the corruption
+  // must surface during the scan instead.
   auto file = tsdb::FileSeriesSource::Open(path_);
-  ASSERT_TRUE(file.ok());  // Header is intact.
+  if (!file.ok()) {
+    EXPECT_EQ(file.status().code(), StatusCode::kCorruption);
+    return;
+  }
   auto result = MineHitSet(**file, mining_);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kCorruption);

@@ -1,0 +1,202 @@
+// Tests for the deterministic storage fault-injection seam
+// (tsdb/fault_injection.h): bit flips and short reads against the codec and
+// the streaming source, transient failures against Database::Get's retry
+// loop, and fsync failures against the manifest's write-then-rename
+// protocol.
+
+#include "tsdb/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "tsdb/database.h"
+#include "tsdb/series_codec.h"
+#include "tsdb/series_source.h"
+#include "tsdb/time_series.h"
+
+namespace ppm::tsdb {
+namespace {
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name).value();
+}
+
+TimeSeries TestSeries() {
+  TimeSeries series;
+  const FeatureId a = series.symbols().Intern("a");
+  const FeatureId b = series.symbols().Intern("b");
+  for (int t = 0; t < 50; ++t) {
+    FeatureSet instant;
+    if (t % 2 == 0) instant.Set(a);
+    if (t % 3 == 0) instant.Set(b);
+    series.Append(std::move(instant));
+  }
+  return series;
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "/fault_series.ppmts";
+    ASSERT_TRUE(WriteBinarySeries(TestSeries(), path_).ok());  // v3 default.
+  }
+  void TearDown() override {
+    FaultInjector::Global().Disarm();  // Never leak faults across tests.
+    std::remove(path_.c_str());
+  }
+
+  std::string path_;
+};
+
+TEST_F(FaultInjectionTest, DisarmedInjectorIsInvisible) {
+  EXPECT_FALSE(FaultInjector::Global().armed());
+  EXPECT_EQ(FaultInjector::Global().MaybeWrap(nullptr), nullptr);
+  EXPECT_FALSE(FaultInjector::Global().ConsumeTransientReadFailure());
+  EXPECT_FALSE(FaultInjector::Global().FsyncShouldFail());
+  EXPECT_TRUE(ReadBinarySeries(path_).ok());
+}
+
+TEST_F(FaultInjectionTest, BitFlipsAreDetectedByV3Checksums) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.bit_flip_rate = 0.05;
+  const uint64_t injected_before = CounterValue("ppm.fault.injected");
+  ScopedFaultInjection scoped(plan);
+  const auto series = ReadBinarySeries(path_);
+  ASSERT_FALSE(series.ok());
+  EXPECT_EQ(series.status().code(), StatusCode::kCorruption);
+  EXPECT_GT(CounterValue("ppm.fault.injected"), injected_before);
+}
+
+TEST_F(FaultInjectionTest, BitFlipsAreDeterministicPerSeed) {
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.bit_flip_rate = 0.02;
+  ScopedFaultInjection scoped(plan);
+  const auto first = ReadBinarySeries(path_);
+  const auto second = ReadBinarySeries(path_);
+  ASSERT_FALSE(first.ok());
+  // Same seed, same file: the identical bytes are corrupted, so the reader
+  // fails identically on every attempt.
+  EXPECT_EQ(first.status().ToString(), second.status().ToString());
+}
+
+TEST_F(FaultInjectionTest, ShortReadsFailTheSourceCleanly) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.fail_reads_at_offset = 40;  // Cut the file short mid-header-block.
+  ScopedFaultInjection scoped(plan);
+  const auto source = FileSeriesSource::Open(path_);
+  EXPECT_FALSE(source.ok());
+  EXPECT_EQ(source.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(FaultInjectionTest, TransientFailuresAreRetriedByDatabaseGet) {
+  const std::string db_dir = testing::TempDir() + "/fault_db_retry";
+  std::filesystem::remove_all(db_dir);
+  auto db = Database::Open(db_dir);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put("s", TestSeries()).ok());
+
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.transient_read_failures = 2;
+  const uint64_t retries_before = CounterValue("ppm.fault.retries");
+  {
+    ScopedFaultInjection scoped(plan);
+    // Two injected failures, three attempts: the final attempt succeeds.
+    const auto series = (*db)->Get("s");
+    ASSERT_TRUE(series.ok()) << series.status().ToString();
+    EXPECT_EQ(series->length(), 50u);
+  }
+  EXPECT_EQ(CounterValue("ppm.fault.retries"), retries_before + 2);
+
+  // More transient failures than attempts: Get surfaces the IoError.
+  plan.transient_read_failures = 10;
+  {
+    ScopedFaultInjection scoped(plan);
+    const auto series = (*db)->Get("s");
+    ASSERT_FALSE(series.ok());
+    EXPECT_EQ(series.status().code(), StatusCode::kIoError);
+  }
+  std::filesystem::remove_all(db_dir);
+}
+
+TEST_F(FaultInjectionTest, CorruptionIsNeverRetried) {
+  const std::string db_dir = testing::TempDir() + "/fault_db_corrupt";
+  std::filesystem::remove_all(db_dir);
+  auto db = Database::Open(db_dir);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put("s", TestSeries()).ok());
+
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.bit_flip_rate = 0.05;
+  const uint64_t retries_before = CounterValue("ppm.fault.retries");
+  ScopedFaultInjection scoped(plan);
+  const auto series = (*db)->Get("s");
+  ASSERT_FALSE(series.ok());
+  EXPECT_EQ(series.status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(CounterValue("ppm.fault.retries"), retries_before)
+      << "corruption must not be retried";
+  FaultInjector::Global().Disarm();
+  std::filesystem::remove_all(db_dir);
+}
+
+TEST_F(FaultInjectionTest, FailedManifestWriteNeverClobbersPrevious) {
+  const std::string db_dir = testing::TempDir() + "/fault_db_manifest";
+  std::filesystem::remove_all(db_dir);
+  auto db = Database::Open(db_dir);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put("first", TestSeries()).ok());
+
+  std::ifstream manifest_in(db_dir + "/MANIFEST");
+  std::ostringstream before;
+  before << manifest_in.rdbuf();
+  manifest_in.close();
+  ASSERT_NE(before.str().find("first"), std::string::npos);
+
+  {
+    FaultPlan plan;
+    plan.seed = 3;
+    plan.fail_fsync = true;
+    ScopedFaultInjection scoped(plan);
+    const Status put = (*db)->Put("second", TestSeries());
+    ASSERT_FALSE(put.ok());
+    EXPECT_EQ(put.code(), StatusCode::kIoError);
+  }
+
+  // The previous manifest is byte-for-byte intact, no temp file remains,
+  // and reopening the catalog sees exactly the first series.
+  std::ifstream manifest_after(db_dir + "/MANIFEST");
+  std::ostringstream after;
+  after << manifest_after.rdbuf();
+  EXPECT_EQ(after.str(), before.str());
+  EXPECT_FALSE(std::filesystem::exists(db_dir + "/MANIFEST.tmp"));
+
+  auto reopened = Database::Open(db_dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->List(), std::vector<std::string>{"first"});
+  std::filesystem::remove_all(db_dir);
+}
+
+TEST_F(FaultInjectionTest, DisarmRestoresCleanReads) {
+  {
+    FaultPlan plan;
+    plan.seed = 21;
+    plan.bit_flip_rate = 1.0;
+    ScopedFaultInjection scoped(plan);
+    EXPECT_FALSE(ReadBinarySeries(path_).ok());
+  }
+  const auto series = ReadBinarySeries(path_);
+  ASSERT_TRUE(series.ok()) << series.status().ToString();
+  EXPECT_EQ(series->length(), 50u);
+}
+
+}  // namespace
+}  // namespace ppm::tsdb

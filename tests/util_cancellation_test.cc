@@ -1,0 +1,119 @@
+#include "util/cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ppm {
+namespace {
+
+TEST(CancelTokenTest, StartsUncancelledAndIsSticky) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Cancel();  // Idempotent.
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelTokenTest, CopiesShareState) {
+  CancelToken original;
+  CancelToken copy = original;
+  original.Cancel();
+  EXPECT_TRUE(copy.cancelled());
+
+  CancelToken fresh;  // A new token owns fresh state.
+  EXPECT_FALSE(fresh.cancelled());
+}
+
+TEST(CancelTokenTest, CancelFromAnotherThreadIsVisible) {
+  CancelToken token;
+  std::thread other([token] { token.Cancel(); });
+  other.join();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  Deadline deadline;
+  EXPECT_TRUE(deadline.infinite());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_EQ(deadline.remaining_ms(), UINT64_MAX);
+  EXPECT_FALSE(Deadline::Infinite().expired());
+}
+
+TEST(DeadlineTest, ZeroIsAlreadyExpired) {
+  const Deadline deadline = Deadline::After(0);
+  EXPECT_FALSE(deadline.infinite());
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_EQ(deadline.remaining_ms(), 0u);
+}
+
+TEST(DeadlineTest, FutureDeadlineReportsRemaining) {
+  const Deadline deadline = Deadline::After(60000);
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_GT(deadline.remaining_ms(), 0u);
+  EXPECT_LE(deadline.remaining_ms(), 60000u);
+}
+
+TEST(InterruptTest, DefaultNeverFires) {
+  Interrupt interrupt;
+  EXPECT_FALSE(interrupt.ShouldStop());
+  EXPECT_TRUE(interrupt.Check().ok());
+}
+
+TEST(InterruptTest, CancelledTokenFires) {
+  CancelToken token;
+  Interrupt interrupt(token, Deadline::Infinite());
+  EXPECT_FALSE(interrupt.ShouldStop());
+  token.Cancel();
+  EXPECT_TRUE(interrupt.ShouldStop());
+  EXPECT_EQ(interrupt.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(InterruptTest, ExpiredDeadlineFires) {
+  Interrupt interrupt(CancelToken(), Deadline::After(0));
+  EXPECT_TRUE(interrupt.ShouldStop());
+  EXPECT_EQ(interrupt.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(InterruptTest, CancellationWinsOverDeadline) {
+  CancelToken token;
+  token.Cancel();
+  Interrupt interrupt(token, Deadline::After(0));
+  EXPECT_EQ(interrupt.Check().code(), StatusCode::kCancelled);
+}
+
+Status ReturnIfInterrupted(const Interrupt& interrupt) {
+  PPM_RETURN_IF_INTERRUPTED(interrupt);
+  return Status::InvalidArgument("fell through");
+}
+
+TEST(InterruptTest, ReturnIfInterruptedMacro) {
+  EXPECT_EQ(ReturnIfInterrupted(Interrupt()).code(),
+            StatusCode::kInvalidArgument);  // Not interrupted: falls through.
+  CancelToken token;
+  token.Cancel();
+  EXPECT_EQ(
+      ReturnIfInterrupted(Interrupt(token, Deadline::Infinite())).code(),
+      StatusCode::kCancelled);
+}
+
+TEST(InterruptTest, ConcurrentChecksAreSafe) {
+  CancelToken token;
+  const Interrupt interrupt(token, Deadline::After(60000));
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 4; ++i) {
+    workers.emplace_back([&interrupt, &token, i] {
+      for (int n = 0; n < 1000; ++n) {
+        (void)interrupt.ShouldStop();
+        if (i == 0 && n == 500) token.Cancel();
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_TRUE(interrupt.ShouldStop());
+}
+
+}  // namespace
+}  // namespace ppm

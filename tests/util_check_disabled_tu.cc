@@ -1,0 +1,20 @@
+// The PPM_DCHECK_ENABLED=0 half of util_check_test.cc: debug checks are
+// forced off here even in debug builds, so the disabled expansion is
+// compiled and exercised in every configuration.
+#define PPM_DCHECK_ENABLED 0
+#include "util/check.h"
+
+namespace ppm_check_test {
+
+bool DisabledDcheckEvaluatesCondition() {
+  bool evaluated = false;
+  PPM_DCHECK((evaluated = true));
+  return evaluated;
+}
+
+bool DisabledDcheckSurvivesFalse() {
+  PPM_DCHECK(false);  // Must not abort when disabled.
+  return true;
+}
+
+}  // namespace ppm_check_test

@@ -1,0 +1,44 @@
+// Compile-mode test for the PPM_DCHECK gate: this TU forces debug checks ON
+// via the PPM_DCHECK_ENABLED override; util_check_disabled_tu.cc forces them
+// OFF. Both modes therefore compile and run in every build configuration,
+// regardless of NDEBUG.
+#define PPM_DCHECK_ENABLED 1
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+// Compiled with PPM_DCHECK_ENABLED=0 in util_check_disabled_tu.cc.
+namespace ppm_check_test {
+bool DisabledDcheckEvaluatesCondition();
+bool DisabledDcheckSurvivesFalse();
+}  // namespace ppm_check_test
+
+namespace {
+
+TEST(CheckTest, CheckPassesOnTrue) {
+  PPM_CHECK(1 + 1 == 2);  // Must not abort.
+}
+
+TEST(CheckDeathTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH(PPM_CHECK(false), "PPM_CHECK failed");
+}
+
+TEST(CheckTest, EnabledDcheckEvaluatesCondition) {
+  bool evaluated = false;
+  PPM_DCHECK((evaluated = true));
+  EXPECT_TRUE(evaluated);
+}
+
+TEST(CheckDeathTest, EnabledDcheckAbortsOnFalse) {
+  EXPECT_DEATH(PPM_DCHECK(false), "PPM_CHECK failed");
+}
+
+TEST(CheckTest, DisabledDcheckNeverEvaluates) {
+  EXPECT_FALSE(ppm_check_test::DisabledDcheckEvaluatesCondition());
+}
+
+TEST(CheckTest, DisabledDcheckSurvivesFalseCondition) {
+  EXPECT_TRUE(ppm_check_test::DisabledDcheckSurvivesFalse());
+}
+
+}  // namespace
