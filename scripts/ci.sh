@@ -91,12 +91,43 @@ grep -q "DeadlineExceeded" "$SMOKE_DIR/deadline.err"
 grep -q "ResourceExhausted" "$SMOKE_DIR/budget.err"
 echo "fault smoke OK: corruption harness, deadline exit 5, budget exit 6"
 
+# Crash-recovery smoke: a `ppm stream` run killed mid-ingestion at a
+# fault-injected WAL write site (torn half-frame + _Exit(137), like a
+# SIGKILL mid-write) must, after `--resume`, report the same segment count
+# and byte-identical pattern lines as an uninterrupted reference run
+# (docs/ROBUSTNESS.md "Crash recovery"). --wal-fsync never is sufficient
+# here: the kill is a process death, not a machine crash, so the page cache
+# survives.
+"$PPM" generate --output "$SMOKE_DIR/stream.bin" \
+  --length 8000 --period 20 --seed 13
+"$PPM" stream --input "$SMOKE_DIR/stream.bin" --period 20 --min-conf 0.8 \
+  --checkpoint-dir "$SMOKE_DIR/ref-ckpt" --checkpoint-every 8 \
+  --wal-fsync never > "$SMOKE_DIR/stream-ref.out"
+set +e
+"$PPM" stream --input "$SMOKE_DIR/stream.bin" --period 20 --min-conf 0.8 \
+  --checkpoint-dir "$SMOKE_DIR/crash-ckpt" --checkpoint-every 8 \
+  --wal-fsync never --crash-after-appends 3500 > /dev/null
+CRASH_EXIT=$?
+set -e
+[[ "$CRASH_EXIT" == 137 ]] || { echo "crash exit was $CRASH_EXIT, want 137"; exit 1; }
+"$PPM" stream --input "$SMOKE_DIR/stream.bin" --period 20 --min-conf 0.8 \
+  --checkpoint-dir "$SMOKE_DIR/crash-ckpt" --checkpoint-every 8 \
+  --wal-fsync never --resume > "$SMOKE_DIR/stream-resumed.out"
+grep -q "(resumed)" "$SMOKE_DIR/stream-resumed.out"
+grep '^  count=' "$SMOKE_DIR/stream-ref.out" > "$SMOKE_DIR/ref-patterns"
+grep '^  count=' "$SMOKE_DIR/stream-resumed.out" > "$SMOKE_DIR/resumed-patterns"
+diff "$SMOKE_DIR/ref-patterns" "$SMOKE_DIR/resumed-patterns"
+grep '^period=' "$SMOKE_DIR/stream-ref.out" > "$SMOKE_DIR/ref-m"
+grep '^period=' "$SMOKE_DIR/stream-resumed.out" > "$SMOKE_DIR/resumed-m"
+diff "$SMOKE_DIR/ref-m" "$SMOKE_DIR/resumed-m"
+echo "crash-recovery smoke OK: kill at append 3500, resume matches reference"
+
 # Sanitizer matrix: the parallel miners, thread pool, streaming layer, and
 # the corruption/fault-injection harnesses under TSan (data races), ASan
 # (memory errors), and UBSan (undefined behaviour). Only the tests that
 # exercise threads, tricky memory, or hostile bytes are run -- a full suite
 # per sanitizer would triple CI time for no extra coverage.
-SANITIZER_TESTS='util_thread_pool_test|parallel_mine_test|differential_test|determinism_test|boundary_test|stream_test|tsdb_corruption_test|tsdb_fault_injection_test|fault_tolerance_test'
+SANITIZER_TESTS='util_thread_pool_test|parallel_mine_test|differential_test|determinism_test|boundary_test|stream_test|tsdb_corruption_test|tsdb_fault_injection_test|fault_tolerance_test|tsdb_wal_test|stream_checkpoint_test|cli_stream_test'
 if [[ "$SANITIZERS" == "1" ]]; then
   for sanitizer in thread address undefined; do
     SAN_DIR="$BUILD_DIR-$sanitizer"

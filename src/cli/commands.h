@@ -70,6 +70,14 @@ Status RunConvert(const ArgMap& args, std::ostream& out);
 /// --input (for put), --output (for get).
 Status RunDb(const ArgMap& args, std::ostream& out);
 
+/// `ppm stream`: crash-safe one-pass mining with WAL-backed ingestion and
+/// periodic checkpoints. Flags: --input, --period, --checkpoint-dir,
+/// --checkpoint-every (segments, 0 = final only), --wal-fsync
+/// {always,never}, --resume, --seed-prefix, --drift-window,
+/// --min-conf|--min-count, --top, --stats-json, --deadline-ms,
+/// --crash-after-appends (fault injection for crash-recovery tests).
+Status RunStream(const ArgMap& args, std::ostream& out);
+
 /// Usage text for all commands.
 std::string UsageText();
 

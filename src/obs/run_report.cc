@@ -11,6 +11,10 @@ void RunReport::AddMeta(std::string key, std::string value) {
   meta_.emplace_back(std::move(key), std::move(value));
 }
 
+void RunReport::AddMeta(std::string key, uint64_t value) {
+  meta_.emplace_back(std::move(key), std::to_string(value));
+}
+
 void RunReport::AddRawSection(std::string key, std::string json) {
   sections_.emplace_back(std::move(key), std::move(json));
 }

@@ -22,6 +22,8 @@ class RunReport {
   explicit RunReport(std::string name) : name_(std::move(name)) {}
 
   void AddMeta(std::string key, std::string value);
+  /// Numeric convenience; stored as the decimal string.
+  void AddMeta(std::string key, uint64_t value);
   /// Attaches `json` (already serialized, spliced verbatim) as section `key`.
   void AddRawSection(std::string key, std::string json);
   void SetMetrics(MetricsSnapshot metrics) { metrics_ = std::move(metrics); }

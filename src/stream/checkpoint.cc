@@ -1,0 +1,465 @@
+#include "stream/checkpoint.h"
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "tsdb/fault_injection.h"
+#include "util/crc32c.h"
+#include "util/fs.h"
+
+namespace ppm::stream {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Caps on decoded collection sizes, checked before any allocation.
+constexpr uint32_t kMaxSymbols = 1u << 24;
+constexpr uint32_t kMaxSymbolNameBytes = 1u << 20;
+constexpr uint32_t kMaxLetters = 1u << 24;
+
+void AppendU32(std::string* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+/// Bounds-checked sequential reader over the state block. Every failed
+/// read is reported by the caller as `kCorruption`.
+class Cursor {
+ public:
+  Cursor(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool ReadU32(uint32_t* value) {
+    if (size_ - pos_ < 4) return false;
+    *value = 0;
+    for (int i = 0; i < 4; ++i) {
+      *value |= static_cast<uint32_t>(
+                    static_cast<unsigned char>(data_[pos_ + i]))
+                << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* value) {
+    if (size_ - pos_ < 8) return false;
+    *value = 0;
+    for (int i = 0; i < 8; ++i) {
+      *value |= static_cast<uint64_t>(
+                    static_cast<unsigned char>(data_[pos_ + i]))
+                << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool ReadBytes(std::string* out, size_t n) {
+    if (size_ - pos_ < n) return false;
+    out->assign(data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+std::string EncodeState(const CheckpointData& data) {
+  const StreamingMinerState& state = data.state;
+  std::string out;
+  AppendU32(&out, kCheckpointVersion);
+  AppendU32(&out, data.period);
+  uint64_t conf_bits = 0;
+  static_assert(sizeof(conf_bits) == sizeof(data.min_confidence));
+  std::memcpy(&conf_bits, &data.min_confidence, sizeof(conf_bits));
+  AppendU64(&out, conf_bits);
+  AppendU64(&out, data.min_count);
+  AppendU32(&out, data.max_letters);
+  AppendU32(&out, static_cast<uint32_t>(data.hit_store));
+  AppendU32(&out, state.drift_window);
+  AppendU64(&out, state.instants_seen);
+  AppendU64(&out, state.segments_committed);
+  AppendU32(&out, static_cast<uint32_t>(data.symbols.size()));
+  for (const std::string& name : data.symbols) {
+    AppendU32(&out, static_cast<uint32_t>(name.size()));
+    out += name;
+  }
+  AppendU32(&out, static_cast<uint32_t>(state.letters.size()));
+  for (const Letter& letter : state.letters) {
+    AppendU32(&out, letter.position);
+    AppendU32(&out, letter.feature);
+  }
+  for (const uint64_t count : state.seeded_counts) AppendU64(&out, count);
+  for (const auto& row : state.other_counts) {
+    AppendU32(&out, static_cast<uint32_t>(row.size()));
+    for (const auto& [feature, count] : row) {
+      AppendU32(&out, feature);
+      AppendU64(&out, count);
+    }
+  }
+  AppendU32(&out, static_cast<uint32_t>(state.window_history.size()));
+  for (const std::vector<Letter>& segment : state.window_history) {
+    AppendU32(&out, static_cast<uint32_t>(segment.size()));
+    for (const Letter& letter : segment) {
+      AppendU32(&out, letter.position);
+      AppendU32(&out, letter.feature);
+    }
+  }
+  AppendU32(&out, state.segment_position);
+  AppendU32(&out, static_cast<uint32_t>(state.segment_mask.size()));
+  for (const uint32_t index : state.segment_mask) AppendU32(&out, index);
+  AppendU32(&out, static_cast<uint32_t>(state.pending_other.size()));
+  for (const Letter& letter : state.pending_other) {
+    AppendU32(&out, letter.position);
+    AppendU32(&out, letter.feature);
+  }
+  AppendU64(&out, static_cast<uint64_t>(state.hits.size()));
+  for (const auto& [mask_bits, count] : state.hits) {
+    AppendU32(&out, static_cast<uint32_t>(mask_bits.size()));
+    for (const uint32_t index : mask_bits) AppendU32(&out, index);
+    AppendU64(&out, count);
+  }
+  return out;
+}
+
+Result<CheckpointData> DecodeState(const std::string& block) {
+  const auto corrupt = [](const std::string& what) {
+    return Status::Corruption("checkpoint: " + what);
+  };
+  Cursor cursor(block.data(), block.size());
+  CheckpointData data;
+  uint32_t version = 0;
+  if (!cursor.ReadU32(&version)) return corrupt("truncated version");
+  if (version != kCheckpointVersion) {
+    return corrupt("unsupported version " + std::to_string(version));
+  }
+  uint64_t conf_bits = 0;
+  uint32_t hit_store = 0;
+  if (!cursor.ReadU32(&data.period) || !cursor.ReadU64(&conf_bits) ||
+      !cursor.ReadU64(&data.min_count) || !cursor.ReadU32(&data.max_letters) ||
+      !cursor.ReadU32(&hit_store)) {
+    return corrupt("truncated configuration");
+  }
+  std::memcpy(&data.min_confidence, &conf_bits, sizeof(data.min_confidence));
+  if (!std::isfinite(data.min_confidence)) {
+    return corrupt("non-finite confidence threshold");
+  }
+  if (hit_store > 1) return corrupt("unknown hit store kind");
+  data.hit_store = static_cast<HitStoreKind>(hit_store);
+
+  StreamingMinerState& state = data.state;
+  if (!cursor.ReadU32(&state.drift_window) ||
+      !cursor.ReadU64(&state.instants_seen) ||
+      !cursor.ReadU64(&state.segments_committed)) {
+    return corrupt("truncated cursor state");
+  }
+
+  uint32_t num_symbols = 0;
+  if (!cursor.ReadU32(&num_symbols)) return corrupt("truncated symbol count");
+  if (num_symbols > kMaxSymbols) return corrupt("implausible symbol count");
+  data.symbols.reserve(std::min<size_t>(num_symbols, cursor.remaining() / 4));
+  for (uint32_t i = 0; i < num_symbols; ++i) {
+    uint32_t name_len = 0;
+    if (!cursor.ReadU32(&name_len)) return corrupt("truncated symbol length");
+    if (name_len > kMaxSymbolNameBytes) {
+      return corrupt("implausible symbol length");
+    }
+    std::string name;
+    if (!cursor.ReadBytes(&name, name_len)) return corrupt("truncated symbol");
+    data.symbols.push_back(std::move(name));
+  }
+
+  uint32_t num_letters = 0;
+  if (!cursor.ReadU32(&num_letters)) return corrupt("truncated letter count");
+  if (num_letters > kMaxLetters) return corrupt("implausible letter count");
+  if (cursor.remaining() / 8 < num_letters) {
+    return corrupt("truncated letters");
+  }
+  state.letters.reserve(num_letters);
+  for (uint32_t i = 0; i < num_letters; ++i) {
+    Letter letter;
+    cursor.ReadU32(&letter.position);
+    cursor.ReadU32(&letter.feature);
+    state.letters.push_back(letter);
+  }
+  if (cursor.remaining() / 8 < num_letters) {
+    return corrupt("truncated seeded counts");
+  }
+  state.seeded_counts.resize(num_letters);
+  for (uint32_t i = 0; i < num_letters; ++i) {
+    cursor.ReadU64(&state.seeded_counts[i]);
+  }
+
+  if (data.period > kMaxLetters) return corrupt("implausible period");
+  state.other_counts.resize(data.period);
+  for (uint32_t position = 0; position < data.period; ++position) {
+    uint32_t row_size = 0;
+    if (!cursor.ReadU32(&row_size)) return corrupt("truncated other counts");
+    if (cursor.remaining() / 12 < row_size) {
+      return corrupt("truncated other counts");
+    }
+    auto& row = state.other_counts[position];
+    row.reserve(row_size);
+    for (uint32_t i = 0; i < row_size; ++i) {
+      uint32_t feature = 0;
+      uint64_t count = 0;
+      cursor.ReadU32(&feature);
+      cursor.ReadU64(&count);
+      row.emplace_back(feature, count);
+    }
+  }
+
+  uint32_t history_size = 0;
+  if (!cursor.ReadU32(&history_size)) return corrupt("truncated history count");
+  if (cursor.remaining() / 4 < history_size) {
+    return corrupt("implausible history count");
+  }
+  state.window_history.resize(history_size);
+  for (uint32_t h = 0; h < history_size; ++h) {
+    uint32_t segment_size = 0;
+    if (!cursor.ReadU32(&segment_size)) return corrupt("truncated history");
+    if (cursor.remaining() / 8 < segment_size) {
+      return corrupt("truncated history segment");
+    }
+    auto& segment = state.window_history[h];
+    segment.reserve(segment_size);
+    for (uint32_t i = 0; i < segment_size; ++i) {
+      Letter letter;
+      cursor.ReadU32(&letter.position);
+      cursor.ReadU32(&letter.feature);
+      segment.push_back(letter);
+    }
+  }
+
+  if (!cursor.ReadU32(&state.segment_position)) {
+    return corrupt("truncated segment position");
+  }
+  uint32_t mask_size = 0;
+  if (!cursor.ReadU32(&mask_size)) return corrupt("truncated mask count");
+  if (cursor.remaining() / 4 < mask_size) return corrupt("truncated mask");
+  state.segment_mask.reserve(mask_size);
+  for (uint32_t i = 0; i < mask_size; ++i) {
+    uint32_t index = 0;
+    cursor.ReadU32(&index);
+    state.segment_mask.push_back(index);
+  }
+  uint32_t pending_size = 0;
+  if (!cursor.ReadU32(&pending_size)) return corrupt("truncated pending count");
+  if (cursor.remaining() / 8 < pending_size) {
+    return corrupt("truncated pending letters");
+  }
+  state.pending_other.reserve(pending_size);
+  for (uint32_t i = 0; i < pending_size; ++i) {
+    Letter letter;
+    cursor.ReadU32(&letter.position);
+    cursor.ReadU32(&letter.feature);
+    state.pending_other.push_back(letter);
+  }
+
+  uint64_t num_hits = 0;
+  if (!cursor.ReadU64(&num_hits)) return corrupt("truncated hit count");
+  if (cursor.remaining() / 12 < num_hits) return corrupt("implausible hit count");
+  state.hits.reserve(num_hits);
+  for (uint64_t h = 0; h < num_hits; ++h) {
+    uint32_t bits = 0;
+    if (!cursor.ReadU32(&bits)) return corrupt("truncated hit mask");
+    if (cursor.remaining() / 4 < bits) return corrupt("truncated hit mask");
+    std::vector<uint32_t> mask_bits;
+    mask_bits.reserve(bits);
+    for (uint32_t i = 0; i < bits; ++i) {
+      uint32_t index = 0;
+      cursor.ReadU32(&index);
+      mask_bits.push_back(index);
+    }
+    uint64_t count = 0;
+    if (!cursor.ReadU64(&count)) return corrupt("truncated hit count value");
+    state.hits.emplace_back(std::move(mask_bits), count);
+  }
+
+  if (!cursor.exhausted()) return corrupt("trailing bytes in state block");
+  return data;
+}
+
+/// Durability hook honoring the fault-injection seam, like the manifest's.
+Status SyncPath(const std::string& path) {
+  if (tsdb::FaultInjector::Global().FsyncShouldFail()) {
+    return Status::IoError("injected fsync failure: " + path);
+  }
+  return fsutil::FsyncPath(path);
+}
+
+Result<std::string> ReadCheckpointBytes(const std::string& path) {
+  tsdb::FaultInjector& injector = tsdb::FaultInjector::Global();
+  if (injector.ConsumeTransientReadFailure()) {
+    return Status::IoError("injected transient read failure: " + path);
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+      return Status::NotFound("no checkpoint at " + path);
+    }
+    return Status::IoError("cannot open checkpoint: " + path);
+  }
+  std::unique_ptr<std::streambuf> wrapped = injector.MaybeWrap(in.rdbuf());
+  std::istream stream(wrapped != nullptr ? wrapped.get() : in.rdbuf());
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  if (in.bad()) return Status::IoError("checkpoint read failed: " + path);
+  return buffer.str();
+}
+
+}  // namespace
+
+std::string CheckpointPath(const std::string& dir) {
+  return dir + "/checkpoint.ppmckp";
+}
+
+std::string WalPath(const std::string& dir) { return dir + "/wal.ppmwal"; }
+
+Status WriteCheckpoint(const StreamingMiner& miner,
+                       const tsdb::SymbolTable& symbols,
+                       const std::string& dir) {
+  CheckpointData data;
+  const MiningOptions& options = miner.options();
+  data.period = options.period;
+  data.min_confidence = options.min_confidence;
+  data.min_count = options.min_count;
+  data.max_letters = options.max_letters;
+  data.hit_store = options.hit_store;
+  data.symbols = symbols.names();
+  data.state = miner.ExportState();
+
+  const std::string block = EncodeState(data);
+  std::string bytes;
+  bytes.reserve(sizeof(kCheckpointMagic) + 12 + block.size());
+  bytes.append(kCheckpointMagic, sizeof(kCheckpointMagic));
+  AppendU64(&bytes, block.size());
+  AppendU32(&bytes, crc32c::Value(block));
+  bytes += block;
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  const Status written =
+      fsutil::AtomicWriteFile(CheckpointPath(dir), bytes, SyncPath);
+  if (!written.ok()) {
+    metrics.GetCounter("ppm.stream.checkpoint.failures").Inc();
+    return written;
+  }
+  metrics.GetCounter("ppm.stream.checkpoint.writes").Inc();
+  metrics.GetCounter("ppm.stream.checkpoint.bytes").Inc(bytes.size());
+  return Status::OK();
+}
+
+Result<CheckpointData> ReadCheckpoint(const std::string& path) {
+  Result<std::string> read = ReadCheckpointBytes(path);
+  if (!read.ok()) return read.status();
+  const std::string& bytes = *read;
+  if (bytes.size() < sizeof(kCheckpointMagic) + 12) {
+    return Status::Corruption("checkpoint too short: " + path);
+  }
+  if (bytes.compare(0, sizeof(kCheckpointMagic), kCheckpointMagic,
+                    sizeof(kCheckpointMagic)) != 0) {
+    return Status::Corruption("bad checkpoint magic: " + path);
+  }
+  Cursor header(bytes.data() + sizeof(kCheckpointMagic), 12);
+  uint64_t block_len = 0;
+  uint32_t block_crc = 0;
+  header.ReadU64(&block_len);
+  header.ReadU32(&block_crc);
+  const size_t block_offset = sizeof(kCheckpointMagic) + 12;
+  if (bytes.size() - block_offset != block_len) {
+    return Status::Corruption("checkpoint length mismatch: " + path);
+  }
+  if (crc32c::Value(bytes.data() + block_offset, block_len) != block_crc) {
+    return Status::Corruption("checkpoint checksum mismatch: " + path);
+  }
+  return DecodeState(bytes.substr(block_offset));
+}
+
+Result<std::unique_ptr<StreamingMiner>> RestoreMiner(
+    const CheckpointData& data, const MiningOptions& runtime) {
+  MiningOptions options = runtime;
+  options.period = data.period;
+  options.min_confidence = data.min_confidence;
+  options.min_count = data.min_count;
+  options.max_letters = data.max_letters;
+  options.hit_store = data.hit_store;
+  // The restored miner is a single-threaded consumer; parallel knobs from
+  // the runtime options don't apply to streaming appends.
+  options.num_threads = 1;
+  return StreamingMiner::Restore(options, data.state);
+}
+
+Result<RecoveredStream> RecoverStream(const std::string& dir,
+                                      const MiningOptions& runtime) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("ppm.stream.recovery.attempts").Inc();
+  PPM_ASSIGN_OR_RETURN(const CheckpointData data,
+                       ReadCheckpoint(CheckpointPath(dir)));
+  RecoveredStream recovered;
+  recovered.symbols = data.symbols;
+  PPM_ASSIGN_OR_RETURN(recovered.miner, RestoreMiner(data, runtime));
+
+  StreamingMiner& miner = *recovered.miner;
+  const uint64_t checkpoint_instants = miner.instants_seen();
+  auto replayed = tsdb::ReplayWal(
+      WalPath(dir), checkpoint_instants,
+      [&miner](uint64_t, const tsdb::FeatureSet& instant) {
+        miner.Append(instant);
+        return Status::OK();
+      });
+  if (!replayed.ok()) {
+    if (replayed.status().code() == StatusCode::kNotFound) {
+      if (checkpoint_instants > 0) {
+        // The protocol syncs the WAL before every checkpoint; a checkpoint
+        // with history but no log means the log was lost.
+        return Status::Corruption("checkpoint covers " +
+                                  std::to_string(checkpoint_instants) +
+                                  " instants but the WAL is missing");
+      }
+      return recovered;  // Fresh directory: nothing logged yet.
+    }
+    return replayed.status();
+  }
+  if (replayed->next_seq < checkpoint_instants) {
+    return Status::Corruption(
+        "checkpoint ahead of the durable WAL: checkpoint covers " +
+        std::to_string(checkpoint_instants) + " instants, WAL holds " +
+        std::to_string(replayed->next_seq));
+  }
+  recovered.wal = *replayed;
+  metrics.GetCounter("ppm.stream.recovery.wal_records_replayed")
+      .Inc(replayed->records_delivered);
+  if (replayed->torn_tail) {
+    metrics.GetCounter("ppm.stream.recovery.torn_tails").Inc();
+  }
+  return recovered;
+}
+
+Status CheckpointStream(const StreamingMiner& miner, tsdb::WalWriter& wal,
+                        const tsdb::SymbolTable& symbols,
+                        const std::string& dir) {
+  // WAL first: the checkpoint must never claim instants the log could
+  // still lose (recovery treats that as corruption).
+  PPM_RETURN_IF_ERROR(wal.Sync());
+  return WriteCheckpoint(miner, symbols, dir);
+}
+
+}  // namespace ppm::stream

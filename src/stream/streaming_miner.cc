@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 #include <utility>
 
 #include "core/derivation.h"
@@ -40,6 +41,184 @@ Result<std::unique_ptr<StreamingMiner>> StreamingMiner::SeedFromPrefix(
                        Create(options, f1.space.letters(), drift_window));
   for (const tsdb::FeatureSet& instant : prefix.instants()) {
     miner->Append(instant);
+  }
+  return miner;
+}
+
+StreamingMinerState StreamingMiner::ExportState() const {
+  StreamingMinerState state;
+  state.drift_window = drift_window_;
+  state.letters = space_.letters();
+  state.seeded_counts = seeded_counts_;
+  state.other_counts.resize(options_.period);
+  for (uint32_t position = 0; position < options_.period; ++position) {
+    auto& row = state.other_counts[position];
+    row.assign(other_counts_[position].begin(), other_counts_[position].end());
+    std::sort(row.begin(), row.end());
+  }
+  state.window_history.assign(window_history_.begin(), window_history_.end());
+  state.pending_other = pending_other_;
+  state.segment_mask = segment_mask_.ToVector();
+  state.segment_position = segment_position_;
+  state.instants_seen = instants_seen_;
+  state.segments_committed = segments_committed_;
+  store_->ForEachHit([&state](const Bitset& mask, uint64_t count) {
+    state.hits.emplace_back(mask.ToVector(), count);
+  });
+  std::sort(state.hits.begin(), state.hits.end());
+  return state;
+}
+
+Result<std::unique_ptr<StreamingMiner>> StreamingMiner::Restore(
+    const MiningOptions& options, const StreamingMinerState& state) {
+  // `Create` re-validates the letters; a rejection here means the state
+  // bytes are bad, not that the caller misconfigured anything.
+  auto created = Create(options, state.letters, state.drift_window);
+  if (!created.ok()) {
+    return Status::Corruption("checkpoint state rejected: " +
+                              created.status().ToString());
+  }
+  std::unique_ptr<StreamingMiner> miner = std::move(*created);
+  const LetterSpace& space = miner->space_;
+  const uint32_t period = options.period;
+  const auto corrupt = [](const std::string& what) {
+    return Status::Corruption("checkpoint state invalid: " + what);
+  };
+  if (space.letters() != state.letters) {
+    return corrupt("letters not in canonical order");
+  }
+  if (state.seeded_counts.size() != space.size()) {
+    return corrupt("seeded count size mismatch");
+  }
+  if (state.other_counts.size() != period) {
+    return corrupt("other-count position count mismatch");
+  }
+  if (state.segment_position >= period) {
+    return corrupt("segment position beyond period");
+  }
+  if (state.segments_committed >
+      (std::numeric_limits<uint64_t>::max() - state.segment_position) /
+          period) {
+    return corrupt("segment count overflow");
+  }
+  if (state.segments_committed * period + state.segment_position !=
+      state.instants_seen) {
+    return corrupt("instant/segment accounting mismatch");
+  }
+  for (const uint64_t count : state.seeded_counts) {
+    if (count > state.segments_committed) {
+      return corrupt("seeded count exceeds committed segments");
+    }
+  }
+  const uint64_t horizon =
+      state.drift_window > 0
+          ? std::min<uint64_t>(state.segments_committed, state.drift_window)
+          : state.segments_committed;
+  for (uint32_t position = 0; position < period; ++position) {
+    const auto& row = state.other_counts[position];
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0 && row[i].first <= row[i - 1].first) {
+        return corrupt("other counts not sorted by feature");
+      }
+      if (row[i].second == 0) return corrupt("zero other count");
+      if (row[i].second > horizon) {
+        return corrupt("other count exceeds drift horizon");
+      }
+      if (space.IndexOf(position, row[i].first) != Bitset::kNoBit) {
+        return corrupt("seeded letter in other counts");
+      }
+    }
+  }
+  if (state.drift_window == 0) {
+    if (!state.window_history.empty()) {
+      return corrupt("window history without a drift window");
+    }
+  } else {
+    if (state.window_history.size() !=
+        std::min<uint64_t>(state.drift_window, state.segments_committed)) {
+      return corrupt("window history size mismatch");
+    }
+    // The windowed other-counts must be exactly the sum of the history.
+    std::vector<std::map<tsdb::FeatureId, uint64_t>> recomputed(period);
+    for (const std::vector<Letter>& segment : state.window_history) {
+      for (const Letter& letter : segment) {
+        if (letter.position >= period) {
+          return corrupt("window history position beyond period");
+        }
+        if (space.IndexOf(letter.position, letter.feature) != Bitset::kNoBit) {
+          return corrupt("seeded letter in window history");
+        }
+        ++recomputed[letter.position][letter.feature];
+      }
+    }
+    for (uint32_t position = 0; position < period; ++position) {
+      const auto& row = state.other_counts[position];
+      if (recomputed[position].size() != row.size()) {
+        return corrupt("window history disagrees with other counts");
+      }
+      for (const auto& [feature, count] : row) {
+        const auto it = recomputed[position].find(feature);
+        if (it == recomputed[position].end() || it->second != count) {
+          return corrupt("window history disagrees with other counts");
+        }
+      }
+    }
+  }
+  for (const Letter& letter : state.pending_other) {
+    if (letter.position >= state.segment_position) {
+      return corrupt("pending letter at an unseen position");
+    }
+    if (space.IndexOf(letter.position, letter.feature) != Bitset::kNoBit) {
+      return corrupt("seeded letter in pending set");
+    }
+  }
+  for (size_t i = 0; i < state.segment_mask.size(); ++i) {
+    const uint32_t index = state.segment_mask[i];
+    if (i > 0 && index <= state.segment_mask[i - 1]) {
+      return corrupt("segment mask not sorted");
+    }
+    if (index >= space.size()) return corrupt("segment mask index out of range");
+    if (space.letter(index).position >= state.segment_position) {
+      return corrupt("segment mask letter at an unseen position");
+    }
+  }
+  uint64_t total_hits = 0;
+  for (const auto& [mask_bits, count] : state.hits) {
+    if (count == 0) return corrupt("zero hit count");
+    if (mask_bits.size() < 2) return corrupt("hit mask below two letters");
+    for (size_t i = 0; i < mask_bits.size(); ++i) {
+      if (i > 0 && mask_bits[i] <= mask_bits[i - 1]) {
+        return corrupt("hit mask not sorted");
+      }
+      if (mask_bits[i] >= space.size()) {
+        return corrupt("hit mask index out of range");
+      }
+    }
+    if (count > state.segments_committed - total_hits) {
+      return corrupt("hit counts exceed committed segments");
+    }
+    total_hits += count;
+  }
+
+  miner->seeded_counts_ = state.seeded_counts;
+  for (uint32_t position = 0; position < period; ++position) {
+    for (const auto& [feature, count] : state.other_counts[position]) {
+      miner->other_counts_[position][feature] = count;
+    }
+  }
+  miner->window_history_.assign(state.window_history.begin(),
+                                state.window_history.end());
+  miner->pending_other_ = state.pending_other;
+  for (const uint32_t index : state.segment_mask) {
+    miner->segment_mask_.Set(index);
+  }
+  miner->segment_position_ = state.segment_position;
+  miner->instants_seen_ = state.instants_seen;
+  miner->segments_committed_ = state.segments_committed;
+  for (const auto& [mask_bits, count] : state.hits) {
+    Bitset mask(space.size());
+    for (const uint32_t index : mask_bits) mask.Set(index);
+    miner->store_->AddHits(mask, count);
   }
   return miner;
 }

@@ -5,6 +5,7 @@
 #include <deque>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/f1_scan.h"
@@ -17,6 +18,33 @@
 #include "util/status.h"
 
 namespace ppm::stream {
+
+/// The complete serializable state of a `StreamingMiner`, in a plain,
+/// deterministic form (sorted vectors, no hashing order): what a checkpoint
+/// persists and what `StreamingMiner::Restore` validates and reloads.
+/// Produced by `ExportState`; the codec lives in `stream/checkpoint.h`.
+struct StreamingMinerState {
+  uint32_t drift_window = 0;
+  /// The seeded letter space, canonically sorted.
+  std::vector<Letter> letters;
+  /// Exact per-letter counts, indexed like `letters`.
+  std::vector<uint64_t> seeded_counts;
+  /// Unseeded (position, feature) counts over the drift horizon: per
+  /// position, sorted by feature id.
+  std::vector<std::vector<std::pair<tsdb::FeatureId, uint64_t>>> other_counts;
+  /// Unseeded letters of the last committed segments (finite window only).
+  std::vector<std::vector<Letter>> window_history;
+  /// Unseeded letters of the in-flight segment.
+  std::vector<Letter> pending_other;
+  /// Set letter indices of the in-flight segment mask, ascending.
+  std::vector<uint32_t> segment_mask;
+  uint32_t segment_position = 0;
+  uint64_t instants_seen = 0;
+  uint64_t segments_committed = 0;
+  /// The hit multiset: (sorted letter indices of the mask, count), sorted
+  /// by mask for byte-identical re-serialization.
+  std::vector<std::pair<std::vector<uint32_t>, uint64_t>> hits;
+};
 
 /// Incremental partial periodic pattern mining over an append-only series.
 ///
@@ -44,7 +72,13 @@ class StreamingMiner {
   /// over the whole stream (consistent with what a batch `F_1` scan would
   /// find); a positive value evaluates them over the last `drift_window`
   /// committed segments, which notices *newly appearing* periodic behaviour
-  /// promptly instead of waiting for it to dominate all of history.
+  /// promptly instead of waiting for it to dominate all of history. While
+  /// fewer than `drift_window` segments have been committed, the window
+  /// degenerates to the whole stream so far: the drift horizon is
+  /// `min(segments_committed, drift_window)` and the frequency threshold is
+  /// taken over that shorter horizon (an unseeded letter firing in every
+  /// early segment is reported immediately, not after `drift_window`
+  /// segments of warm-up).
   static Result<std::unique_ptr<StreamingMiner>> Create(
       const MiningOptions& options, std::vector<Letter> seed_letters,
       uint32_t drift_window = 0);
@@ -55,6 +89,20 @@ class StreamingMiner {
   static Result<std::unique_ptr<StreamingMiner>> SeedFromPrefix(
       const MiningOptions& options, const tsdb::TimeSeries& prefix,
       uint32_t drift_window = 0);
+
+  /// Rebuilds a miner from a previously exported state. `options` supplies
+  /// the runtime configuration (thresholds, hit store, cancellation); the
+  /// state supplies everything accumulated. Every structural invariant of
+  /// the state is re-validated (counts vs. committed segments, canonical
+  /// letter order, window consistency, hit-mask bounds); any violation is
+  /// `kCorruption` -- a restored miner is either exactly equivalent to the
+  /// one that exported the state, or an error, never silently wrong.
+  static Result<std::unique_ptr<StreamingMiner>> Restore(
+      const MiningOptions& options, const StreamingMinerState& state);
+
+  /// Snapshot of the full miner state for checkpointing. Deterministic:
+  /// equal miners export byte-identical states.
+  StreamingMinerState ExportState() const;
 
   /// Feeds the next instant. Whole segments are committed as their last
   /// instant arrives; a trailing partial segment is held back and excluded
@@ -79,6 +127,10 @@ class StreamingMiner {
   std::vector<Letter> DriftedLetters() const;
 
   const LetterSpace& space() const { return space_; }
+
+  const MiningOptions& options() const { return options_; }
+
+  uint32_t drift_window() const { return drift_window_; }
 
  private:
   StreamingMiner(const MiningOptions& options, LetterSpace space,

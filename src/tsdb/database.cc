@@ -1,8 +1,5 @@
 #include "tsdb/database.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <cctype>
 #include <chrono>
@@ -13,6 +10,7 @@
 #include "obs/metrics.h"
 #include "tsdb/fault_injection.h"
 #include "tsdb/series_codec.h"
+#include "util/fs.h"
 #include "util/string_util.h"
 
 namespace ppm::tsdb {
@@ -21,18 +19,25 @@ namespace fs = std::filesystem;
 
 namespace {
 
-/// Flushes `path` (a file or a directory) to stable storage. Directory
-/// fsync is what makes a rename durable on POSIX filesystems.
+/// Flushes `path` to stable storage, honoring the fault-injection seam.
 Status SyncPath(const std::string& path) {
   if (FaultInjector::Global().FsyncShouldFail()) {
     return Status::IoError("injected fsync failure: " + path);
   }
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) return Status::IoError("cannot open for fsync: " + path);
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) return Status::IoError("fsync failed: " + path);
-  return Status::OK();
+  return fsutil::FsyncPath(path);
+}
+
+/// Sleeps for `backoff`, waking every millisecond to poll `interrupt` so a
+/// cancelled or deadlined caller escapes the retry loop promptly.
+Status InterruptibleBackoff(std::chrono::milliseconds backoff,
+                            const Interrupt& interrupt) {
+  while (backoff > std::chrono::milliseconds::zero()) {
+    PPM_RETURN_IF_INTERRUPTED(interrupt);
+    const auto slice = std::min(backoff, std::chrono::milliseconds(1));
+    std::this_thread::sleep_for(slice);
+    backoff -= slice;
+  }
+  return interrupt.Check();
 }
 
 }  // namespace
@@ -91,28 +96,16 @@ std::string Database::PayloadPath(std::string_view name) const {
 }
 
 Status Database::WriteManifest() const {
-  // Write-then-fsync-then-rename: any failure before the rename leaves the
-  // previous MANIFEST untouched, and fsyncing the temp file plus the parent
-  // directory makes the swap durable across a crash, not just atomic.
-  const std::string tmp_path = root_ + "/MANIFEST.tmp";
-  {
-    std::ofstream out(tmp_path, std::ios::trunc);
-    if (!out) return Status::IoError("cannot write manifest in " + root_);
-    out << "# ppm series catalog\n";
-    for (const std::string& name : names_) out << name << "\n";
-    out.flush();
-    if (!out) return Status::IoError("manifest write failed in " + root_);
+  // Write-then-fsync-then-rename (fsutil::AtomicWriteFile): any failure
+  // before the rename leaves the previous MANIFEST untouched, and fsyncing
+  // the temp file plus the parent directory makes the swap durable across a
+  // crash, not just atomic.
+  std::string manifest = "# ppm series catalog\n";
+  for (const std::string& name : names_) {
+    manifest += name;
+    manifest += '\n';
   }
-  const Status synced = SyncPath(tmp_path);
-  if (!synced.ok()) {
-    std::error_code ignored;
-    fs::remove(tmp_path, ignored);
-    return synced;
-  }
-  std::error_code ec;
-  fs::rename(tmp_path, root_ + "/MANIFEST", ec);
-  if (ec) return Status::IoError("manifest rename failed: " + ec.message());
-  return SyncPath(root_);
+  return fsutil::AtomicWriteFile(root_ + "/MANIFEST", manifest, SyncPath);
 }
 
 Status Database::Put(std::string_view name, const TimeSeries& series) {
@@ -130,13 +123,16 @@ Status Database::Put(std::string_view name, const TimeSeries& series) {
   return Status::OK();
 }
 
-Result<TimeSeries> Database::Get(std::string_view name) const {
+Result<TimeSeries> Database::Get(std::string_view name,
+                                 const Interrupt& interrupt) const {
   if (!Contains(name)) {
     return Status::NotFound("no series named " + std::string(name));
   }
+  PPM_RETURN_IF_INTERRUPTED(interrupt);
   // Transient I/O errors (EINTR-class flakes, injected faults) are retried
   // with a short backoff; corruption is never retried -- a bad checksum is
-  // a property of the bytes on disk, not of the read attempt.
+  // a property of the bytes on disk, not of the read attempt. The backoff
+  // polls `interrupt` so a deadline-bounded mine cannot overshoot in here.
   constexpr int kMaxAttempts = 3;
   constexpr std::chrono::milliseconds kBackoff[] = {
       std::chrono::milliseconds(1), std::chrono::milliseconds(4)};
@@ -146,7 +142,7 @@ Result<TimeSeries> Database::Get(std::string_view name) const {
        result.status().code() == StatusCode::kIoError;
        ++attempt) {
     obs::MetricsRegistry::Global().GetCounter("ppm.fault.retries").Inc();
-    std::this_thread::sleep_for(kBackoff[attempt - 1]);
+    PPM_RETURN_IF_ERROR(InterruptibleBackoff(kBackoff[attempt - 1], interrupt));
     result = ReadBinarySeries(PayloadPath(name));
   }
   return result;

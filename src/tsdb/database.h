@@ -8,6 +8,7 @@
 
 #include "tsdb/series_source.h"
 #include "tsdb/time_series.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace ppm::tsdb {
@@ -36,8 +37,12 @@ class Database {
   /// Writes (or atomically replaces) the series stored under `name`.
   Status Put(std::string_view name, const TimeSeries& series);
 
-  /// Loads the series `name` fully into memory.
-  Result<TimeSeries> Get(std::string_view name) const;
+  /// Loads the series `name` fully into memory. Transient I/O errors are
+  /// retried with a short backoff; the backoff sleeps poll `interrupt`, so
+  /// a deadline-bounded caller can never overshoot inside storage retries
+  /// (the default interrupt never fires).
+  Result<TimeSeries> Get(std::string_view name,
+                         const Interrupt& interrupt = Interrupt()) const;
 
   /// Opens a streaming scan source over `name` without loading it.
   Result<std::unique_ptr<FileSeriesSource>> Scan(std::string_view name) const;

@@ -32,6 +32,8 @@ void FaultInjector::Arm(const FaultPlan& plan) {
   plan_ = plan;
   transient_remaining_.store(plan.transient_read_failures,
                              std::memory_order_relaxed);
+  wal_crash_countdown_.store(plan.crash_after_wal_appends,
+                             std::memory_order_relaxed);
   armed_.store(true, std::memory_order_release);
 }
 
@@ -40,6 +42,7 @@ void FaultInjector::Disarm() {
   armed_.store(false, std::memory_order_release);
   plan_ = FaultPlan();
   transient_remaining_.store(0, std::memory_order_relaxed);
+  wal_crash_countdown_.store(0, std::memory_order_relaxed);
 }
 
 std::unique_ptr<std::streambuf> FaultInjector::MaybeWrap(
@@ -60,6 +63,22 @@ bool FaultInjector::ConsumeTransientReadFailure() {
             remaining, remaining - 1, std::memory_order_relaxed)) {
       RecordInjectedFault();
       return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::ConsumeWalAppendCrash() {
+  if (!armed()) return false;
+  uint32_t remaining = wal_crash_countdown_.load(std::memory_order_relaxed);
+  while (remaining > 0) {
+    if (wal_crash_countdown_.compare_exchange_weak(
+            remaining, remaining - 1, std::memory_order_relaxed)) {
+      if (remaining == 1) {
+        RecordInjectedFault();
+        return true;
+      }
+      return false;
     }
   }
   return false;

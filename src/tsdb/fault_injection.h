@@ -30,6 +30,10 @@ struct FaultPlan {
   /// When true, `FsyncShouldFail` reports one fsync failure per call site
   /// attempt (consumed like the transient failures, but never exhausted).
   bool fail_fsync = false;
+  /// When nonzero, the Nth WAL append after arming crashes the process
+  /// mid-frame (half the record written, no fsync) -- a deterministic
+  /// SIGKILL-at-a-write-site for crash-recovery tests and the CI smoke.
+  uint32_t crash_after_wal_appends = 0;
 };
 
 /// Process-global fault-injection seam for the storage layer. Disarmed (the
@@ -57,6 +61,11 @@ class FaultInjector {
   /// True when an fsync at a durability point should report failure.
   bool FsyncShouldFail();
 
+  /// True exactly once: on the `crash_after_wal_appends`-th WAL append
+  /// since arming. The WAL writer reacts by writing a torn half-frame and
+  /// calling `std::_Exit`, mimicking a kill mid-write.
+  bool ConsumeWalAppendCrash();
+
  private:
   FaultInjector() = default;
 
@@ -64,6 +73,7 @@ class FaultInjector {
   mutable std::mutex mu_;
   FaultPlan plan_;
   std::atomic<uint32_t> transient_remaining_{0};
+  std::atomic<uint32_t> wal_crash_countdown_{0};
 };
 
 /// RAII arm/disarm of the global injector for one test scope.

@@ -1,0 +1,365 @@
+#include "tsdb/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "tsdb/fault_injection.h"
+#include "util/crc32c.h"
+#include "util/fs.h"
+
+namespace ppm::tsdb {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendVarint32(std::string* out, uint32_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+uint32_t LoadU32(const char* p) {
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return value;
+}
+
+uint64_t LoadU64(const char* p) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return value;
+}
+
+bool ReadVarint32Mem(const char* data, size_t len, size_t* pos,
+                     uint32_t* value) {
+  uint32_t result = 0;
+  int shift = 0;
+  while (true) {
+    if (*pos >= len) return false;
+    const unsigned char c = static_cast<unsigned char>(data[(*pos)++]);
+    result |= static_cast<uint32_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) break;
+    shift += 7;
+    if (shift >= 35) return false;  // Overlong encoding.
+  }
+  *value = result;
+  return true;
+}
+
+/// The v2 instant encoding: varint feature count, then the sorted ids
+/// delta-encoded (first absolute, then gaps >= 1).
+Status EncodeWalPayload(const FeatureSet& instant, std::string* out) {
+  AppendVarint32(out, instant.Count());
+  uint32_t prev = 0;
+  bool first = true;
+  Status status = Status::OK();
+  instant.ForEach([&](uint32_t feature) {
+    if (!status.ok()) return;
+    if (feature > kMaxWalFeatureId) {
+      status = Status::InvalidArgument("feature id beyond WAL cap: " +
+                                       std::to_string(feature));
+      return;
+    }
+    AppendVarint32(out, first ? feature : feature - prev);
+    prev = feature;
+    first = false;
+  });
+  return status;
+}
+
+Result<FeatureSet> DecodeWalPayload(const char* data, size_t len) {
+  size_t pos = 0;
+  uint32_t count = 0;
+  if (!ReadVarint32Mem(data, len, &pos, &count)) {
+    return Status::Corruption("WAL payload: truncated feature count");
+  }
+  // Each feature takes at least one encoded byte, so a count beyond the
+  // payload size is hostile before any allocation happens.
+  if (count > len) {
+    return Status::Corruption("WAL payload: implausible feature count");
+  }
+  FeatureSet instant;
+  uint32_t prev = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t value = 0;
+    if (!ReadVarint32Mem(data, len, &pos, &value)) {
+      return Status::Corruption("WAL payload: truncated feature id");
+    }
+    uint32_t feature;
+    if (i == 0) {
+      feature = value;
+    } else {
+      if (value == 0) {
+        return Status::Corruption("WAL payload: zero feature gap");
+      }
+      if (value > kMaxWalFeatureId - prev) {
+        return Status::Corruption("WAL payload: feature id overflow");
+      }
+      feature = prev + value;
+    }
+    if (feature > kMaxWalFeatureId) {
+      return Status::Corruption("WAL payload: feature id beyond cap");
+    }
+    instant.Set(feature);
+    prev = feature;
+  }
+  if (pos != len) {
+    return Status::Corruption("WAL payload: trailing bytes");
+  }
+  return instant;
+}
+
+/// True when a structurally valid record (good header CRC, plausible
+/// length and sequence, good payload CRC) starts at or after `from`. Used
+/// to tell a torn tail (truncate and continue) from interior corruption
+/// (later valid data would be silently dropped -- refuse instead).
+bool HasLaterValidRecord(const std::string& bytes, size_t from,
+                         uint64_t min_seq) {
+  if (bytes.size() < kWalRecordHeaderBytes) return false;
+  for (size_t offset = from;
+       offset + kWalRecordHeaderBytes <= bytes.size(); ++offset) {
+    const char* p = bytes.data() + offset;
+    if (crc32c::Value(p, 12) != LoadU32(p + 12)) continue;
+    const uint32_t len = LoadU32(p);
+    const uint64_t seq = LoadU64(p + 4);
+    if (len > kMaxWalRecordBytes) continue;
+    if (seq < min_seq) continue;
+    if (offset + kWalRecordHeaderBytes + len > bytes.size()) continue;
+    if (crc32c::Value(p + kWalRecordHeaderBytes, len) != LoadU32(p + 16)) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+Result<std::string> ReadWalBytes(const std::string& path) {
+  FaultInjector& injector = FaultInjector::Global();
+  if (injector.ConsumeTransientReadFailure()) {
+    return Status::IoError("injected transient read failure: " + path);
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::error_code ec;
+    if (!fs::exists(path, ec)) return Status::NotFound("no WAL at " + path);
+    return Status::IoError("cannot open WAL: " + path);
+  }
+  std::unique_ptr<std::streambuf> wrapped = injector.MaybeWrap(in.rdbuf());
+  std::istream stream(wrapped != nullptr ? wrapped.get() : in.rdbuf());
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  if (in.bad()) return Status::IoError("WAL read failed: " + path);
+  return buffer.str();
+}
+
+}  // namespace
+
+Result<WalReplayInfo> ReplayWal(
+    const std::string& path, uint64_t start_seq,
+    const std::function<Status(uint64_t seq, const FeatureSet& instant)>& fn) {
+  Result<std::string> read = ReadWalBytes(path);
+  if (!read.ok()) return read.status();
+  const std::string& bytes = *read;
+
+  WalReplayInfo info;
+  if (bytes.size() < sizeof(kWalMagic)) {
+    // Crash during creation: nothing durable yet. The writer starts fresh.
+    info.torn_tail = !bytes.empty();
+    info.dropped_bytes = bytes.size();
+    return info;
+  }
+  if (bytes.compare(0, sizeof(kWalMagic), kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::Corruption("bad WAL magic: " + path);
+  }
+
+  size_t offset = sizeof(kWalMagic);
+  info.valid_bytes = offset;
+  uint64_t expected_seq = 0;
+  bool torn = false;
+  while (offset < bytes.size()) {
+    if (bytes.size() - offset < kWalRecordHeaderBytes) {
+      torn = true;  // Crash mid-header.
+      break;
+    }
+    const char* p = bytes.data() + offset;
+    const uint32_t len = LoadU32(p);
+    const uint64_t seq = LoadU64(p + 4);
+    const uint32_t header_crc = LoadU32(p + 12);
+    const uint32_t payload_crc = LoadU32(p + 16);
+    if (crc32c::Value(p, 12) != header_crc) {
+      // A damaged header hiding valid later records is interior corruption;
+      // garbage with nothing valid after it is a torn tail.
+      if (HasLaterValidRecord(bytes, offset + 1, expected_seq)) {
+        return Status::Corruption("WAL record header checksum mismatch at "
+                                  "offset " + std::to_string(offset));
+      }
+      torn = true;
+      break;
+    }
+    if (len > kMaxWalRecordBytes) {
+      return Status::Corruption("WAL record length implausible at offset " +
+                                std::to_string(offset));
+    }
+    if (bytes.size() - offset - kWalRecordHeaderBytes < len) {
+      torn = true;  // Crash mid-payload.
+      break;
+    }
+    const char* payload = p + kWalRecordHeaderBytes;
+    if (crc32c::Value(payload, len) != payload_crc) {
+      if (offset + kWalRecordHeaderBytes + len == bytes.size()) {
+        torn = true;  // Tail record with a half-written payload.
+        break;
+      }
+      return Status::Corruption("WAL payload checksum mismatch at offset " +
+                                std::to_string(offset));
+    }
+    if (seq != expected_seq) {
+      return Status::Corruption(
+          "WAL sequence gap: expected " + std::to_string(expected_seq) +
+          ", found " + std::to_string(seq));
+    }
+    PPM_ASSIGN_OR_RETURN(const FeatureSet instant,
+                         DecodeWalPayload(payload, len));
+    if (seq >= start_seq) {
+      PPM_RETURN_IF_ERROR(fn(seq, instant));
+      ++info.records_delivered;
+    } else {
+      ++info.records_skipped;
+    }
+    ++expected_seq;
+    offset += kWalRecordHeaderBytes + len;
+    info.valid_bytes = offset;
+  }
+  info.next_seq = expected_seq;
+  info.torn_tail = torn;
+  info.dropped_bytes = bytes.size() - info.valid_bytes;
+  return info;
+}
+
+WalWriter::WalWriter(std::string path, WalFsync fsync, uint64_t next_seq)
+    : path_(std::move(path)), fsync_(fsync), next_seq_(next_seq) {}
+
+WalWriter::~WalWriter() {
+  if (sync_fd_ >= 0) ::close(sync_fd_);
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(const std::string& path,
+                                                     WalFsync fsync) {
+  return Open(path, fsync, 0, 0);
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   WalFsync fsync,
+                                                   uint64_t next_seq,
+                                                   uint64_t valid_bytes) {
+  std::error_code ec;
+  const bool fresh = valid_bytes < sizeof(kWalMagic) || !fs::exists(path, ec);
+  if (fresh) {
+    next_seq = 0;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot create WAL: " + path);
+    out.write(kWalMagic, sizeof(kWalMagic));
+    out.flush();
+    if (!out) return Status::IoError("WAL create failed: " + path);
+  } else {
+    const uint64_t current = fs::file_size(path, ec);
+    if (ec) return Status::IoError("cannot stat WAL: " + path);
+    if (current < valid_bytes) {
+      return Status::Corruption("WAL shorter than its valid prefix: " + path);
+    }
+    if (current > valid_bytes) {
+      // Discard the torn tail found by replay before appending past it.
+      fs::resize_file(path, valid_bytes, ec);
+      if (ec) return Status::IoError("WAL truncate failed: " + path);
+    }
+  }
+
+  std::unique_ptr<WalWriter> writer(new WalWriter(path, fsync, next_seq));
+  writer->out_.open(path, std::ios::binary | std::ios::app);
+  if (!writer->out_) return Status::IoError("cannot append to WAL: " + path);
+  writer->sync_fd_ = ::open(path.c_str(), O_RDONLY);
+  if (writer->sync_fd_ < 0) {
+    return Status::IoError("cannot open WAL for fsync: " + path);
+  }
+  if (fresh) {
+    // Make the file's existence durable: fsync it and its directory.
+    PPM_RETURN_IF_ERROR(writer->Sync());
+    std::string parent = fs::path(path).parent_path().string();
+    if (parent.empty()) parent = ".";
+    if (FaultInjector::Global().FsyncShouldFail()) {
+      return Status::IoError("injected fsync failure: " + parent);
+    }
+    PPM_RETURN_IF_ERROR(fsutil::FsyncPath(parent));
+  }
+  return writer;
+}
+
+Status WalWriter::Append(const FeatureSet& instant) {
+  std::string payload;
+  PPM_RETURN_IF_ERROR(EncodeWalPayload(instant, &payload));
+  std::string frame;
+  frame.reserve(kWalRecordHeaderBytes + payload.size());
+  AppendU32(&frame, static_cast<uint32_t>(payload.size()));
+  AppendU64(&frame, next_seq_);
+  AppendU32(&frame, crc32c::Value(frame.data(), 12));
+  AppendU32(&frame, crc32c::Value(payload));
+  frame += payload;
+
+  if (FaultInjector::Global().ConsumeWalAppendCrash()) {
+    // Deterministic kill mid-write: half the frame reaches the file, no
+    // fsync, and the process dies like a SIGKILL would leave it.
+    out_.write(frame.data(), static_cast<std::streamsize>(frame.size() / 2));
+    out_.flush();
+    std::_Exit(137);
+  }
+
+  out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out_.flush();
+  if (!out_) return Status::IoError("WAL append failed: " + path_);
+  ++next_seq_;
+  obs::MetricsRegistry::Global().GetCounter("ppm.wal.appends").Inc();
+  obs::MetricsRegistry::Global()
+      .GetCounter("ppm.wal.append_bytes")
+      .Inc(frame.size());
+  if (fsync_ == WalFsync::kAlways) PPM_RETURN_IF_ERROR(Sync());
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  out_.flush();
+  if (!out_) return Status::IoError("WAL flush failed: " + path_);
+  if (FaultInjector::Global().FsyncShouldFail()) {
+    return Status::IoError("injected fsync failure: " + path_);
+  }
+  if (::fsync(sync_fd_) != 0) {
+    return Status::IoError("WAL fsync failed: " + path_);
+  }
+  obs::MetricsRegistry::Global().GetCounter("ppm.wal.fsyncs").Inc();
+  return Status::OK();
+}
+
+}  // namespace ppm::tsdb

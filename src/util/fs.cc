@@ -1,0 +1,63 @@
+#include "util/fs.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace ppm::fsutil {
+
+namespace fs = std::filesystem;
+
+Status FsyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open for fsync: " + path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IoError("fsync failed: " + path);
+  return Status::OK();
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::error_code ec;
+    if (!fs::exists(path, ec)) return Status::NotFound("no such file: " + path);
+    return Status::IoError("cannot open: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return buffer.str();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view bytes,
+                       const SyncFn& sync) {
+  const std::string tmp_path = path + ".tmp";
+  const auto fail = [&tmp_path](Status status) {
+    std::error_code ignored;
+    fs::remove(tmp_path, ignored);
+    return status;
+  };
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot write: " + tmp_path);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) return fail(Status::IoError("write failed: " + tmp_path));
+  }
+  const Status synced = sync(tmp_path);
+  if (!synced.ok()) return fail(synced);
+  std::error_code ec;
+  fs::rename(tmp_path, path, ec);
+  if (ec) {
+    return fail(Status::IoError("rename failed: " + path + ": " + ec.message()));
+  }
+  std::string parent = fs::path(path).parent_path().string();
+  if (parent.empty()) parent = ".";
+  return sync(parent);
+}
+
+}  // namespace ppm::fsutil

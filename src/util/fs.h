@@ -1,0 +1,35 @@
+#ifndef PPM_UTIL_FS_H_
+#define PPM_UTIL_FS_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace ppm::fsutil {
+
+/// Flushes `path` (a file or a directory) to stable storage. Directory
+/// fsync is what makes a rename durable on POSIX filesystems.
+Status FsyncPath(const std::string& path);
+
+/// Reads the whole file into a byte string. `NotFound` when the file does
+/// not exist, `IoError` for anything else.
+Result<std::string> ReadFileBytes(const std::string& path);
+
+/// Durability hook for `AtomicWriteFile`: called with the temp file path
+/// and then the parent directory path. Injectable so callers can route
+/// through a fault-injection seam.
+using SyncFn = std::function<Status(const std::string&)>;
+
+/// Atomically (and durably) replaces `path` with `bytes`:
+/// write `path + ".tmp"` -> `sync(tmp)` -> rename over `path` ->
+/// `sync(parent dir)`. Any failure before the rename removes the temp file
+/// and leaves the previous `path` byte-for-byte intact, so the destination
+/// always holds either the old or the new content -- never a torn mix.
+Status AtomicWriteFile(const std::string& path, std::string_view bytes,
+                       const SyncFn& sync = FsyncPath);
+
+}  // namespace ppm::fsutil
+
+#endif  // PPM_UTIL_FS_H_

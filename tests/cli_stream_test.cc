@@ -1,0 +1,181 @@
+// `ppm stream` end to end through RunCli: fresh runs, checkpointed resume,
+// flag validation, the exit-code map for aborted runs (corruption -> 4,
+// deadline -> 5), and the structured stderr line.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+#include "stream/checkpoint.h"
+#include "util/random.h"
+
+namespace ppm::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CliStreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = testing::TempDir() + "/cli_stream_test";
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+    series_txt_ = root_ + "/stream_series.txt";
+    ckpt_dir_ = root_ + "/ckpt";
+
+    // A period-4 stream with two planted letters plus noise, long enough
+    // that resume happens mid-stream with several checkpoints behind it.
+    Rng rng(17);
+    std::ofstream out(series_txt_);
+    for (int t = 0; t < 1200; ++t) {
+      if (t % 4 == 0 && rng.NextBool(0.9)) out << "a";
+      if (t % 4 == 1 && rng.NextBool(0.85)) out << "b";
+      out << "\n";
+    }
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  int Run(const std::vector<std::string>& args) {
+    out_.str("");
+    err_.str("");
+    return RunCli(args, out_, err_);
+  }
+
+  std::vector<std::string> StreamArgs(
+      const std::vector<std::string>& extra = {}) {
+    std::vector<std::string> args = {
+        "stream",       "--input",          series_txt_,
+        "--period",     "4",                "--min-conf",
+        "0.7",          "--checkpoint-dir", ckpt_dir_,
+        "--wal-fsync",  "never",            "--checkpoint-every",
+        "8"};
+    args.insert(args.end(), extra.begin(), extra.end());
+    return args;
+  }
+
+  std::string root_;
+  std::string series_txt_;
+  std::string ckpt_dir_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(CliStreamTest, FreshRunStreamsAndCheckpoints) {
+  ASSERT_EQ(Run(StreamArgs()), 0) << err_.str();
+  const std::string text = out_.str();
+  EXPECT_NE(text.find("streamed 1200 instants"), std::string::npos) << text;
+  EXPECT_NE(text.find("m=300"), std::string::npos) << text;
+  EXPECT_NE(text.find("a * * *"), std::string::npos) << text;
+  EXPECT_TRUE(fs::exists(stream::CheckpointPath(ckpt_dir_)));
+  EXPECT_TRUE(fs::exists(stream::WalPath(ckpt_dir_)));
+}
+
+TEST_F(CliStreamTest, ResumeReproducesTheUninterruptedRun) {
+  ASSERT_EQ(Run(StreamArgs()), 0) << err_.str();
+  const std::string reference = out_.str();
+
+  // Second run over the same stream resumes at the end: no new instants,
+  // same patterns.
+  ASSERT_EQ(Run(StreamArgs({"--resume"})), 0) << err_.str();
+  const std::string resumed = out_.str();
+  EXPECT_NE(resumed.find("streamed 1200 instants (resumed)"),
+            std::string::npos)
+      << resumed;
+  // The pattern lines must match the reference byte for byte.
+  const auto patterns_of = [](const std::string& text) {
+    std::istringstream in(text);
+    std::string line, patterns;
+    while (std::getline(in, line)) {
+      if (line.rfind("  count=", 0) == 0) patterns += line + "\n";
+    }
+    return patterns;
+  };
+  EXPECT_EQ(patterns_of(resumed), patterns_of(reference));
+}
+
+TEST_F(CliStreamTest, FreshRunIntoPopulatedDirNeedsResume) {
+  ASSERT_EQ(Run(StreamArgs()), 0) << err_.str();
+  EXPECT_EQ(Run(StreamArgs()), 2);
+  EXPECT_NE(err_.str().find("--resume"), std::string::npos) << err_.str();
+}
+
+TEST_F(CliStreamTest, MissingCheckpointDirIsInvalid) {
+  EXPECT_EQ(Run({"stream", "--input", series_txt_, "--period", "4"}), 2);
+  EXPECT_NE(err_.str().find("--checkpoint-dir"), std::string::npos);
+}
+
+TEST_F(CliStreamTest, BadWalFsyncModeIsInvalid) {
+  EXPECT_EQ(Run({"stream", "--input", series_txt_, "--period", "4",
+                 "--checkpoint-dir", ckpt_dir_, "--wal-fsync", "sometimes"}),
+            2);
+  EXPECT_NE(err_.str().find("--wal-fsync"), std::string::npos);
+}
+
+TEST_F(CliStreamTest, ResumePeriodMismatchIsInvalid) {
+  ASSERT_EQ(Run(StreamArgs()), 0) << err_.str();
+  EXPECT_EQ(Run({"stream", "--input", series_txt_, "--period", "6",
+                 "--checkpoint-dir", ckpt_dir_, "--resume"}),
+            2);
+  EXPECT_NE(err_.str().find("disagrees with the checkpoint"),
+            std::string::npos)
+      << err_.str();
+}
+
+TEST_F(CliStreamTest, CorruptCheckpointExitsFourWithStructuredError) {
+  ASSERT_EQ(Run(StreamArgs()), 0) << err_.str();
+  // Flip one byte in the checkpoint body.
+  const std::string path = stream::CheckpointPath(ckpt_dir_);
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(30);
+  file.put(static_cast<char>(0xff));
+  file.close();
+
+  EXPECT_EQ(Run(StreamArgs({"--resume"})), 4);
+  const std::string err = err_.str();
+  EXPECT_NE(err.find("[code=6 exit=4]"), std::string::npos) << err;
+}
+
+TEST_F(CliStreamTest, ExpiredDeadlineExitsFive) {
+  EXPECT_EQ(Run(StreamArgs({"--deadline-ms", "0"})), 5);
+  EXPECT_NE(err_.str().find("exit=5"), std::string::npos) << err_.str();
+}
+
+TEST_F(CliStreamTest, FailedRunStillWritesStatsJson) {
+  const std::string stats = root_ + "/fail_stats.json";
+  EXPECT_EQ(Run(StreamArgs({"--deadline-ms", "0", "--stats-json", stats})),
+            5);
+  std::ifstream in(stats);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("\"error\""), std::string::npos);
+}
+
+TEST_F(CliStreamTest, StatsJsonReportsRecovery) {
+  ASSERT_EQ(Run(StreamArgs()), 0) << err_.str();
+  const std::string stats = root_ + "/stream_stats.json";
+  ASSERT_EQ(Run(StreamArgs({"--resume", "--stats-json", stats})), 0)
+      << err_.str();
+  std::ifstream in(stats);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"resumed\":\"true\""), std::string::npos) << json;
+  EXPECT_NE(json.find("recovery.wal_records_replayed"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("ppm.stream.checkpoint.writes"), std::string::npos)
+      << json;
+}
+
+TEST_F(CliStreamTest, UnknownFlagRejected) {
+  EXPECT_EQ(Run(StreamArgs({"--frobnicate", "1"})), 2);
+}
+
+}  // namespace
+}  // namespace ppm::cli

@@ -184,6 +184,55 @@ TEST(StreamingMinerTest, WindowedDriftExpiresOldBehavior) {
   EXPECT_TRUE((*miner)->DriftedLetters().empty());
 }
 
+TEST(StreamingMinerTest, DriftWindowLargerThanHistoryDegeneratesToStream) {
+  // While fewer than drift_window segments are committed, the horizon is
+  // min(segments_committed, drift_window): an unseeded letter firing in
+  // every early segment is reported immediately, not after drift_window
+  // segments of warm-up.
+  MiningOptions options = DefaultOptions();
+  auto miner =
+      StreamingMiner::Create(options, {Letter{0, 0}}, /*drift_window=*/50);
+  ASSERT_TRUE(miner.ok());
+  EXPECT_TRUE((*miner)->DriftedLetters().empty());  // No segments yet.
+  for (int segment = 0; segment < 3; ++segment) {
+    for (uint32_t position = 0; position < 4; ++position) {
+      tsdb::FeatureSet instant;
+      if (position == 0) instant.Set(0);
+      if (position == 2) instant.Set(7);              // Every segment.
+      if (position == 3 && segment == 0) instant.Set(8);  // 1/3 < 0.7.
+      (*miner)->Append(instant);
+    }
+  }
+  // Horizon is 3 committed segments: 3/3 fires, 1/3 stays silent.
+  const auto drifted = (*miner)->DriftedLetters();
+  ASSERT_EQ(drifted.size(), 1u);
+  EXPECT_EQ(drifted[0].position, 2u);
+  EXPECT_EQ(drifted[0].feature, 7u);
+}
+
+TEST(StreamingMinerTest, DriftWindowLargerThanHistoryMatchesWholeStream) {
+  // Until the window fills, a huge-window miner and a whole-stream miner
+  // must agree on drift exactly.
+  MiningOptions options = DefaultOptions();
+  auto windowed =
+      StreamingMiner::Create(options, {Letter{0, 0}}, /*drift_window=*/1000);
+  auto whole =
+      StreamingMiner::Create(options, {Letter{0, 0}}, /*drift_window=*/0);
+  ASSERT_TRUE(windowed.ok());
+  ASSERT_TRUE(whole.ok());
+  Rng rng(31);
+  for (int t = 0; t < 20 * 4; ++t) {
+    tsdb::FeatureSet instant;
+    if (t % 4 == 0) instant.Set(0);
+    if (t % 4 == 1) instant.Set(5);           // Unseeded, every segment.
+    if (rng.NextBool(0.3)) instant.Set(9);    // Noise below threshold.
+    (*windowed)->Append(instant);
+    (*whole)->Append(instant);
+  }
+  EXPECT_EQ((*windowed)->DriftedLetters(), (*whole)->DriftedLetters());
+  EXPECT_FALSE((*windowed)->DriftedLetters().empty());
+}
+
 TEST(StreamingMinerTest, SeededLetterCanDropBelowThreshold) {
   MiningOptions options = DefaultOptions();
   options.min_confidence = 0.6;

@@ -127,6 +127,43 @@ TEST_F(FaultInjectionTest, TransientFailuresAreRetriedByDatabaseGet) {
   std::filesystem::remove_all(db_dir);
 }
 
+TEST_F(FaultInjectionTest, GetRejectsAlreadyCancelledToken) {
+  const std::string db_dir = testing::TempDir() + "/fault_db_cancel";
+  std::filesystem::remove_all(db_dir);
+  auto db = Database::Open(db_dir);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put("s", TestSeries()).ok());
+
+  CancelToken token;
+  token.Cancel();
+  const auto series = (*db)->Get("s", Interrupt(token, Deadline()));
+  ASSERT_FALSE(series.ok());
+  EXPECT_EQ(series.status().code(), StatusCode::kCancelled);
+  std::filesystem::remove_all(db_dir);
+}
+
+TEST_F(FaultInjectionTest, GetRetryBackoffHonorsDeadline) {
+  const std::string db_dir = testing::TempDir() + "/fault_db_deadline";
+  std::filesystem::remove_all(db_dir);
+  auto db = Database::Open(db_dir);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put("s", TestSeries()).ok());
+
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.transient_read_failures = 10;
+  ScopedFaultInjection scoped(plan);
+  // More failures than attempts and 5ms of scheduled backoff: a 2ms
+  // deadline must expire *during* a backoff sleep, so Get reports the
+  // deadline instead of sleeping through it and surfacing the IoError.
+  const auto series =
+      (*db)->Get("s", Interrupt(CancelToken(), Deadline::After(2)));
+  ASSERT_FALSE(series.ok());
+  EXPECT_EQ(series.status().code(), StatusCode::kDeadlineExceeded)
+      << series.status().ToString();
+  std::filesystem::remove_all(db_dir);
+}
+
 TEST_F(FaultInjectionTest, CorruptionIsNeverRetried) {
   const std::string db_dir = testing::TempDir() + "/fault_db_corrupt";
   std::filesystem::remove_all(db_dir);
