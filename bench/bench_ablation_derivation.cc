@@ -14,6 +14,7 @@
 
 #include "bench/bench_util.h"
 #include "core/candidate_gen.h"
+#include "obs/json_writer.h"
 #include "core/f1_scan.h"
 #include "core/hit_store.h"
 #include "tsdb/series_source.h"
@@ -23,8 +24,9 @@ namespace ppm::bench {
 namespace {
 
 void Run(uint32_t max_pat_length, uint32_t num_f1, double independent_conf,
-         double min_conf) {
-  synth::GeneratorOptions generator = Figure2Options(100000, max_pat_length);
+         double min_conf, obs::JsonWriter* rows) {
+  synth::GeneratorOptions generator =
+      Figure2Options(Pick<uint64_t>(100000, 5000), max_pat_length);
   generator.num_f1 = num_f1;
   generator.independent_confidence = independent_conf;
   const synth::GeneratedSeries data = DieOr(synth::GenerateSeries(generator));
@@ -110,22 +112,36 @@ void Run(uint32_t max_pat_length, uint32_t num_f1, double independent_conf,
               num_f1, hits.size(),
               static_cast<unsigned long long>(candidates_a),
               static_cast<unsigned long long>(total_a), ms_a, ms_b);
+  rows->BeginObject()
+      .Key("mpl").Uint(max_pat_length)
+      .Key("num_f1").Uint(num_f1)
+      .Key("distinct_hits").Uint(hits.size())
+      .Key("candidates").Uint(candidates_a)
+      .Key("frequent").Uint(total_a)
+      .Key("tree_ms").Double(ms_a)
+      .Key("flat_ms").Double(ms_b);
+  rows->EndObject();
 }
 
 }  // namespace
 }  // namespace ppm::bench
 
-int main() {
+int main(int argc, char** argv) {
   ppm::bench::PrintHeader(
       "Ablation: derivation counting -- tree traversal (A) vs hit-major flat "
       "(B)");
   std::printf("%8s %6s %10s %12s %12s %14s %14s\n", "MPL", "|F1|", "|H|",
               "candidates", "frequent", "tree(ms)", "flat(ms)");
-  ppm::bench::Run(4, 12, 0.85, 0.8);
-  ppm::bench::Run(6, 12, 0.85, 0.8);
-  ppm::bench::Run(8, 12, 0.85, 0.8);
-  ppm::bench::Run(10, 12, 0.85, 0.8);
-  ppm::bench::Run(4, 24, 0.6, 0.5);
-  ppm::bench::Run(4, 40, 0.6, 0.5);
+  ppm::bench::BenchReport report("ablation_derivation", argc, argv);
+  ppm::obs::JsonWriter& rows = report.rows();
+  ppm::bench::Run(4, 12, 0.85, 0.8, &rows);
+  ppm::bench::Run(6, 12, 0.85, 0.8, &rows);
+  if (!ppm::bench::CiProfile()) {
+    ppm::bench::Run(8, 12, 0.85, 0.8, &rows);
+    ppm::bench::Run(10, 12, 0.85, 0.8, &rows);
+    ppm::bench::Run(4, 24, 0.6, 0.5, &rows);
+    ppm::bench::Run(4, 40, 0.6, 0.5, &rows);
+  }
+  report.Write();
   return 0;
 }

@@ -8,14 +8,16 @@
 
 #include "bench/bench_util.h"
 #include "core/hitset_miner.h"
+#include "obs/json_writer.h"
 #include "tsdb/series_source.h"
 
 namespace ppm::bench {
 namespace {
 
 void Run(uint32_t max_pat_length, uint32_t num_f1, double independent_conf,
-         double min_conf) {
-  synth::GeneratorOptions generator = Figure2Options(100000, max_pat_length);
+         double min_conf, obs::JsonWriter* rows) {
+  synth::GeneratorOptions generator =
+      Figure2Options(Pick<uint64_t>(100000, 5000), max_pat_length);
   generator.num_f1 = num_f1;
   generator.independent_confidence = independent_conf;
   const synth::GeneratedSeries data = DieOr(synth::GenerateSeries(generator));
@@ -43,23 +45,38 @@ void Run(uint32_t max_pat_length, uint32_t num_f1, double independent_conf,
               static_cast<unsigned long long>(tree.stats().candidates_evaluated),
               tree.stats().elapsed_seconds * 1e3,
               hash.stats().elapsed_seconds * 1e3);
+  rows->BeginObject()
+      .Key("mpl").Uint(max_pat_length)
+      .Key("num_f1").Uint(num_f1)
+      .Key("hit_store_entries").Uint(tree.stats().hit_store_entries)
+      .Key("candidates").Uint(tree.stats().candidates_evaluated)
+      .Key("tree_ms").Double(tree.stats().elapsed_seconds * 1e3)
+      .Key("hash_ms").Double(hash.stats().elapsed_seconds * 1e3);
+  rows->EndObject();
 }
 
 }  // namespace
 }  // namespace ppm::bench
 
-int main() {
+int main(int argc, char** argv) {
   ppm::bench::PrintHeader(
-      "Ablation: max-subpattern tree vs hash-table hit store (LENGTH=100k)");
+      "Ablation: max-subpattern tree vs hash-table hit store");
   std::printf("%8s %6s %12s %12s %12s %12s %12s\n", "MPL", "|F1|", "|H|",
               "tree_nodes", "candidates", "tree(ms)", "hash(ms)");
-  ppm::bench::Run(4, 12, 0.85, 0.8);
-  ppm::bench::Run(6, 12, 0.85, 0.8);
-  ppm::bench::Run(8, 12, 0.85, 0.8);
-  ppm::bench::Run(10, 12, 0.85, 0.8);
+  ppm::bench::BenchReport report("ablation_hit_store", argc, argv);
+  ppm::obs::JsonWriter& rows = report.rows();
+  ppm::bench::Run(4, 12, 0.85, 0.8, &rows);
+  ppm::bench::Run(6, 12, 0.85, 0.8, &rows);
+  if (!ppm::bench::CiProfile()) {
+    ppm::bench::Run(8, 12, 0.85, 0.8, &rows);
+    ppm::bench::Run(10, 12, 0.85, 0.8, &rows);
+  }
   // More independent letters -> many distinct hit masks -> bigger store.
-  ppm::bench::Run(4, 20, 0.6, 0.5);
-  ppm::bench::Run(4, 30, 0.6, 0.5);
-  ppm::bench::Run(4, 40, 0.6, 0.5);
+  ppm::bench::Run(4, 20, 0.6, 0.5, &rows);
+  if (!ppm::bench::CiProfile()) {
+    ppm::bench::Run(4, 30, 0.6, 0.5, &rows);
+    ppm::bench::Run(4, 40, 0.6, 0.5, &rows);
+  }
+  report.Write();
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "obs/json_writer.h"
 #include "tsdb/series_codec.h"
 #include "tsdb/series_source.h"
 #include "util/stopwatch.h"
@@ -19,7 +20,8 @@ uint64_t FileSize(const std::string& path) {
   return static_cast<uint64_t>(file.tellg());
 }
 
-void Run(const char* label, const tsdb::TimeSeries& series) {
+void Run(const char* label, const tsdb::TimeSeries& series,
+         obs::JsonWriter* rows) {
   for (const auto version :
        {tsdb::BinaryFormatVersion::kV1, tsdb::BinaryFormatVersion::kV2}) {
     const std::string path =
@@ -42,6 +44,13 @@ void Run(const char* label, const tsdb::TimeSeries& series) {
                 static_cast<int>(version),
                 static_cast<unsigned long long>(FileSize(path) >> 10),
                 write_ms, scan_ms);
+    rows->BeginObject()
+        .Key("workload").String(label)
+        .Key("version").Uint(static_cast<uint64_t>(version))
+        .Key("file_size").Uint(FileSize(path))
+        .Key("write_ms").Double(write_ms)
+        .Key("scan_ms").Double(scan_ms);
+    rows->EndObject();
     std::remove(path.c_str());
   }
 }
@@ -49,20 +58,23 @@ void Run(const char* label, const tsdb::TimeSeries& series) {
 }  // namespace
 }  // namespace ppm::bench
 
-int main() {
+int main(int argc, char** argv) {
   ppm::bench::PrintHeader("Binary codec: v1 fixed-width vs v2 delta+varint");
   std::printf("%-10s %2s %16s %12s %12s\n", "workload", "v", "size",
               "write(ms)", "scan(ms)");
+  ppm::bench::BenchReport report("codec", argc, argv);
+  const uint64_t length = ppm::bench::Pick<uint64_t>(200000, 10000);
 
   const auto figure2 =
       ppm::bench::DieOr(ppm::synth::GenerateSeries(
-          ppm::bench::Figure2Options(200000, 6)));
-  ppm::bench::Run("figure2", figure2.series);
+          ppm::bench::Figure2Options(length, 6)));
+  ppm::bench::Run("figure2", figure2.series, &report.rows());
 
-  ppm::synth::GeneratorOptions dense = ppm::bench::Figure2Options(200000, 6);
+  ppm::synth::GeneratorOptions dense = ppm::bench::Figure2Options(length, 6);
   dense.noise_mean = 5.0;
   const auto dense_series =
       ppm::bench::DieOr(ppm::synth::GenerateSeries(dense));
-  ppm::bench::Run("dense", dense_series.series);
+  ppm::bench::Run("dense", dense_series.series, &report.rows());
+  report.Write();
   return 0;
 }

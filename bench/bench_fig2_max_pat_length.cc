@@ -7,9 +7,9 @@
 // MAX-PAT-LENGTH; Apriori grows almost linearly; the gap is about 2x at
 // MAX-PAT-LENGTH 8 and keeps widening.
 //
-// Besides the terminal table, results are written as a RunReport to
+// Besides the terminal table, results are written as a BenchReport to
 // BENCH_fig2.json (or argv[1]): one row object per (length, mpl) point
-// under the "rows" section.
+// under the "rows" section. PPM_BENCH_PROFILE=ci shrinks the sweep.
 
 #include <cstdio>
 
@@ -66,7 +66,8 @@ void RunSweep(uint64_t length, obs::JsonWriter* rows) {
   std::printf("%-16s %14s %14s %8s %8s %10s %10s\n", "max-pat-length",
               "apriori(ms)", "hit-set(ms)", "scans_A", "scans_H", "gain",
               "patterns");
-  for (uint32_t mpl = 2; mpl <= 10; mpl += 2) {
+  const uint32_t mpl_high = Pick<uint32_t>(10, 6);
+  for (uint32_t mpl = 2; mpl <= mpl_high; mpl += 2) {
     const Sample s = RunOne(length, mpl);
     std::printf("%-16u %14.1f %14.1f %8llu %8llu %9.2fx %10zu\n", mpl,
                 s.apriori_ms, s.hitset_ms,
@@ -92,21 +93,16 @@ void RunSweep(uint64_t length, obs::JsonWriter* rows) {
 int main(int argc, char** argv) {
   ppm::bench::PrintHeader(
       "Figure 2: runtime vs MAX-PAT-LENGTH (Apriori vs max-subpattern hit-set)");
-  ppm::obs::JsonWriter rows;
-  rows.BeginArray();
-  ppm::bench::RunSweep(100000, &rows);
-  ppm::bench::RunSweep(500000, &rows);
-  rows.EndArray();
-  std::printf(
-      "\nPaper's qualitative result: hit-set ~flat, Apriori ~linear in\n"
-      "MAX-PAT-LENGTH; gain ~2x at MAX-PAT-LENGTH 8 and widening.\n");
-
-  ppm::obs::RunReport report("bench_fig2");
+  ppm::bench::BenchReport report("fig2", argc, argv);
   report.AddMeta("period", "50");
   report.AddMeta("num_f1", "12");
   report.AddMeta("min_conf", "0.8");
-  report.AddRawSection("rows", rows.str());
-  ppm::bench::WriteBenchReport(
-      &report, ppm::bench::BenchReportPath("fig2", argc, argv));
+  ppm::bench::RunSweep(ppm::bench::Pick<uint64_t>(100000, 5000),
+                       &report.rows());
+  if (!ppm::bench::CiProfile()) ppm::bench::RunSweep(500000, &report.rows());
+  std::printf(
+      "\nPaper's qualitative result: hit-set ~flat, Apriori ~linear in\n"
+      "MAX-PAT-LENGTH; gain ~2x at MAX-PAT-LENGTH 8 and widening.\n");
+  report.Write();
   return 0;
 }

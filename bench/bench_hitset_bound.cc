@@ -5,15 +5,17 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/hitset_miner.h"
+#include "obs/json_writer.h"
 #include "tsdb/series_source.h"
 
 namespace ppm::bench {
 namespace {
 
-void Report(uint32_t num_f1, uint64_t length) {
+void Report(uint32_t num_f1, uint64_t length, obs::JsonWriter* rows) {
   synth::GeneratorOptions generator = Figure2Options(length, 4);
   generator.num_f1 = num_f1;
   generator.independent_confidence = 0.85;
@@ -42,24 +44,41 @@ void Report(uint32_t num_f1, uint64_t length) {
     std::fprintf(stderr, "BOUND VIOLATED\n");
     std::exit(1);
   }
+  rows->BeginObject()
+      .Key("num_f1").Uint(num_f1)
+      .Key("length").Uint(length)
+      .Key("num_periods").Uint(m)
+      .Key("n_d").Uint(n_d)
+      .Key("bound").Uint(bound)
+      .Key("hit_store_entries").Uint(result.stats().hit_store_entries)
+      .Key("time_ms").Double(result.stats().elapsed_seconds * 1e3);
+  rows->EndObject();
 }
 
 }  // namespace
 }  // namespace ppm::bench
 
-int main() {
+int main(int argc, char** argv) {
+  using ppm::bench::Pick;
   ppm::bench::PrintHeader(
       "Property 3.2: |H| <= min(m, 2^n_d - n_d - 1) (hit-set buffer bound)");
   std::printf("%6s %10s %8s %6s %12s %12s %12s %10s\n", "|F1|", "LENGTH", "m",
               "n_d", "2^n-n-1", "bound", "|H|", "tree_nodes");
-  for (const uint32_t num_f1 : {4u, 6u, 8u, 10u, 12u, 16u}) {
-    ppm::bench::Report(num_f1, 100000);
+  ppm::bench::BenchReport report("hitset_bound", argc, argv);
+  const uint64_t base_length = Pick<uint64_t>(100000, 5000);
+  for (const uint32_t num_f1 :
+       Pick(std::vector<uint32_t>{4, 6, 8, 10, 12, 16},
+            std::vector<uint32_t>{4, 8, 12})) {
+    ppm::bench::Report(num_f1, base_length, &report.rows());
   }
   // Few periods: the m term of the bound dominates (the paper's "yearly
   // patterns over 100 years need at most 100 buffer slots").
-  for (const uint64_t length : {5000ull, 10000ull, 50000ull}) {
-    ppm::bench::Report(12, length);
+  for (const uint64_t length :
+       Pick(std::vector<uint64_t>{5000, 10000, 50000},
+            std::vector<uint64_t>{1000, 2500})) {
+    ppm::bench::Report(12, length, &report.rows());
   }
   std::printf("\nAll configurations satisfied the bound.\n");
+  report.Write();
   return 0;
 }

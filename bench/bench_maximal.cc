@@ -13,6 +13,7 @@
 #include "bench/bench_util.h"
 #include "core/hitset_miner.h"
 #include "core/maximal.h"
+#include "obs/json_writer.h"
 #include "core/maximal_miner.h"
 #include "tsdb/series_source.h"
 #include "util/random.h"
@@ -47,7 +48,7 @@ tsdb::TimeSeries MakeCorrelatedSeries(uint32_t num_groups,
   return series;
 }
 
-void Run(uint32_t num_groups, uint32_t group_size) {
+void Run(uint32_t num_groups, uint32_t group_size, obs::JsonWriter* rows) {
   const uint32_t period = num_groups * group_size;
   // Block confidence 0.85 with threshold 0.8: every subset of one block is
   // frequent (0.85), but cross-block combinations (0.85^2 = 0.72) are not,
@@ -91,24 +92,38 @@ void Run(uint32_t num_groups, uint32_t group_size) {
   } else {
     std::printf("%12s %14s\n", "2^k blowup", "(skipped)");
   }
+  rows->BeginObject()
+      .Key("period").Uint(period)
+      .Key("group_size").Uint(group_size)
+      .Key("maximal_patterns").Uint(direct->size())
+      .Key("oracle_calls").Uint(direct->stats().candidates_evaluated)
+      .Key("direct_ms").Double(direct->stats().elapsed_seconds * 1e3)
+      .Key("all_frequent").Uint(full_size)
+      .Key("derive_all_ms").Double(full_ms);
+  rows->EndObject();
 }
 
 }  // namespace
 }  // namespace ppm::bench
 
-int main() {
+int main(int argc, char** argv) {
   ppm::bench::PrintHeader(
       "Maximal-only mining (hit-set x MaxMiner hybrid) vs derive-all+filter");
   std::printf("%8s %6s %10s %12s %14s %12s %14s\n", "period", "blk", "maximal",
               "oracle_calls", "direct(ms)", "all_freq", "derive_all(ms)");
-  ppm::bench::Run(4, 2);
-  ppm::bench::Run(4, 4);
-  ppm::bench::Run(4, 8);
-  ppm::bench::Run(4, 12);
-  ppm::bench::Run(4, 16);
-  ppm::bench::Run(8, 8);
+  ppm::bench::BenchReport report("maximal", argc, argv);
+  ppm::obs::JsonWriter& rows = report.rows();
+  ppm::bench::Run(4, 2, &rows);
+  ppm::bench::Run(4, 4, &rows);
+  ppm::bench::Run(4, 8, &rows);
+  if (!ppm::bench::CiProfile()) {
+    ppm::bench::Run(4, 12, &rows);
+    ppm::bench::Run(4, 16, &rows);
+    ppm::bench::Run(8, 8, &rows);
+  }
   std::printf(
       "\nDirect maximal search cost tracks the number of maximal patterns;\n"
       "derive-all cost tracks the full frequent set (2^block per block).\n");
+  report.Write();
   return 0;
 }

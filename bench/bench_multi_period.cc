@@ -7,14 +7,15 @@
 
 #include "bench/bench_util.h"
 #include "core/multi_period.h"
+#include "obs/json_writer.h"
 #include "tsdb/series_source.h"
 
 namespace ppm::bench {
 namespace {
 
-void Run(uint32_t period_low, uint32_t period_high) {
-  const synth::GeneratedSeries data =
-      DieOr(synth::GenerateSeries(Figure2Options(100000, 6)));
+void Run(uint32_t period_low, uint32_t period_high, obs::JsonWriter* rows) {
+  const synth::GeneratedSeries data = DieOr(
+      synth::GenerateSeries(Figure2Options(Pick<uint64_t>(100000, 5000), 6)));
   MiningOptions options;
   options.min_confidence = 0.8;
 
@@ -41,26 +42,39 @@ void Run(uint32_t period_low, uint32_t period_high) {
               static_cast<unsigned long long>(shared.total_scans),
               looped.elapsed_seconds * 1e3, shared.elapsed_seconds * 1e3,
               shared_patterns);
+  rows->BeginObject()
+      .Key("period_low").Uint(period_low)
+      .Key("period_high").Uint(period_high)
+      .Key("scans_looped").Uint(looped.total_scans)
+      .Key("scans_shared").Uint(shared.total_scans)
+      .Key("looped_ms").Double(looped.elapsed_seconds * 1e3)
+      .Key("shared_ms").Double(shared.elapsed_seconds * 1e3)
+      .Key("patterns").Uint(shared_patterns);
+  rows->EndObject();
 }
 
 }  // namespace
 }  // namespace ppm::bench
 
-int main() {
+int main(int argc, char** argv) {
   ppm::bench::PrintHeader(
-      "Algorithm 3.3 (looped) vs 3.4 (shared) over period ranges "
-      "(LENGTH=100k)");
+      "Algorithm 3.3 (looped) vs 3.4 (shared) over period ranges");
   std::printf("%9s %9s %12s %12s %14s %14s %10s\n", "#periods", "range",
               "scans_loop", "scans_share", "looped(ms)", "shared(ms)",
               "patterns");
-  ppm::bench::Run(50, 50);
-  ppm::bench::Run(48, 52);
-  ppm::bench::Run(45, 55);
-  ppm::bench::Run(40, 60);
-  ppm::bench::Run(30, 70);
-  ppm::bench::Run(10, 90);
+  ppm::bench::BenchReport report("multi_period", argc, argv);
+  ppm::obs::JsonWriter& rows = report.rows();
+  ppm::bench::Run(50, 50, &rows);
+  ppm::bench::Run(48, 52, &rows);
+  ppm::bench::Run(45, 55, &rows);
+  if (!ppm::bench::CiProfile()) {
+    ppm::bench::Run(40, 60, &rows);
+    ppm::bench::Run(30, 70, &rows);
+    ppm::bench::Run(10, 90, &rows);
+  }
   std::printf(
       "\nShared mining always uses 2 scans; looping uses 2 per period.\n"
       "Shared trades scan count for per-scan bookkeeping across periods.\n");
+  report.Write();
   return 0;
 }

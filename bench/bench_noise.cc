@@ -5,18 +5,21 @@
 // of both miners as the series gets denser.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/apriori_miner.h"
 #include "core/hitset_miner.h"
 #include "core/maximal.h"
+#include "obs/json_writer.h"
 #include "tsdb/series_source.h"
 
 namespace ppm::bench {
 namespace {
 
-void Run(double noise_mean) {
-  synth::GeneratorOptions generator = Figure2Options(100000, 6);
+void Run(double noise_mean, obs::JsonWriter* rows) {
+  synth::GeneratorOptions generator =
+      Figure2Options(Pick<uint64_t>(100000, 5000), 6);
   generator.noise_mean = noise_mean;
   const synth::GeneratedSeries data = DieOr(synth::GenerateSeries(generator));
 
@@ -51,25 +54,37 @@ void Run(double noise_mean) {
               generator.num_f1, anchor_found ? "yes" : "NO",
               hitset.stats().elapsed_seconds * 1e3,
               apriori.stats().elapsed_seconds * 1e3);
+  rows->BeginObject()
+      .Key("noise_mean").Double(noise_mean)
+      .Key("num_f1_letters").Uint(hitset.stats().num_f1_letters)
+      .Key("spurious_letters").Uint(spurious)
+      .Key("letters_found").Uint(letters_found)
+      .Key("anchor_found").Uint(anchor_found ? 1 : 0)
+      .Key("hitset_ms").Double(hitset.stats().elapsed_seconds * 1e3)
+      .Key("apriori_ms").Double(apriori.stats().elapsed_seconds * 1e3);
+  rows->EndObject();
 }
 
 }  // namespace
 }  // namespace ppm::bench
 
-int main() {
+int main(int argc, char** argv) {
   ppm::bench::PrintHeader(
-      "Robustness to background noise (LENGTH=100k, p=50, MPL=6, |F1|=12, "
-      "conf 0.8)");
+      "Robustness to background noise (p=50, MPL=6, |F1|=12, conf 0.8)");
   std::printf("%10s %8s %10s %15s %8s %12s %12s\n", "noise/slot", "|F1|",
               "spurious", "letters_found", "anchor", "hit-set(ms)",
               "apriori(ms)");
-  for (const double noise : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
-    ppm::bench::Run(noise);
+  ppm::bench::BenchReport report("noise", argc, argv);
+  for (const double noise :
+       ppm::bench::Pick(std::vector<double>{0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0},
+                        std::vector<double>{0.0, 1.0, 4.0})) {
+    ppm::bench::Run(noise, &report.rows());
   }
   std::printf(
       "\nNoise features draw from an 88-symbol alphabet, so even 16 noise\n"
       "events per instant leave each (offset, feature) letter far below the\n"
       "0.8 threshold: F_1 stays exactly the planted letters and the planted\n"
       "maximal pattern is recovered; runtime grows only with input density.\n");
+  report.Write();
   return 0;
 }

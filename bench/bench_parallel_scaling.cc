@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/hitset_miner.h"
@@ -21,8 +22,10 @@
 namespace ppm::bench {
 namespace {
 
-constexpr int kReps = 3;
-constexpr uint32_t kThreadCounts[] = {1, 2, 4, 8};
+inline int Reps() { return Pick(3, 2); }
+inline std::vector<uint32_t> ThreadCounts() {
+  return Pick(std::vector<uint32_t>{1, 2, 4, 8}, std::vector<uint32_t>{1, 4});
+}
 
 struct Timed {
   double best_seconds = 0.0;
@@ -32,7 +35,8 @@ struct Timed {
 template <typename Fn>
 Timed BestOf(const Fn& run) {
   Timed timed;
-  for (int rep = 0; rep < kReps; ++rep) {
+  const int reps = Reps();
+  for (int rep = 0; rep < reps; ++rep) {
     const Timed once = run();
     if (rep == 0 || once.best_seconds < timed.best_seconds) {
       timed.best_seconds = once.best_seconds;
@@ -58,12 +62,12 @@ void ReportRow(const char* workload, uint32_t threads, const Timed& timed,
 }
 
 void SweepHitSet(const tsdb::TimeSeries& series, obs::JsonWriter* rows) {
-  PrintHeader("hit-set mine, p=50 (LENGTH=200k, MPL=6, |F1|=12)");
+  PrintHeader("hit-set mine, p=50 (MPL=6, |F1|=12)");
   std::printf("%-18s %8s %14s %10s %10s\n", "workload", "threads", "best(ms)",
               "speedup", "patterns");
   double baseline = 0.0;
   size_t baseline_patterns = 0;
-  for (const uint32_t threads : kThreadCounts) {
+  for (const uint32_t threads : ThreadCounts()) {
     const Timed timed = BestOf([&series, threads] {
       MiningOptions options;
       options.period = 50;
@@ -94,7 +98,7 @@ void SweepMultiPeriod(const tsdb::TimeSeries& series, bool shared,
               "speedup", "patterns");
   double baseline = 0.0;
   size_t baseline_patterns = 0;
-  for (const uint32_t threads : kThreadCounts) {
+  for (const uint32_t threads : ThreadCounts()) {
     const Timed timed = BestOf([&series, shared, threads] {
       MiningOptions options;
       options.min_confidence = 0.8;
@@ -124,26 +128,22 @@ void SweepMultiPeriod(const tsdb::TimeSeries& series, bool shared,
 
 int main(int argc, char** argv) {
   const unsigned cores = std::thread::hardware_concurrency();
+  const uint64_t length = ppm::bench::Pick<uint64_t>(200000, 10000);
   const ppm::synth::GeneratedSeries data = ppm::bench::DieOr(
-      ppm::synth::GenerateSeries(ppm::bench::Figure2Options(200000, 6)));
+      ppm::synth::GenerateSeries(ppm::bench::Figure2Options(length, 6)));
 
-  ppm::obs::JsonWriter rows;
-  rows.BeginArray();
+  ppm::bench::BenchReport report("parallel", argc, argv);
+  report.AddMeta("min_conf", "0.8");
+  report.AddMeta("length", length);
+  report.AddMeta("reps", static_cast<uint64_t>(ppm::bench::Reps()));
+  report.AddMeta("hardware_concurrency", static_cast<uint64_t>(cores));
+  ppm::obs::JsonWriter& rows = report.rows();
   ppm::bench::SweepHitSet(data.series, &rows);
   ppm::bench::SweepMultiPeriod(data.series, /*shared=*/false, &rows);
   ppm::bench::SweepMultiPeriod(data.series, /*shared=*/true, &rows);
-  rows.EndArray();
 
   std::printf("\nhardware concurrency: %u core%s\n", cores,
               cores == 1 ? "" : "s");
-
-  ppm::obs::RunReport report("bench_parallel");
-  report.AddMeta("min_conf", "0.8");
-  report.AddMeta("length", "200000");
-  report.AddMeta("reps", std::to_string(ppm::bench::kReps));
-  report.AddMeta("hardware_concurrency", std::to_string(cores));
-  report.AddRawSection("rows", rows.str());
-  ppm::bench::WriteBenchReport(
-      &report, ppm::bench::BenchReportPath("parallel", argc, argv));
+  report.Write();
   return 0;
 }

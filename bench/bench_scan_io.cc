@@ -1,7 +1,14 @@
 // Disk-resident mining (Section 5.2, first bullet): when the series lives on
 // disk, each extra scan costs real I/O. This bench mines the same series
-// through a FileSeriesSource and reports scans, bytes read, and wall time
-// for Apriori vs hit-set, plus the in-memory times for contrast.
+// through a FileSeriesSource and reports scans, logical db passes, bytes
+// read, and wall time for Apriori vs hit-set, plus the in-memory runs for
+// contrast. Rows go to BENCH_scan_io.json (or argv[1]).
+//
+// The scan counts here are the heart of the perf regression gate: an
+// accidental extra pass over the data shows up as an exact-field diff. The
+// test-only hook PPM_BENCH_INJECT_EXTRA_SCAN=1 simulates exactly that bug
+// (one gratuitous extra traversal of the file before mining) so CI can
+// verify the gate actually fails when scan discipline regresses.
 
 #include <cstdio>
 #include <cstdlib>
@@ -10,15 +17,74 @@
 #include "bench/bench_util.h"
 #include "core/apriori_miner.h"
 #include "core/hitset_miner.h"
+#include "core/scan_accounting.h"
+#include "obs/json_writer.h"
 #include "tsdb/series_codec.h"
 #include "tsdb/series_source.h"
 
 namespace ppm::bench {
 namespace {
 
-void Run(uint32_t max_pat_length) {
+bool InjectExtraScan() {
+  const char* env = std::getenv("PPM_BENCH_INJECT_EXTRA_SCAN");
+  return env != nullptr && env[0] == '1';
+}
+
+/// The simulated regression: a full drain of the source that contributes
+/// nothing, counted like any real pass would be.
+void DrainOnce(tsdb::SeriesSource& source) {
+  DieIf(source.StartScan());
+  tsdb::FeatureSet instant;
+  uint64_t instants = 0;
+  while (source.Next(&instant)) ++instants;
+  DieIf(source.status());
+  RecordDbPass("injected_extra_scan", instants, 0);
+}
+
+struct Row {
+  const char* miner;
+  const char* storage;
+  double ms;
+  uint64_t scans;
+  uint64_t bytes_read;
+  uint64_t candidates;
+  uint64_t patterns;
+};
+
+void EmitRow(obs::JsonWriter* rows, uint32_t mpl, const Row& row) {
+  std::printf("%15u %-8s %-6s %12.1f %8llu %12llu %10llu %8llu\n", mpl,
+              row.miner, row.storage, row.ms,
+              static_cast<unsigned long long>(row.scans),
+              static_cast<unsigned long long>(row.bytes_read),
+              static_cast<unsigned long long>(row.candidates),
+              static_cast<unsigned long long>(row.patterns));
+  rows->BeginObject()
+      .Key("mpl").Uint(mpl)
+      .Key("miner").String(row.miner)
+      .Key("storage").String(row.storage)
+      .Key("time_ms").Double(row.ms)
+      .Key("scans").Uint(row.scans)
+      .Key("bytes_read").Uint(row.bytes_read)
+      .Key("candidates").Uint(row.candidates)
+      .Key("patterns").Uint(row.patterns);
+  rows->EndObject();
+}
+
+Row MakeRow(const char* miner, const char* storage, const MiningResult& result,
+            uint64_t bytes_read) {
+  return Row{miner,
+             storage,
+             result.stats().elapsed_seconds * 1e3,
+             result.stats().scans,
+             bytes_read,
+             result.stats().candidates_evaluated,
+             result.size()};
+}
+
+void Run(uint32_t max_pat_length, obs::JsonWriter* rows) {
+  const uint64_t length = Pick<uint64_t>(100000, 5000);
   const synth::GeneratedSeries data =
-      DieOr(synth::GenerateSeries(Figure2Options(100000, max_pat_length)));
+      DieOr(synth::GenerateSeries(Figure2Options(length, max_pat_length)));
   const char* tmpdir = std::getenv("TMPDIR");
   const std::string path = std::string(tmpdir ? tmpdir : "/tmp") +
                            "/ppm_bench_scan_io_" +
@@ -29,59 +95,58 @@ void Run(uint32_t max_pat_length) {
   options.period = 50;
   options.min_confidence = 0.8;
 
-  struct Row {
-    const char* name;
-    double ms;
-    uint64_t scans;
-    uint64_t mib;
-  };
-  Row rows[4];
-
   {
     auto source = DieOr(tsdb::FileSeriesSource::Open(path));
+    if (InjectExtraScan()) DrainOnce(*source);
+    const uint64_t before = source->stats().bytes_read;
     const MiningResult result = DieOr(MineApriori(*source, options));
-    rows[0] = {"apriori/file", result.stats().elapsed_seconds * 1e3,
-               result.stats().scans, source->stats().bytes_read >> 20};
+    EmitRow(rows, max_pat_length,
+            MakeRow("apriori", "file", result,
+                    source->stats().bytes_read - before));
   }
   {
     auto source = DieOr(tsdb::FileSeriesSource::Open(path));
+    if (InjectExtraScan()) DrainOnce(*source);
+    const uint64_t before = source->stats().bytes_read;
     const MiningResult result = DieOr(MineHitSet(*source, options));
-    rows[1] = {"hit-set/file", result.stats().elapsed_seconds * 1e3,
-               result.stats().scans, source->stats().bytes_read >> 20};
+    EmitRow(rows, max_pat_length,
+            MakeRow("hitset", "file", result,
+                    source->stats().bytes_read - before));
   }
   {
     tsdb::InMemorySeriesSource source(&data.series);
+    if (InjectExtraScan()) DrainOnce(source);
     const MiningResult result = DieOr(MineApriori(source, options));
-    rows[2] = {"apriori/mem", result.stats().elapsed_seconds * 1e3,
-               result.stats().scans, 0};
+    EmitRow(rows, max_pat_length, MakeRow("apriori", "mem", result, 0));
   }
   {
     tsdb::InMemorySeriesSource source(&data.series);
+    if (InjectExtraScan()) DrainOnce(source);
     const MiningResult result = DieOr(MineHitSet(source, options));
-    rows[3] = {"hit-set/mem", result.stats().elapsed_seconds * 1e3,
-               result.stats().scans, 0};
+    EmitRow(rows, max_pat_length, MakeRow("hitset", "mem", result, 0));
   }
   std::remove(path.c_str());
-
-  for (const Row& row : rows) {
-    std::printf("%15u %-14s %12.1f %8llu %10llu\n", max_pat_length, row.name,
-                row.ms, static_cast<unsigned long long>(row.scans),
-                static_cast<unsigned long long>(row.mib));
-  }
 }
 
 }  // namespace
 }  // namespace ppm::bench
 
-int main() {
+int main(int argc, char** argv) {
   ppm::bench::PrintHeader(
-      "Disk-resident series: scans and bytes read (LENGTH=100k, p=50)");
-  std::printf("%15s %-14s %12s %8s %10s\n", "max-pat-length", "miner",
-              "time(ms)", "scans", "read(MiB)");
-  ppm::bench::Run(4);
-  ppm::bench::Run(8);
+      "Disk-resident series: scans, db passes, and bytes read (p=50)");
+  std::printf("%15s %-8s %-6s %12s %8s %12s %10s %8s\n", "max-pat-length",
+              "miner", "store", "time(ms)", "scans", "bytes", "candidates",
+              "patterns");
+
+  ppm::bench::BenchReport report("scan_io", argc, argv);
+  report.AddMeta("min_conf", "0.8");
+  report.AddMeta("injected_extra_scan",
+                 ppm::bench::InjectExtraScan() ? "true" : "false");
+  ppm::bench::Run(4, &report.rows());
+  ppm::bench::Run(8, &report.rows());
   std::printf(
       "\nHit-set reads the file exactly twice regardless of pattern length;\n"
       "Apriori re-reads it once per level.\n");
+  report.Write();
   return 0;
 }

@@ -5,9 +5,11 @@
 // stream so far.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/hitset_miner.h"
+#include "obs/json_writer.h"
 #include "stream/streaming_miner.h"
 #include "tsdb/series_source.h"
 #include "util/stopwatch.h"
@@ -15,24 +17,28 @@
 namespace ppm::bench {
 namespace {
 
-void Run() {
+void Run(obs::JsonWriter* rows) {
+  const uint64_t length = Pick<uint64_t>(500000, 20000);
+  const uint64_t seed_prefix = Pick<uint64_t>(10000, 2500);
+  const std::vector<uint64_t> checkpoints =
+      Pick(std::vector<uint64_t>{50000, 100000, 200000, 350000, 500000},
+           std::vector<uint64_t>{5000, 10000, 20000});
   const synth::GeneratedSeries data =
-      DieOr(synth::GenerateSeries(Figure2Options(500000, 6)));
+      DieOr(synth::GenerateSeries(Figure2Options(length, 6)));
   MiningOptions options;
   options.period = 50;
   options.min_confidence = 0.8;
 
-  // Seed from the first 10k instants.
+  // Seed from an initial prefix.
   tsdb::TimeSeries prefix;
   prefix.symbols() = data.series.symbols();
-  for (uint64_t t = 0; t < 10000; ++t) prefix.Append(data.series.at(t));
+  for (uint64_t t = 0; t < seed_prefix; ++t) prefix.Append(data.series.at(t));
   auto miner = DieOr(stream::StreamingMiner::SeedFromPrefix(options, prefix));
 
   std::printf("%12s %14s %16s %16s %10s\n", "instants", "append(Mi/s)",
               "snapshot(ms)", "batch_remine(ms)", "patterns");
-  uint64_t consumed = 10000;
-  for (const uint64_t checkpoint :
-       {50000ull, 100000ull, 200000ull, 350000ull, 500000ull}) {
+  uint64_t consumed = seed_prefix;
+  for (const uint64_t checkpoint : checkpoints) {
     Stopwatch append_watch;
     for (uint64_t t = consumed; t < checkpoint; ++t) {
       miner->Append(data.series.at(t));
@@ -63,18 +69,27 @@ void Run() {
     std::printf("%12llu %14.1f %16.2f %16.1f %10zu\n",
                 static_cast<unsigned long long>(checkpoint), rate, snapshot_ms,
                 batch_ms, snapshot.size());
+    rows->BeginObject()
+        .Key("instants").Uint(checkpoint)
+        .Key("append_mi_per_s").Double(rate)
+        .Key("snapshot_ms").Double(snapshot_ms)
+        .Key("batch_remine_ms").Double(batch_ms)
+        .Key("patterns").Uint(snapshot.size());
+    rows->EndObject();
   }
 }
 
 }  // namespace
 }  // namespace ppm::bench
 
-int main() {
+int main(int argc, char** argv) {
   ppm::bench::PrintHeader(
       "Streaming (incremental) mining vs batch re-mining at checkpoints");
-  ppm::bench::Run();
+  ppm::bench::BenchReport report("stream", argc, argv);
+  ppm::bench::Run(&report.rows());
   std::printf(
       "\nSnapshot cost is flat (touches only the hit store); batch re-mining\n"
       "re-reads the whole stream each time.\n");
+  report.Write();
   return 0;
 }

@@ -4,11 +4,12 @@
 // runtime is governed by MAX-PAT-LENGTH and |F_1| for a fixed p, and scales
 // with LENGTH; these sweeps verify each axis.
 //
-// Besides the terminal table, results are written as a RunReport to
+// Besides the terminal table, results are written as a BenchReport to
 // BENCH_table1.json (or argv[1]): one row object per sweep point under the
-// "rows" section.
+// "rows" section. PPM_BENCH_PROFILE=ci shrinks the sweeps for the CI gate.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/apriori_miner.h"
@@ -50,6 +51,7 @@ void Report(const char* label, uint64_t value,
       .Key("hitset_ms").Double(hitset.stats().elapsed_seconds * 1e3)
       .Key("scans_apriori").Uint(apriori.stats().scans)
       .Key("scans_hitset").Uint(hitset.stats().scans)
+      .Key("candidates_hitset").Uint(hitset.stats().candidates_evaluated)
       .Key("patterns").Uint(hitset.size());
   rows->EndObject();
 }
@@ -64,23 +66,31 @@ void PrintColumns() {
 
 int main(int argc, char** argv) {
   using ppm::bench::Figure2Options;
+  using ppm::bench::Pick;
   using ppm::bench::PrintColumns;
   using ppm::bench::PrintHeader;
   using ppm::bench::Report;
 
-  ppm::obs::JsonWriter rows;
-  rows.BeginArray();
+  ppm::bench::BenchReport report("table1", argc, argv);
+  report.AddMeta("min_conf", "0.8");
+  ppm::obs::JsonWriter& rows = report.rows();
+
+  using U64List = std::vector<uint64_t>;
+  using U32List = std::vector<uint32_t>;
+  const uint64_t base_length = Pick<uint64_t>(100000, 5000);
 
   PrintHeader("Table 1 sweep: LENGTH (p=50, MPL=6, |F1|=12)");
   PrintColumns();
-  for (const uint64_t length : {50000ull, 100000ull, 200000ull, 400000ull}) {
+  for (const uint64_t length :
+       Pick(U64List{50000, 100000, 200000, 400000}, U64List{2500, 5000})) {
     Report("LENGTH", length, Figure2Options(length, 6), &rows);
   }
 
-  PrintHeader("Table 1 sweep: period p (LENGTH=100k, MPL=6, |F1| scales)");
+  PrintHeader("Table 1 sweep: period p (LENGTH fixed, MPL=6, |F1| scales)");
   PrintColumns();
-  for (const uint32_t period : {10u, 25u, 50u, 100u, 200u}) {
-    ppm::synth::GeneratorOptions options = Figure2Options(100000, 6);
+  for (const uint32_t period :
+       Pick(U32List{10, 25, 50, 100, 200}, U32List{25, 50})) {
+    ppm::synth::GeneratorOptions options = Figure2Options(base_length, 6);
     options.period = period;
     options.num_f1 = period < 12 ? period : 12;
     if (options.max_pat_length > options.num_f1) {
@@ -89,25 +99,22 @@ int main(int argc, char** argv) {
     Report("period", period, options, &rows);
   }
 
-  PrintHeader("Table 1 sweep: MAX-PAT-LENGTH (LENGTH=100k, p=50, |F1|=12)");
+  PrintHeader("Table 1 sweep: MAX-PAT-LENGTH (LENGTH fixed, p=50, |F1|=12)");
   PrintColumns();
-  for (const uint32_t mpl : {2u, 4u, 6u, 8u, 10u, 12u}) {
-    Report("max-pat-len", mpl, Figure2Options(100000, mpl), &rows);
+  for (const uint32_t mpl :
+       Pick(U32List{2, 4, 6, 8, 10, 12}, U32List{2, 4, 6})) {
+    Report("max-pat-len", mpl, Figure2Options(base_length, mpl), &rows);
   }
 
-  PrintHeader("Table 1 sweep: |F1| (LENGTH=100k, p=50, MPL=4)");
+  PrintHeader("Table 1 sweep: |F1| (LENGTH fixed, p=50, MPL=4)");
   PrintColumns();
-  for (const uint32_t num_f1 : {4u, 8u, 16u, 24u, 32u}) {
-    ppm::synth::GeneratorOptions options = Figure2Options(100000, 4);
+  for (const uint32_t num_f1 :
+       Pick(U32List{4, 8, 16, 24, 32}, U32List{4, 8, 16})) {
+    ppm::synth::GeneratorOptions options = Figure2Options(base_length, 4);
     options.num_f1 = num_f1;
     Report("|F1|", num_f1, options, &rows);
   }
-  rows.EndArray();
 
-  ppm::obs::RunReport report("bench_table1");
-  report.AddMeta("min_conf", "0.8");
-  report.AddRawSection("rows", rows.str());
-  ppm::bench::WriteBenchReport(
-      &report, ppm::bench::BenchReportPath("table1", argc, argv));
+  report.Write();
   return 0;
 }

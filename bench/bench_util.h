@@ -1,12 +1,20 @@
 #ifndef PPM_BENCH_BENCH_UTIL_H_
 #define PPM_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "obs/build_info.h"
 #include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/run_report.h"
+#include "obs/trace.h"
 #include "synth/generator.h"
 #include "util/status.h"
 
@@ -25,6 +33,89 @@ template <typename T>
 T DieOr(Result<T> result) {
   DieIf(result.status());
   return std::move(result).value();
+}
+
+/// Workload profile, selected by the PPM_BENCH_PROFILE environment variable
+/// (`ci` or `full`, default full). The ci profile shrinks every bench's
+/// workload so the whole suite runs in seconds; scripts/bench.sh sets it and
+/// the perf gate refuses to compare reports of different profiles.
+enum class Profile { kFull, kCi };
+
+inline Profile ActiveProfile() {
+  static const Profile profile = [] {
+    const char* env = std::getenv("PPM_BENCH_PROFILE");
+    return (env != nullptr && std::string(env) == "ci") ? Profile::kCi
+                                                        : Profile::kFull;
+  }();
+  return profile;
+}
+
+inline bool CiProfile() { return ActiveProfile() == Profile::kCi; }
+
+inline const char* ProfileName() { return CiProfile() ? "ci" : "full"; }
+
+/// Profile-dependent workload parameter: `full` normally, `ci` under the
+/// fast profile.
+template <typename T>
+T Pick(T full, T ci) {
+  return CiProfile() ? ci : full;
+}
+
+/// Repetition aggregate of one timed workload. Median and MAD (median
+/// absolute deviation) rather than mean/stddev: a single page-fault or
+/// scheduler stall skews a mean badly at these run lengths, while the
+/// median is unmoved and the MAD gives the perf gate an honest noise scale.
+struct RepSample {
+  uint32_t reps = 0;
+  double median_ms = 0;
+  double mad_ms = 0;
+  double min_ms = 0;
+  double max_ms = 0;
+};
+
+inline double MedianOf(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  if (n == 0) return 0;
+  return n % 2 == 1 ? values[n / 2]
+                    : (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+/// Runs `fn` `reps` times and aggregates the wall times.
+template <typename Fn>
+RepSample MeasureMs(uint32_t reps, Fn&& fn) {
+  std::vector<double> times_ms;
+  times_ms.reserve(reps);
+  for (uint32_t rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto end = std::chrono::steady_clock::now();
+    times_ms.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+  }
+  RepSample sample;
+  sample.reps = reps;
+  sample.median_ms = MedianOf(times_ms);
+  std::vector<double> deviations;
+  deviations.reserve(times_ms.size());
+  for (const double t : times_ms) {
+    deviations.push_back(std::fabs(t - sample.median_ms));
+  }
+  sample.mad_ms = MedianOf(std::move(deviations));
+  const auto [min_it, max_it] =
+      std::minmax_element(times_ms.begin(), times_ms.end());
+  sample.min_ms = *min_it;
+  sample.max_ms = *max_it;
+  return sample;
+}
+
+/// Emits a RepSample's fields into the row object currently open on `rows`.
+inline void EmitSample(obs::JsonWriter* rows, const RepSample& sample) {
+  rows->Key("reps").Uint(sample.reps);
+  rows->Key("median_ms").Double(sample.median_ms);
+  rows->Key("mad_ms").Double(sample.mad_ms);
+  rows->Key("min_ms").Double(sample.min_ms);
+  rows->Key("max_ms").Double(sample.max_ms);
 }
 
 /// The paper's Figure 2 generator configuration: p = 50, |F_1| = 12,
@@ -58,13 +149,51 @@ inline std::string BenchReportPath(const std::string& name, int argc,
   return "BENCH_" + name + ".json";
 }
 
-/// Finalizes a bench report: captures the global metrics/span state
-/// accumulated over the sweeps, writes the JSON file, and announces it.
-inline void WriteBenchReport(obs::RunReport* report, const std::string& path) {
-  report->CaptureGlobal();
-  DieIf(report->WriteJson(path));
-  std::printf("\nwrote %s\n", path.c_str());
-}
+/// The one BenchReport envelope every bench binary emits (see
+/// docs/BENCHMARKING.md): a RunReport whose meta carries the build
+/// fingerprint and active profile, a "rows" section with one object per
+/// sweep point, and the metrics/spans accumulated across the sweeps.
+///
+/// Construction resets the global metrics registry and tracer so the
+/// captured state covers exactly this bench's work; `Write()` finalizes
+/// the rows array, stamps build and resource info, and writes the file.
+class BenchReport {
+ public:
+  BenchReport(const std::string& name, int argc, char** argv)
+      : path_(BenchReportPath(name, argc, argv)), report_("bench_" + name) {
+    obs::MetricsRegistry::Global().Reset();
+    obs::Tracer::Global().Clear();
+    report_.AddMeta("bench", name);
+    report_.AddMeta("profile", ProfileName());
+    rows_.BeginArray();
+  }
+
+  /// Open rows array; append one object per sweep point.
+  obs::JsonWriter& rows() { return rows_; }
+
+  void AddMeta(std::string key, std::string value) {
+    report_.AddMeta(std::move(key), std::move(value));
+  }
+  void AddMeta(std::string key, uint64_t value) {
+    report_.AddMeta(std::move(key), value);
+  }
+
+  /// Finalizes and writes the report; call exactly once, after all rows.
+  void Write() {
+    rows_.EndArray();
+    report_.AddRawSection("rows", rows_.str());
+    obs::AddBuildMeta(&report_);
+    obs::RecordResourceMetrics();
+    report_.CaptureGlobal();
+    DieIf(report_.WriteJson(path_));
+    std::printf("\nwrote %s\n", path_.c_str());
+  }
+
+ private:
+  std::string path_;
+  obs::RunReport report_;
+  obs::JsonWriter rows_;
+};
 
 }  // namespace ppm::bench
 

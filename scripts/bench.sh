@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Unified bench runner: builds the bench binaries and drives them through
+# the one BenchReport envelope (docs/BENCHMARKING.md).
+#
+#   scripts/bench.sh --profile=ci            # fast profile, canonical files
+#   scripts/bench.sh --profile=full          # full sweeps (minutes)
+#   scripts/bench.sh --profile=ci --out-dir=/tmp/x   # write elsewhere
+#
+# The ci profile runs the four canonical trajectory benches and writes
+# BENCH_table1.json, BENCH_fig2.json, BENCH_parallel.json, and
+# BENCH_scan_io.json into --out-dir (default: the repo root, where they are
+# committed as the perf baselines scripts/perf_gate.py compares against).
+# The full profile additionally runs every other bench binary.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+REPO_ROOT=$(pwd)
+
+PROFILE=ci
+BUILD_DIR=build-bench
+OUT_DIR="$REPO_ROOT"
+SKIP_BUILD=0
+
+for arg in "$@"; do
+  case "$arg" in
+    --profile=*) PROFILE="${arg#*=}" ;;
+    --build-dir=*) BUILD_DIR="${arg#*=}" ;;
+    --out-dir=*) OUT_DIR="${arg#*=}" ;;
+    --skip-build) SKIP_BUILD=1 ;;
+    *)
+      echo "unknown argument: $arg" >&2
+      echo "usage: $0 [--profile=ci|full] [--build-dir=DIR] [--out-dir=DIR] [--skip-build]" >&2
+      exit 2
+      ;;
+  esac
+done
+case "$PROFILE" in ci|full) ;; *)
+  echo "--profile must be ci or full, got '$PROFILE'" >&2; exit 2 ;;
+esac
+mkdir -p "$OUT_DIR"
+
+if [[ "$SKIP_BUILD" -eq 0 ]]; then
+  # Always reconfigure so the embedded git sha matches the current tree.
+  cmake -B "$BUILD_DIR" -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$BUILD_DIR" --target \
+    bench_table1_sweeps bench_fig2_max_pat_length bench_parallel_scaling \
+    bench_scan_io bench_hitset_bound bench_codec bench_query \
+    bench_multi_period bench_noise bench_stream bench_maximal \
+    bench_ablation_hit_store bench_ablation_derivation >/dev/null
+fi
+
+export PPM_BENCH_PROFILE="$PROFILE"
+BENCH_BIN="$BUILD_DIR/bench"
+
+run_bench() {  # run_bench <binary> <report-name>
+  echo "--- $1 ($PROFILE profile)"
+  "$BENCH_BIN/$1" "$OUT_DIR/BENCH_$2.json"
+}
+
+# Canonical trajectory benches: their ci-profile reports are committed at
+# the repo root and gate regressions in CI.
+run_bench bench_table1_sweeps table1
+run_bench bench_fig2_max_pat_length fig2
+run_bench bench_parallel_scaling parallel
+run_bench bench_scan_io scan_io
+
+if [[ "$PROFILE" == full ]]; then
+  run_bench bench_hitset_bound hitset_bound
+  run_bench bench_codec codec
+  run_bench bench_query query
+  run_bench bench_multi_period multi_period
+  run_bench bench_noise noise
+  run_bench bench_stream stream
+  run_bench bench_maximal maximal
+  run_bench bench_ablation_hit_store ablation_hit_store
+  run_bench bench_ablation_derivation ablation_derivation
+  # bench_micro (google-benchmark) keeps its native output format.
+  "$BENCH_BIN/bench_micro" --benchmark_min_time=0.1s \
+    --benchmark_out="$OUT_DIR/BENCH_micro.json" \
+    --benchmark_out_format=json || true
+fi
+
+echo
+echo "reports in $OUT_DIR:"
+ls "$OUT_DIR"/BENCH_*.json

@@ -9,12 +9,14 @@
 # warnings from std::string concatenation in a few test files.
 #
 # PPM_CI_SANITIZERS=0 skips the sanitizer matrix (each entry is a separate
-# build tree; useful for quick local runs).
+# build tree; useful for quick local runs). PPM_CI_BENCH=0 skips the bench
+# smoke + perf-regression gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-ci}
 SANITIZERS=${PPM_CI_SANITIZERS:-1}
+BENCH_GATE=${PPM_CI_BENCH:-1}
 
 cmake -B "$BUILD_DIR" -G Ninja \
   -DCMAKE_CXX_FLAGS="-Werror -Wno-error=restrict"
@@ -46,6 +48,18 @@ assert mining["scans"] == 2, mining
 assert mining["elapsed_seconds"] > 0, mining
 counters = stats["metrics"]["counters"]
 assert counters["ppm.source.scans"] == mining["scans"], counters
+# Scan accounting: hit-set mining is exactly two logical database passes,
+# one F1 scan plus one second scan (docs/OBSERVABILITY.md).
+assert counters["ppm.scan.db_passes"] == 2, counters
+assert counters["ppm.scan.passes.f1_scan"] == 1, counters
+assert counters["ppm.scan.passes.second_scan"] == 1, counters
+# Build fingerprint and resource accounting ride along in every report.
+meta = stats["meta"]
+assert meta["build.git_sha"], meta
+assert meta["build.compiler"], meta
+assert int(meta["machine.cores"]) >= 1, meta  # meta values are strings
+gauges = stats["metrics"]["gauges"]
+assert gauges["ppm.resource.rss_hwm_bytes"] > 0, gauges
 # Every whole segment is either inserted as a hit or skipped (< 2 letters).
 inserted = counters["ppm.hitset.hits_inserted"]
 skipped = counters["ppm.hitset.segments_skipped"]
@@ -65,6 +79,55 @@ assert {"f1_scan", "second_scan"} <= trace_names, trace_names
 
 print("smoke OK: stats and trace JSON validate")
 EOF
+
+# db_passes must be thread-invariant: the parallel hit-set miner shards the
+# same two logical passes, it does not add any.
+"$PPM" mine --input "$SMOKE_DIR/series.bin" --period 50 --min-conf 0.8 \
+  --threads 4 --stats-json "$SMOKE_DIR/stats-t4.json" > /dev/null
+python3 - "$SMOKE_DIR/stats-t4.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    counters = json.load(f)["metrics"]["counters"]
+assert counters["ppm.scan.db_passes"] == 2, counters
+assert counters["ppm.scan.passes.f1_scan"] == 1, counters
+assert counters["ppm.scan.passes.second_scan"] == 1, counters
+print("smoke OK: db_passes == 2 at --threads 4")
+EOF
+
+# Perf-regression gate (docs/BENCHMARKING.md): a fresh ci-profile bench run
+# must match the committed BENCH_*.json baselines on every exact field
+# (scan counts, db passes, candidates, patterns, bytes read), and the
+# intentionally-injected extra database scan must make the gate fail --
+# proving the gate can actually catch a scan-discipline regression.
+if [[ "$BENCH_GATE" == "1" ]]; then
+  BENCH_DIR="$SMOKE_DIR/bench"
+  mkdir -p "$BENCH_DIR"
+  scripts/bench.sh --profile=ci --build-dir="$BUILD_DIR-bench" \
+    --out-dir="$BENCH_DIR" > "$SMOKE_DIR/bench.out"
+  python3 scripts/perf_gate.py --baseline . --candidate "$BENCH_DIR"
+
+  INJECT_DIR="$SMOKE_DIR/bench-inject"
+  mkdir -p "$INJECT_DIR"
+  cp "$BENCH_DIR"/BENCH_table1.json "$BENCH_DIR"/BENCH_fig2.json \
+     "$BENCH_DIR"/BENCH_parallel.json "$INJECT_DIR/"
+  PPM_BENCH_PROFILE=ci PPM_BENCH_INJECT_EXTRA_SCAN=1 \
+    "$BUILD_DIR-bench/bench/bench_scan_io" \
+    "$INJECT_DIR/BENCH_scan_io.json" > /dev/null
+  set +e
+  python3 scripts/perf_gate.py --baseline . --candidate "$INJECT_DIR" \
+    > "$SMOKE_DIR/gate-inject.out"
+  GATE_EXIT=$?
+  set -e
+  [[ "$GATE_EXIT" == 1 ]] || {
+    echo "perf gate did not catch the injected extra scan (exit $GATE_EXIT)"
+    cat "$SMOKE_DIR/gate-inject.out"
+    exit 1
+  }
+  grep -q "ppm.scan.db_passes" "$SMOKE_DIR/gate-inject.out"
+  echo "perf gate OK: clean run passes, injected extra scan fails"
+fi
 
 # Fault-injection smoke: the corruption harness under a nonzero fault seed
 # (different flipped bits than the default run), plus the robustness exit

@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""Perf regression gate over committed BenchReport baselines.
+
+Compares candidate BENCH_*.json reports (a fresh scripts/bench.sh run)
+against the committed baselines and classifies every field of every row:
+
+  exact   -- scan counts, db passes, candidate/pattern/letter/entry counts,
+             bytes read. Algorithm-determined and thread-invariant; ANY
+             difference is a regression (or an intentional change that must
+             be re-baselined). Zero tolerance.
+  timing  -- *_ms / *_us / rates / speedups. Machine- and load-dependent;
+             compared with a noise threshold and, by default, reported as
+             warnings only (committed baselines come from a different
+             machine). --strict-timings turns violations into failures.
+  identity -- workload descriptors (param, threads, miner, length, ...).
+             Must match exactly for rows to be comparable at all; a
+             mismatch means the bench's sweep itself changed, which needs a
+             re-baseline, not a diff.
+
+Metrics captured in the report are gated too, but only the thread-invariant
+scan/IO counters (ppm.scan.*, ppm.source.*, ppm.apriori.level_scans):
+tree shapes and merge orders legitimately vary with thread count.
+
+Exit codes: 0 pass, 1 regression, 2 usage/input error.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+CANONICAL = ["table1", "fig2", "parallel", "scan_io"]
+
+# Row fields whose change is always a regression.
+EXACT_RE = re.compile(
+    r"(scans|db_passes|passes|candidates|patterns|letters|segments"
+    r"|instants|entries|hits|bytes_read|bound|frequent|f1|oracle_calls"
+    r"|all_mined|anchor_found|num_periods|n_d|file_size|distinct|spurious"
+    r"|maximal|reps|version)",
+    re.IGNORECASE,
+)
+# Timing / throughput fields: noisy, advisory by default.
+TIMING_RE = re.compile(
+    r"(_ms$|_us$|_s$|_seconds$|speedup|per_s$|rate)", re.IGNORECASE
+)
+# Workload identity fields: must match for rows to be comparable.
+IDENTITY_FIELDS = {
+    "param", "value", "workload", "threads", "miner", "storage", "length",
+    "period", "period_low", "period_high", "mpl", "max_pat_length", "name",
+    "label", "num_f1", "allowed", "noise_mean", "group_size", "version",
+}
+
+# Counter prefixes that are thread-invariant and therefore gated exactly.
+EXACT_METRIC_PREFIXES = (
+    "ppm.scan.",
+    "ppm.source.",
+    "ppm.apriori.level_scans",
+    "ppm.apriori.candidates_evaluated",
+    "ppm.derivation.candidates_total",
+)
+
+
+class Gate:
+    def __init__(self, strict_timings, timing_threshold):
+        self.strict_timings = strict_timings
+        self.timing_threshold = timing_threshold
+        self.failures = []
+        self.warnings = []
+
+    def fail(self, msg):
+        self.failures.append(msg)
+
+    def warn(self, msg):
+        self.warnings.append(msg)
+
+
+def load_report(path):
+    with open(path) as f:
+        report = json.load(f)
+    rows = report.get("sections", {}).get("rows", "[]")
+    if isinstance(rows, str):
+        rows = json.loads(rows)
+    return report, rows
+
+
+def classify(field):
+    if field in IDENTITY_FIELDS:
+        return "identity"
+    if TIMING_RE.search(field):
+        return "timing"
+    if EXACT_RE.search(field):
+        return "exact"
+    return "other"
+
+
+def compare_rows(name, base_rows, cand_rows, gate):
+    if len(base_rows) != len(cand_rows):
+        gate.fail(
+            f"{name}: row count changed {len(base_rows)} -> {len(cand_rows)} "
+            "(sweep changed; re-baseline if intentional)"
+        )
+        return
+    for i, (base, cand) in enumerate(zip(base_rows, cand_rows)):
+        ident = {k: base.get(k) for k in IDENTITY_FIELDS if k in base}
+        for key, base_value in base.items():
+            if key not in cand:
+                gate.fail(f"{name} row {i}: field '{key}' disappeared")
+                continue
+            cand_value = cand[key]
+            kind = classify(key)
+            if kind == "identity":
+                if base_value != cand_value:
+                    gate.fail(
+                        f"{name} row {i}: identity field '{key}' changed "
+                        f"{base_value!r} -> {cand_value!r} (sweep changed; "
+                        "re-baseline if intentional)"
+                    )
+            elif kind == "exact":
+                if base_value != cand_value:
+                    gate.fail(
+                        f"{name} row {i} {ident}: exact field '{key}' "
+                        f"changed {base_value} -> {cand_value}"
+                    )
+            elif kind == "timing":
+                check_timing(name, i, key, base_value, cand_value, gate)
+        for key in cand:
+            if key not in base:
+                gate.warn(f"{name} row {i}: new field '{key}' (not in baseline)")
+
+
+def check_timing(name, i, key, base_value, cand_value, gate):
+    try:
+        base_value = float(base_value)
+        cand_value = float(cand_value)
+    except (TypeError, ValueError):
+        return
+    if base_value <= 0:
+        return
+    ratio = cand_value / base_value
+    if ratio > 1.0 + gate.timing_threshold:
+        msg = (
+            f"{name} row {i}: timing field '{key}' regressed "
+            f"{base_value:.2f} -> {cand_value:.2f} ({ratio:.2f}x, "
+            f"threshold {1.0 + gate.timing_threshold:.2f}x)"
+        )
+        if gate.strict_timings:
+            gate.fail(msg)
+        else:
+            gate.warn(msg)
+
+
+def compare_metrics(name, base_report, cand_report, gate):
+    base_counters = base_report.get("metrics", {}).get("counters", {})
+    cand_counters = cand_report.get("metrics", {}).get("counters", {})
+    for key, base_value in base_counters.items():
+        if not key.startswith(EXACT_METRIC_PREFIXES):
+            continue
+        cand_value = cand_counters.get(key)
+        if cand_value is None:
+            gate.fail(f"{name}: counter '{key}' disappeared")
+        elif cand_value != base_value:
+            gate.fail(
+                f"{name}: counter '{key}' changed {base_value} -> {cand_value}"
+            )
+    for key in cand_counters:
+        if key.startswith(EXACT_METRIC_PREFIXES) and key not in base_counters:
+            gate.fail(
+                f"{name}: new counter '{key}' = {cand_counters[key]} "
+                "(extra pass? re-baseline if intentional)"
+            )
+
+
+def compare_file(name, base_path, cand_path, gate):
+    base_report, base_rows = load_report(base_path)
+    cand_report, cand_rows = load_report(cand_path)
+    base_profile = base_report.get("meta", {}).get("profile")
+    cand_profile = cand_report.get("meta", {}).get("profile")
+    if base_profile != cand_profile:
+        gate.fail(
+            f"{name}: profile mismatch baseline={base_profile} "
+            f"candidate={cand_profile}; reports are not comparable"
+        )
+        return
+    compare_rows(name, base_rows, cand_rows, gate)
+    compare_metrics(name, base_report, cand_report, gate)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="directory with baseline BENCH_*.json files")
+    parser.add_argument("--candidate", required=True,
+                        help="directory with candidate BENCH_*.json files")
+    parser.add_argument("--benches", default=",".join(CANONICAL),
+                        help="comma-separated bench names (default: %(default)s)")
+    parser.add_argument("--strict-timings", action="store_true",
+                        help="treat timing regressions as failures")
+    parser.add_argument("--timing-threshold", type=float, default=0.5,
+                        help="allowed fractional timing slowdown "
+                             "(default: %(default)s = 50%%)")
+    args = parser.parse_args()
+
+    gate = Gate(args.strict_timings, args.timing_threshold)
+    baseline_dir = Path(args.baseline)
+    candidate_dir = Path(args.candidate)
+    compared = 0
+    for bench in [b for b in args.benches.split(",") if b]:
+        base_path = baseline_dir / f"BENCH_{bench}.json"
+        cand_path = candidate_dir / f"BENCH_{bench}.json"
+        if not base_path.exists():
+            print(f"error: missing baseline {base_path}", file=sys.stderr)
+            return 2
+        if not cand_path.exists():
+            print(f"error: missing candidate {cand_path}", file=sys.stderr)
+            return 2
+        compare_file(bench, base_path, cand_path, gate)
+        compared += 1
+
+    for warning in gate.warnings:
+        print(f"WARN  {warning}")
+    for failure in gate.failures:
+        print(f"FAIL  {failure}")
+    if gate.failures:
+        print(f"\nperf gate: FAILED ({len(gate.failures)} regression(s) "
+              f"across {compared} report(s))")
+        return 1
+    print(f"perf gate: OK ({compared} report(s), "
+          f"{len(gate.warnings)} timing warning(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,9 @@
 #include "etl/bucketizer.h"
 #include "etl/event_log.h"
 #include "evolve/evolution.h"
+#include "obs/build_info.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
 #include "rules/rules.h"
@@ -133,8 +135,8 @@ Status RunMine(const ArgMap& args, std::ostream& out) {
                                          "min-count", "algorithm",
                                          "max-letters", "threads", "maximal",
                                          "rules", "top", "save", "stats-json",
-                                         "trace-out", "deadline-ms",
-                                         "memory-budget-mb",
+                                         "metrics-prom", "trace-out",
+                                         "deadline-ms", "memory-budget-mb",
                                          "budget-policy"}));
   PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series,
                        LoadSeries(args.GetString("input", "")));
@@ -169,6 +171,8 @@ Status RunMine(const ArgMap& args, std::ostream& out) {
       report.AddMeta("input", args.GetString("input", ""));
       report.AddMeta("period", std::to_string(options.period));
       report.AddMeta("error", mined.status().ToString());
+      obs::AddBuildMeta(&report);
+      obs::RecordResourceMetrics();
       report.CaptureGlobal();
       PPM_RETURN_IF_ERROR(report.WriteJson(args.GetString("stats-json", "")));
     }
@@ -218,10 +222,22 @@ Status RunMine(const ArgMap& args, std::ostream& out) {
     report.AddMeta("input", args.GetString("input", ""));
     report.AddMeta("period", std::to_string(options.period));
     report.AddMeta("patterns", std::to_string(result.size()));
+    obs::AddBuildMeta(&report);
+    obs::RecordResourceMetrics();
     report.AddRawSection("mining_stats", result.stats().ToJson());
     report.CaptureGlobal();
     PPM_RETURN_IF_ERROR(report.WriteJson(stats_path));
     out << "wrote stats to " << stats_path << "\n";
+  }
+  if (args.Has("metrics-prom")) {
+    const std::string prom_path = args.GetString("metrics-prom", "");
+    obs::RecordResourceMetrics();
+    std::ofstream prom(prom_path, std::ios::trunc);
+    prom << obs::MetricsRegistry::Global().RenderPrometheus();
+    if (!prom) {
+      return Status::Internal("failed to write " + prom_path);
+    }
+    out << "wrote metrics to " << prom_path << "\n";
   }
   return Status::OK();
 }
@@ -726,6 +742,8 @@ Status RunStreamImpl(const ArgMap& args, std::ostream& out) {
                      replay.torn_tail ? "true" : "false");
       report.AddMeta("recovery.dropped_bytes", replay.dropped_bytes);
     }
+    obs::AddBuildMeta(&report);
+    obs::RecordResourceMetrics();
     report.AddRawSection("mining_stats", result.stats().ToJson());
     report.CaptureGlobal();
     PPM_RETURN_IF_ERROR(report.WriteJson(stats_path));
@@ -817,7 +835,8 @@ std::string UsageText() {
       "            [--min-count N] [--algorithm hitset|apriori|maximal]\n"
       "            [--max-letters K] [--threads N] [--maximal]\n"
       "            [--rules CONF] [--top N] [--save PATTERNS_FILE]\n"
-      "            [--stats-json REPORT_FILE] [--trace-out TRACE_FILE]\n"
+      "            [--stats-json REPORT_FILE] [--metrics-prom PROM_FILE]\n"
+      "            [--trace-out TRACE_FILE]\n"
       "  apply     re-evaluate saved patterns on another series:\n"
       "            --patterns F --input F [--min-drop D]\n"
       "  evolve    windowed re-mining with diffs: --input F --period N\n"

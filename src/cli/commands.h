@@ -23,7 +23,8 @@ int ExitCodeForStatus(const Status& status);
 
 /// `ppm mine`: mine partial periodic patterns of one period from a series
 /// file. Flags: --input, --period, --min-conf|--min-count, --algorithm
-/// {apriori,hitset,maximal}, --max-letters, --maximal, --rules CONF, --top N.
+/// {apriori,hitset,maximal}, --max-letters, --maximal, --rules CONF, --top N,
+/// --stats-json (RunReport JSON), --metrics-prom (Prometheus text format).
 Status RunMine(const ArgMap& args, std::ostream& out);
 
 /// `ppm scan`: mine a range of periods. Flags: --input, --period-low,

@@ -6,6 +6,7 @@
 #include "core/candidate_gen.h"
 #include "core/f1_scan.h"
 #include "core/fault_metrics.h"
+#include "core/scan_accounting.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/cancellation.h"
@@ -94,11 +95,14 @@ Result<MiningResult> MineApriori(tsdb::SeriesSource& source,
     if (candidates.empty()) break;
     result.stats().candidates_evaluated += candidates.size();
     candidates_counted.Inc(candidates.size());
+    RecordLevelCandidates("ppm.apriori", level, candidates.size());
 
     {
       const obs::TraceSpan scan_span =
           obs::Tracer::Global().StartSpan("level_scan");
       level_scans.Inc();
+      RecordDbPass("level_scan", f1.num_periods * f1.space.period(),
+                   f1.num_periods);
       PPM_RETURN_IF_ERROR(
           CountCandidatesByScan(source, f1, interrupt, &candidates));
     }

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/candidate_gen.h"
+#include "core/scan_accounting.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/shard.h"
@@ -55,6 +56,7 @@ DerivationStats DeriveFrequentPatterns(
     if (!stats.status.ok()) return stats;
     std::vector<LevelEntry> candidates = GenerateCandidates(frequent);
     if (candidates.empty()) break;
+    RecordLevelCandidates("ppm.derivation", level, candidates.size());
 
     // Charge the level's candidate table before counting it; a level that
     // does not fit ends the run rather than silently thrashing.

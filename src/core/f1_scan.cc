@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/fault_metrics.h"
+#include "core/scan_accounting.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/materialize.h"
@@ -62,6 +63,9 @@ F1ScanResult FinishF1(const CountTable& counts, const MiningOptions& options,
       letter_counts.push_back(count);
     }
   }
+  // FinishF1 runs exactly once per F1 build on both the sequential and
+  // sharded paths, so it is the single accounting site for the first pass.
+  RecordDbPass("f1_scan", num_periods * options.period, num_periods);
   auto& registry = obs::MetricsRegistry::Global();
   registry.GetGauge("ppm.f1.letters_seen").Set(letters_seen);
   registry.GetGauge("ppm.f1.letters_frequent").Set(letters.size());

@@ -10,6 +10,7 @@
 #include "core/f1_scan.h"
 #include "core/fault_metrics.h"
 #include "core/hit_store.h"
+#include "core/scan_accounting.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/materialize.h"
@@ -150,6 +151,9 @@ Result<MiningResult> MineHitSetSharded(tsdb::SeriesSource& source,
     }
     timings.merge_seconds = merge_span.ElapsedSeconds();
     parallel::RecordShardMetrics(timings);
+    RecordDbPass("second_scan", f1.num_periods * period, f1.num_periods);
+    registry.GetGauge("ppm.resource.hit_store_bytes")
+        .Set(store->ApproxMemoryBytes());
   }
 
   // Derivation: candidate counting partitioned across the same pool. The
@@ -261,6 +265,9 @@ Result<MiningResult> MineHitSet(tsdb::SeriesSource& source,
     if (!budget.unlimited() && store->ApproxMemoryBytes() > budget.limit()) {
       return HitStoreOverBudget(store->ApproxMemoryBytes(), budget.limit());
     }
+    RecordDbPass("second_scan", covered, f1.num_periods);
+    registry.GetGauge("ppm.resource.hit_store_bytes")
+        .Set(store->ApproxMemoryBytes());
   }
 
   // Derivation: no further series access. The budget keeps accounting for

@@ -8,6 +8,7 @@
 #include "core/f1_scan.h"
 #include "core/fault_metrics.h"
 #include "core/hit_store.h"
+#include "core/scan_accounting.h"
 #include "util/cancellation.h"
 #include "util/stopwatch.h"
 
@@ -163,6 +164,7 @@ Result<MiningResult> MineMaximalHitSet(tsdb::SeriesSource& source,
   if (t < covered) {
     return Status::Internal("source ended before its declared length");
   }
+  RecordDbPass("second_scan", covered, f1.num_periods);
 
   MaximalSearch search(f1, *store, options.max_letters, interrupt);
   auto maximal = search.Run();

@@ -10,6 +10,7 @@
 #include "core/fault_metrics.h"
 #include "core/hit_store.h"
 #include "core/hitset_miner.h"
+#include "core/scan_accounting.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/materialize.h"
@@ -200,6 +201,14 @@ Result<MultiPeriodResult> MineMultiPeriodSharedConcurrent(
     merge_span.End();
     timings.merge_seconds = merge_span.ElapsedSeconds();
     parallel::RecordShardMetrics(timings);
+    // Unlike the sequential shared path, each period's segments are walked
+    // independently here (as its F_1 build was), so passes accrue per
+    // period: 2 per period mined, not 2 total. See docs/OBSERVABILITY.md.
+    for (uint32_t r = 0; r < num_ranges; ++r) {
+      const uint32_t period = period_low + r;
+      const uint64_t num_periods = instants.size() / period;
+      RecordDbPass("shared_scan2", num_periods * period, num_periods);
+    }
   }
 
   // --- Derivation per period, candidate counting over the shared pool. ---
@@ -317,6 +326,9 @@ Result<MultiPeriodResult> MineMultiPeriodShared(tsdb::SeriesSource& source,
   }
   PPM_RETURN_IF_ERROR(source.status());
   scan1_span.End();
+  // One traversal serves every period (Algorithm 3.4): the whole shared run
+  // is 2 db passes no matter how many periods are mined.
+  RecordDbPass("shared_scan1", t, 0);
 
   // Per-period F_1 spaces, thresholds, and hit stores.
   std::vector<F1ScanResult> f1(num_ranges);
@@ -377,6 +389,7 @@ Result<MultiPeriodResult> MineMultiPeriodShared(tsdb::SeriesSource& source,
   }
   PPM_RETURN_IF_ERROR(source.status());
   scan2_span.End();
+  RecordDbPass("shared_scan2", t, 0);
 
   // --- Derivation per period (no series access). ---
   MultiPeriodResult result;

@@ -1,0 +1,82 @@
+#include "obs/build_info.h"
+
+#include <thread>
+
+#include "obs/build_info_gen.h"
+#include "obs/run_report.h"
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) && !defined(__SANITIZE_ADDRESS__)
+#define __SANITIZE_ADDRESS__ 1
+#endif
+#if __has_feature(thread_sanitizer) && !defined(__SANITIZE_THREAD__)
+#define __SANITIZE_THREAD__ 1
+#endif
+#endif
+
+namespace ppm::obs {
+
+namespace {
+
+std::string CompilerId() {
+#if defined(__clang__)
+  return "clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+std::string SanitizerId() {
+  // Prefer the compile-time macros over the configure-time PPM_SANITIZE
+  // value: they reflect what this translation unit was actually built with.
+  std::string id;
+#if defined(__SANITIZE_ADDRESS__)
+  id = "address";
+#elif defined(__SANITIZE_THREAD__)
+  id = "thread";
+#endif
+  if (id.empty()) id = PPM_BUILD_SANITIZER;
+  return id;
+}
+
+BuildInfo MakeBuildInfo() {
+  BuildInfo info;
+  info.git_sha = PPM_BUILD_GIT_SHA;
+  info.compiler = CompilerId();
+  info.build_type = PPM_BUILD_TYPE;
+  info.cxx_flags = PPM_BUILD_CXX_FLAGS;
+  info.sanitizer = SanitizerId();
+#ifdef NDEBUG
+  info.assertions = false;
+#else
+  info.assertions = true;
+#endif
+  info.num_cores = std::thread::hardware_concurrency();
+  return info;
+}
+
+}  // namespace
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info = MakeBuildInfo();
+  return info;
+}
+
+void AddBuildMeta(RunReport* report) {
+  const BuildInfo& info = GetBuildInfo();
+  report->AddMeta("build.git_sha", info.git_sha);
+  report->AddMeta("build.compiler", info.compiler);
+  report->AddMeta("build.build_type", info.build_type);
+  report->AddMeta("build.cxx_flags", info.cxx_flags);
+  report->AddMeta("build.sanitizer", info.sanitizer);
+  report->AddMeta("build.assertions", info.assertions ? "on" : "off");
+  report->AddMeta("machine.cores", static_cast<uint64_t>(info.num_cores));
+}
+
+}  // namespace ppm::obs

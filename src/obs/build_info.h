@@ -1,0 +1,33 @@
+#ifndef PPM_OBS_BUILD_INFO_H_
+#define PPM_OBS_BUILD_INFO_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ppm::obs {
+
+class RunReport;
+
+/// Machine/build fingerprint attached to every RunReport so any
+/// `--stats-json` or `BENCH_*.json` file is attributable to the binary and
+/// host that produced it (docs/BENCHMARKING.md).
+struct BuildInfo {
+  std::string git_sha;     // configure-time HEAD, "-dirty" suffix if modified
+  std::string compiler;    // e.g. "gcc 12.2.0"
+  std::string build_type;  // CMAKE_BUILD_TYPE
+  std::string cxx_flags;   // CMAKE_CXX_FLAGS at configure time
+  std::string sanitizer;   // PPM_SANITIZE value, empty when none
+  bool assertions = false; // true unless compiled with NDEBUG
+  uint32_t num_cores = 0;  // std::thread::hardware_concurrency
+};
+
+const BuildInfo& GetBuildInfo();
+
+/// Adds the fingerprint to `report` as `build.git_sha`, `build.compiler`,
+/// `build.build_type`, `build.cxx_flags`, `build.sanitizer`,
+/// `build.assertions`, and `machine.cores` meta entries.
+void AddBuildMeta(RunReport* report);
+
+}  // namespace ppm::obs
+
+#endif  // PPM_OBS_BUILD_INFO_H_

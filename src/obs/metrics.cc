@@ -81,6 +81,46 @@ std::string MetricsSnapshot::ToJson() const {
   return w.str();
 }
 
+MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& base) const {
+  MetricsSnapshot delta;
+  delta.counters.reserve(counters.size());
+  for (const auto& [name, value] : counters) {
+    const uint64_t* before = base.FindCounter(name);
+    const uint64_t prior = before != nullptr ? *before : 0;
+    // A counter can only move forward; a smaller current value means the
+    // registry was Reset() after `base`, so the full value is the delta.
+    delta.counters.emplace_back(name, value >= prior ? value - prior : value);
+  }
+  // Gauges are last-write-wins instantaneous values; the "delta" of a gauge
+  // over an interval is simply its value at the end of it.
+  delta.gauges = gauges;
+  delta.histograms.reserve(histograms.size());
+  for (const auto& [name, data] : histograms) {
+    const HistogramData* before = nullptr;
+    for (const auto& [base_name, base_data] : base.histograms) {
+      if (base_name == name) {
+        before = &base_data;
+        break;
+      }
+    }
+    if (before == nullptr || data.count < before->count) {
+      delta.histograms.emplace_back(name, data);
+      continue;
+    }
+    HistogramData diff;
+    diff.count = data.count - before->count;
+    diff.sum = data.sum - before->sum;
+    diff.max = data.max;  // Upper bound: the true interval max is unknown.
+    diff.buckets.resize(data.buckets.size());
+    for (size_t i = 0; i < data.buckets.size(); ++i) {
+      const uint64_t prior = i < before->buckets.size() ? before->buckets[i] : 0;
+      diff.buckets[i] = data.buckets[i] >= prior ? data.buckets[i] - prior : data.buckets[i];
+    }
+    delta.histograms.emplace_back(name, std::move(diff));
+  }
+  return delta;
+}
+
 #ifndef PPM_OBS_DISABLED
 
 Histogram::Cell Histogram::sink_;

@@ -47,7 +47,23 @@ struct MetricsSnapshot {
   /// "sum":..,"max":..,"buckets":[...]}}}`. Zero-valued entries are kept so
   /// a metric's existence is observable.
   std::string ToJson() const;
+
+  /// Difference of this snapshot against an earlier `base` of the same
+  /// registry, scoping metrics to one run out of a longer-lived process
+  /// (bench repetition loops, multi-period sweeps). Counters and histogram
+  /// buckets/count/sum subtract; gauges keep their current (last-written)
+  /// value; a histogram's `max` keeps the current value, which is an upper
+  /// bound for the interval rather than the interval's true max. Metrics
+  /// absent from `base` (registered later) pass through unchanged.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& base) const;
 };
+
+/// Prometheus text exposition (version 0.0.4) of a snapshot: one `# TYPE`
+/// line per metric, names sanitized (`.` and other invalid characters map
+/// to `_`), histograms as cumulative `_bucket{le="..."}` series plus
+/// `_sum`/`_count`. This is the scrape payload the `ppmd` daemon will
+/// serve; until then the CLI exposes it via `--metrics-prom`.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
 
 #ifndef PPM_OBS_DISABLED
 
@@ -180,6 +196,9 @@ class MetricsRegistry {
   /// out handles remain bound. Call between runs to scope a report.
   void Reset();
 
+  /// `RenderPrometheus(Snapshot())` -- the daemon-facing scrape endpoint.
+  std::string RenderPrometheus() const { return obs::RenderPrometheus(Snapshot()); }
+
   /// Process-wide registry the library's built-in instrumentation uses.
   static MetricsRegistry& Global();
 
@@ -234,6 +253,7 @@ class MetricsRegistry {
   Histogram GetHistogram(std::string_view) { return Histogram(); }
   MetricsSnapshot Snapshot() const { return MetricsSnapshot(); }
   void Reset() {}
+  std::string RenderPrometheus() const { return std::string(); }
 
   static MetricsRegistry& Global() {
     static MetricsRegistry registry;

@@ -1,0 +1,75 @@
+// Prometheus text exposition (format version 0.0.4) of a MetricsSnapshot.
+// Compiled in both the real and PPM_OBS_DISABLED builds: it renders whatever
+// snapshot it is handed, and the no-op registry only ever hands it an empty
+// one.
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ppm::obs {
+
+namespace {
+
+/// Prometheus metric names admit `[a-zA-Z_:][a-zA-Z0-9_:]*`; everything
+/// else (the library's `.` separators in particular) maps to `_`.
+std::string SanitizeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = c >= '0' && c <= '9';
+    if (alpha || c == '_' || c == ':' || (digit && i > 0)) {
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  return out;
+}
+
+void AppendSample(std::string* out, const std::string& name, uint64_t value) {
+  *out += name;
+  *out += ' ';
+  *out += std::to_string(value);
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = SanitizeName(name);
+    out += "# TYPE " + prom + " counter\n";
+    AppendSample(&out, prom, value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = SanitizeName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    AppendSample(&out, prom, value);
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    const std::string prom = SanitizeName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    // Cumulative buckets. Bucket i counts values of bit width i, so its
+    // inclusive upper edge (2^i - 1) is the Prometheus `le` bound. Trailing
+    // empty buckets collapse into the +Inf bucket.
+    size_t last = data.buckets.size();
+    while (last > 0 && data.buckets[last - 1] == 0) --last;
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < last; ++i) {
+      cumulative += data.buckets[i];
+      out += prom + "_bucket{le=\"" +
+             std::to_string(Histogram::BucketUpperBound(static_cast<uint32_t>(i))) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(data.count) + "\n";
+    AppendSample(&out, prom + "_sum", data.sum);
+    AppendSample(&out, prom + "_count", data.count);
+  }
+  return out;
+}
+
+}  // namespace ppm::obs

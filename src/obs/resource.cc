@@ -1,0 +1,100 @@
+#include "obs/resource.h"
+
+#include <ctime>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+#if defined(__linux__)
+#include <cstdio>
+#endif
+
+namespace ppm::obs {
+
+namespace {
+
+uint64_t TimevalToMicros(const timeval& tv) {
+  return static_cast<uint64_t>(tv.tv_sec) * 1000000ull +
+         static_cast<uint64_t>(tv.tv_usec);
+}
+
+}  // namespace
+
+ResourceUsage ReadResourceUsage() {
+  ResourceUsage usage;
+#if defined(__linux__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    usage.rss_hwm_bytes = static_cast<uint64_t>(ru.ru_maxrss);  // bytes
+#else
+    usage.rss_hwm_bytes = static_cast<uint64_t>(ru.ru_maxrss) * 1024;  // KiB
+#endif
+    usage.cpu_user_us = TimevalToMicros(ru.ru_utime);
+    usage.cpu_system_us = TimevalToMicros(ru.ru_stime);
+  }
+#endif
+#if defined(__linux__)
+  // /proc/self/statm field 2 is the resident set in pages.
+  if (std::FILE* statm = std::fopen("/proc/self/statm", "r")) {
+    unsigned long long size_pages = 0, resident_pages = 0;
+    if (std::fscanf(statm, "%llu %llu", &size_pages, &resident_pages) == 2) {
+      usage.rss_bytes = static_cast<uint64_t>(resident_pages) *
+                        static_cast<uint64_t>(sysconf(_SC_PAGESIZE));
+    }
+    std::fclose(statm);
+  }
+#endif
+  return usage;
+}
+
+void RecordResourceMetrics() {
+#ifndef PPM_OBS_DISABLED
+  const ResourceUsage usage = ReadResourceUsage();
+  auto& registry = MetricsRegistry::Global();
+  registry.GetGauge("ppm.resource.rss_hwm_bytes").Set(usage.rss_hwm_bytes);
+  registry.GetGauge("ppm.resource.rss_bytes").Set(usage.rss_bytes);
+  registry.GetGauge("ppm.resource.cpu_user_us").Set(usage.cpu_user_us);
+  registry.GetGauge("ppm.resource.cpu_system_us").Set(usage.cpu_system_us);
+#endif
+}
+
+#ifndef PPM_OBS_DISABLED
+
+namespace {
+
+uint64_t MonotonicMicros() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000ull +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000;
+}
+
+uint64_t ProcessCpuMicros() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000ull +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000;
+}
+
+}  // namespace
+
+PhaseTimer::PhaseTimer(std::string_view name)
+    : name_(name),
+      wall_start_us_(MonotonicMicros()),
+      cpu_start_us_(ProcessCpuMicros()) {}
+
+void PhaseTimer::End() {
+  if (ended_) return;
+  ended_ = true;
+  const uint64_t wall_us = MonotonicMicros() - wall_start_us_;
+  const uint64_t cpu_us = ProcessCpuMicros() - cpu_start_us_;
+  auto& registry = MetricsRegistry::Global();
+  registry.GetHistogram("ppm.phase." + name_ + ".wall_us").Observe(wall_us);
+  registry.GetHistogram("ppm.phase." + name_ + ".cpu_us").Observe(cpu_us);
+}
+
+#endif  // PPM_OBS_DISABLED
+
+}  // namespace ppm::obs

@@ -1,0 +1,73 @@
+#ifndef PPM_OBS_RESOURCE_H_
+#define PPM_OBS_RESOURCE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace ppm::obs {
+
+/// Point-in-time process resource reading (Linux: getrusage + /proc).
+/// Fields read zero on platforms where a probe is unavailable.
+struct ResourceUsage {
+  /// Resident-set high-water mark since process start, bytes.
+  uint64_t rss_hwm_bytes = 0;
+  /// Current resident set, bytes.
+  uint64_t rss_bytes = 0;
+  /// CPU time consumed so far, microseconds.
+  uint64_t cpu_user_us = 0;
+  uint64_t cpu_system_us = 0;
+};
+
+/// Reads the process' current resource usage.
+ResourceUsage ReadResourceUsage();
+
+/// Publishes `ReadResourceUsage()` into the global registry as the
+/// `ppm.resource.*` gauges (see docs/OBSERVABILITY.md). Call at the end of
+/// a run, right before capturing a report; RSS gauges are process-wide
+/// (the high-water mark never resets), so they attribute to the heaviest
+/// run of the process, not necessarily the one being reported.
+void RecordResourceMetrics();
+
+#ifndef PPM_OBS_DISABLED
+
+/// RAII wall + CPU clock for one named phase of a run. On `End()` (or
+/// destruction) it records `ppm.phase.<name>.wall_us` and
+/// `ppm.phase.<name>.cpu_us` histograms, giving every phase a CPU/wall
+/// ratio (a sequential phase at 4 threads shows cpu ~= wall; a well-sharded
+/// one shows cpu ~= threads * wall). Complements TraceSpan, which records
+/// wall time only.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(std::string_view name);
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+  ~PhaseTimer() { End(); }
+
+  /// Records the phase once; later calls are no-ops.
+  void End();
+
+ private:
+  std::string name_;
+  uint64_t wall_start_us_ = 0;
+  uint64_t cpu_start_us_ = 0;
+  bool ended_ = false;
+};
+
+#else  // PPM_OBS_DISABLED
+
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(std::string_view) {}
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+  void End() {}
+};
+
+#endif  // PPM_OBS_DISABLED
+
+}  // namespace ppm::obs
+
+#endif  // PPM_OBS_RESOURCE_H_

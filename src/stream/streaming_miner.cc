@@ -313,6 +313,9 @@ MiningResult StreamingMiner::Snapshot() const {
       options_.hit_store == HitStoreKind::kMaxSubpatternTree
           ? store_->num_units()
           : 0;
+  obs::MetricsRegistry::Global()
+      .GetGauge("ppm.resource.hit_store_bytes")
+      .Set(store_->ApproxMemoryBytes());
   span.End();
   result.stats().elapsed_seconds = span.ElapsedSeconds();
   return result;

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
 
@@ -43,6 +44,30 @@ TEST(DisabledMetricsTest, SnapshotIsEmpty) {
   EXPECT_TRUE(snapshot.empty());
   EXPECT_EQ(snapshot.FindCounter("disabled.visible"), nullptr);
   registry.Reset();  // Must compile and not crash.
+}
+
+TEST(DisabledMetricsTest, PrometheusRendersEmpty) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("disabled.prom").Inc(3);
+  EXPECT_EQ(registry.RenderPrometheus(), "");
+  // The free function still renders whatever snapshot it is handed, and the
+  // no-op registry only ever hands it an empty one.
+  EXPECT_EQ(RenderPrometheus(registry.Snapshot()), "");
+}
+
+TEST(DisabledResourceTest, RecordingIsANoOpButProbesStillWork) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  RecordResourceMetrics();
+  EXPECT_TRUE(registry.Snapshot().empty());
+  // ReadResourceUsage is a plain probe, independent of the metrics build.
+  const ResourceUsage usage = ReadResourceUsage();
+  EXPECT_GT(usage.rss_bytes, 0u);
+  // PhaseTimer compiles to nothing: no histograms appear.
+  {
+    PhaseTimer timer("disabled_phase");
+    timer.End();
+  }
+  EXPECT_TRUE(registry.Snapshot().empty());
 }
 
 TEST(DisabledTraceTest, NothingIsRecorded) {

@@ -168,6 +168,41 @@ TEST(SnapshotTest, ZeroValuedMetricsStayVisible) {
   EXPECT_NE(json.find("\"c.untouched\":0"), std::string::npos) << json;
 }
 
+TEST(SnapshotTest, DeltaSinceSubtractsCountersAndKeepsGauges) {
+  MetricsRegistry registry;
+  const Counter counter = registry.GetCounter("d.counter");
+  const Gauge gauge = registry.GetGauge("d.gauge");
+  const Histogram hist = registry.GetHistogram("d.hist");
+  counter.Inc(10);
+  gauge.Set(5);
+  hist.Observe(8);
+  const MetricsSnapshot base = registry.Snapshot();
+
+  counter.Inc(3);
+  gauge.Set(9);
+  hist.Observe(8);
+  hist.Observe(2);
+  const MetricsSnapshot delta = registry.Snapshot().DeltaSince(base);
+
+  // Counters and histogram count/sum subtract; gauges stay last-written.
+  EXPECT_EQ(*delta.FindCounter("d.counter"), 3u);
+  EXPECT_EQ(*delta.FindGauge("d.gauge"), 9u);
+  ASSERT_EQ(delta.histograms.size(), 1u);
+  EXPECT_EQ(delta.histograms[0].second.count, 2u);
+  EXPECT_EQ(delta.histograms[0].second.sum, 10u);
+}
+
+TEST(SnapshotTest, DeltaSincePassesThroughNewMetrics) {
+  MetricsRegistry registry;
+  registry.GetCounter("d.old").Inc(4);
+  const MetricsSnapshot base = registry.Snapshot();
+  registry.GetCounter("d.new").Inc(7);
+  const MetricsSnapshot delta = registry.Snapshot().DeltaSince(base);
+  EXPECT_EQ(*delta.FindCounter("d.old"), 0u);
+  // Registered after the base snapshot: the full value passes through.
+  EXPECT_EQ(*delta.FindCounter("d.new"), 7u);
+}
+
 TEST(RegistryTest, GlobalIsStable) {
   MetricsRegistry& a = MetricsRegistry::Global();
   MetricsRegistry& b = MetricsRegistry::Global();

@@ -1,0 +1,110 @@
+// Prometheus text exposition (format 0.0.4) of a MetricsSnapshot: name
+// sanitization, per-type TYPE lines, and the cumulative histogram encoding
+// with its +Inf/_sum/_count tail. This is the payload `ppm mine
+// --metrics-prom` writes and a future scrape endpoint would serve, so the
+// format details are pinned here.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ppm::obs {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(PrometheusTest, CounterRendersTypeLineAndSample) {
+  MetricsRegistry registry;
+  registry.GetCounter("ppm.scan.db_passes").Inc(2);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_TRUE(Contains(text, "# TYPE ppm_scan_db_passes counter\n")) << text;
+  EXPECT_TRUE(Contains(text, "ppm_scan_db_passes 2\n")) << text;
+  // The dotted library name must not leak through unsanitized.
+  EXPECT_FALSE(Contains(text, "ppm.scan")) << text;
+}
+
+TEST(PrometheusTest, GaugeRendersGaugeType) {
+  MetricsRegistry registry;
+  registry.GetGauge("ppm.resource.rss_bytes").Set(4096);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_TRUE(Contains(text, "# TYPE ppm_resource_rss_bytes gauge\n")) << text;
+  EXPECT_TRUE(Contains(text, "ppm_resource_rss_bytes 4096\n")) << text;
+}
+
+TEST(PrometheusTest, InvalidCharactersMapToUnderscore) {
+  MetricsRegistry registry;
+  registry.GetCounter("weird-name.with space").Inc();
+  registry.GetCounter("9starts_with_digit").Inc();
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_TRUE(Contains(text, "weird_name_with_space 1\n")) << text;
+  // A leading digit is invalid in a Prometheus metric name.
+  EXPECT_TRUE(Contains(text, "_starts_with_digit 1\n")) << text;
+  EXPECT_FALSE(Contains(text, "\n9starts_with_digit")) << text;
+}
+
+TEST(PrometheusTest, HistogramRendersCumulativeBuckets) {
+  MetricsRegistry registry;
+  const Histogram hist = registry.GetHistogram("ppm.scan.pass_instants");
+  hist.Observe(0);  // bucket 0, le="0"
+  hist.Observe(1);  // bucket 1, le="1"
+  hist.Observe(5);  // bucket 3, le="7"
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_TRUE(Contains(text, "# TYPE ppm_scan_pass_instants histogram\n"))
+      << text;
+  // Cumulative counts: 1 value <= 0, 2 values <= 1, still 2 <= 3, 3 <= 7.
+  EXPECT_TRUE(
+      Contains(text, "ppm_scan_pass_instants_bucket{le=\"0\"} 1\n")) << text;
+  EXPECT_TRUE(
+      Contains(text, "ppm_scan_pass_instants_bucket{le=\"1\"} 2\n")) << text;
+  EXPECT_TRUE(
+      Contains(text, "ppm_scan_pass_instants_bucket{le=\"3\"} 2\n")) << text;
+  EXPECT_TRUE(
+      Contains(text, "ppm_scan_pass_instants_bucket{le=\"7\"} 3\n")) << text;
+  EXPECT_TRUE(
+      Contains(text, "ppm_scan_pass_instants_bucket{le=\"+Inf\"} 3\n")) << text;
+  EXPECT_TRUE(Contains(text, "ppm_scan_pass_instants_sum 6\n")) << text;
+  EXPECT_TRUE(Contains(text, "ppm_scan_pass_instants_count 3\n")) << text;
+  // Trailing empty buckets collapse into +Inf: no bucket line past le="7".
+  EXPECT_FALSE(Contains(text, "{le=\"15\"}")) << text;
+}
+
+TEST(PrometheusTest, PlusInfMatchesCountEvenWithEmptyTail) {
+  MetricsRegistry registry;
+  registry.GetHistogram("h").Observe(2);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_TRUE(Contains(text, "h_bucket{le=\"3\"} 1\n")) << text;
+  EXPECT_TRUE(Contains(text, "h_bucket{le=\"+Inf\"} 1\n")) << text;
+}
+
+TEST(PrometheusTest, RegistryMethodMatchesFreeFunction) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.b").Inc(7);
+  registry.GetGauge("c.d").Set(3);
+  registry.GetHistogram("e.f").Observe(10);
+  EXPECT_EQ(registry.RenderPrometheus(),
+            RenderPrometheus(registry.Snapshot()));
+}
+
+TEST(PrometheusTest, EmptySnapshotRendersEmptyString) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.RenderPrometheus(), "");
+  EXPECT_EQ(RenderPrometheus(MetricsSnapshot()), "");
+}
+
+TEST(PrometheusTest, OutputIsStableAcrossRenders) {
+  MetricsRegistry registry;
+  registry.GetCounter("z.last").Inc();
+  registry.GetCounter("a.first").Inc();
+  const std::string first = registry.RenderPrometheus();
+  const std::string second = registry.RenderPrometheus();
+  EXPECT_EQ(first, second);
+  // Snapshot ordering is by name, so a_first renders before z_last.
+  EXPECT_LT(first.find("a_first"), first.find("z_last"));
+}
+
+}  // namespace
+}  // namespace ppm::obs
