@@ -111,7 +111,8 @@ if [[ "$BENCH_GATE" == "1" ]]; then
   INJECT_DIR="$SMOKE_DIR/bench-inject"
   mkdir -p "$INJECT_DIR"
   cp "$BENCH_DIR"/BENCH_table1.json "$BENCH_DIR"/BENCH_fig2.json \
-     "$BENCH_DIR"/BENCH_parallel.json "$INJECT_DIR/"
+     "$BENCH_DIR"/BENCH_parallel.json "$BENCH_DIR"/BENCH_incremental.json \
+     "$INJECT_DIR/"
   PPM_BENCH_PROFILE=ci PPM_BENCH_INJECT_EXTRA_SCAN=1 \
     "$BUILD_DIR-bench/bench/bench_scan_io" \
     "$INJECT_DIR/BENCH_scan_io.json" > /dev/null
@@ -185,12 +186,61 @@ grep '^period=' "$SMOKE_DIR/stream-resumed.out" > "$SMOKE_DIR/resumed-m"
 diff "$SMOKE_DIR/ref-m" "$SMOKE_DIR/resumed-m"
 echo "crash-recovery smoke OK: kill at append 3500, resume matches reference"
 
+# Incremental-vs-batch smoke (docs/INCREMENTAL.md): mining a prefix, letting
+# the series grow, and resuming must report byte-identical pattern lines to
+# a one-shot stream over the final series -- and the catch-up must cost one
+# O(WAL-tail) wal_replay pass, never a rescan of the already-mined history.
+# The text codec interns features in first-appearance order, so a head-sliced
+# prefix of a .txt series is an exact prefix with compatible feature ids.
+"$PPM" generate --output "$SMOKE_DIR/grow.txt" \
+  --length 12000 --period 20 --seed 17
+head -n 8000 "$SMOKE_DIR/grow.txt" > "$SMOKE_DIR/grow-prefix.txt"
+"$PPM" stream --input "$SMOKE_DIR/grow.txt" --period 20 --min-conf 0.8 \
+  --window 100 --query-every 200 --checkpoint-dir "$SMOKE_DIR/oneshot-ckpt" \
+  --wal-fsync never > "$SMOKE_DIR/oneshot.out"
+grep -q '^query t=' "$SMOKE_DIR/oneshot.out"
+grep -q 'effective_m=100' "$SMOKE_DIR/oneshot.out"
+"$PPM" stream --input "$SMOKE_DIR/grow-prefix.txt" --period 20 \
+  --min-conf 0.8 --window 100 --checkpoint-dir "$SMOKE_DIR/incr-ckpt" \
+  --wal-fsync never > /dev/null
+"$PPM" stream --input "$SMOKE_DIR/grow.txt" --period 20 --min-conf 0.8 \
+  --window 100 --checkpoint-dir "$SMOKE_DIR/incr-ckpt" --wal-fsync never \
+  --resume --stats-json "$SMOKE_DIR/incr-stats.json" > "$SMOKE_DIR/incr.out"
+grep '^  count=' "$SMOKE_DIR/oneshot.out" > "$SMOKE_DIR/oneshot-patterns"
+grep '^  count=' "$SMOKE_DIR/incr.out" > "$SMOKE_DIR/incr-patterns"
+diff "$SMOKE_DIR/oneshot-patterns" "$SMOKE_DIR/incr-patterns"
+grep '^period=' "$SMOKE_DIR/oneshot.out" > "$SMOKE_DIR/oneshot-m"
+grep '^period=' "$SMOKE_DIR/incr.out" > "$SMOKE_DIR/incr-m"
+diff "$SMOKE_DIR/oneshot-m" "$SMOKE_DIR/incr-m"
+python3 - "$SMOKE_DIR/incr-stats.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    stats = json.load(f)
+meta = stats["meta"]
+assert meta["resumed"] == "true", meta
+assert int(meta["window"]) == 100, meta
+assert int(meta["effective_segments"]) == 100, meta
+counters = stats["metrics"]["counters"]
+# Catching up a resumed stream is exactly one database pass -- the WAL tail
+# replay -- and it scans only the records past the checkpoint cursor, never
+# the 8000-instant history (docs/INCREMENTAL.md "Query cost").
+assert counters["ppm.scan.db_passes"] == 1, counters
+assert counters["ppm.scan.passes.wal_replay"] == 1, counters
+replayed = int(meta["recovery.wal_records_replayed"])
+assert counters["ppm.scan.instants_scanned"] == replayed, counters
+assert replayed < 8000, replayed
+print("smoke OK: incremental resume matches one-shot stream, O(tail) catch-up")
+EOF
+echo "incremental smoke OK: resumed stream == one-shot stream"
+
 # Sanitizer matrix: the parallel miners, thread pool, streaming layer, and
 # the corruption/fault-injection harnesses under TSan (data races), ASan
 # (memory errors), and UBSan (undefined behaviour). Only the tests that
 # exercise threads, tricky memory, or hostile bytes are run -- a full suite
 # per sanitizer would triple CI time for no extra coverage.
-SANITIZER_TESTS='util_thread_pool_test|parallel_mine_test|differential_test|determinism_test|boundary_test|stream_test|tsdb_corruption_test|tsdb_fault_injection_test|fault_tolerance_test|tsdb_wal_test|stream_checkpoint_test|cli_stream_test'
+SANITIZER_TESTS='util_thread_pool_test|parallel_mine_test|differential_test|determinism_test|boundary_test|stream_test|tsdb_corruption_test|tsdb_fault_injection_test|fault_tolerance_test|tsdb_wal_test|stream_checkpoint_test|incremental_equivalence_test|cli_stream_test'
 if [[ "$SANITIZERS" == "1" ]]; then
   for sanitizer in thread address undefined; do
     SAN_DIR="$BUILD_DIR-$sanitizer"

@@ -30,7 +30,7 @@ import re
 import sys
 from pathlib import Path
 
-CANONICAL = ["table1", "fig2", "parallel", "scan_io"]
+CANONICAL = ["table1", "fig2", "parallel", "scan_io", "incremental"]
 
 # Row fields whose change is always a regression.
 EXACT_RE = re.compile(

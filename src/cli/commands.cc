@@ -24,6 +24,7 @@
 #include "obs/trace.h"
 #include "rules/rules.h"
 #include "stream/checkpoint.h"
+#include "stream/continuous_miner.h"
 #include "stream/streaming_miner.h"
 #include "synth/generator.h"
 #include "tsdb/database.h"
@@ -580,6 +581,11 @@ Status RunStreamImpl(const ArgMap& args, std::ostream& out) {
                        args.GetUint("checkpoint-every", 64));
   PPM_ASSIGN_OR_RETURN(const uint64_t drift_window,
                        args.GetUint("drift-window", 0));
+  PPM_ASSIGN_OR_RETURN(const uint64_t window, args.GetUint("window", 0));
+  PPM_ASSIGN_OR_RETURN(const uint64_t query_every,
+                       args.GetUint("query-every", 0));
+  PPM_ASSIGN_OR_RETURN(const uint64_t compact_every,
+                       args.GetUint("compact-every", 0));
 
   const std::string dir = args.GetString("checkpoint-dir", "");
   if (dir.empty()) {
@@ -617,14 +623,16 @@ Status RunStreamImpl(const ArgMap& args, std::ostream& out) {
   obs::Tracer::Global().Clear();
 
   const Interrupt interrupt = options.interrupt();
-  std::unique_ptr<stream::StreamingMiner> miner;
+  std::unique_ptr<stream::ContinuousMiner> miner;
   std::unique_ptr<tsdb::WalWriter> wal;
   tsdb::WalReplayInfo replay;
   const bool resumed = args.Has("resume");
 
   if (resumed) {
-    PPM_ASSIGN_OR_RETURN(stream::RecoveredStream recovered,
-                         stream::RecoverStream(dir, options));
+    PPM_ASSIGN_OR_RETURN(
+        stream::RecoveredContinuousStream recovered,
+        stream::RecoverContinuousStream(dir, options,
+                                        static_cast<uint32_t>(compact_every)));
     // Feature ids in the checkpoint and WAL index into the input's symbol
     // table, so the input must still intern the same names in the same
     // order (growing it with new features is fine).
@@ -647,6 +655,16 @@ Status RunStreamImpl(const ArgMap& args, std::ostream& out) {
           "--period " + std::to_string(options.period) +
           " disagrees with the checkpoint's period " +
           std::to_string(recovered.miner->options().period));
+    }
+    // Like --period, the pattern window is part of the stream's identity:
+    // the checkpoint's value wins, and a contradicting flag is an error
+    // rather than a silent semantic change.
+    if (args.Has("window") &&
+        window != recovered.miner->window_segments()) {
+      return Status::InvalidArgument(
+          "--window " + std::to_string(window) +
+          " disagrees with the checkpoint's window of " +
+          std::to_string(recovered.miner->window_segments()) + " segments");
     }
     if (series.length() < recovered.miner->instants_seen()) {
       return Status::InvalidArgument(
@@ -673,9 +691,12 @@ Status RunStreamImpl(const ArgMap& args, std::ostream& out) {
     tsdb::TimeSeries prefix;
     prefix.symbols() = series.symbols();
     for (uint64_t t = 0; t < prefix_len; ++t) prefix.Append(series.at(t));
-    PPM_ASSIGN_OR_RETURN(
-        miner, stream::StreamingMiner::SeedFromPrefix(
-                   options, prefix, static_cast<uint32_t>(drift_window)));
+    stream::ContinuousOptions continuous;
+    continuous.drift_window = static_cast<uint32_t>(drift_window);
+    continuous.window_segments = static_cast<uint32_t>(window);
+    continuous.compact_every = static_cast<uint32_t>(compact_every);
+    PPM_ASSIGN_OR_RETURN(miner, stream::ContinuousMiner::SeedFromPrefix(
+                                    options, prefix, continuous));
     // The WAL mirrors the whole stream from instant 0 (record seq ==
     // instant index), so log the seed prefix before the first checkpoint
     // covers it: the checkpoint must never be ahead of the durable WAL.
@@ -690,6 +711,8 @@ Status RunStreamImpl(const ArgMap& args, std::ostream& out) {
   PPM_RETURN_IF_INTERRUPTED(interrupt);
   const uint32_t period = miner->options().period;
   uint64_t last_checkpoint = miner->segments_committed();
+  uint64_t last_query = miner->segments_committed();
+  uint64_t queries = 0;
   for (uint64_t t = miner->instants_seen(); t < series.length(); ++t) {
     PPM_RETURN_IF_ERROR(wal->Append(series.at(t)));
     miner->Append(series.at(t));
@@ -700,6 +723,18 @@ Status RunStreamImpl(const ArgMap& args, std::ostream& out) {
         PPM_RETURN_IF_ERROR(
             stream::CheckpointStream(*miner, *wal, series.symbols(), dir));
         last_checkpoint = miner->segments_committed();
+      }
+      // Live queries against the running stream: each one derives from the
+      // hit store alone, so its cost is independent of how much history
+      // has been appended (the whole point of continuous mining).
+      if (query_every != 0 &&
+          miner->segments_committed() - last_query >= query_every) {
+        const MiningResult live = miner->Snapshot();
+        out << "query t=" << miner->instants_seen()
+            << " m=" << miner->effective_segments()
+            << " patterns=" << live.size() << "\n";
+        last_query = miner->segments_committed();
+        ++queries;
       }
     }
   }
@@ -717,8 +752,13 @@ Status RunStreamImpl(const ArgMap& args, std::ostream& out) {
     }
     out << "\n";
   }
-  out << "period=" << period << " m=" << miner->segments_committed()
-      << " patterns=" << result.size() << "\n";
+  out << "period=" << period << " m=" << miner->segments_committed();
+  if (miner->window_segments() > 0) {
+    // Windowed confidences divide by the retained segments, not lifetime m.
+    out << " effective_m=" << miner->effective_segments()
+        << " evicted=" << miner->segments_evicted();
+  }
+  out << " patterns=" << result.size() << "\n";
   PrintPatterns(result.patterns(), series.symbols(), top, out);
   const std::vector<Letter> drifted = miner->DriftedLetters();
   if (!drifted.empty()) {
@@ -734,6 +774,10 @@ Status RunStreamImpl(const ArgMap& args, std::ostream& out) {
     report.AddMeta("instants", miner->instants_seen());
     report.AddMeta("segments", miner->segments_committed());
     report.AddMeta("patterns", static_cast<uint64_t>(result.size()));
+    report.AddMeta("window", static_cast<uint64_t>(miner->window_segments()));
+    report.AddMeta("effective_segments", miner->effective_segments());
+    report.AddMeta("segments_evicted", miner->segments_evicted());
+    report.AddMeta("queries", queries);
     report.AddMeta("resumed", resumed ? "true" : "false");
     if (resumed) {
       report.AddMeta("recovery.wal_records_replayed",
@@ -757,8 +801,9 @@ Status RunStreamImpl(const ArgMap& args, std::ostream& out) {
 Status RunStream(const ArgMap& args, std::ostream& out) {
   PPM_RETURN_IF_ERROR(args.CheckAllowed(
       {"input", "period", "min-conf", "min-count", "max-letters",
-       "seed-prefix", "drift-window", "checkpoint-dir", "checkpoint-every",
-       "wal-fsync", "resume", "top", "stats-json", "deadline-ms",
+       "seed-prefix", "drift-window", "window", "query-every",
+       "compact-every", "checkpoint-dir", "checkpoint-every", "wal-fsync",
+       "resume", "top", "stats-json", "deadline-ms",
        "crash-after-appends"}));
   const Status status = RunStreamImpl(args, out);
   if (!status.ok() && args.Has("stats-json")) {
@@ -862,8 +907,9 @@ std::string UsageText() {
       "  stream    crash-safe incremental mining: --input F --period N\n"
       "            --checkpoint-dir D [--checkpoint-every SEGMENTS]\n"
       "            [--wal-fsync always|never] [--resume] [--seed-prefix N]\n"
-      "            [--drift-window SEGMENTS] [--min-conf 0.8] [--top N]\n"
-      "            [--stats-json REPORT_FILE]\n"
+      "            [--drift-window SEGMENTS] [--window SEGMENTS]\n"
+      "            [--query-every SEGMENTS] [--compact-every SEGMENTS]\n"
+      "            [--min-conf 0.8] [--top N] [--stats-json REPORT_FILE]\n"
       "\n"
       "global flags (any command):\n"
       "  --log-level debug|info|warn|error|off   diagnostic verbosity\n"

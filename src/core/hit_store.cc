@@ -1,6 +1,16 @@
 #include "core/hit_store.h"
 
+#include "util/check.h"
+
 namespace ppm {
+
+void HashHitStore::RemoveHits(const Bitset& mask, uint64_t count) {
+  if (count == 0) return;
+  const auto it = counts_.find(mask);
+  PPM_CHECK(it != counts_.end() && it->second >= count);
+  it->second -= count;
+  if (it->second == 0) counts_.erase(it);
+}
 
 HashHitStore::HashHitStore()
     : probes_counter_(obs::MetricsRegistry::Global().GetCounter(

@@ -33,6 +33,12 @@ class HitStore {
   /// No-op when `count` is zero.
   virtual void AddHits(const Bitset& mask, uint64_t count) = 0;
 
+  /// Withdraws `count` previously registered hits of `mask` -- the sliding
+  /// window's eviction of an expired segment's contribution. The store must
+  /// currently hold at least `count` hits of exactly `mask`; evicting a
+  /// never-added mask is a caller bug (checked). No-op when `count` is zero.
+  virtual void RemoveHits(const Bitset& mask, uint64_t count) = 0;
+
   /// Invokes `fn(mask, count)` for every distinct stored max-subpattern
   /// with a nonzero count.
   virtual void ForEachHit(
@@ -77,6 +83,9 @@ class TreeHitStore : public HitStore {
   void AddHits(const Bitset& mask, uint64_t count) override {
     tree_.Insert(mask, count);
   }
+  void RemoveHits(const Bitset& mask, uint64_t count) override {
+    tree_.Remove(mask, count);
+  }
   void ForEachHit(const std::function<void(const Bitset&, uint64_t)>& fn)
       const override {
     tree_.ForEachNode([&fn](const Bitset& mask, uint64_t count) {
@@ -108,6 +117,7 @@ class HashHitStore : public HitStore {
   void AddHits(const Bitset& mask, uint64_t count) override {
     if (count > 0) counts_[mask] += count;
   }
+  void RemoveHits(const Bitset& mask, uint64_t count) override;
   void ForEachHit(const std::function<void(const Bitset&, uint64_t)>& fn)
       const override {
     for (const auto& [mask, count] : counts_) fn(mask, count);

@@ -68,6 +68,27 @@ void MaxSubpatternTree::Insert(const Bitset& mask, uint64_t count) {
   total_hit_count_ += count;
 }
 
+void MaxSubpatternTree::Remove(const Bitset& mask, uint64_t count) {
+  if (count == 0) return;
+  PPM_CHECK(mask.IsSubsetOf(nodes_[0].mask));
+
+  Bitset missing = nodes_[0].mask;
+  missing.SubtractWith(mask);
+
+  uint32_t current = 0;  // root
+  for (uint32_t letter = missing.FindFirst(); letter != Bitset::kNoBit;
+       letter = missing.FindNext(letter + 1)) {
+    const uint32_t child = FindChild(nodes_[current], letter);
+    PPM_CHECK(child != kNoNode);
+    current = child;
+  }
+
+  PPM_CHECK(nodes_[current].count >= count);
+  nodes_[current].count -= count;
+  if (nodes_[current].count == 0) --num_hits_;
+  total_hit_count_ -= count;
+}
+
 uint64_t MaxSubpatternTree::CountSuperpatterns(const Bitset& mask) const {
   return CountFrom(0, mask);
 }

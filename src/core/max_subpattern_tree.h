@@ -45,6 +45,14 @@ class MaxSubpatternTree {
   /// when merging per-worker shard trees; a no-op when `count` is zero.
   void Insert(const Bitset& mask, uint64_t count);
 
+  /// Withdraws `count` previously inserted hits of `mask` (the sliding
+  /// window's segment eviction). The node must exist and hold at least
+  /// `count` hits -- removing a mask that was never inserted is a caller
+  /// bug, checked. Interior nodes whose counts drop to zero stay allocated
+  /// (they may still sit on other hits' paths); `ForEachNode` consumers
+  /// already skip zero-count nodes, and a compaction rebuild reclaims them.
+  void Remove(const Bitset& mask, uint64_t count);
+
   /// Total hit count of all stored nodes whose mask is a superset of
   /// `mask` -- the derived frequency count of the pattern `mask` denotes.
   uint64_t CountSuperpatterns(const Bitset& mask) const;

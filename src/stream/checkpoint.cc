@@ -82,7 +82,7 @@ class Cursor {
 };
 
 std::string EncodeState(const CheckpointData& data) {
-  const StreamingMinerState& state = data.state;
+  const StreamingMinerState& state = data.state.core;
   std::string out;
   AppendU32(&out, kCheckpointVersion);
   AppendU32(&out, data.period);
@@ -94,6 +94,7 @@ std::string EncodeState(const CheckpointData& data) {
   AppendU32(&out, data.max_letters);
   AppendU32(&out, static_cast<uint32_t>(data.hit_store));
   AppendU32(&out, state.drift_window);
+  AppendU32(&out, data.state.window_segments);  // v2
   AppendU64(&out, state.instants_seen);
   AppendU64(&out, state.segments_committed);
   AppendU32(&out, static_cast<uint32_t>(data.symbols.size()));
@@ -130,6 +131,13 @@ std::string EncodeState(const CheckpointData& data) {
     AppendU32(&out, letter.position);
     AppendU32(&out, letter.feature);
   }
+  // v2: the retained window masks, oldest first, right before the hits so
+  // a decoder can cross-check both against each other.
+  AppendU32(&out, static_cast<uint32_t>(data.state.window_masks.size()));
+  for (const std::vector<uint32_t>& mask : data.state.window_masks) {
+    AppendU32(&out, static_cast<uint32_t>(mask.size()));
+    for (const uint32_t index : mask) AppendU32(&out, index);
+  }
   AppendU64(&out, static_cast<uint64_t>(state.hits.size()));
   for (const auto& [mask_bits, count] : state.hits) {
     AppendU32(&out, static_cast<uint32_t>(mask_bits.size()));
@@ -147,7 +155,10 @@ Result<CheckpointData> DecodeState(const std::string& block) {
   CheckpointData data;
   uint32_t version = 0;
   if (!cursor.ReadU32(&version)) return corrupt("truncated version");
-  if (version != kCheckpointVersion) {
+  // Version 1 predates the sliding window: identical layout minus the
+  // `window_segments` field and the window-mask array, and decodes as
+  // whole-history state.
+  if (version != 1 && version != kCheckpointVersion) {
     return corrupt("unsupported version " + std::to_string(version));
   }
   uint64_t conf_bits = 0;
@@ -164,9 +175,14 @@ Result<CheckpointData> DecodeState(const std::string& block) {
   if (hit_store > 1) return corrupt("unknown hit store kind");
   data.hit_store = static_cast<HitStoreKind>(hit_store);
 
-  StreamingMinerState& state = data.state;
-  if (!cursor.ReadU32(&state.drift_window) ||
-      !cursor.ReadU64(&state.instants_seen) ||
+  StreamingMinerState& state = data.state.core;
+  if (!cursor.ReadU32(&state.drift_window)) {
+    return corrupt("truncated cursor state");
+  }
+  if (version >= 2 && !cursor.ReadU32(&data.state.window_segments)) {
+    return corrupt("truncated window size");
+  }
+  if (!cursor.ReadU64(&state.instants_seen) ||
       !cursor.ReadU64(&state.segments_committed)) {
     return corrupt("truncated cursor state");
   }
@@ -273,6 +289,31 @@ Result<CheckpointData> DecodeState(const std::string& block) {
     state.pending_other.push_back(letter);
   }
 
+  if (version >= 2) {
+    uint32_t num_masks = 0;
+    if (!cursor.ReadU32(&num_masks)) {
+      return corrupt("truncated window mask count");
+    }
+    if (cursor.remaining() / 4 < num_masks) {
+      return corrupt("implausible window mask count");
+    }
+    data.state.window_masks.resize(num_masks);
+    for (uint32_t w = 0; w < num_masks; ++w) {
+      uint32_t bits = 0;
+      if (!cursor.ReadU32(&bits)) return corrupt("truncated window mask");
+      if (cursor.remaining() / 4 < bits) {
+        return corrupt("truncated window mask");
+      }
+      auto& mask = data.state.window_masks[w];
+      mask.reserve(bits);
+      for (uint32_t i = 0; i < bits; ++i) {
+        uint32_t index = 0;
+        cursor.ReadU32(&index);
+        mask.push_back(index);
+      }
+    }
+  }
+
   uint64_t num_hits = 0;
   if (!cursor.ReadU64(&num_hits)) return corrupt("truncated hit count");
   if (cursor.remaining() / 12 < num_hits) return corrupt("implausible hit count");
@@ -326,27 +367,7 @@ Result<std::string> ReadCheckpointBytes(const std::string& path) {
   return buffer.str();
 }
 
-}  // namespace
-
-std::string CheckpointPath(const std::string& dir) {
-  return dir + "/checkpoint.ppmckp";
-}
-
-std::string WalPath(const std::string& dir) { return dir + "/wal.ppmwal"; }
-
-Status WriteCheckpoint(const StreamingMiner& miner,
-                       const tsdb::SymbolTable& symbols,
-                       const std::string& dir) {
-  CheckpointData data;
-  const MiningOptions& options = miner.options();
-  data.period = options.period;
-  data.min_confidence = options.min_confidence;
-  data.min_count = options.min_count;
-  data.max_letters = options.max_letters;
-  data.hit_store = options.hit_store;
-  data.symbols = symbols.names();
-  data.state = miner.ExportState();
-
+Status WriteCheckpointData(const CheckpointData& data, const std::string& dir) {
   const std::string block = EncodeState(data);
   std::string bytes;
   bytes.reserve(sizeof(kCheckpointMagic) + 12 + block.size());
@@ -365,6 +386,83 @@ Status WriteCheckpoint(const StreamingMiner& miner,
   metrics.GetCounter("ppm.stream.checkpoint.writes").Inc();
   metrics.GetCounter("ppm.stream.checkpoint.bytes").Inc(bytes.size());
   return Status::OK();
+}
+
+CheckpointData ConfigOf(const MiningOptions& options,
+                        const tsdb::SymbolTable& symbols) {
+  CheckpointData data;
+  data.period = options.period;
+  data.min_confidence = options.min_confidence;
+  data.min_count = options.min_count;
+  data.max_letters = options.max_letters;
+  data.hit_store = options.hit_store;
+  data.symbols = symbols.names();
+  return data;
+}
+
+/// The shared recovery tail: replay every WAL record at or past the
+/// checkpoint's instant cursor into `miner`. Works for either miner type
+/// (both expose `Append` and `instants_seen`).
+template <typename Miner>
+Result<tsdb::WalReplayInfo> ReplayWalTail(const std::string& dir,
+                                          Miner& miner) {
+  const uint64_t checkpoint_instants = miner.instants_seen();
+  auto replayed = tsdb::ReplayWal(
+      WalPath(dir), checkpoint_instants,
+      [&miner](uint64_t, const tsdb::FeatureSet& instant) {
+        miner.Append(instant);
+        return Status::OK();
+      });
+  if (!replayed.ok()) {
+    if (replayed.status().code() == StatusCode::kNotFound) {
+      if (checkpoint_instants > 0) {
+        // The protocol syncs the WAL before every checkpoint; a checkpoint
+        // with history but no log means the log was lost.
+        return Status::Corruption("checkpoint covers " +
+                                  std::to_string(checkpoint_instants) +
+                                  " instants but the WAL is missing");
+      }
+      return tsdb::WalReplayInfo{};  // Fresh directory: nothing logged yet.
+    }
+    return replayed.status();
+  }
+  if (replayed->next_seq < checkpoint_instants) {
+    return Status::Corruption(
+        "checkpoint ahead of the durable WAL: checkpoint covers " +
+        std::to_string(checkpoint_instants) + " instants, WAL holds " +
+        std::to_string(replayed->next_seq));
+  }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("ppm.stream.recovery.wal_records_replayed")
+      .Inc(replayed->records_delivered);
+  if (replayed->torn_tail) {
+    metrics.GetCounter("ppm.stream.recovery.torn_tails").Inc();
+  }
+  return *replayed;
+}
+
+}  // namespace
+
+std::string CheckpointPath(const std::string& dir) {
+  return dir + "/checkpoint.ppmckp";
+}
+
+std::string WalPath(const std::string& dir) { return dir + "/wal.ppmwal"; }
+
+Status WriteCheckpoint(const ContinuousMiner& miner,
+                       const tsdb::SymbolTable& symbols,
+                       const std::string& dir) {
+  CheckpointData data = ConfigOf(miner.options(), symbols);
+  data.state = miner.ExportState();
+  return WriteCheckpointData(data, dir);
+}
+
+Status WriteCheckpoint(const StreamingMiner& miner,
+                       const tsdb::SymbolTable& symbols,
+                       const std::string& dir) {
+  CheckpointData data = ConfigOf(miner.options(), symbols);
+  data.state.core = miner.ExportState();
+  return WriteCheckpointData(data, dir);
 }
 
 Result<CheckpointData> ReadCheckpoint(const std::string& path) {
@@ -393,8 +491,9 @@ Result<CheckpointData> ReadCheckpoint(const std::string& path) {
   return DecodeState(bytes.substr(block_offset));
 }
 
-Result<std::unique_ptr<StreamingMiner>> RestoreMiner(
-    const CheckpointData& data, const MiningOptions& runtime) {
+Result<std::unique_ptr<ContinuousMiner>> RestoreContinuousMiner(
+    const CheckpointData& data, const MiningOptions& runtime,
+    uint32_t compact_every) {
   MiningOptions options = runtime;
   options.period = data.period;
   options.min_confidence = data.min_confidence;
@@ -404,60 +503,69 @@ Result<std::unique_ptr<StreamingMiner>> RestoreMiner(
   // The restored miner is a single-threaded consumer; parallel knobs from
   // the runtime options don't apply to streaming appends.
   options.num_threads = 1;
-  return StreamingMiner::Restore(options, data.state);
+  return ContinuousMiner::Restore(options, data.state, compact_every);
+}
+
+Result<std::unique_ptr<StreamingMiner>> RestoreMiner(
+    const CheckpointData& data, const MiningOptions& runtime) {
+  if (data.state.window_segments != 0) {
+    return Status::Corruption(
+        "checkpoint carries a pattern window of " +
+        std::to_string(data.state.window_segments) +
+        " segments; resume it as a continuous stream");
+  }
+  MiningOptions options = runtime;
+  options.period = data.period;
+  options.min_confidence = data.min_confidence;
+  options.min_count = data.min_count;
+  options.max_letters = data.max_letters;
+  options.hit_store = data.hit_store;
+  options.num_threads = 1;
+  return StreamingMiner::Restore(options, data.state.core);
+}
+
+Result<RecoveredContinuousStream> RecoverContinuousStream(
+    const std::string& dir, const MiningOptions& runtime,
+    uint32_t compact_every) {
+  obs::MetricsRegistry::Global()
+      .GetCounter("ppm.stream.recovery.attempts")
+      .Inc();
+  PPM_ASSIGN_OR_RETURN(const CheckpointData data,
+                       ReadCheckpoint(CheckpointPath(dir)));
+  RecoveredContinuousStream recovered;
+  recovered.symbols = data.symbols;
+  PPM_ASSIGN_OR_RETURN(recovered.miner,
+                       RestoreContinuousMiner(data, runtime, compact_every));
+  PPM_ASSIGN_OR_RETURN(recovered.wal, ReplayWalTail(dir, *recovered.miner));
+  return recovered;
 }
 
 Result<RecoveredStream> RecoverStream(const std::string& dir,
                                       const MiningOptions& runtime) {
-  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
-  metrics.GetCounter("ppm.stream.recovery.attempts").Inc();
+  obs::MetricsRegistry::Global()
+      .GetCounter("ppm.stream.recovery.attempts")
+      .Inc();
   PPM_ASSIGN_OR_RETURN(const CheckpointData data,
                        ReadCheckpoint(CheckpointPath(dir)));
   RecoveredStream recovered;
   recovered.symbols = data.symbols;
   PPM_ASSIGN_OR_RETURN(recovered.miner, RestoreMiner(data, runtime));
-
-  StreamingMiner& miner = *recovered.miner;
-  const uint64_t checkpoint_instants = miner.instants_seen();
-  auto replayed = tsdb::ReplayWal(
-      WalPath(dir), checkpoint_instants,
-      [&miner](uint64_t, const tsdb::FeatureSet& instant) {
-        miner.Append(instant);
-        return Status::OK();
-      });
-  if (!replayed.ok()) {
-    if (replayed.status().code() == StatusCode::kNotFound) {
-      if (checkpoint_instants > 0) {
-        // The protocol syncs the WAL before every checkpoint; a checkpoint
-        // with history but no log means the log was lost.
-        return Status::Corruption("checkpoint covers " +
-                                  std::to_string(checkpoint_instants) +
-                                  " instants but the WAL is missing");
-      }
-      return recovered;  // Fresh directory: nothing logged yet.
-    }
-    return replayed.status();
-  }
-  if (replayed->next_seq < checkpoint_instants) {
-    return Status::Corruption(
-        "checkpoint ahead of the durable WAL: checkpoint covers " +
-        std::to_string(checkpoint_instants) + " instants, WAL holds " +
-        std::to_string(replayed->next_seq));
-  }
-  recovered.wal = *replayed;
-  metrics.GetCounter("ppm.stream.recovery.wal_records_replayed")
-      .Inc(replayed->records_delivered);
-  if (replayed->torn_tail) {
-    metrics.GetCounter("ppm.stream.recovery.torn_tails").Inc();
-  }
+  PPM_ASSIGN_OR_RETURN(recovered.wal, ReplayWalTail(dir, *recovered.miner));
   return recovered;
+}
+
+Status CheckpointStream(const ContinuousMiner& miner, tsdb::WalWriter& wal,
+                        const tsdb::SymbolTable& symbols,
+                        const std::string& dir) {
+  // WAL first: the checkpoint must never claim instants the log could
+  // still lose (recovery treats that as corruption).
+  PPM_RETURN_IF_ERROR(wal.Sync());
+  return WriteCheckpoint(miner, symbols, dir);
 }
 
 Status CheckpointStream(const StreamingMiner& miner, tsdb::WalWriter& wal,
                         const tsdb::SymbolTable& symbols,
                         const std::string& dir) {
-  // WAL first: the checkpoint must never claim instants the log could
-  // still lose (recovery treats that as corruption).
   PPM_RETURN_IF_ERROR(wal.Sync());
   return WriteCheckpoint(miner, symbols, dir);
 }

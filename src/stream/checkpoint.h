@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "stream/continuous_miner.h"
 #include "stream/streaming_miner.h"
 #include "tsdb/symbol_table.h"
 #include "tsdb/wal.h"
@@ -13,8 +14,9 @@
 
 namespace ppm::stream {
 
-/// Versioned, CRC-framed checkpoint of a `StreamingMiner`, the other half
-/// of crash-safe streaming (docs/ROBUSTNESS.md "Crash recovery"):
+/// Versioned, CRC-framed checkpoint of a continuous (or streaming) miner,
+/// the other half of crash-safe streaming (docs/ROBUSTNESS.md "Crash
+/// recovery"):
 ///
 ///   magic        8 bytes   "PPMCKP1\n"
 ///   state_len    u64       bytes in the state block
@@ -29,8 +31,10 @@ namespace ppm::stream {
 inline constexpr char kCheckpointMagic[8] = {'P', 'P', 'M', 'C',
                                              'K', 'P', '1', '\n'};
 
-/// Current state-block version.
-inline constexpr uint32_t kCheckpointVersion = 1;
+/// Current state-block version. Version 2 added the sliding-window
+/// eviction state (`window_segments` + retained segment masks); version-1
+/// blocks are still read, decoding as whole-history (no window) state.
+inline constexpr uint32_t kCheckpointVersion = 2;
 
 /// Canonical file names inside a checkpoint directory.
 std::string CheckpointPath(const std::string& dir);
@@ -38,7 +42,8 @@ std::string WalPath(const std::string& dir);
 
 /// Everything a checkpoint file stores: the mining configuration the
 /// stream was started with, the symbol names interned so far, and the full
-/// miner state.
+/// miner state (the continuous state; a `StreamingMiner` checkpoint is the
+/// window-less case, `state.core` alone).
 struct CheckpointData {
   uint32_t period = 0;
   double min_confidence = 0.0;
@@ -46,11 +51,14 @@ struct CheckpointData {
   uint32_t max_letters = 0;
   HitStoreKind hit_store = HitStoreKind::kMaxSubpatternTree;
   std::vector<std::string> symbols;
-  StreamingMinerState state;
+  ContinuousMinerState state;
 };
 
 /// Serializes `miner` + `symbols` and atomically replaces the checkpoint
 /// in `dir`. On any failure the previous checkpoint is untouched.
+Status WriteCheckpoint(const ContinuousMiner& miner,
+                       const tsdb::SymbolTable& symbols,
+                       const std::string& dir);
 Status WriteCheckpoint(const StreamingMiner& miner,
                        const tsdb::SymbolTable& symbols,
                        const std::string& dir);
@@ -59,15 +67,30 @@ Status WriteCheckpoint(const StreamingMiner& miner,
 /// any framing, CRC, bounds, or trailing-byte problem is `kCorruption`.
 Result<CheckpointData> ReadCheckpoint(const std::string& path);
 
-/// Rebuilds a miner from checkpoint data. `runtime` supplies the
-/// non-serialized runtime knobs (cancellation, deadline, budget); the
-/// serialized configuration wins for period, thresholds, and hit store so
-/// a resumed stream mines exactly like the original.
+/// Rebuilds a continuous miner from checkpoint data. `runtime` supplies
+/// the non-serialized runtime knobs (cancellation, deadline, budget, and
+/// the compaction cadence); the serialized configuration wins for period,
+/// thresholds, hit store, and window so a resumed stream mines exactly
+/// like the original.
+Result<std::unique_ptr<ContinuousMiner>> RestoreContinuousMiner(
+    const CheckpointData& data, const MiningOptions& runtime,
+    uint32_t compact_every = 0);
+
+/// Whole-history facade of `RestoreContinuousMiner`: rejects checkpoints
+/// that carry a pattern window (`kCorruption` -- a windowed stream cannot
+/// be resumed as a `StreamingMiner` without silently changing results).
 Result<std::unique_ptr<StreamingMiner>> RestoreMiner(
     const CheckpointData& data, const MiningOptions& runtime);
 
-/// Result of `RecoverStream`: the restored-and-caught-up miner, the symbol
-/// names at checkpoint time, and what the WAL replay found.
+/// Result of `RecoverContinuousStream`: the restored-and-caught-up miner,
+/// the symbol names at checkpoint time, and what the WAL replay found.
+struct RecoveredContinuousStream {
+  std::unique_ptr<ContinuousMiner> miner;
+  std::vector<std::string> symbols;
+  tsdb::WalReplayInfo wal;
+};
+
+/// Result of `RecoverStream` (whole-history facade).
 struct RecoveredStream {
   std::unique_ptr<StreamingMiner> miner;
   std::vector<std::string> symbols;
@@ -79,11 +102,17 @@ struct RecoveredStream {
 /// past the checkpoint's instant cursor) into it. `NotFound` when no
 /// checkpoint exists; a WAL missing or durably behind the checkpoint is
 /// `kCorruption` (the protocol syncs the WAL before every checkpoint).
+Result<RecoveredContinuousStream> RecoverContinuousStream(
+    const std::string& dir, const MiningOptions& runtime,
+    uint32_t compact_every = 0);
 Result<RecoveredStream> RecoverStream(const std::string& dir,
                                       const MiningOptions& runtime);
 
 /// The checkpoint barrier: syncs `wal` (so every instant the checkpoint
 /// covers is durable first) and then atomically writes the checkpoint.
+Status CheckpointStream(const ContinuousMiner& miner, tsdb::WalWriter& wal,
+                        const tsdb::SymbolTable& symbols,
+                        const std::string& dir);
 Status CheckpointStream(const StreamingMiner& miner, tsdb::WalWriter& wal,
                         const tsdb::SymbolTable& symbols,
                         const std::string& dir);

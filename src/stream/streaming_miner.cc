@@ -1,340 +1,85 @@
 #include "stream/streaming_miner.h"
 
-#include <algorithm>
-#include <limits>
-#include <map>
 #include <utility>
 
-#include "core/derivation.h"
-#include "obs/trace.h"
-#include "tsdb/series_source.h"
-#include "util/check.h"
+#include "stream/continuous_miner.h"
 
 namespace ppm::stream {
+
+namespace {
+
+/// All StreamingMiner entry points funnel into the continuous engine with
+/// no pattern window: the whole-history behaviour this class has always
+/// had is the window_segments == 0 case of `ContinuousMiner`.
+ContinuousOptions WholeHistory(uint32_t drift_window) {
+  ContinuousOptions continuous;
+  continuous.drift_window = drift_window;
+  return continuous;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<StreamingMiner>> StreamingMiner::Create(
     const MiningOptions& options, std::vector<Letter> seed_letters,
     uint32_t drift_window) {
-  // Period-vs-length is meaningless for an unbounded stream; validate the
-  // thresholds only.
-  PPM_RETURN_IF_ERROR(
-      options.Validate(std::numeric_limits<uint64_t>::max()));
-  for (const Letter& letter : seed_letters) {
-    if (letter.position >= options.period) {
-      return Status::InvalidArgument("seed letter position beyond period");
-    }
-  }
-  std::sort(seed_letters.begin(), seed_letters.end());
-  seed_letters.erase(std::unique(seed_letters.begin(), seed_letters.end()),
-                     seed_letters.end());
-  LetterSpace space(options.period, std::move(seed_letters));
-  return std::unique_ptr<StreamingMiner>(
-      new StreamingMiner(options, std::move(space), drift_window));
+  PPM_ASSIGN_OR_RETURN(
+      std::unique_ptr<ContinuousMiner> impl,
+      ContinuousMiner::Create(options, std::move(seed_letters),
+                              WholeHistory(drift_window)));
+  return std::unique_ptr<StreamingMiner>(new StreamingMiner(std::move(impl)));
 }
 
 Result<std::unique_ptr<StreamingMiner>> StreamingMiner::SeedFromPrefix(
     const MiningOptions& options, const tsdb::TimeSeries& prefix,
     uint32_t drift_window) {
-  tsdb::InMemorySeriesSource source(&prefix);
-  PPM_ASSIGN_OR_RETURN(const F1ScanResult f1, ScanForF1(source, options));
-  PPM_ASSIGN_OR_RETURN(std::unique_ptr<StreamingMiner> miner,
-                       Create(options, f1.space.letters(), drift_window));
-  for (const tsdb::FeatureSet& instant : prefix.instants()) {
-    miner->Append(instant);
-  }
-  return miner;
-}
-
-StreamingMinerState StreamingMiner::ExportState() const {
-  StreamingMinerState state;
-  state.drift_window = drift_window_;
-  state.letters = space_.letters();
-  state.seeded_counts = seeded_counts_;
-  state.other_counts.resize(options_.period);
-  for (uint32_t position = 0; position < options_.period; ++position) {
-    auto& row = state.other_counts[position];
-    row.assign(other_counts_[position].begin(), other_counts_[position].end());
-    std::sort(row.begin(), row.end());
-  }
-  state.window_history.assign(window_history_.begin(), window_history_.end());
-  state.pending_other = pending_other_;
-  state.segment_mask = segment_mask_.ToVector();
-  state.segment_position = segment_position_;
-  state.instants_seen = instants_seen_;
-  state.segments_committed = segments_committed_;
-  store_->ForEachHit([&state](const Bitset& mask, uint64_t count) {
-    state.hits.emplace_back(mask.ToVector(), count);
-  });
-  std::sort(state.hits.begin(), state.hits.end());
-  return state;
+  PPM_ASSIGN_OR_RETURN(std::unique_ptr<ContinuousMiner> impl,
+                       ContinuousMiner::SeedFromPrefix(
+                           options, prefix, WholeHistory(drift_window)));
+  return std::unique_ptr<StreamingMiner>(new StreamingMiner(std::move(impl)));
 }
 
 Result<std::unique_ptr<StreamingMiner>> StreamingMiner::Restore(
     const MiningOptions& options, const StreamingMinerState& state) {
-  // `Create` re-validates the letters; a rejection here means the state
-  // bytes are bad, not that the caller misconfigured anything.
-  auto created = Create(options, state.letters, state.drift_window);
-  if (!created.ok()) {
-    return Status::Corruption("checkpoint state rejected: " +
-                              created.status().ToString());
-  }
-  std::unique_ptr<StreamingMiner> miner = std::move(*created);
-  const LetterSpace& space = miner->space_;
-  const uint32_t period = options.period;
-  const auto corrupt = [](const std::string& what) {
-    return Status::Corruption("checkpoint state invalid: " + what);
-  };
-  if (space.letters() != state.letters) {
-    return corrupt("letters not in canonical order");
-  }
-  if (state.seeded_counts.size() != space.size()) {
-    return corrupt("seeded count size mismatch");
-  }
-  if (state.other_counts.size() != period) {
-    return corrupt("other-count position count mismatch");
-  }
-  if (state.segment_position >= period) {
-    return corrupt("segment position beyond period");
-  }
-  if (state.segments_committed >
-      (std::numeric_limits<uint64_t>::max() - state.segment_position) /
-          period) {
-    return corrupt("segment count overflow");
-  }
-  if (state.segments_committed * period + state.segment_position !=
-      state.instants_seen) {
-    return corrupt("instant/segment accounting mismatch");
-  }
-  for (const uint64_t count : state.seeded_counts) {
-    if (count > state.segments_committed) {
-      return corrupt("seeded count exceeds committed segments");
-    }
-  }
-  const uint64_t horizon =
-      state.drift_window > 0
-          ? std::min<uint64_t>(state.segments_committed, state.drift_window)
-          : state.segments_committed;
-  for (uint32_t position = 0; position < period; ++position) {
-    const auto& row = state.other_counts[position];
-    for (size_t i = 0; i < row.size(); ++i) {
-      if (i > 0 && row[i].first <= row[i - 1].first) {
-        return corrupt("other counts not sorted by feature");
-      }
-      if (row[i].second == 0) return corrupt("zero other count");
-      if (row[i].second > horizon) {
-        return corrupt("other count exceeds drift horizon");
-      }
-      if (space.IndexOf(position, row[i].first) != Bitset::kNoBit) {
-        return corrupt("seeded letter in other counts");
-      }
-    }
-  }
-  if (state.drift_window == 0) {
-    if (!state.window_history.empty()) {
-      return corrupt("window history without a drift window");
-    }
-  } else {
-    if (state.window_history.size() !=
-        std::min<uint64_t>(state.drift_window, state.segments_committed)) {
-      return corrupt("window history size mismatch");
-    }
-    // The windowed other-counts must be exactly the sum of the history.
-    std::vector<std::map<tsdb::FeatureId, uint64_t>> recomputed(period);
-    for (const std::vector<Letter>& segment : state.window_history) {
-      for (const Letter& letter : segment) {
-        if (letter.position >= period) {
-          return corrupt("window history position beyond period");
-        }
-        if (space.IndexOf(letter.position, letter.feature) != Bitset::kNoBit) {
-          return corrupt("seeded letter in window history");
-        }
-        ++recomputed[letter.position][letter.feature];
-      }
-    }
-    for (uint32_t position = 0; position < period; ++position) {
-      const auto& row = state.other_counts[position];
-      if (recomputed[position].size() != row.size()) {
-        return corrupt("window history disagrees with other counts");
-      }
-      for (const auto& [feature, count] : row) {
-        const auto it = recomputed[position].find(feature);
-        if (it == recomputed[position].end() || it->second != count) {
-          return corrupt("window history disagrees with other counts");
-        }
-      }
-    }
-  }
-  for (const Letter& letter : state.pending_other) {
-    if (letter.position >= state.segment_position) {
-      return corrupt("pending letter at an unseen position");
-    }
-    if (space.IndexOf(letter.position, letter.feature) != Bitset::kNoBit) {
-      return corrupt("seeded letter in pending set");
-    }
-  }
-  for (size_t i = 0; i < state.segment_mask.size(); ++i) {
-    const uint32_t index = state.segment_mask[i];
-    if (i > 0 && index <= state.segment_mask[i - 1]) {
-      return corrupt("segment mask not sorted");
-    }
-    if (index >= space.size()) return corrupt("segment mask index out of range");
-    if (space.letter(index).position >= state.segment_position) {
-      return corrupt("segment mask letter at an unseen position");
-    }
-  }
-  uint64_t total_hits = 0;
-  for (const auto& [mask_bits, count] : state.hits) {
-    if (count == 0) return corrupt("zero hit count");
-    if (mask_bits.size() < 2) return corrupt("hit mask below two letters");
-    for (size_t i = 0; i < mask_bits.size(); ++i) {
-      if (i > 0 && mask_bits[i] <= mask_bits[i - 1]) {
-        return corrupt("hit mask not sorted");
-      }
-      if (mask_bits[i] >= space.size()) {
-        return corrupt("hit mask index out of range");
-      }
-    }
-    if (count > state.segments_committed - total_hits) {
-      return corrupt("hit counts exceed committed segments");
-    }
-    total_hits += count;
-  }
-
-  miner->seeded_counts_ = state.seeded_counts;
-  for (uint32_t position = 0; position < period; ++position) {
-    for (const auto& [feature, count] : state.other_counts[position]) {
-      miner->other_counts_[position][feature] = count;
-    }
-  }
-  miner->window_history_.assign(state.window_history.begin(),
-                                state.window_history.end());
-  miner->pending_other_ = state.pending_other;
-  for (const uint32_t index : state.segment_mask) {
-    miner->segment_mask_.Set(index);
-  }
-  miner->segment_position_ = state.segment_position;
-  miner->instants_seen_ = state.instants_seen;
-  miner->segments_committed_ = state.segments_committed;
-  for (const auto& [mask_bits, count] : state.hits) {
-    Bitset mask(space.size());
-    for (const uint32_t index : mask_bits) mask.Set(index);
-    miner->store_->AddHits(mask, count);
-  }
-  return miner;
+  ContinuousMinerState full_state;
+  full_state.core = state;
+  PPM_ASSIGN_OR_RETURN(std::unique_ptr<ContinuousMiner> impl,
+                       ContinuousMiner::Restore(options, full_state));
+  return std::unique_ptr<StreamingMiner>(new StreamingMiner(std::move(impl)));
 }
 
-StreamingMiner::StreamingMiner(const MiningOptions& options, LetterSpace space,
-                               uint32_t drift_window)
-    : options_(options),
-      space_(std::move(space)),
-      drift_window_(drift_window),
-      store_(MakeHitStore(options.hit_store, space_.full_mask(),
-                          space_.size())),
-      seeded_counts_(space_.size(), 0),
-      other_counts_(options.period),
-      segment_mask_(space_.size()),
-      instants_counter_(
-          obs::MetricsRegistry::Global().GetCounter("ppm.stream.instants")),
-      segments_counter_(obs::MetricsRegistry::Global().GetCounter(
-          "ppm.stream.segments_committed")),
-      snapshots_counter_(
-          obs::MetricsRegistry::Global().GetCounter("ppm.stream.snapshots")) {}
+StreamingMiner::StreamingMiner(std::unique_ptr<ContinuousMiner> impl)
+    : impl_(std::move(impl)) {}
+
+StreamingMiner::~StreamingMiner() = default;
+
+StreamingMinerState StreamingMiner::ExportState() const {
+  return std::move(impl_->ExportState().core);
+}
 
 void StreamingMiner::Append(const tsdb::FeatureSet& instant) {
-  ++instants_seen_;
-  instants_counter_.Inc();
-  const uint32_t position = segment_position_;
-
-  // Seeded letters accumulate into the in-flight segment mask; everything
-  // else is tallied for drift detection. Counts commit with the segment so
-  // a trailing partial segment never skews confidences.
-  space_.AccumulatePosition(position, instant, &segment_mask_);
-  instant.ForEach([this, position](uint32_t feature) {
-    if (space_.IndexOf(position, feature) == Bitset::kNoBit) {
-      pending_other_.push_back(Letter{position, feature});
-    }
-  });
-
-  if (++segment_position_ == options_.period) CommitSegment();
+  impl_->Append(instant);
 }
 
-void StreamingMiner::CommitSegment() {
-  segment_mask_.ForEach(
-      [this](uint32_t letter) { ++seeded_counts_[letter]; });
-  if (segment_mask_.Count() >= 2) store_->AddHit(segment_mask_);
-  for (const Letter& letter : pending_other_) {
-    ++other_counts_[letter.position][letter.feature];
-  }
-  if (drift_window_ > 0) {
-    window_history_.push_back(pending_other_);
-    if (window_history_.size() > drift_window_) {
-      // Expire the oldest segment's contribution to the window counts.
-      for (const Letter& letter : window_history_.front()) {
-        auto& counts = other_counts_[letter.position];
-        const auto it = counts.find(letter.feature);
-        if (it != counts.end() && --it->second == 0) counts.erase(it);
-      }
-      window_history_.pop_front();
-    }
-  }
-  ++segments_committed_;
-  segments_counter_.Inc();
-  segment_mask_.Reset();
-  pending_other_.clear();
-  segment_position_ = 0;
+uint64_t StreamingMiner::instants_seen() const {
+  return impl_->instants_seen();
 }
 
-MiningResult StreamingMiner::Snapshot() const {
-  obs::TraceSpan span = obs::Tracer::Global().StartSpan("stream.snapshot");
-  snapshots_counter_.Inc();
-  MiningResult result;
-  result.stats().num_periods = segments_committed_;
-  if (segments_committed_ == 0) return result;
-
-  F1ScanResult f1;
-  f1.num_periods = segments_committed_;
-  f1.min_count = options_.EffectiveMinCount(segments_committed_);
-  f1.space = space_;
-  f1.letter_counts = seeded_counts_;
-
-  // A snapshot honors the run's interrupt: when it fires mid-derivation the
-  // snapshot simply carries the levels finished so far (each individually
-  // correct), since `Snapshot` has no error channel.
-  const DerivationStats derivation = DeriveFrequentPatterns(
-      f1, options_.max_letters,
-      [this](const Bitset& mask) { return store_->CountSuperpatterns(mask); },
-      &result, nullptr, options_.interrupt());
-  result.Canonicalize();
-  result.stats().num_f1_letters = space_.size();
-  result.stats().candidates_evaluated = derivation.candidates_evaluated;
-  result.stats().max_level_reached = derivation.max_level_reached;
-  result.stats().hit_store_entries = store_->num_entries();
-  result.stats().tree_nodes =
-      options_.hit_store == HitStoreKind::kMaxSubpatternTree
-          ? store_->num_units()
-          : 0;
-  obs::MetricsRegistry::Global()
-      .GetGauge("ppm.resource.hit_store_bytes")
-      .Set(store_->ApproxMemoryBytes());
-  span.End();
-  result.stats().elapsed_seconds = span.ElapsedSeconds();
-  return result;
+uint64_t StreamingMiner::segments_committed() const {
+  return impl_->segments_committed();
 }
+
+MiningResult StreamingMiner::Snapshot() const { return impl_->Snapshot(); }
 
 std::vector<Letter> StreamingMiner::DriftedLetters() const {
-  std::vector<Letter> drifted;
-  if (segments_committed_ == 0) return drifted;
-  const uint64_t horizon =
-      drift_window_ > 0
-          ? std::min<uint64_t>(segments_committed_, drift_window_)
-          : segments_committed_;
-  const uint64_t min_count = options_.EffectiveMinCount(horizon);
-  for (uint32_t position = 0; position < options_.period; ++position) {
-    for (const auto& [feature, count] : other_counts_[position]) {
-      if (count >= min_count) drifted.push_back(Letter{position, feature});
-    }
-  }
-  return drifted;
+  return impl_->DriftedLetters();
 }
+
+const LetterSpace& StreamingMiner::space() const { return impl_->space(); }
+
+const MiningOptions& StreamingMiner::options() const {
+  return impl_->options();
+}
+
+uint32_t StreamingMiner::drift_window() const { return impl_->drift_window(); }
 
 }  // namespace ppm::stream

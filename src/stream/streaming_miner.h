@@ -2,27 +2,27 @@
 #define PPM_STREAM_STREAMING_MINER_H_
 
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/f1_scan.h"
-#include "core/hit_store.h"
 #include "core/letter_space.h"
 #include "core/mining_options.h"
 #include "core/mining_result.h"
-#include "obs/metrics.h"
 #include "tsdb/time_series.h"
 #include "util/status.h"
 
 namespace ppm::stream {
 
+class ContinuousMiner;
+
 /// The complete serializable state of a `StreamingMiner`, in a plain,
 /// deterministic form (sorted vectors, no hashing order): what a checkpoint
 /// persists and what `StreamingMiner::Restore` validates and reloads.
 /// Produced by `ExportState`; the codec lives in `stream/checkpoint.h`.
+/// `ContinuousMinerState` (stream/continuous_miner.h) embeds this as its
+/// window-less core.
 struct StreamingMinerState {
   uint32_t drift_window = 0;
   /// The seeded letter space, canonically sorted.
@@ -62,6 +62,11 @@ struct StreamingMinerState {
 /// every (position, feature) it sees, so it can detect when an unseeded
 /// letter crosses the frequency threshold -- `DriftedLetters` reports them,
 /// signalling that a reseed (one full rescan via `MineHitSet`) is due.
+///
+/// This is the whole-history facade over `ContinuousMiner` (the engine
+/// generalized out of this class): it delegates every operation to a
+/// continuous miner with no pattern window, keeping the original API and
+/// state format for callers that never evict.
 class StreamingMiner {
  public:
   /// Creates a miner for patterns of `options.period`, tracking exactly
@@ -100,6 +105,8 @@ class StreamingMiner {
   static Result<std::unique_ptr<StreamingMiner>> Restore(
       const MiningOptions& options, const StreamingMinerState& state);
 
+  ~StreamingMiner();
+
   /// Snapshot of the full miner state for checkpointing. Deterministic:
   /// equal miners export byte-identical states.
   StreamingMinerState ExportState() const;
@@ -110,10 +117,10 @@ class StreamingMiner {
   void Append(const tsdb::FeatureSet& instant);
 
   /// Instants consumed so far.
-  uint64_t instants_seen() const { return instants_seen_; }
+  uint64_t instants_seen() const;
 
   /// Whole segments committed so far (`m`).
-  uint64_t segments_committed() const { return segments_committed_; }
+  uint64_t segments_committed() const;
 
   /// Derives all currently frequent patterns over the seeded letter space.
   /// Cost is independent of the stream length (it touches only the hit
@@ -126,46 +133,16 @@ class StreamingMiner {
   /// missing combinations involving these letters.
   std::vector<Letter> DriftedLetters() const;
 
-  const LetterSpace& space() const { return space_; }
+  const LetterSpace& space() const;
 
-  const MiningOptions& options() const { return options_; }
+  const MiningOptions& options() const;
 
-  uint32_t drift_window() const { return drift_window_; }
+  uint32_t drift_window() const;
 
  private:
-  StreamingMiner(const MiningOptions& options, LetterSpace space,
-                 uint32_t drift_window);
+  explicit StreamingMiner(std::unique_ptr<ContinuousMiner> impl);
 
-  void CommitSegment();
-
-  MiningOptions options_;
-  LetterSpace space_;
-  uint32_t drift_window_;
-  std::unique_ptr<HitStore> store_;
-
-  // Exact counts for seeded letters (indexed by letter) and for every other
-  // observed (position, feature) pair, over the drift horizon.
-  std::vector<uint64_t> seeded_counts_;
-  std::vector<std::unordered_map<tsdb::FeatureId, uint64_t>> other_counts_;
-  // With a finite drift window: the unseeded letters of each of the last
-  // `drift_window_` committed segments, so expired segments can be
-  // subtracted from `other_counts_`.
-  std::deque<std::vector<Letter>> window_history_;
-
-  // In-flight segment state; committed only when the segment completes so
-  // a trailing partial segment never skews any count.
-  Bitset segment_mask_;
-  std::vector<Letter> pending_other_;
-  uint32_t segment_position_ = 0;
-
-  uint64_t instants_seen_ = 0;
-  uint64_t segments_committed_ = 0;
-
-  // Stream traffic metrics (`ppm.stream.*`), process-global like all
-  // built-in instrumentation.
-  obs::Counter instants_counter_;
-  obs::Counter segments_counter_;
-  obs::Counter snapshots_counter_;
+  std::unique_ptr<ContinuousMiner> impl_;
 };
 
 }  // namespace ppm::stream

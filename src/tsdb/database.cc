@@ -7,6 +7,7 @@
 #include <fstream>
 #include <thread>
 
+#include "core/scan_accounting.h"
 #include "obs/metrics.h"
 #include "tsdb/fault_injection.h"
 #include "tsdb/series_codec.h"
@@ -145,6 +146,10 @@ Result<TimeSeries> Database::Get(std::string_view name,
     PPM_RETURN_IF_ERROR(InterruptibleBackoff(kBackoff[attempt - 1], interrupt));
     result = ReadBinarySeries(PayloadPath(name));
   }
+  // Exactly one logical pass per successful load, however many physical
+  // read attempts the retry loop burned -- `ppm.scan.db_passes` counts
+  // algorithm-level traversals, and a retried read delivers one series.
+  if (result.ok()) RecordDbPass("db_get", result->length(), 0);
   return result;
 }
 

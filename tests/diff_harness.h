@@ -3,9 +3,16 @@
 
 #include <cstdio>
 #include <map>
+#include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "core/hitset_miner.h"
+#include "core/letter_space.h"
+#include "core/mining_options.h"
 #include "core/mining_result.h"
+#include "tsdb/series_source.h"
 #include "tsdb/time_series.h"
 #include "util/random.h"
 
@@ -89,6 +96,42 @@ inline std::string Serialize(const MiningResult& result,
     out += buffer;
   }
   return out;
+}
+
+/// The `count` whole segments of `instants` starting at segment `start`,
+/// as a standalone series sharing `symbols` -- the "effective window" a
+/// windowed continuous miner claims to represent, rebuilt from a shadow
+/// log of everything ever appended.
+inline tsdb::TimeSeries SliceSegments(
+    const std::vector<tsdb::FeatureSet>& instants,
+    const tsdb::SymbolTable& symbols, uint32_t period, uint64_t start,
+    uint64_t count) {
+  tsdb::TimeSeries window;
+  window.symbols() = symbols;
+  const uint64_t begin = start * period;
+  const uint64_t end = (start + count) * period;
+  for (uint64_t t = begin; t < end; ++t) window.Append(instants[t]);
+  return window;
+}
+
+/// From-scratch batch reference for an incremental snapshot: mines `window`
+/// with `MineHitSet`, restricting the F1 letter space to exactly `seeded`
+/// (the continuous miner tracks only its seeded letters, so the batch side
+/// must look at the same alphabet for the results to be comparable).
+/// Everything downstream of F1 -- thresholds, hit masks, derivation,
+/// confidence division -- runs the ordinary batch path.
+inline Result<MiningResult> BatchMineWindow(const tsdb::TimeSeries& window,
+                                            const MiningOptions& options,
+                                            const std::vector<Letter>& seeded,
+                                            uint32_t threads) {
+  MiningOptions batch = options;
+  batch.num_threads = threads;
+  const std::set<Letter> space(seeded.begin(), seeded.end());
+  batch.letter_filter = [&space](uint32_t position, tsdb::FeatureId feature) {
+    return space.count(Letter{position, feature}) > 0;
+  };
+  tsdb::InMemorySeriesSource source(&window);
+  return MineHitSet(source, batch);
 }
 
 }  // namespace ppm::diff

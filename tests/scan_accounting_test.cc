@@ -18,13 +18,19 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "core/apriori_miner.h"
 #include "core/hitset_miner.h"
 #include "core/multi_period.h"
 #include "obs/metrics.h"
 #include "obs/resource.h"
+#include "stream/streaming_miner.h"
 #include "synth/generator.h"
+#include "tsdb/database.h"
+#include "tsdb/fault_injection.h"
 #include "tsdb/series_source.h"
+#include "tsdb/wal.h"
 
 namespace ppm {
 namespace {
@@ -221,6 +227,90 @@ TEST(ScanAccountingTest, ResetAndDeltaScopeRepeatedRuns) {
     ASSERT_NE(delta_value, nullptr) << name;
     EXPECT_EQ(*delta_value, value) << name;
   }
+}
+
+// `Database::Get` is one logical pass per successful load, no matter how
+// many physical attempts the transient-retry loop burns: the retry is an
+// IO detail, not an algorithm-level traversal.
+TEST(ScanAccountingTest, DatabaseGetIsOnePassEvenWithRetries) {
+  const synth::GeneratedSeries data = TestSeries(2000, 20);
+  const std::string root = ::testing::TempDir() + "/scan_acct_db";
+  std::filesystem::remove_all(root);
+  auto db = tsdb::Database::Open(root);
+  ASSERT_TRUE(db.status().ok()) << db.status().ToString();
+  ASSERT_TRUE((*db)->Put("s", data.series).ok());
+
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.Reset();
+  auto got = (*db)->Get("s");
+  ASSERT_TRUE(got.status().ok()) << got.status().ToString();
+  obs::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(CounterValue(snapshot, "ppm.scan.passes.db_get"), 1u);
+  EXPECT_EQ(CounterValue(snapshot, "ppm.scan.db_passes"), 1u);
+  EXPECT_EQ(CounterValue(snapshot, "ppm.scan.instants_scanned"),
+            data.series.length());
+
+  // Two injected transient read failures force two retries; the load still
+  // succeeds and still accounts as exactly one pass.
+  registry.Reset();
+  tsdb::FaultPlan plan;
+  plan.transient_read_failures = 2;
+  tsdb::FaultInjector::Global().Arm(plan);
+  got = (*db)->Get("s");
+  tsdb::FaultInjector::Global().Disarm();
+  ASSERT_TRUE(got.status().ok()) << got.status().ToString();
+  snapshot = registry.Snapshot();
+  EXPECT_EQ(CounterValue(snapshot, "ppm.fault.retries"), 2u);
+  EXPECT_EQ(CounterValue(snapshot, "ppm.scan.passes.db_get"), 1u);
+  EXPECT_EQ(CounterValue(snapshot, "ppm.scan.db_passes"), 1u);
+
+  // A failed load (unknown series) records nothing.
+  registry.Reset();
+  EXPECT_FALSE((*db)->Get("missing").ok());
+  snapshot = registry.Snapshot();
+  EXPECT_EQ(CounterValue(snapshot, "ppm.scan.db_passes"), 0u);
+  std::filesystem::remove_all(root);
+}
+
+// WAL replay is one logical pass sized by the records it delivered -- the
+// per-resume cost of a recovered stream -- and a live snapshot afterwards
+// touches the database zero times.
+TEST(ScanAccountingTest, WalReplayIsOnePassAndSnapshotIsZero) {
+  const synth::GeneratedSeries data = TestSeries(2000, 20);
+  const std::string path = ::testing::TempDir() + "/scan_acct.ppmwal";
+  std::filesystem::remove(path);
+  auto wal = tsdb::WalWriter::Create(path, tsdb::WalFsync::kNever);
+  ASSERT_TRUE(wal.status().ok()) << wal.status().ToString();
+  constexpr uint64_t kLogged = 240;
+  for (uint64_t t = 0; t < kLogged; ++t) {
+    ASSERT_TRUE((*wal)->Append(data.series.at(t)).ok());
+  }
+  ASSERT_TRUE((*wal)->Sync().ok());
+
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.Reset();
+  constexpr uint64_t kStart = 200;  // Replay only the tail past a cursor.
+  const auto replayed = tsdb::ReplayWal(
+      path, kStart, [](uint64_t, const tsdb::FeatureSet&) {
+        return Status::OK();
+      });
+  ASSERT_TRUE(replayed.status().ok()) << replayed.status().ToString();
+  EXPECT_EQ(replayed->records_delivered, kLogged - kStart);
+  obs::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(CounterValue(snapshot, "ppm.scan.passes.wal_replay"), 1u);
+  EXPECT_EQ(CounterValue(snapshot, "ppm.scan.db_passes"), 1u);
+  EXPECT_EQ(CounterValue(snapshot, "ppm.scan.instants_scanned"),
+            kLogged - kStart);
+
+  // A streaming snapshot derives from the hit store alone: zero passes.
+  auto miner =
+      stream::StreamingMiner::SeedFromPrefix(HitsetOptions(20), data.series);
+  ASSERT_TRUE(miner.status().ok()) << miner.status().ToString();
+  registry.Reset();
+  (*miner)->Snapshot();
+  snapshot = registry.Snapshot();
+  EXPECT_EQ(CounterValue(snapshot, "ppm.scan.db_passes"), 0u);
+  std::filesystem::remove(path);
 }
 
 TEST(ScanAccountingTest, ResourceMetricsPopulateGauges) {
