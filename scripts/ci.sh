@@ -235,12 +235,56 @@ print("smoke OK: incremental resume matches one-shot stream, O(tail) catch-up")
 EOF
 echo "incremental smoke OK: resumed stream == one-shot stream"
 
+# Serving smoke (docs/SERVING.md): a live ppmd daemon must answer
+# put/append/mine/query over its unix socket, prove cache invalidation
+# (miss -> hit -> append -> refresh) through the served outcome field and
+# the ppm.server.cache.* counters, and drain cleanly (exit 0) on SIGTERM.
+PPMD="$BUILD_DIR/src/cli/ppmd"
+SERVE_SOCK="$SMOKE_DIR/ppmd.sock"
+"$PPMD" --socket "$SERVE_SOCK" --db "$SMOKE_DIR/ppmd-db" \
+  --wal-fsync never > "$SMOKE_DIR/ppmd.log" 2>&1 &
+PPMD_PID=$!
+for _ in $(seq 1 100); do [[ -S "$SERVE_SOCK" ]] && break; sleep 0.1; done
+[[ -S "$SERVE_SOCK" ]] || { echo "ppmd did not come up"; cat "$SMOKE_DIR/ppmd.log"; exit 1; }
+"$PPM" generate --output "$SMOKE_DIR/serve.bin" \
+  --length 2000 --period 20 --seed 19
+"$PPM" client put --socket "$SERVE_SOCK" --name served \
+  --input "$SMOKE_DIR/serve.bin"
+"$PPM" client mine --socket "$SERVE_SOCK" --name served \
+  --period 20 --min-conf 0.8 > "$SMOKE_DIR/serve-mine.out"
+grep -q "outcome=miss" "$SMOKE_DIR/serve-mine.out"
+grep -q "patterns=" "$SMOKE_DIR/serve-mine.out"
+"$PPM" client query --socket "$SERVE_SOCK" --name served \
+  --period 20 --min-conf 0.8 > "$SMOKE_DIR/serve-hit.out"
+grep -q "outcome=hit" "$SMOKE_DIR/serve-hit.out"
+"$PPM" client append --socket "$SERVE_SOCK" --name served \
+  --input "$SMOKE_DIR/serve.bin"
+"$PPM" client query --socket "$SERVE_SOCK" --name served \
+  --period 20 --min-conf 0.8 > "$SMOKE_DIR/serve-refresh.out"
+grep -q "outcome=refresh" "$SMOKE_DIR/serve-refresh.out"
+"$PPM" client stats --socket "$SERVE_SOCK" \
+  --stats-json "$SMOKE_DIR/serve-stats.json" \
+  --metrics-prom "$SMOKE_DIR/serve-metrics.prom" > /dev/null
+grep -q 'ppm_server_cache_hits 1' "$SMOKE_DIR/serve-metrics.prom" || \
+  grep -q '"ppm.server.cache.hits": 1' "$SMOKE_DIR/serve-stats.json" || {
+    echo "cache hit not visible in served stats/metrics"
+    cat "$SMOKE_DIR/serve-stats.json"; exit 1;
+  }
+kill -TERM "$PPMD_PID"
+set +e
+wait "$PPMD_PID"
+PPMD_EXIT=$?
+set -e
+[[ "$PPMD_EXIT" == 0 ]] || { echo "ppmd SIGTERM drain exit was $PPMD_EXIT, want 0"; cat "$SMOKE_DIR/ppmd.log"; exit 1; }
+[[ ! -S "$SERVE_SOCK" ]] || { echo "ppmd left its socket behind"; exit 1; }
+echo "serving smoke OK: put/mine/query/append over ppmd, SIGTERM drain clean"
+
 # Sanitizer matrix: the parallel miners, thread pool, streaming layer, and
 # the corruption/fault-injection harnesses under TSan (data races), ASan
 # (memory errors), and UBSan (undefined behaviour). Only the tests that
 # exercise threads, tricky memory, or hostile bytes are run -- a full suite
 # per sanitizer would triple CI time for no extra coverage.
-SANITIZER_TESTS='util_thread_pool_test|parallel_mine_test|differential_test|determinism_test|boundary_test|stream_test|tsdb_corruption_test|tsdb_fault_injection_test|fault_tolerance_test|tsdb_wal_test|stream_checkpoint_test|incremental_equivalence_test|cli_stream_test'
+SANITIZER_TESTS='util_thread_pool_test|parallel_mine_test|differential_test|determinism_test|boundary_test|stream_test|tsdb_corruption_test|tsdb_fault_injection_test|fault_tolerance_test|tsdb_wal_test|stream_checkpoint_test|incremental_equivalence_test|cli_stream_test|service_store_test|service_cache_test|service_wire_test|ppmd_server_test|serving_differential_test'
 if [[ "$SANITIZERS" == "1" ]]; then
   for sanitizer in thread address undefined; do
     SAN_DIR="$BUILD_DIR-$sanitizer"

@@ -1,10 +1,33 @@
 #include "cli/args.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "util/string_util.h"
 
 namespace ppm::cli {
+
+namespace {
+
+/// Levenshtein distance, used only for "did you mean" hints on unknown
+/// flags; flag names are short so the quadratic table is fine.
+size_t EditDistance(const std::string& a, const std::string& b) {
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diagonal = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t previous = row[j];
+      const size_t substitution = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+      diagonal = previous;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
 
 Result<ArgMap> ArgMap::Parse(const std::vector<std::string>& args) {
   ArgMap map;
@@ -85,7 +108,22 @@ Status ArgMap::CheckAllowed(const std::set<std::string>& allowed) const {
     // every command.
     if (key == "log-level") continue;
     if (!allowed.contains(key)) {
-      return Status::InvalidArgument("unknown flag: --" + key);
+      // A misspelling like --min-cof is close to exactly one real flag;
+      // suggest it. Distance > 2 is probably a different flag entirely.
+      std::string nearest;
+      size_t best = 3;
+      for (const std::string& candidate : allowed) {
+        const size_t distance = EditDistance(key, candidate);
+        if (distance < best) {
+          best = distance;
+          nearest = candidate;
+        }
+      }
+      std::string message = "unknown flag: --" + key;
+      if (!nearest.empty()) {
+        message += " (did you mean --" + nearest + "?)";
+      }
+      return Status::InvalidArgument(std::move(message));
     }
   }
   return Status::OK();

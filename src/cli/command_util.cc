@@ -1,0 +1,70 @@
+#include "cli/command_util.h"
+
+#include <cstdio>
+
+#include "cli/commands.h"
+#include "service/series_store.h"
+
+namespace ppm::cli {
+
+Result<tsdb::TimeSeries> LoadSeries(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("--input is required");
+  return service::LoadSeriesFile(path);
+}
+
+Status SaveSeries(const tsdb::TimeSeries& series, const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("--output is required");
+  return service::SaveSeriesFile(series, path);
+}
+
+Result<MiningOptions> MiningOptionsFromArgs(const ArgMap& args) {
+  MiningOptions options;
+  PPM_ASSIGN_OR_RETURN(const uint64_t period, args.GetUint("period", 0));
+  options.period = static_cast<uint32_t>(period);
+  PPM_ASSIGN_OR_RETURN(options.min_confidence,
+                       args.GetDouble("min-conf", 0.8));
+  PPM_ASSIGN_OR_RETURN(options.min_count, args.GetUint("min-count", 0));
+  PPM_ASSIGN_OR_RETURN(const uint64_t max_letters,
+                       args.GetUint("max-letters", 0));
+  options.max_letters = static_cast<uint32_t>(max_letters);
+  PPM_ASSIGN_OR_RETURN(const uint64_t threads, args.GetUint("threads", 1));
+  options.num_threads = static_cast<uint32_t>(threads);
+  if (args.Has("deadline-ms")) {
+    PPM_ASSIGN_OR_RETURN(const uint64_t deadline_ms,
+                         args.GetUint("deadline-ms", 0));
+    options.deadline = Deadline::After(deadline_ms);  // 0: already expired.
+  }
+  PPM_ASSIGN_OR_RETURN(const uint64_t budget_mb,
+                       args.GetUint("memory-budget-mb", 0));
+  options.memory_budget_bytes = budget_mb * (uint64_t{1} << 20);
+  const std::string policy = args.GetString("budget-policy", "degrade");
+  if (policy == "degrade") {
+    options.budget_policy = BudgetPolicy::kDegrade;
+  } else if (policy == "fail") {
+    options.budget_policy = BudgetPolicy::kFail;
+  } else {
+    return Status::InvalidArgument("--budget-policy must be degrade or fail");
+  }
+  options.cancel = GlobalCancelToken();
+  return options;
+}
+
+void PrintPatterns(const std::vector<FrequentPattern>& patterns,
+                   const tsdb::SymbolTable& symbols, uint64_t top,
+                   std::ostream& out) {
+  uint64_t shown = 0;
+  for (const FrequentPattern& entry : patterns) {
+    if (top != 0 && shown >= top) {
+      out << "  ... (" << patterns.size() - shown << " more; use --top 0 for all)\n";
+      return;
+    }
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "  count=%llu conf=%.4f  ",
+                  static_cast<unsigned long long>(entry.count),
+                  entry.confidence);
+    out << buffer << entry.pattern.Format(symbols) << "\n";
+    ++shown;
+  }
+}
+
+}  // namespace ppm::cli

@@ -1,0 +1,42 @@
+#ifndef PPM_CLI_COMMAND_UTIL_H_
+#define PPM_CLI_COMMAND_UTIL_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cli/args.h"
+#include "core/mining_options.h"
+#include "core/mining_result.h"
+#include "tsdb/time_series.h"
+#include "util/status.h"
+
+namespace ppm::cli {
+
+/// Shared helpers for the command adapters (`commands_*.cc`). The commands
+/// themselves are thin: flag parsing here, the actual work in the library
+/// layers (service, core, stream, ...).
+
+/// Loads `--input`-style series paths: text codec for `.txt`, binary
+/// otherwise (delegates to `service::LoadSeriesFile`).
+Result<tsdb::TimeSeries> LoadSeries(const std::string& path);
+
+/// Writes `--output`-style series paths with the same suffix convention.
+Status SaveSeries(const tsdb::TimeSeries& series, const std::string& path);
+
+/// Builds `MiningOptions` from the shared mining flags (--period,
+/// --min-conf, --min-count, --max-letters, --threads, --deadline-ms,
+/// --memory-budget-mb, --budget-policy) and attaches the global SIGINT
+/// cancel token.
+Result<MiningOptions> MiningOptionsFromArgs(const ArgMap& args);
+
+/// Prints up to `top` pattern lines (`  count=N conf=C  <pattern>`);
+/// 0 means all. This format is shared by `mine`, `stream`, and `client`,
+/// so their outputs diff cleanly against each other.
+void PrintPatterns(const std::vector<FrequentPattern>& patterns,
+                   const tsdb::SymbolTable& symbols, uint64_t top,
+                   std::ostream& out);
+
+}  // namespace ppm::cli
+
+#endif  // PPM_CLI_COMMAND_UTIL_H_

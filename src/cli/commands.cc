@@ -1,112 +1,13 @@
+// Dispatch and process-level plumbing for the `ppm` CLI. The commands
+// themselves live in commands_mine.cc / commands_data.cc /
+// commands_stream.cc / commands_client.cc, built on the shared helpers in
+// command_util.h and the transport-free service layer in src/service/.
+
 #include "cli/commands.h"
 
-#include <algorithm>
-#include <filesystem>
-#include <fstream>
-#include <memory>
-#include <optional>
-#include <set>
-
-#include "analysis/period_suggest.h"
-#include "core/maximal.h"
-#include "core/maximal_miner.h"
-#include "core/miner.h"
-#include "core/multi_period.h"
-#include "core/pattern_io.h"
-#include "discretize/discretizer.h"
-#include "etl/bucketizer.h"
-#include "etl/event_log.h"
-#include "evolve/evolution.h"
-#include "obs/build_info.h"
-#include "obs/metrics.h"
-#include "obs/resource.h"
-#include "obs/run_report.h"
-#include "obs/trace.h"
-#include "rules/rules.h"
-#include "stream/checkpoint.h"
-#include "stream/continuous_miner.h"
-#include "stream/streaming_miner.h"
-#include "synth/generator.h"
-#include "tsdb/database.h"
-#include "tsdb/fault_injection.h"
-#include "tsdb/series_codec.h"
-#include "tsdb/series_source.h"
-#include "tsdb/wal.h"
 #include "util/log.h"
 
 namespace ppm::cli {
-
-namespace {
-
-bool HasSuffix(const std::string& text, const std::string& suffix) {
-  return text.size() >= suffix.size() &&
-         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-/// Text for `.txt` paths, binary otherwise.
-Result<tsdb::TimeSeries> LoadSeries(const std::string& path) {
-  if (path.empty()) return Status::InvalidArgument("--input is required");
-  if (HasSuffix(path, ".txt")) return tsdb::ReadTextSeries(path);
-  return tsdb::ReadBinarySeries(path);
-}
-
-Status SaveSeries(const tsdb::TimeSeries& series, const std::string& path) {
-  if (path.empty()) return Status::InvalidArgument("--output is required");
-  if (HasSuffix(path, ".txt")) return tsdb::WriteTextSeries(series, path);
-  return tsdb::WriteBinarySeries(series, path);
-}
-
-Result<MiningOptions> MiningOptionsFromArgs(const ArgMap& args) {
-  MiningOptions options;
-  PPM_ASSIGN_OR_RETURN(const uint64_t period, args.GetUint("period", 0));
-  options.period = static_cast<uint32_t>(period);
-  PPM_ASSIGN_OR_RETURN(options.min_confidence,
-                       args.GetDouble("min-conf", 0.8));
-  PPM_ASSIGN_OR_RETURN(options.min_count, args.GetUint("min-count", 0));
-  PPM_ASSIGN_OR_RETURN(const uint64_t max_letters,
-                       args.GetUint("max-letters", 0));
-  options.max_letters = static_cast<uint32_t>(max_letters);
-  PPM_ASSIGN_OR_RETURN(const uint64_t threads, args.GetUint("threads", 1));
-  options.num_threads = static_cast<uint32_t>(threads);
-  if (args.Has("deadline-ms")) {
-    PPM_ASSIGN_OR_RETURN(const uint64_t deadline_ms,
-                         args.GetUint("deadline-ms", 0));
-    options.deadline = Deadline::After(deadline_ms);  // 0: already expired.
-  }
-  PPM_ASSIGN_OR_RETURN(const uint64_t budget_mb,
-                       args.GetUint("memory-budget-mb", 0));
-  options.memory_budget_bytes = budget_mb * (uint64_t{1} << 20);
-  const std::string policy = args.GetString("budget-policy", "degrade");
-  if (policy == "degrade") {
-    options.budget_policy = BudgetPolicy::kDegrade;
-  } else if (policy == "fail") {
-    options.budget_policy = BudgetPolicy::kFail;
-  } else {
-    return Status::InvalidArgument("--budget-policy must be degrade or fail");
-  }
-  options.cancel = GlobalCancelToken();
-  return options;
-}
-
-void PrintPatterns(const std::vector<FrequentPattern>& patterns,
-                   const tsdb::SymbolTable& symbols, uint64_t top,
-                   std::ostream& out) {
-  uint64_t shown = 0;
-  for (const FrequentPattern& entry : patterns) {
-    if (top != 0 && shown >= top) {
-      out << "  ... (" << patterns.size() - shown << " more; use --top 0 for all)\n";
-      return;
-    }
-    char buffer[64];
-    std::snprintf(buffer, sizeof(buffer), "  count=%llu conf=%.4f  ",
-                  static_cast<unsigned long long>(entry.count),
-                  entry.confidence);
-    out << buffer << entry.pattern.Format(symbols) << "\n";
-    ++shown;
-  }
-}
-
-}  // namespace
 
 CancelToken& GlobalCancelToken() {
   static CancelToken* token = new CancelToken();
@@ -131,742 +32,12 @@ int ExitCodeForStatus(const Status& status) {
   }
 }
 
-Status RunMine(const ArgMap& args, std::ostream& out) {
-  PPM_RETURN_IF_ERROR(args.CheckAllowed({"input", "period", "min-conf",
-                                         "min-count", "algorithm",
-                                         "max-letters", "threads", "maximal",
-                                         "rules", "top", "save", "stats-json",
-                                         "metrics-prom", "trace-out",
-                                         "deadline-ms", "memory-budget-mb",
-                                         "budget-policy"}));
-  PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series,
-                       LoadSeries(args.GetString("input", "")));
-  PPM_ASSIGN_OR_RETURN(MiningOptions options, MiningOptionsFromArgs(args));
-  PPM_ASSIGN_OR_RETURN(const uint64_t top, args.GetUint("top", 50));
-
-  // Scope metrics and spans to this run so the emitted report covers only
-  // the work below (the registry is process-global).
-  obs::MetricsRegistry::Global().Reset();
-  obs::Tracer::Global().Clear();
-
-  const std::string algorithm = args.GetString("algorithm", "hitset");
-  tsdb::InMemorySeriesSource source(&series);
-  Result<MiningResult> mined = Status::Internal("no algorithm selected");
-  if (algorithm == "hitset") {
-    mined = Mine(source, options, Algorithm::kMaxSubpatternHitSet);
-  } else if (algorithm == "apriori") {
-    mined = Mine(source, options, Algorithm::kApriori);
-  } else if (algorithm == "maximal") {
-    mined = MineMaximalHitSet(source, options);
-  } else {
-    return Status::InvalidArgument(
-        "--algorithm must be one of: hitset, apriori, maximal");
-  }
-  if (!mined.ok()) {
-    // An interrupted or failed run still emits its report when one was
-    // requested: the captured metrics (segments scanned, fault counters)
-    // are the partial-progress record of how far the run got.
-    if (args.Has("stats-json")) {
-      obs::RunReport report("mine");
-      report.AddMeta("algorithm", algorithm);
-      report.AddMeta("input", args.GetString("input", ""));
-      report.AddMeta("period", std::to_string(options.period));
-      report.AddMeta("error", mined.status().ToString());
-      obs::AddBuildMeta(&report);
-      obs::RecordResourceMetrics();
-      report.CaptureGlobal();
-      PPM_RETURN_IF_ERROR(report.WriteJson(args.GetString("stats-json", "")));
-    }
-    return mined.status();
-  }
-  MiningResult result = std::move(*mined);
-
-  out << "period=" << options.period << " m=" << result.stats().num_periods
-      << " |F1|=" << result.stats().num_f1_letters
-      << " scans=" << result.stats().scans << " patterns=" << result.size()
-      << "\n";
-
-  if (args.Has("maximal") && algorithm != "maximal") {
-    const auto maximal = MaximalPatterns(result);
-    out << "maximal patterns: " << maximal.size() << "\n";
-    PrintPatterns(maximal, series.symbols(), top, out);
-  } else {
-    PrintPatterns(result.patterns(), series.symbols(), top, out);
-  }
-
-  if (args.Has("rules")) {
-    PPM_ASSIGN_OR_RETURN(const double rule_conf, args.GetDouble("rules", 0.9));
-    PPM_ASSIGN_OR_RETURN(const auto rules,
-                         rules::GenerateRules(result, rule_conf));
-    out << "rules (confidence >= " << rule_conf << "): " << rules.size()
-        << "\n";
-    uint64_t shown = 0;
-    for (const auto& rule : rules) {
-      if (top != 0 && shown++ >= top) break;
-      out << "  " << rule.Format(series.symbols()) << "\n";
-    }
-  }
-  if (args.Has("save")) {
-    const std::string save_path = args.GetString("save", "");
-    PPM_RETURN_IF_ERROR(WritePatternsFile(result, series.symbols(), save_path));
-    out << "saved " << result.size() << " patterns to " << save_path << "\n";
-  }
-  if (args.Has("trace-out")) {
-    const std::string trace_path = args.GetString("trace-out", "");
-    PPM_RETURN_IF_ERROR(obs::Tracer::Global().WriteChromeTrace(trace_path));
-    out << "wrote trace to " << trace_path << "\n";
-  }
-  if (args.Has("stats-json")) {
-    const std::string stats_path = args.GetString("stats-json", "");
-    obs::RunReport report("mine");
-    report.AddMeta("algorithm", algorithm);
-    report.AddMeta("input", args.GetString("input", ""));
-    report.AddMeta("period", std::to_string(options.period));
-    report.AddMeta("patterns", std::to_string(result.size()));
-    obs::AddBuildMeta(&report);
-    obs::RecordResourceMetrics();
-    report.AddRawSection("mining_stats", result.stats().ToJson());
-    report.CaptureGlobal();
-    PPM_RETURN_IF_ERROR(report.WriteJson(stats_path));
-    out << "wrote stats to " << stats_path << "\n";
-  }
-  if (args.Has("metrics-prom")) {
-    const std::string prom_path = args.GetString("metrics-prom", "");
-    obs::RecordResourceMetrics();
-    std::ofstream prom(prom_path, std::ios::trunc);
-    prom << obs::MetricsRegistry::Global().RenderPrometheus();
-    if (!prom) {
-      return Status::Internal("failed to write " + prom_path);
-    }
-    out << "wrote metrics to " << prom_path << "\n";
-  }
-  return Status::OK();
-}
-
-Status RunApply(const ArgMap& args, std::ostream& out) {
-  PPM_RETURN_IF_ERROR(args.CheckAllowed({"patterns", "input", "min-drop"}));
-  const std::string patterns_path = args.GetString("patterns", "");
-  if (patterns_path.empty()) {
-    return Status::InvalidArgument("--patterns is required");
-  }
-  PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series,
-                       LoadSeries(args.GetString("input", "")));
-  PPM_ASSIGN_OR_RETURN(const MiningResult patterns,
-                       ReadPatternsFile(patterns_path, &series.symbols()));
-  PPM_ASSIGN_OR_RETURN(const double min_drop, args.GetDouble("min-drop", 0.0));
-  PPM_ASSIGN_OR_RETURN(const auto applied, ApplyPatterns(patterns, series));
-
-  out << "applied " << applied.size() << " patterns\n";
-  for (const AppliedPattern& row : applied) {
-    const double drop = row.old_confidence - row.new_confidence;
-    if (drop < min_drop) continue;
-    char buffer[72];
-    std::snprintf(buffer, sizeof(buffer),
-                  "  old=%.4f new=%.4f (%+.4f)  ", row.old_confidence,
-                  row.new_confidence, row.new_confidence - row.old_confidence);
-    out << buffer << row.pattern.Format(series.symbols()) << "\n";
-  }
-  return Status::OK();
-}
-
-Status RunEvolve(const ArgMap& args, std::ostream& out) {
-  PPM_RETURN_IF_ERROR(args.CheckAllowed({"input", "period", "window",
-                                         "min-conf", "min-count", "threads",
-                                         "top", "deadline-ms",
-                                         "memory-budget-mb",
-                                         "budget-policy"}));
-  PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series,
-                       LoadSeries(args.GetString("input", "")));
-  PPM_ASSIGN_OR_RETURN(MiningOptions options, MiningOptionsFromArgs(args));
-  PPM_ASSIGN_OR_RETURN(const uint64_t window,
-                       args.GetUint("window", options.period * 100ull));
-  PPM_ASSIGN_OR_RETURN(const uint64_t top, args.GetUint("top", 5));
-
-  PPM_ASSIGN_OR_RETURN(const auto windows,
-                       evolve::MineWindows(series, window, options));
-  out << windows.size() << " windows of " << window << " instants\n";
-  for (size_t w = 0; w < windows.size(); ++w) {
-    out << "window " << w << " [start " << windows[w].start << "]: "
-        << windows[w].result.size() << " patterns\n";
-    if (w == 0) continue;
-    const auto diff =
-        evolve::DiffResults(windows[w - 1].result, windows[w].result, 0.1);
-    for (const auto& entry : diff.appeared) {
-      out << "  + " << entry.pattern.Format(series.symbols()) << "\n";
-    }
-    for (const auto& entry : diff.vanished) {
-      out << "  - " << entry.pattern.Format(series.symbols()) << "\n";
-    }
-    for (const auto& change : diff.shifted) {
-      char buffer[48];
-      std::snprintf(buffer, sizeof(buffer), "  ~ %.2f -> %.2f  ",
-                    change.before_confidence, change.after_confidence);
-      out << buffer << change.pattern.Format(series.symbols()) << "\n";
-    }
-  }
-
-  const auto stability = evolve::StabilityReport(windows);
-  out << "most stable patterns:\n";
-  uint64_t shown = 0;
-  for (const auto& entry : stability) {
-    if (top != 0 && shown++ >= top) break;
-    char buffer[64];
-    std::snprintf(buffer, sizeof(buffer), "  %u/%zu windows, mean conf %.2f  ",
-                  entry.windows_present, windows.size(),
-                  entry.mean_confidence);
-    out << buffer << entry.pattern.Format(series.symbols()) << "\n";
-  }
-  return Status::OK();
-}
-
-Status RunScan(const ArgMap& args, std::ostream& out) {
-  PPM_RETURN_IF_ERROR(args.CheckAllowed({"input", "period-low", "period-high",
-                                         "min-conf", "min-count", "method",
-                                         "max-letters", "threads", "top",
-                                         "deadline-ms", "memory-budget-mb",
-                                         "budget-policy"}));
-  PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series,
-                       LoadSeries(args.GetString("input", "")));
-  PPM_ASSIGN_OR_RETURN(MiningOptions options, MiningOptionsFromArgs(args));
-  PPM_ASSIGN_OR_RETURN(const uint64_t low, args.GetUint("period-low", 2));
-  PPM_ASSIGN_OR_RETURN(const uint64_t high, args.GetUint("period-high", 16));
-  PPM_ASSIGN_OR_RETURN(const uint64_t top, args.GetUint("top", 3));
-
-  const std::string method = args.GetString("method", "shared");
-  tsdb::InMemorySeriesSource source(&series);
-  MultiPeriodResult scan;
-  if (method == "shared") {
-    PPM_ASSIGN_OR_RETURN(
-        scan, MineMultiPeriodShared(source, static_cast<uint32_t>(low),
-                                    static_cast<uint32_t>(high), options));
-  } else if (method == "looped") {
-    PPM_ASSIGN_OR_RETURN(
-        scan, MineMultiPeriodLooped(source, static_cast<uint32_t>(low),
-                                    static_cast<uint32_t>(high), options));
-  } else {
-    return Status::InvalidArgument("--method must be shared or looped");
-  }
-
-  out << "scanned periods " << low << ".." << high << " in "
-      << scan.total_scans << " scans of the series\n";
-  for (const auto& [period, result] : scan.per_period) {
-    if (result.empty()) continue;
-    out << "period " << period << ": " << result.size()
-        << " frequent patterns\n";
-    // Show the longest few.
-    std::vector<FrequentPattern> sorted = result.patterns();
-    std::stable_sort(sorted.begin(), sorted.end(),
-                     [](const FrequentPattern& a, const FrequentPattern& b) {
-                       return a.pattern.LetterCount() > b.pattern.LetterCount();
-                     });
-    if (top != 0 && sorted.size() > top) sorted.resize(top);
-    PrintPatterns(sorted, series.symbols(), 0, out);
-  }
-  return Status::OK();
-}
-
-Status RunGenerate(const ArgMap& args, std::ostream& out) {
-  PPM_RETURN_IF_ERROR(args.CheckAllowed({"output", "length", "period",
-                                         "max-pat-length", "num-f1",
-                                         "num-features", "conf", "noise",
-                                         "seed"}));
-  synth::GeneratorOptions options;
-  PPM_ASSIGN_OR_RETURN(options.length, args.GetUint("length", 100000));
-  PPM_ASSIGN_OR_RETURN(const uint64_t period, args.GetUint("period", 50));
-  options.period = static_cast<uint32_t>(period);
-  PPM_ASSIGN_OR_RETURN(const uint64_t mpl, args.GetUint("max-pat-length", 8));
-  options.max_pat_length = static_cast<uint32_t>(mpl);
-  PPM_ASSIGN_OR_RETURN(const uint64_t num_f1, args.GetUint("num-f1", 12));
-  options.num_f1 = static_cast<uint32_t>(num_f1);
-  PPM_ASSIGN_OR_RETURN(const uint64_t num_features,
-                       args.GetUint("num-features", 100));
-  options.num_features = static_cast<uint32_t>(num_features);
-  PPM_ASSIGN_OR_RETURN(options.anchor_confidence, args.GetDouble("conf", 0.9));
-  PPM_ASSIGN_OR_RETURN(options.noise_mean, args.GetDouble("noise", 1.0));
-  PPM_ASSIGN_OR_RETURN(options.seed, args.GetUint("seed", 42));
-
-  PPM_ASSIGN_OR_RETURN(const synth::GeneratedSeries generated,
-                       synth::GenerateSeries(options));
-  PPM_RETURN_IF_ERROR(
-      SaveSeries(generated.series, args.GetString("output", "")));
-  out << "wrote " << generated.series.length() << " instants to "
-      << args.GetString("output", "") << "\n"
-      << "planted max-pattern: "
-      << generated.anchor.Format(generated.series.symbols()) << "\n";
-  return Status::OK();
-}
-
-Status RunSuggest(const ArgMap& args, std::ostream& out) {
-  PPM_RETURN_IF_ERROR(args.CheckAllowed(
-      {"input", "period-low", "period-high", "per-feature", "top"}));
-  PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series,
-                       LoadSeries(args.GetString("input", "")));
-  PPM_ASSIGN_OR_RETURN(const uint64_t low, args.GetUint("period-low", 2));
-  PPM_ASSIGN_OR_RETURN(const uint64_t high, args.GetUint("period-high", 64));
-  PPM_ASSIGN_OR_RETURN(const uint64_t top, args.GetUint("top", 10));
-
-  std::vector<analysis::PeriodScore> scores;
-  if (args.Has("per-feature")) {
-    PPM_ASSIGN_OR_RETURN(scores, analysis::SuggestPeriodsPerFeature(
-                                     series, static_cast<uint32_t>(low),
-                                     static_cast<uint32_t>(high)));
-  } else {
-    PPM_ASSIGN_OR_RETURN(
-        scores, analysis::SuggestPeriods(series, static_cast<uint32_t>(low),
-                                         static_cast<uint32_t>(high)));
-  }
-  const auto fundamentals = analysis::FundamentalPeriods(scores);
-  out << "period  concentration  confidence  letter\n";
-  uint64_t shown = 0;
-  for (const analysis::PeriodScore& score : fundamentals) {
-    if (top != 0 && shown++ >= top) break;
-    char buffer[64];
-    std::snprintf(buffer, sizeof(buffer), "%-7u %-14.3f %-11.3f ",
-                  score.period, score.concentration, score.confidence);
-    out << buffer << series.symbols().NameOrPlaceholder(score.feature) << "@+"
-        << score.position << "\n";
-  }
-  return Status::OK();
-}
-
-Status RunBucketize(const ArgMap& args, std::ostream& out) {
-  PPM_RETURN_IF_ERROR(args.CheckAllowed(
-      {"events", "output", "width", "origin", "end", "calendar"}));
-  const std::string events_path = args.GetString("events", "");
-  if (events_path.empty()) {
-    return Status::InvalidArgument("--events is required");
-  }
-  PPM_ASSIGN_OR_RETURN(const etl::EventLog log, etl::ReadEventLog(events_path));
-
-  etl::BucketizeOptions options;
-  PPM_ASSIGN_OR_RETURN(const uint64_t width, args.GetUint("width", 3600));
-  options.bucket_width = static_cast<int64_t>(width);
-  if (args.Has("origin")) {
-    PPM_ASSIGN_OR_RETURN(const uint64_t origin, args.GetUint("origin", 0));
-    options.origin = static_cast<int64_t>(origin);
-  }
-  if (args.Has("end")) {
-    PPM_ASSIGN_OR_RETURN(const uint64_t end, args.GetUint("end", 0));
-    options.end = static_cast<int64_t>(end);
-  }
-  PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series, etl::Bucketize(log, options));
-
-  if (args.Has("calendar")) {
-    const std::string calendar = args.GetString("calendar", "");
-    PPM_ASSIGN_OR_RETURN(const int64_t origin,
-                         etl::ResolveOrigin(log, options));
-    if (calendar == "dow") {
-      etl::AnnotateCalendar(&series, origin, options.bucket_width,
-                            etl::CalendarFeature::kDayOfWeek);
-    } else if (calendar == "hour") {
-      etl::AnnotateCalendar(&series, origin, options.bucket_width,
-                            etl::CalendarFeature::kHourOfDay);
-    } else {
-      return Status::InvalidArgument("--calendar must be dow or hour");
-    }
-  }
-
-  PPM_RETURN_IF_ERROR(SaveSeries(series, args.GetString("output", "")));
-  out << "bucketized " << log.size() << " events into " << series.length()
-      << " instants (" << series.symbols().size() << " features)\n";
-  return Status::OK();
-}
-
-Status RunDiscretize(const ArgMap& args, std::ostream& out) {
-  PPM_RETURN_IF_ERROR(args.CheckAllowed({"values", "output", "bins", "method",
-                                         "prefix", "movement", "epsilon"}));
-  const std::string values_path = args.GetString("values", "");
-  if (values_path.empty()) {
-    return Status::InvalidArgument("--values is required");
-  }
-  std::ifstream in(values_path);
-  if (!in) return Status::IoError("cannot open: " + values_path);
-  std::vector<double> values;
-  std::string line;
-  uint64_t line_number = 0;
-  while (std::getline(in, line)) {
-    ++line_number;
-    if (line.empty() || line[0] == '#') continue;
-    char* end = nullptr;
-    const double value = std::strtod(line.c_str(), &end);
-    if (end == line.c_str()) {
-      return Status::Corruption("line " + std::to_string(line_number) +
-                                ": not a number: " + line);
-    }
-    values.push_back(value);
-  }
-  if (in.bad()) return Status::IoError("read failed: " + values_path);
-
-  tsdb::TimeSeries series;
-  if (args.Has("movement")) {
-    PPM_ASSIGN_OR_RETURN(const double epsilon, args.GetDouble("epsilon", 0.0));
-    PPM_ASSIGN_OR_RETURN(
-        series, discretize::EncodeMovement(values, epsilon,
-                                           args.GetString("prefix", "")));
-  } else {
-    discretize::DiscretizeOptions options;
-    PPM_ASSIGN_OR_RETURN(const uint64_t bins, args.GetUint("bins", 4));
-    options.num_bins = static_cast<uint32_t>(bins);
-    options.prefix = args.GetString("prefix", "lvl");
-    const std::string method = args.GetString("method", "width");
-    if (method == "width") {
-      options.method = discretize::BinningMethod::kEqualWidth;
-    } else if (method == "freq") {
-      options.method = discretize::BinningMethod::kEqualFrequency;
-    } else if (method == "gaussian") {
-      options.method = discretize::BinningMethod::kGaussian;
-    } else {
-      return Status::InvalidArgument(
-          "--method must be width, freq, or gaussian");
-    }
-    PPM_ASSIGN_OR_RETURN(series, discretize::Discretize(values, options));
-  }
-
-  PPM_RETURN_IF_ERROR(SaveSeries(series, args.GetString("output", "")));
-  out << "discretized " << values.size() << " values into "
-      << series.length() << " instants (" << series.symbols().size()
-      << " features)\n";
-  return Status::OK();
-}
-
-Status RunStats(const ArgMap& args, std::ostream& out) {
-  PPM_RETURN_IF_ERROR(args.CheckAllowed({"input"}));
-  PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series,
-                       LoadSeries(args.GetString("input", "")));
-  uint64_t total_features = 0;
-  uint64_t empty_instants = 0;
-  uint32_t max_features = 0;
-  for (const tsdb::FeatureSet& instant : series.instants()) {
-    const uint32_t count = instant.Count();
-    total_features += count;
-    if (count == 0) ++empty_instants;
-    if (count > max_features) max_features = count;
-  }
-  out << "instants:        " << series.length() << "\n"
-      << "features:        " << series.symbols().size() << "\n"
-      << "feature events:  " << total_features << "\n"
-      << "empty instants:  " << empty_instants << "\n"
-      << "max per instant: " << max_features << "\n";
-  if (series.length() > 0) {
-    char buffer[32];
-    std::snprintf(buffer, sizeof(buffer), "%.3f",
-                  static_cast<double>(total_features) /
-                      static_cast<double>(series.length()));
-    out << "avg per instant: " << buffer << "\n";
-  }
-  return Status::OK();
-}
-
-Status RunConvert(const ArgMap& args, std::ostream& out) {
-  PPM_RETURN_IF_ERROR(args.CheckAllowed({"input", "output"}));
-  PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series,
-                       LoadSeries(args.GetString("input", "")));
-  PPM_RETURN_IF_ERROR(SaveSeries(series, args.GetString("output", "")));
-  out << "converted " << series.length() << " instants\n";
-  return Status::OK();
-}
-
-namespace {
-
-/// Body of `ppm stream`; `RunStream` wraps it so a failed run still emits
-/// its `--stats-json` report.
-Status RunStreamImpl(const ArgMap& args, std::ostream& out) {
-  namespace fs = std::filesystem;
-  PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series,
-                       LoadSeries(args.GetString("input", "")));
-  PPM_ASSIGN_OR_RETURN(MiningOptions options, MiningOptionsFromArgs(args));
-  options.num_threads = 1;  // Streaming appends are inherently sequential.
-  PPM_ASSIGN_OR_RETURN(const uint64_t top, args.GetUint("top", 20));
-  PPM_ASSIGN_OR_RETURN(const uint64_t checkpoint_every,
-                       args.GetUint("checkpoint-every", 64));
-  PPM_ASSIGN_OR_RETURN(const uint64_t drift_window,
-                       args.GetUint("drift-window", 0));
-  PPM_ASSIGN_OR_RETURN(const uint64_t window, args.GetUint("window", 0));
-  PPM_ASSIGN_OR_RETURN(const uint64_t query_every,
-                       args.GetUint("query-every", 0));
-  PPM_ASSIGN_OR_RETURN(const uint64_t compact_every,
-                       args.GetUint("compact-every", 0));
-
-  const std::string dir = args.GetString("checkpoint-dir", "");
-  if (dir.empty()) {
-    return Status::InvalidArgument("--checkpoint-dir is required");
-  }
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) return Status::IoError("cannot create checkpoint dir: " + dir);
-  const std::string checkpoint_path = stream::CheckpointPath(dir);
-  const std::string wal_path = stream::WalPath(dir);
-
-  const std::string fsync_mode = args.GetString("wal-fsync", "always");
-  tsdb::WalFsync fsync;
-  if (fsync_mode == "always") {
-    fsync = tsdb::WalFsync::kAlways;
-  } else if (fsync_mode == "never") {
-    fsync = tsdb::WalFsync::kNever;
-  } else {
-    return Status::InvalidArgument("--wal-fsync must be always or never");
-  }
-
-  // Deterministic kill switch for the CI crash-recovery smoke: the Nth WAL
-  // append tears its frame and exits 137, like a SIGKILL mid-write.
-  std::optional<tsdb::ScopedFaultInjection> crash_plan;
-  if (args.Has("crash-after-appends")) {
-    PPM_ASSIGN_OR_RETURN(const uint64_t crash_after,
-                         args.GetUint("crash-after-appends", 0));
-    tsdb::FaultPlan plan;
-    plan.crash_after_wal_appends = static_cast<uint32_t>(crash_after);
-    crash_plan.emplace(plan);
-  }
-
-  // Scope metrics and spans to this run (the registry is process-global).
-  obs::MetricsRegistry::Global().Reset();
-  obs::Tracer::Global().Clear();
-
-  const Interrupt interrupt = options.interrupt();
-  std::unique_ptr<stream::ContinuousMiner> miner;
-  std::unique_ptr<tsdb::WalWriter> wal;
-  tsdb::WalReplayInfo replay;
-  const bool resumed = args.Has("resume");
-
-  if (resumed) {
-    PPM_ASSIGN_OR_RETURN(
-        stream::RecoveredContinuousStream recovered,
-        stream::RecoverContinuousStream(dir, options,
-                                        static_cast<uint32_t>(compact_every)));
-    // Feature ids in the checkpoint and WAL index into the input's symbol
-    // table, so the input must still intern the same names in the same
-    // order (growing it with new features is fine).
-    const std::vector<std::string>& names = series.symbols().names();
-    if (recovered.symbols.size() > names.size()) {
-      return Status::InvalidArgument(
-          "checkpoint knows more features than --input provides");
-    }
-    for (size_t i = 0; i < recovered.symbols.size(); ++i) {
-      if (recovered.symbols[i] != names[i]) {
-        return Status::InvalidArgument(
-            "checkpoint feature " + std::to_string(i) + " is '" +
-            recovered.symbols[i] + "' but --input interns '" + names[i] +
-            "' there; resume needs the same series");
-      }
-    }
-    if (args.Has("period") &&
-        options.period != recovered.miner->options().period) {
-      return Status::InvalidArgument(
-          "--period " + std::to_string(options.period) +
-          " disagrees with the checkpoint's period " +
-          std::to_string(recovered.miner->options().period));
-    }
-    // Like --period, the pattern window is part of the stream's identity:
-    // the checkpoint's value wins, and a contradicting flag is an error
-    // rather than a silent semantic change.
-    if (args.Has("window") &&
-        window != recovered.miner->window_segments()) {
-      return Status::InvalidArgument(
-          "--window " + std::to_string(window) +
-          " disagrees with the checkpoint's window of " +
-          std::to_string(recovered.miner->window_segments()) + " segments");
-    }
-    if (series.length() < recovered.miner->instants_seen()) {
-      return Status::InvalidArgument(
-          "--input has " + std::to_string(series.length()) +
-          " instants but the recovered stream already consumed " +
-          std::to_string(recovered.miner->instants_seen()));
-    }
-    miner = std::move(recovered.miner);
-    replay = recovered.wal;
-    PPM_ASSIGN_OR_RETURN(wal, tsdb::WalWriter::Open(wal_path, fsync,
-                                                    replay.next_seq,
-                                                    replay.valid_bytes));
-  } else {
-    std::error_code exists_ec;
-    if (fs::exists(checkpoint_path, exists_ec) ||
-        fs::exists(wal_path, exists_ec)) {
-      return Status::InvalidArgument(
-          dir + " already holds a stream; pass --resume to continue it");
-    }
-    PPM_ASSIGN_OR_RETURN(const uint64_t seed_prefix,
-                         args.GetUint("seed-prefix", 100ull * options.period));
-    const uint64_t prefix_len = std::min<uint64_t>(series.length(),
-                                                   seed_prefix);
-    tsdb::TimeSeries prefix;
-    prefix.symbols() = series.symbols();
-    for (uint64_t t = 0; t < prefix_len; ++t) prefix.Append(series.at(t));
-    stream::ContinuousOptions continuous;
-    continuous.drift_window = static_cast<uint32_t>(drift_window);
-    continuous.window_segments = static_cast<uint32_t>(window);
-    continuous.compact_every = static_cast<uint32_t>(compact_every);
-    PPM_ASSIGN_OR_RETURN(miner, stream::ContinuousMiner::SeedFromPrefix(
-                                    options, prefix, continuous));
-    // The WAL mirrors the whole stream from instant 0 (record seq ==
-    // instant index), so log the seed prefix before the first checkpoint
-    // covers it: the checkpoint must never be ahead of the durable WAL.
-    PPM_ASSIGN_OR_RETURN(wal, tsdb::WalWriter::Open(wal_path, fsync, 0, 0));
-    for (uint64_t t = 0; t < prefix_len; ++t) {
-      PPM_RETURN_IF_ERROR(wal->Append(series.at(t)));
-    }
-    PPM_RETURN_IF_ERROR(
-        stream::CheckpointStream(*miner, *wal, series.symbols(), dir));
-  }
-
-  PPM_RETURN_IF_INTERRUPTED(interrupt);
-  const uint32_t period = miner->options().period;
-  uint64_t last_checkpoint = miner->segments_committed();
-  uint64_t last_query = miner->segments_committed();
-  uint64_t queries = 0;
-  for (uint64_t t = miner->instants_seen(); t < series.length(); ++t) {
-    PPM_RETURN_IF_ERROR(wal->Append(series.at(t)));
-    miner->Append(series.at(t));
-    if (period != 0 && miner->instants_seen() % period == 0) {
-      PPM_RETURN_IF_INTERRUPTED(interrupt);
-      if (checkpoint_every != 0 &&
-          miner->segments_committed() - last_checkpoint >= checkpoint_every) {
-        PPM_RETURN_IF_ERROR(
-            stream::CheckpointStream(*miner, *wal, series.symbols(), dir));
-        last_checkpoint = miner->segments_committed();
-      }
-      // Live queries against the running stream: each one derives from the
-      // hit store alone, so its cost is independent of how much history
-      // has been appended (the whole point of continuous mining).
-      if (query_every != 0 &&
-          miner->segments_committed() - last_query >= query_every) {
-        const MiningResult live = miner->Snapshot();
-        out << "query t=" << miner->instants_seen()
-            << " m=" << miner->effective_segments()
-            << " patterns=" << live.size() << "\n";
-        last_query = miner->segments_committed();
-        ++queries;
-      }
-    }
-  }
-  PPM_RETURN_IF_ERROR(
-      stream::CheckpointStream(*miner, *wal, series.symbols(), dir));
-
-  const MiningResult result = miner->Snapshot();
-  out << "streamed " << miner->instants_seen() << " instants"
-      << (resumed ? " (resumed)" : "") << "\n";
-  if (resumed) {
-    out << "recovered from checkpoint: replayed " << replay.records_delivered
-        << " WAL records";
-    if (replay.torn_tail) {
-      out << ", dropped a torn tail of " << replay.dropped_bytes << " bytes";
-    }
-    out << "\n";
-  }
-  out << "period=" << period << " m=" << miner->segments_committed();
-  if (miner->window_segments() > 0) {
-    // Windowed confidences divide by the retained segments, not lifetime m.
-    out << " effective_m=" << miner->effective_segments()
-        << " evicted=" << miner->segments_evicted();
-  }
-  out << " patterns=" << result.size() << "\n";
-  PrintPatterns(result.patterns(), series.symbols(), top, out);
-  const std::vector<Letter> drifted = miner->DriftedLetters();
-  if (!drifted.empty()) {
-    out << "drifted letters: " << drifted.size()
-        << " (seeded space is stale; re-mine to pick them up)\n";
-  }
-
-  if (args.Has("stats-json")) {
-    const std::string stats_path = args.GetString("stats-json", "");
-    obs::RunReport report("stream");
-    report.AddMeta("input", args.GetString("input", ""));
-    report.AddMeta("period", static_cast<uint64_t>(period));
-    report.AddMeta("instants", miner->instants_seen());
-    report.AddMeta("segments", miner->segments_committed());
-    report.AddMeta("patterns", static_cast<uint64_t>(result.size()));
-    report.AddMeta("window", static_cast<uint64_t>(miner->window_segments()));
-    report.AddMeta("effective_segments", miner->effective_segments());
-    report.AddMeta("segments_evicted", miner->segments_evicted());
-    report.AddMeta("queries", queries);
-    report.AddMeta("resumed", resumed ? "true" : "false");
-    if (resumed) {
-      report.AddMeta("recovery.wal_records_replayed",
-                     replay.records_delivered);
-      report.AddMeta("recovery.torn_tail",
-                     replay.torn_tail ? "true" : "false");
-      report.AddMeta("recovery.dropped_bytes", replay.dropped_bytes);
-    }
-    obs::AddBuildMeta(&report);
-    obs::RecordResourceMetrics();
-    report.AddRawSection("mining_stats", result.stats().ToJson());
-    report.CaptureGlobal();
-    PPM_RETURN_IF_ERROR(report.WriteJson(stats_path));
-    out << "wrote stats to " << stats_path << "\n";
-  }
-  return Status::OK();
-}
-
-}  // namespace
-
-Status RunStream(const ArgMap& args, std::ostream& out) {
-  PPM_RETURN_IF_ERROR(args.CheckAllowed(
-      {"input", "period", "min-conf", "min-count", "max-letters",
-       "seed-prefix", "drift-window", "window", "query-every",
-       "compact-every", "checkpoint-dir", "checkpoint-every", "wal-fsync",
-       "resume", "top", "stats-json", "deadline-ms",
-       "crash-after-appends"}));
-  const Status status = RunStreamImpl(args, out);
-  if (!status.ok() && args.Has("stats-json")) {
-    // Failed runs still record how far they got; the original failure
-    // stays the interesting status even if the report cannot be written.
-    obs::RunReport report("stream");
-    report.AddMeta("input", args.GetString("input", ""));
-    report.AddMeta("error", status.ToString());
-    report.CaptureGlobal();
-    (void)report.WriteJson(args.GetString("stats-json", ""));
-  }
-  return status;
-}
-
-Status RunDb(const ArgMap& args, std::ostream& out) {
-  PPM_RETURN_IF_ERROR(
-      args.CheckAllowed({"dir", "name", "input", "output"}));
-  if (args.positional().size() != 1) {
-    return Status::InvalidArgument(
-        "db needs exactly one action: list, put, get, or drop");
-  }
-  const std::string& action = args.positional()[0];
-  const std::string dir = args.GetString("dir", "");
-  if (dir.empty()) return Status::InvalidArgument("--dir is required");
-  PPM_ASSIGN_OR_RETURN(const auto db, tsdb::Database::Open(dir));
-
-  if (action == "list") {
-    for (const std::string& name : db->List()) {
-      auto source = db->Scan(name);
-      if (source.ok()) {
-        out << name << "  (" << (*source)->length() << " instants, "
-            << (*source)->symbols().size() << " features)\n";
-      } else {
-        out << name << "  (unreadable: " << source.status().ToString()
-            << ")\n";
-      }
-    }
-    out << db->List().size() << " series in " << dir << "\n";
-    return Status::OK();
-  }
-
-  const std::string name = args.GetString("name", "");
-  if (name.empty()) return Status::InvalidArgument("--name is required");
-  if (action == "put") {
-    PPM_ASSIGN_OR_RETURN(const tsdb::TimeSeries series,
-                         LoadSeries(args.GetString("input", "")));
-    PPM_RETURN_IF_ERROR(db->Put(name, series));
-    out << "stored " << series.length() << " instants as " << name << "\n";
-    return Status::OK();
-  }
-  if (action == "get") {
-    PPM_ASSIGN_OR_RETURN(const tsdb::TimeSeries series, db->Get(name));
-    PPM_RETURN_IF_ERROR(SaveSeries(series, args.GetString("output", "")));
-    out << "exported " << series.length() << " instants from " << name
-        << "\n";
-    return Status::OK();
-  }
-  if (action == "drop") {
-    PPM_RETURN_IF_ERROR(db->Drop(name));
-    out << "dropped " << name << "\n";
-    return Status::OK();
-  }
-  return Status::InvalidArgument("unknown db action: " + action);
+const std::vector<std::string>& CommandNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "mine",     "scan",    "apply",    "evolve", "suggest",
+      "bucketize", "discretize", "generate", "stats",  "convert",
+      "db",       "stream",  "client",   "version"};
+  return *names;
 }
 
 std::string UsageText() {
@@ -910,6 +81,14 @@ std::string UsageText() {
       "            [--drift-window SEGMENTS] [--window SEGMENTS]\n"
       "            [--query-every SEGMENTS] [--compact-every SEGMENTS]\n"
       "            [--min-conf 0.8] [--top N] [--stats-json REPORT_FILE]\n"
+      "  client    talk to a running ppmd daemon over its unix socket:\n"
+      "            client put|append|get|mine|query|stats|shutdown\n"
+      "            --socket S [--name N] [--input F] [--output F]\n"
+      "            [--period N] [--min-conf 0.8] [--min-count N]\n"
+      "            [--max-letters K] [--algorithm hitset|apriori]\n"
+      "            [--deadline-ms N] [--top N] [--stats-json REPORT_FILE]\n"
+      "            [--metrics-prom PROM_FILE]\n"
+      "  version   print the build fingerprint (git sha, compiler, flags)\n"
       "\n"
       "global flags (any command):\n"
       "  --log-level debug|info|warn|error|off   diagnostic verbosity\n"
@@ -982,6 +161,10 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     status = RunDb(*parsed, out);
   } else if (command == "stream") {
     status = RunStream(*parsed, out);
+  } else if (command == "client") {
+    status = RunClient(*parsed, out);
+  } else if (command == "version" || command == "--version") {
+    status = RunVersion(*parsed, out);
   } else {
     err << "error: unknown command '" << command << "'\n" << UsageText();
     return 2;

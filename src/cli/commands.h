@@ -79,6 +79,23 @@ Status RunDb(const ArgMap& args, std::ostream& out);
 /// --crash-after-appends (fault injection for crash-recovery tests).
 Status RunStream(const ArgMap& args, std::ostream& out);
 
+/// `ppm client`: talk to a running `ppmd` daemon over its unix socket
+/// (PPMRPC1, docs/SERVING.md). First positional is the action:
+/// `put|append|get|mine|query|stats|shutdown`. Flags: --socket, --name,
+/// --input (put/append), --output (get), --period, --min-conf,
+/// --min-count, --max-letters, --algorithm {hitset,apriori},
+/// --deadline-ms, --top, --stats-json, --metrics-prom. Server-side
+/// failures map to the same exit codes as local runs.
+Status RunClient(const ArgMap& args, std::ostream& out);
+
+/// `ppm version` (also `ppm --version`): print the build fingerprint from
+/// obs/build_info (git sha, compiler, build type, flags, sanitizer).
+Status RunVersion(const ArgMap& args, std::ostream& out);
+
+/// Every dispatched command name, in usage order. Tests use this to check
+/// that `UsageText()` documents each command `RunCli` accepts.
+const std::vector<std::string>& CommandNames();
+
 /// Usage text for all commands.
 std::string UsageText();
 

@@ -1,0 +1,241 @@
+// Data-side command adapters: generate, bucketize, discretize, stats,
+// convert, db. `db` runs on the service layer's `SeriesStore` -- the same
+// catalog + tail-WAL code path the `ppmd` daemon serves -- so a catalog
+// written by the daemon reads back identically from the CLI.
+
+#include <fstream>
+
+#include "cli/command_util.h"
+#include "cli/commands.h"
+#include "discretize/discretizer.h"
+#include "etl/bucketizer.h"
+#include "etl/event_log.h"
+#include "service/series_store.h"
+#include "synth/generator.h"
+
+namespace ppm::cli {
+
+Status RunGenerate(const ArgMap& args, std::ostream& out) {
+  PPM_RETURN_IF_ERROR(args.CheckAllowed({"output", "length", "period",
+                                         "max-pat-length", "num-f1",
+                                         "num-features", "conf", "noise",
+                                         "seed"}));
+  synth::GeneratorOptions options;
+  PPM_ASSIGN_OR_RETURN(options.length, args.GetUint("length", 100000));
+  PPM_ASSIGN_OR_RETURN(const uint64_t period, args.GetUint("period", 50));
+  options.period = static_cast<uint32_t>(period);
+  PPM_ASSIGN_OR_RETURN(const uint64_t mpl, args.GetUint("max-pat-length", 8));
+  options.max_pat_length = static_cast<uint32_t>(mpl);
+  PPM_ASSIGN_OR_RETURN(const uint64_t num_f1, args.GetUint("num-f1", 12));
+  options.num_f1 = static_cast<uint32_t>(num_f1);
+  PPM_ASSIGN_OR_RETURN(const uint64_t num_features,
+                       args.GetUint("num-features", 100));
+  options.num_features = static_cast<uint32_t>(num_features);
+  PPM_ASSIGN_OR_RETURN(options.anchor_confidence, args.GetDouble("conf", 0.9));
+  PPM_ASSIGN_OR_RETURN(options.noise_mean, args.GetDouble("noise", 1.0));
+  PPM_ASSIGN_OR_RETURN(options.seed, args.GetUint("seed", 42));
+
+  PPM_ASSIGN_OR_RETURN(const synth::GeneratedSeries generated,
+                       synth::GenerateSeries(options));
+  PPM_RETURN_IF_ERROR(
+      SaveSeries(generated.series, args.GetString("output", "")));
+  out << "wrote " << generated.series.length() << " instants to "
+      << args.GetString("output", "") << "\n"
+      << "planted max-pattern: "
+      << generated.anchor.Format(generated.series.symbols()) << "\n";
+  return Status::OK();
+}
+
+Status RunBucketize(const ArgMap& args, std::ostream& out) {
+  PPM_RETURN_IF_ERROR(args.CheckAllowed(
+      {"events", "output", "width", "origin", "end", "calendar"}));
+  const std::string events_path = args.GetString("events", "");
+  if (events_path.empty()) {
+    return Status::InvalidArgument("--events is required");
+  }
+  PPM_ASSIGN_OR_RETURN(const etl::EventLog log, etl::ReadEventLog(events_path));
+
+  etl::BucketizeOptions options;
+  PPM_ASSIGN_OR_RETURN(const uint64_t width, args.GetUint("width", 3600));
+  options.bucket_width = static_cast<int64_t>(width);
+  if (args.Has("origin")) {
+    PPM_ASSIGN_OR_RETURN(const uint64_t origin, args.GetUint("origin", 0));
+    options.origin = static_cast<int64_t>(origin);
+  }
+  if (args.Has("end")) {
+    PPM_ASSIGN_OR_RETURN(const uint64_t end, args.GetUint("end", 0));
+    options.end = static_cast<int64_t>(end);
+  }
+  PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series, etl::Bucketize(log, options));
+
+  if (args.Has("calendar")) {
+    const std::string calendar = args.GetString("calendar", "");
+    PPM_ASSIGN_OR_RETURN(const int64_t origin,
+                         etl::ResolveOrigin(log, options));
+    if (calendar == "dow") {
+      etl::AnnotateCalendar(&series, origin, options.bucket_width,
+                            etl::CalendarFeature::kDayOfWeek);
+    } else if (calendar == "hour") {
+      etl::AnnotateCalendar(&series, origin, options.bucket_width,
+                            etl::CalendarFeature::kHourOfDay);
+    } else {
+      return Status::InvalidArgument("--calendar must be dow or hour");
+    }
+  }
+
+  PPM_RETURN_IF_ERROR(SaveSeries(series, args.GetString("output", "")));
+  out << "bucketized " << log.size() << " events into " << series.length()
+      << " instants (" << series.symbols().size() << " features)\n";
+  return Status::OK();
+}
+
+Status RunDiscretize(const ArgMap& args, std::ostream& out) {
+  PPM_RETURN_IF_ERROR(args.CheckAllowed({"values", "output", "bins", "method",
+                                         "prefix", "movement", "epsilon"}));
+  const std::string values_path = args.GetString("values", "");
+  if (values_path.empty()) {
+    return Status::InvalidArgument("--values is required");
+  }
+  std::ifstream in(values_path);
+  if (!in) return Status::IoError("cannot open: " + values_path);
+  std::vector<double> values;
+  std::string line;
+  uint64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    char* end = nullptr;
+    const double value = std::strtod(line.c_str(), &end);
+    if (end == line.c_str()) {
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": not a number: " + line);
+    }
+    values.push_back(value);
+  }
+  if (in.bad()) return Status::IoError("read failed: " + values_path);
+
+  tsdb::TimeSeries series;
+  if (args.Has("movement")) {
+    PPM_ASSIGN_OR_RETURN(const double epsilon, args.GetDouble("epsilon", 0.0));
+    PPM_ASSIGN_OR_RETURN(
+        series, discretize::EncodeMovement(values, epsilon,
+                                           args.GetString("prefix", "")));
+  } else {
+    discretize::DiscretizeOptions options;
+    PPM_ASSIGN_OR_RETURN(const uint64_t bins, args.GetUint("bins", 4));
+    options.num_bins = static_cast<uint32_t>(bins);
+    options.prefix = args.GetString("prefix", "lvl");
+    const std::string method = args.GetString("method", "width");
+    if (method == "width") {
+      options.method = discretize::BinningMethod::kEqualWidth;
+    } else if (method == "freq") {
+      options.method = discretize::BinningMethod::kEqualFrequency;
+    } else if (method == "gaussian") {
+      options.method = discretize::BinningMethod::kGaussian;
+    } else {
+      return Status::InvalidArgument(
+          "--method must be width, freq, or gaussian");
+    }
+    PPM_ASSIGN_OR_RETURN(series, discretize::Discretize(values, options));
+  }
+
+  PPM_RETURN_IF_ERROR(SaveSeries(series, args.GetString("output", "")));
+  out << "discretized " << values.size() << " values into "
+      << series.length() << " instants (" << series.symbols().size()
+      << " features)\n";
+  return Status::OK();
+}
+
+Status RunStats(const ArgMap& args, std::ostream& out) {
+  PPM_RETURN_IF_ERROR(args.CheckAllowed({"input"}));
+  PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series,
+                       LoadSeries(args.GetString("input", "")));
+  uint64_t total_features = 0;
+  uint64_t empty_instants = 0;
+  uint32_t max_features = 0;
+  for (const tsdb::FeatureSet& instant : series.instants()) {
+    const uint32_t count = instant.Count();
+    total_features += count;
+    if (count == 0) ++empty_instants;
+    if (count > max_features) max_features = count;
+  }
+  out << "instants:        " << series.length() << "\n"
+      << "features:        " << series.symbols().size() << "\n"
+      << "feature events:  " << total_features << "\n"
+      << "empty instants:  " << empty_instants << "\n"
+      << "max per instant: " << max_features << "\n";
+  if (series.length() > 0) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.3f",
+                  static_cast<double>(total_features) /
+                      static_cast<double>(series.length()));
+    out << "avg per instant: " << buffer << "\n";
+  }
+  return Status::OK();
+}
+
+Status RunConvert(const ArgMap& args, std::ostream& out) {
+  PPM_RETURN_IF_ERROR(args.CheckAllowed({"input", "output"}));
+  PPM_ASSIGN_OR_RETURN(tsdb::TimeSeries series,
+                       LoadSeries(args.GetString("input", "")));
+  PPM_RETURN_IF_ERROR(SaveSeries(series, args.GetString("output", "")));
+  out << "converted " << series.length() << " instants\n";
+  return Status::OK();
+}
+
+Status RunDb(const ArgMap& args, std::ostream& out) {
+  PPM_RETURN_IF_ERROR(
+      args.CheckAllowed({"dir", "name", "input", "output"}));
+  if (args.positional().size() != 1) {
+    return Status::InvalidArgument(
+        "db needs exactly one action: list, put, get, or drop");
+  }
+  const std::string& action = args.positional()[0];
+  const std::string dir = args.GetString("dir", "");
+  if (dir.empty()) return Status::InvalidArgument("--dir is required");
+  PPM_ASSIGN_OR_RETURN(const auto store, service::SeriesStore::Open(dir));
+
+  if (action == "list") {
+    for (const std::string& name : store->List()) {
+      // Snapshots include each series' tail WAL, so a catalog a daemon
+      // appended to reports the served lengths, not just the payloads'.
+      auto snapshot = store->Snapshot(name);
+      if (snapshot.ok()) {
+        out << name << "  (" << snapshot->series.length() << " instants, "
+            << snapshot->series.symbols().size() << " features)\n";
+      } else {
+        out << name << "  (unreadable: " << snapshot.status().ToString()
+            << ")\n";
+      }
+    }
+    out << store->List().size() << " series in " << dir << "\n";
+    return Status::OK();
+  }
+
+  const std::string name = args.GetString("name", "");
+  if (name.empty()) return Status::InvalidArgument("--name is required");
+  if (action == "put") {
+    PPM_ASSIGN_OR_RETURN(const tsdb::TimeSeries series,
+                         LoadSeries(args.GetString("input", "")));
+    PPM_RETURN_IF_ERROR(store->Put(name, series));
+    out << "stored " << series.length() << " instants as " << name << "\n";
+    return Status::OK();
+  }
+  if (action == "get") {
+    PPM_ASSIGN_OR_RETURN(const service::SeriesSnapshot snapshot,
+                         store->Snapshot(name));
+    PPM_RETURN_IF_ERROR(
+        SaveSeries(snapshot.series, args.GetString("output", "")));
+    out << "exported " << snapshot.series.length() << " instants from "
+        << name << "\n";
+    return Status::OK();
+  }
+  if (action == "drop") {
+    PPM_RETURN_IF_ERROR(store->Drop(name));
+    out << "dropped " << name << "\n";
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown db action: " + action);
+}
+
+}  // namespace ppm::cli

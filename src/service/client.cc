@@ -1,0 +1,49 @@
+#include "service/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ppm::service {
+
+Result<std::unique_ptr<Client>> Client::Connect(
+    const std::string& socket_path) {
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("bad socket path: '" + socket_path + "'");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket() failed: ") +
+                           std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("connect(" + socket_path +
+                           ") failed: " + std::strerror(err));
+  }
+  std::unique_ptr<Client> client(new Client(fd));
+  PPM_RETURN_IF_ERROR(wire::WriteMagic(fd));
+  PPM_RETURN_IF_ERROR(wire::ExpectMagic(fd));
+  return client;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<wire::Response> Client::Call(const wire::Request& request) {
+  PPM_RETURN_IF_ERROR(wire::WriteFrame(fd_, wire::EncodeRequest(request)));
+  PPM_ASSIGN_OR_RETURN(std::string frame, wire::ReadFrame(fd_));
+  return wire::DecodeResponse(frame);
+}
+
+}  // namespace ppm::service

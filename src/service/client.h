@@ -1,0 +1,37 @@
+#ifndef PPM_SERVICE_CLIENT_H_
+#define PPM_SERVICE_CLIENT_H_
+
+#include <memory>
+#include <string>
+
+#include "service/wire.h"
+#include "util/status.h"
+
+namespace ppm::service {
+
+/// Synchronous PPMRPC1 client over a unix-domain socket: one `Call` sends a
+/// request frame and blocks for the matching response frame. Used by
+/// `ppm client` and the serving tests. Not thread-safe; use one `Client`
+/// per thread (the daemon serves each connection independently).
+class Client {
+ public:
+  /// Connects and exchanges magics.
+  static Result<std::unique_ptr<Client>> Connect(
+      const std::string& socket_path);
+
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Result<wire::Response> Call(const wire::Request& request);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_;
+};
+
+}  // namespace ppm::service
+
+#endif  // PPM_SERVICE_CLIENT_H_

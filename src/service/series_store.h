@@ -1,0 +1,171 @@
+#ifndef PPM_SERVICE_SERIES_STORE_H_
+#define PPM_SERVICE_SERIES_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "tsdb/database.h"
+#include "tsdb/time_series.h"
+#include "tsdb/wal.h"
+#include "util/status.h"
+
+namespace ppm::service {
+
+/// Reads a series file: the text codec for `.txt` paths, binary otherwise
+/// (the suffix convention every `ppm` command uses).
+Result<tsdb::TimeSeries> LoadSeriesFile(const std::string& path);
+
+/// Writes a series file with the same suffix convention.
+Status SaveSeriesFile(const tsdb::TimeSeries& series, const std::string& path);
+
+/// A consistent point-in-time copy of one stored series.
+struct SeriesSnapshot {
+  tsdb::TimeSeries series;
+  /// Monotonic per-series mutation counter (bumped by put/append); two
+  /// snapshots with equal versions hold identical series.
+  uint64_t version = 0;
+};
+
+/// Thread-safe, WAL-durable catalog of named series: the storage half of
+/// the service layer (docs/SERVING.md).
+///
+/// `tsdb::Database` stays the single-threaded on-disk catalog it always
+/// was; `SeriesStore` wraps it with per-series locking, an in-memory copy
+/// of each opened series, and a per-series *tail WAL* (`<name>.wal` beside
+/// the payload, framed exactly like the stream WAL) holding the instants
+/// appended since the last full rewrite of the `.series` payload. Record
+/// sequence numbers are instant indices, so recovery is: load the payload,
+/// then `ReplayWalTail` from its length. Appends are durable when they
+/// return (subject to the configured fsync mode); `Put` and `Drop` rewrite
+/// or remove the payload and reset the tail log.
+///
+/// Lock order: the catalog map lock, then one series' lock, then the
+/// database lock. No path takes two series locks at once.
+class SeriesStore {
+ public:
+  struct Options {
+    /// Fsync mode of the per-series tail WALs.
+    tsdb::WalFsync wal_fsync = tsdb::WalFsync::kAlways;
+  };
+
+  /// What changed, delivered to the mutation listener *while the mutated
+  /// series' lock is held* -- so a pattern cache can invalidate or feed its
+  /// incremental miners without racing a concurrent query's snapshot.
+  struct Mutation {
+    enum class Kind { kPut, kAppend, kDrop };
+    Kind kind = Kind::kAppend;
+    std::string name;
+    /// Series version after the mutation.
+    uint64_t version = 0;
+    /// Series length after the mutation.
+    uint64_t length = 0;
+    /// The appended instants (kAppend only; null otherwise).
+    const std::vector<tsdb::FeatureSet>* delta = nullptr;
+  };
+  using MutationListener = std::function<void(const Mutation&)>;
+
+  /// Opens the catalog at `root` (creating it if absent). Series payloads
+  /// are loaded lazily on first access; tail WALs replay at that point.
+  static Result<std::unique_ptr<SeriesStore>> Open(const std::string& root,
+                                                   const Options& options);
+  static Result<std::unique_ptr<SeriesStore>> Open(const std::string& root) {
+    return Open(root, Options());
+  }
+
+  /// Installs the mutation listener (at most one; the pattern cache).
+  /// Must be called before concurrent use.
+  void SetMutationListener(MutationListener listener);
+
+  /// Stores (or wholesale replaces) `name`. The payload is rewritten and
+  /// the tail WAL reset, so a replace discards the previous tail.
+  Status Put(const std::string& name, const tsdb::TimeSeries& series);
+
+  /// Appends instants given as feature-name lists to `name`. New feature
+  /// names are interned; when one appears, the payload is compacted first
+  /// so the on-disk symbol table always covers every id the tail WAL uses.
+  /// Durable when it returns (per the fsync mode).
+  Status Append(const std::string& name,
+                const std::vector<std::vector<std::string>>& instants);
+
+  /// Point-in-time copy of `name` (payload + replayed tail).
+  Result<SeriesSnapshot> Snapshot(const std::string& name) const;
+
+  /// Current version and length of `name` without copying the series.
+  Result<std::pair<uint64_t, uint64_t>> VersionAndLength(
+      const std::string& name) const;
+
+  /// Removes `name`, its payload, and its tail WAL. NotFound when absent.
+  Status Drop(const std::string& name);
+
+  /// Rewrites `name`'s payload with its current contents and resets the
+  /// tail WAL (bounded recovery time after long append streams).
+  Status Compact(const std::string& name);
+
+  /// Sorted names of all stored series.
+  std::vector<std::string> List() const;
+
+  bool Contains(const std::string& name) const;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  struct Entry {
+    mutable std::mutex mu;
+    bool loaded = false;
+    bool dropped = false;
+    /// Set when a WAL append failed mid-batch: memory and disk may
+    /// disagree until the next successful compaction, so mutations are
+    /// refused (reads still serve the in-memory state).
+    bool poisoned = false;
+    tsdb::TimeSeries series;
+    uint64_t version = 0;
+    std::unique_ptr<tsdb::WalWriter> wal;
+    /// Replay told us the existing tail WAL can be appended to (vs. being
+    /// absent/stale and needing recreation on first write).
+    bool wal_reuse = false;
+    uint64_t wal_next_seq = 0;
+    uint64_t wal_valid_bytes = 0;
+  };
+
+  SeriesStore(std::string root, const Options& options)
+      : root_(std::move(root)), options_(options) {}
+
+  std::string WalPathFor(const std::string& name) const;
+
+  /// Finds (or, when `create` is set, inserts) the entry for `name`.
+  std::shared_ptr<Entry> FindEntry(const std::string& name,
+                                   bool create) const;
+
+  /// Loads the payload and replays the tail WAL; caller holds `entry->mu`.
+  Status EnsureLoaded(const std::string& name, Entry* entry) const;
+
+  /// Opens (or creates) the tail WAL writer; caller holds `entry->mu` and
+  /// `entry` is loaded.
+  Status EnsureWal(const std::string& name, Entry* entry);
+
+  /// Rewrites the payload from memory and resets the tail WAL; caller
+  /// holds `entry->mu` and `entry` is loaded.
+  Status CompactLocked(const std::string& name, Entry* entry);
+
+  std::string root_;
+  Options options_;
+  std::unique_ptr<tsdb::Database> db_;
+  MutationListener listener_;
+
+  /// Guards `entries_` (lookup/insert only -- never held across I/O).
+  mutable std::mutex map_mu_;
+  mutable std::map<std::string, std::shared_ptr<Entry>> entries_;
+
+  /// Serializes every `tsdb::Database` call (it is single-threaded by
+  /// contract). Acquired after a series lock, never before.
+  mutable std::mutex db_mu_;
+};
+
+}  // namespace ppm::service
+
+#endif  // PPM_SERVICE_SERIES_STORE_H_

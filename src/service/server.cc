@@ -1,0 +1,303 @@
+#include "service/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "util/log.h"
+
+namespace ppm::service {
+
+namespace {
+
+Result<int> ListenOn(const std::string& path) {
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("bad socket path: '" + path + "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket() failed: ") +
+                           std::strerror(errno));
+  }
+  // A previous daemon that died uncleanly leaves its socket file behind.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("bind(" + path +
+                           ") failed: " + std::strerror(err));
+  }
+  if (::listen(fd, 64) < 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    return Status::IoError("listen(" + path +
+                           ") failed: " + std::strerror(err));
+  }
+  return fd;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PatternServer>> PatternServer::Start(
+    const std::string& root, const ServerOptions& options) {
+  std::unique_ptr<PatternServer> server(new PatternServer(options));
+  if (server->options_.num_workers == 0) server->options_.num_workers = 1;
+  if (server->options_.max_inflight == 0) {
+    server->options_.max_inflight = 2 * server->options_.num_workers;
+  }
+  PPM_ASSIGN_OR_RETURN(server->service_,
+                       MineService::Open(root, options.service));
+  PPM_ASSIGN_OR_RETURN(server->listen_fd_, ListenOn(options.socket_path));
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  server->inflight_gauge_ = registry.GetGauge("ppm.server.inflight");
+  server->connections_ = registry.GetCounter("ppm.server.connections");
+  server->rejected_ = registry.GetCounter("ppm.server.rejected");
+
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  server->workers_.reserve(server->options_.num_workers);
+  for (uint32_t i = 0; i < server->options_.num_workers; ++i) {
+    server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
+  }
+  PPM_LOG(kInfo) << "ppmd listening on " << options.socket_path << " ("
+                 << server->options_.num_workers << " workers)";
+  return server;
+}
+
+PatternServer::~PatternServer() {
+  RequestStop();
+  Wait();
+}
+
+void PatternServer::Wait() {
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (joined_) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  // Connections still queued but never picked up by a worker.
+  for (int fd : pending_) ::close(fd);
+  pending_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(options_.socket_path.c_str());
+  joined_ = true;
+}
+
+void PatternServer::AcceptLoop() {
+  while (!stop_.cancelled()) {
+    struct pollfd pfd = {listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 50);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      PPM_LOG(kError) << "ppmd accept poll failed: " << std::strerror(errno);
+      return;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      PPM_LOG(kError) << "ppmd accept failed: " << std::strerror(errno);
+      return;
+    }
+    connections_.Inc();
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      pending_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void PatternServer::WorkerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait_for(lock, std::chrono::milliseconds(50), [this] {
+        return !pending_.empty() || stop_.cancelled();
+      });
+      if (!pending_.empty()) {
+        fd = pending_.front();
+        pending_.pop_front();
+      } else if (stop_.cancelled()) {
+        return;
+      }
+    }
+    if (fd >= 0) HandleConnection(fd);
+  }
+}
+
+void PatternServer::HandleConnection(int fd) {
+  const auto should_stop = [this] { return stop_.cancelled(); };
+  // Both sides greet; a non-PPMRPC1 peer is dropped before any frame parse.
+  if (!wire::WriteMagic(fd).ok() || !wire::ExpectMagic(fd).ok()) {
+    ::close(fd);
+    return;
+  }
+  while (!stop_.cancelled()) {
+    Result<std::string> frame = wire::ReadFrame(fd, should_stop);
+    if (!frame.ok()) {
+      // Clean close (kNotFound) and drain (kCancelled) are normal exits.
+      if (frame.status().code() != StatusCode::kNotFound &&
+          frame.status().code() != StatusCode::kCancelled) {
+        PPM_LOG(kWarn) << "ppmd dropping connection: "
+                       << frame.status().ToString();
+      }
+      break;
+    }
+    Result<wire::Request> request = wire::DecodeRequest(*frame);
+    wire::Response response;
+    bool shutdown = false;
+    if (!request.ok()) {
+      response.code = static_cast<uint8_t>(request.status().code());
+      response.message = request.status().message();
+    } else {
+      // Admission control: a request past the inflight cap is refused
+      // outright -- it must not queue behind mining work and blow the
+      // resident footprint.
+      const uint32_t slot = inflight_.fetch_add(1) + 1;
+      inflight_gauge_.Set(slot);
+      if (slot > options_.max_inflight) {
+        rejected_.Inc();
+        response.code = static_cast<uint8_t>(StatusCode::kResourceExhausted);
+        response.message = "server at capacity (" +
+                           std::to_string(options_.max_inflight) +
+                           " requests in flight)";
+      } else {
+        response = Execute(*request);
+        shutdown = request->op == wire::Op::kShutdown &&
+                   response.code == static_cast<uint8_t>(StatusCode::kOk);
+      }
+      inflight_gauge_.Set(inflight_.fetch_sub(1) - 1);
+    }
+    if (!wire::WriteFrame(fd, wire::EncodeResponse(response)).ok()) break;
+    if (shutdown) {
+      RequestStop();
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+wire::Response PatternServer::Execute(const wire::Request& request) {
+  wire::Response response;
+  const auto fail = [&response](const Status& status) {
+    response.code = static_cast<uint8_t>(status.code());
+    response.message = status.message();
+  };
+  // Mutations answer with the catalog's new (version, length) so clients
+  // can correlate later query responses with the snapshot they produced.
+  const auto stamp = [this, &response, &fail](const std::string& name) {
+    const auto stamped = service_->store().VersionAndLength(name);
+    if (!stamped.ok()) {
+      fail(stamped.status());
+      return;
+    }
+    response.version = stamped->first;
+    response.length = stamped->second;
+  };
+  switch (request.op) {
+    case wire::Op::kPut: {
+      const Status status = service_->Put(request.name, request.series);
+      if (!status.ok()) {
+        fail(status);
+        break;
+      }
+      stamp(request.name);
+      break;
+    }
+    case wire::Op::kAppend: {
+      const Status status = service_->Append(request.name, request.instants);
+      if (!status.ok()) {
+        fail(status);
+        break;
+      }
+      stamp(request.name);
+      break;
+    }
+    case wire::Op::kGet: {
+      Result<SeriesSnapshot> snapshot = service_->Get(request.name);
+      if (!snapshot.ok()) {
+        fail(snapshot.status());
+        break;
+      }
+      response.has_series = true;
+      response.series = std::move(snapshot->series);
+      response.version = snapshot->version;
+      response.length = response.series.length();
+      break;
+    }
+    case wire::Op::kMine:
+    case wire::Op::kQuery: {
+      QueryRequest query;
+      query.series = request.name;
+      query.period = request.period;
+      query.min_confidence = request.min_confidence;
+      query.min_count = request.min_count;
+      query.max_letters = request.max_letters;
+      if (request.algorithm >
+          static_cast<uint8_t>(Algorithm::kMaxSubpatternHitSet)) {
+        fail(Status::InvalidArgument("unknown algorithm: " +
+                                     std::to_string(request.algorithm)));
+        break;
+      }
+      query.algorithm = static_cast<Algorithm>(request.algorithm);
+      query.force_rebuild = request.op == wire::Op::kMine;
+      if (request.deadline_ms != 0) {
+        query.deadline = Deadline::After(request.deadline_ms);
+      }
+      Result<PatternCache::Response> served = service_->Query(query);
+      if (!served.ok()) {
+        fail(served.status());
+        break;
+      }
+      response.cache_outcome = static_cast<uint8_t>(served->outcome);
+      response.version = served->version;
+      response.length = served->length;
+      response.num_periods = served->result.stats().num_periods;
+      response.period = request.period;
+      response.symbols = served->symbols.names();
+      response.patterns.reserve(served->result.size());
+      for (const FrequentPattern& frequent : served->result.patterns()) {
+        wire::WirePattern pattern;
+        for (uint32_t position = 0; position < frequent.pattern.period();
+             ++position) {
+          frequent.pattern.at(position).ForEach(
+              [&pattern, position](uint32_t feature) {
+                pattern.letters.emplace_back(position, feature);
+              });
+        }
+        pattern.count = frequent.count;
+        pattern.confidence = frequent.confidence;
+        response.patterns.push_back(std::move(pattern));
+      }
+      break;
+    }
+    case wire::Op::kStats:
+      response.stats_json = service_->StatsJson();
+      response.metrics_prom = service_->MetricsProm();
+      break;
+    case wire::Op::kShutdown:
+      PPM_LOG(kInfo) << "ppmd shutdown requested over socket";
+      break;
+  }
+  return response;
+}
+
+}  // namespace ppm::service

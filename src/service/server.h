@@ -1,0 +1,96 @@
+#ifndef PPM_SERVICE_SERVER_H_
+#define PPM_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/mine_service.h"
+#include "service/wire.h"
+#include "util/cancellation.h"
+#include "util/status.h"
+
+namespace ppm::service {
+
+struct ServerOptions {
+  /// Unix-domain socket path the daemon listens on.
+  std::string socket_path;
+  /// Connection-serving threads.
+  uint32_t num_workers = 4;
+  /// Admission cap on concurrently executing requests; one past it is
+  /// answered `kResourceExhausted` without being executed. 0 = 2x workers
+  /// (effectively "never", since each worker drives one request at a time).
+  uint32_t max_inflight = 0;
+  /// The service layer's own configuration (budgets, fsync).
+  MineServiceOptions service;
+};
+
+/// The `ppmd` daemon core: accepts PPMRPC1 connections on a unix socket and
+/// serves them from a worker pool over one `MineService` (docs/SERVING.md).
+///
+/// Stop semantics (SIGTERM drain): `RequestStop()` is a single atomic store,
+/// safe from a signal handler. The accept loop stops taking connections;
+/// workers finish the request they are executing -- in-flight mining is never
+/// cancelled by a drain -- answer it, and close. `Wait()` joins everything
+/// and removes the socket file.
+class PatternServer {
+ public:
+  /// Opens the service at `root`, binds and listens on
+  /// `options.socket_path`, and starts the accept loop + workers.
+  static Result<std::unique_ptr<PatternServer>> Start(
+      const std::string& root, const ServerOptions& options);
+
+  ~PatternServer();
+
+  PatternServer(const PatternServer&) = delete;
+  PatternServer& operator=(const PatternServer&) = delete;
+
+  /// Begins a graceful drain. Async-signal-safe; idempotent.
+  void RequestStop() { stop_.Cancel(); }
+
+  /// Blocks until the drain completes (call `RequestStop` first, or rely on
+  /// a `shutdown` request from a client). Joins all threads.
+  void Wait();
+
+  MineService& service() { return *service_; }
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  explicit PatternServer(const ServerOptions& options) : options_(options) {}
+
+  void AcceptLoop();
+  void WorkerLoop();
+  void HandleConnection(int fd);
+  wire::Response Execute(const wire::Request& request);
+
+  ServerOptions options_;
+  std::unique_ptr<MineService> service_;
+  int listen_fd_ = -1;
+
+  CancelToken stop_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  bool joined_ = false;
+  std::mutex join_mu_;
+
+  std::atomic<uint32_t> inflight_{0};
+
+  obs::Gauge inflight_gauge_;
+  obs::Counter connections_;
+  obs::Counter rejected_;
+};
+
+}  // namespace ppm::service
+
+#endif  // PPM_SERVICE_SERVER_H_

@@ -1,0 +1,459 @@
+#include "service/wire.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/crc32c.h"
+
+namespace ppm::service::wire {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Payload encoding primitives.
+
+void PutU8(std::string* out, uint8_t value) {
+  out->push_back(static_cast<char>(value));
+}
+
+void PutU32(std::string* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void PutF64(std::string* out, double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, std::string_view value) {
+  PutU32(out, static_cast<uint32_t>(value.size()));
+  out->append(value.data(), value.size());
+}
+
+/// Bounds-checked little-endian reader over a payload.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  Status U8(uint8_t* value) {
+    PPM_RETURN_IF_ERROR(Need(1));
+    *value = static_cast<uint8_t>(data_[pos_++]);
+    return Status::OK();
+  }
+
+  Status U32(uint32_t* value) {
+    PPM_RETURN_IF_ERROR(Need(4));
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 4;
+    *value = out;
+    return Status::OK();
+  }
+
+  Status U64(uint64_t* value) {
+    PPM_RETURN_IF_ERROR(Need(8));
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 8;
+    *value = out;
+    return Status::OK();
+  }
+
+  Status F64(double* value) {
+    uint64_t bits = 0;
+    PPM_RETURN_IF_ERROR(U64(&bits));
+    std::memcpy(value, &bits, sizeof(*value));
+    return Status::OK();
+  }
+
+  Status String(std::string* value) {
+    uint32_t length = 0;
+    PPM_RETURN_IF_ERROR(U32(&length));
+    PPM_RETURN_IF_ERROR(Need(length));
+    value->assign(data_.data() + pos_, length);
+    pos_ += length;
+    return Status::OK();
+  }
+
+  bool Done() const { return pos_ == data_.size(); }
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  Status Need(size_t n) {
+    if (data_.size() - pos_ < n) {
+      return Status::InvalidArgument("truncated PPMRPC1 payload");
+    }
+    return Status::OK();
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Series block: u32 nsymbols + names, u64 ninstants, per instant a u32
+// feature count + sorted u32 ids (validated against nsymbols on decode).
+
+void PutSeries(std::string* out, const tsdb::TimeSeries& series) {
+  const auto& names = series.symbols().names();
+  PutU32(out, static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) PutString(out, name);
+  PutU64(out, series.length());
+  for (const tsdb::FeatureSet& instant : series.instants()) {
+    PutU32(out, instant.Count());
+    instant.ForEach([out](uint32_t id) { PutU32(out, id); });
+  }
+}
+
+Status ReadSeries(Reader* reader, tsdb::TimeSeries* series) {
+  uint32_t num_symbols = 0;
+  PPM_RETURN_IF_ERROR(reader->U32(&num_symbols));
+  std::string name;
+  for (uint32_t i = 0; i < num_symbols; ++i) {
+    PPM_RETURN_IF_ERROR(reader->String(&name));
+    const tsdb::FeatureId id = series->symbols().Intern(name);
+    if (id != i) {
+      return Status::InvalidArgument("duplicate symbol in PPMRPC1 series: " +
+                                     name);
+    }
+  }
+  uint64_t num_instants = 0;
+  PPM_RETURN_IF_ERROR(reader->U64(&num_instants));
+  // 5 bytes is the smallest possible instant encoding; anything claiming
+  // more instants than the remaining bytes allow is corrupt, not huge.
+  if (num_instants > reader->remaining() / 4) {
+    return Status::InvalidArgument("truncated PPMRPC1 payload");
+  }
+  for (uint64_t t = 0; t < num_instants; ++t) {
+    uint32_t count = 0;
+    PPM_RETURN_IF_ERROR(reader->U32(&count));
+    tsdb::FeatureSet instant;
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t id = 0;
+      PPM_RETURN_IF_ERROR(reader->U32(&id));
+      if (id >= num_symbols) {
+        return Status::InvalidArgument(
+            "feature id out of range in PPMRPC1 series: " +
+            std::to_string(id));
+      }
+      instant.Set(id);
+    }
+    series->Append(std::move(instant));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Request / Response payloads.
+
+std::string EncodeRequest(const Request& request) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(request.op));
+  PutU32(&out, request.deadline_ms);
+  PutString(&out, request.name);
+  switch (request.op) {
+    case Op::kPut:
+      PutSeries(&out, request.series);
+      break;
+    case Op::kAppend:
+      PutU64(&out, request.instants.size());
+      for (const std::vector<std::string>& instant : request.instants) {
+        PutU32(&out, static_cast<uint32_t>(instant.size()));
+        for (const std::string& feature : instant) PutString(&out, feature);
+      }
+      break;
+    case Op::kMine:
+    case Op::kQuery:
+      PutU32(&out, request.period);
+      PutF64(&out, request.min_confidence);
+      PutU64(&out, request.min_count);
+      PutU32(&out, request.max_letters);
+      PutU8(&out, request.algorithm);
+      break;
+    case Op::kGet:
+    case Op::kStats:
+    case Op::kShutdown:
+      break;
+  }
+  return out;
+}
+
+Result<Request> DecodeRequest(std::string_view payload) {
+  Reader reader(payload);
+  Request request;
+  uint8_t op = 0;
+  PPM_RETURN_IF_ERROR(reader.U8(&op));
+  if (op < static_cast<uint8_t>(Op::kPut) ||
+      op > static_cast<uint8_t>(Op::kShutdown)) {
+    return Status::InvalidArgument("unknown PPMRPC1 op: " + std::to_string(op));
+  }
+  request.op = static_cast<Op>(op);
+  PPM_RETURN_IF_ERROR(reader.U32(&request.deadline_ms));
+  PPM_RETURN_IF_ERROR(reader.String(&request.name));
+  switch (request.op) {
+    case Op::kPut:
+      PPM_RETURN_IF_ERROR(ReadSeries(&reader, &request.series));
+      break;
+    case Op::kAppend: {
+      uint64_t num_instants = 0;
+      PPM_RETURN_IF_ERROR(reader.U64(&num_instants));
+      if (num_instants > reader.remaining() / 4) {
+        return Status::InvalidArgument("truncated PPMRPC1 payload");
+      }
+      request.instants.reserve(num_instants);
+      for (uint64_t t = 0; t < num_instants; ++t) {
+        uint32_t count = 0;
+        PPM_RETURN_IF_ERROR(reader.U32(&count));
+        std::vector<std::string> instant;
+        instant.reserve(count < 64 ? count : 64);
+        for (uint32_t i = 0; i < count; ++i) {
+          std::string feature;
+          PPM_RETURN_IF_ERROR(reader.String(&feature));
+          instant.push_back(std::move(feature));
+        }
+        request.instants.push_back(std::move(instant));
+      }
+      break;
+    }
+    case Op::kMine:
+    case Op::kQuery:
+      PPM_RETURN_IF_ERROR(reader.U32(&request.period));
+      PPM_RETURN_IF_ERROR(reader.F64(&request.min_confidence));
+      PPM_RETURN_IF_ERROR(reader.U64(&request.min_count));
+      PPM_RETURN_IF_ERROR(reader.U32(&request.max_letters));
+      PPM_RETURN_IF_ERROR(reader.U8(&request.algorithm));
+      break;
+    case Op::kGet:
+    case Op::kStats:
+    case Op::kShutdown:
+      break;
+  }
+  if (!reader.Done()) {
+    return Status::InvalidArgument("trailing bytes in PPMRPC1 request");
+  }
+  return request;
+}
+
+std::string EncodeResponse(const Response& response) {
+  std::string out;
+  PutU8(&out, response.code);
+  PutString(&out, response.message);
+  PutU8(&out, response.cache_outcome);
+  PutU64(&out, response.version);
+  PutU64(&out, response.length);
+  PutU64(&out, response.num_periods);
+  PutU32(&out, response.period);
+  PutU32(&out, static_cast<uint32_t>(response.symbols.size()));
+  for (const std::string& symbol : response.symbols) PutString(&out, symbol);
+  PutU64(&out, response.patterns.size());
+  for (const WirePattern& pattern : response.patterns) {
+    PutU32(&out, static_cast<uint32_t>(pattern.letters.size()));
+    for (const auto& [position, feature] : pattern.letters) {
+      PutU32(&out, position);
+      PutU32(&out, feature);
+    }
+    PutU64(&out, pattern.count);
+    PutF64(&out, pattern.confidence);
+  }
+  PutU8(&out, response.has_series ? 1 : 0);
+  if (response.has_series) PutSeries(&out, response.series);
+  PutString(&out, response.stats_json);
+  PutString(&out, response.metrics_prom);
+  return out;
+}
+
+Result<Response> DecodeResponse(std::string_view payload) {
+  Reader reader(payload);
+  Response response;
+  PPM_RETURN_IF_ERROR(reader.U8(&response.code));
+  PPM_RETURN_IF_ERROR(reader.String(&response.message));
+  PPM_RETURN_IF_ERROR(reader.U8(&response.cache_outcome));
+  PPM_RETURN_IF_ERROR(reader.U64(&response.version));
+  PPM_RETURN_IF_ERROR(reader.U64(&response.length));
+  PPM_RETURN_IF_ERROR(reader.U64(&response.num_periods));
+  PPM_RETURN_IF_ERROR(reader.U32(&response.period));
+  uint32_t num_symbols = 0;
+  PPM_RETURN_IF_ERROR(reader.U32(&num_symbols));
+  if (num_symbols > reader.remaining() / 4) {
+    return Status::InvalidArgument("truncated PPMRPC1 payload");
+  }
+  response.symbols.reserve(num_symbols);
+  for (uint32_t i = 0; i < num_symbols; ++i) {
+    std::string symbol;
+    PPM_RETURN_IF_ERROR(reader.String(&symbol));
+    response.symbols.push_back(std::move(symbol));
+  }
+  uint64_t num_patterns = 0;
+  PPM_RETURN_IF_ERROR(reader.U64(&num_patterns));
+  if (num_patterns > reader.remaining() / 4) {
+    return Status::InvalidArgument("truncated PPMRPC1 payload");
+  }
+  response.patterns.reserve(num_patterns);
+  for (uint64_t i = 0; i < num_patterns; ++i) {
+    WirePattern pattern;
+    uint32_t num_letters = 0;
+    PPM_RETURN_IF_ERROR(reader.U32(&num_letters));
+    if (num_letters > reader.remaining() / 8) {
+      return Status::InvalidArgument("truncated PPMRPC1 payload");
+    }
+    pattern.letters.reserve(num_letters);
+    for (uint32_t j = 0; j < num_letters; ++j) {
+      uint32_t position = 0;
+      uint32_t feature = 0;
+      PPM_RETURN_IF_ERROR(reader.U32(&position));
+      PPM_RETURN_IF_ERROR(reader.U32(&feature));
+      if (position >= response.period && response.period != 0) {
+        return Status::InvalidArgument(
+            "letter position out of range in PPMRPC1 response");
+      }
+      pattern.letters.emplace_back(position, feature);
+    }
+    PPM_RETURN_IF_ERROR(reader.U64(&pattern.count));
+    PPM_RETURN_IF_ERROR(reader.F64(&pattern.confidence));
+    response.patterns.push_back(std::move(pattern));
+  }
+  uint8_t has_series = 0;
+  PPM_RETURN_IF_ERROR(reader.U8(&has_series));
+  response.has_series = has_series != 0;
+  if (response.has_series) {
+    PPM_RETURN_IF_ERROR(ReadSeries(&reader, &response.series));
+  }
+  PPM_RETURN_IF_ERROR(reader.String(&response.stats_json));
+  PPM_RETURN_IF_ERROR(reader.String(&response.metrics_prom));
+  if (!reader.Done()) {
+    return Status::InvalidArgument("trailing bytes in PPMRPC1 response");
+  }
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O.
+
+namespace {
+
+Status WriteAll(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    // MSG_NOSIGNAL: a peer that hung up yields EPIPE, not process death.
+    const ssize_t written = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("socket write failed: ") +
+                             std::strerror(errno));
+    }
+    p += written;
+    n -= static_cast<size_t>(written);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `n` bytes; polls in 50 ms ticks so `should_stop` can abort.
+/// `*eof` is set when the peer closed cleanly before the first byte.
+Status ReadAll(int fd, void* data, size_t n,
+               const std::function<bool()>& should_stop, bool* eof) {
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < n) {
+    if (should_stop && should_stop()) {
+      return Status::Cancelled("server stopping");
+    }
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 50);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("socket poll failed: ") +
+                             std::strerror(errno));
+    }
+    if (ready == 0) continue;
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("socket read failed: ") +
+                             std::strerror(errno));
+    }
+    if (r == 0) {
+      if (got == 0 && eof != nullptr) {
+        *eof = true;
+        return Status::NotFound("connection closed");
+      }
+      return Status::IoError("connection closed mid-frame");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteMagic(int fd) { return WriteAll(fd, kMagic, sizeof(kMagic)); }
+
+Status ExpectMagic(int fd) {
+  char magic[sizeof(kMagic)];
+  bool eof = false;
+  PPM_RETURN_IF_ERROR(ReadAll(fd, magic, sizeof(magic), {}, &eof));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad PPMRPC1 magic");
+  }
+  return Status::OK();
+}
+
+Status WriteFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFramePayloadBytes) {
+    return Status::InvalidArgument("PPMRPC1 frame too large: " +
+                                   std::to_string(payload.size()) + " bytes");
+  }
+  std::string header;
+  PutU32(&header, static_cast<uint32_t>(payload.size()));
+  PutU32(&header, crc32c::Value(payload.data(), payload.size()));
+  PPM_RETURN_IF_ERROR(WriteAll(fd, header.data(), header.size()));
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+Result<std::string> ReadFrame(int fd,
+                              const std::function<bool()>& should_stop) {
+  uint8_t header[8];
+  bool eof = false;
+  PPM_RETURN_IF_ERROR(ReadAll(fd, header, sizeof(header), should_stop, &eof));
+  uint32_t length = 0;
+  uint32_t crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(header[i]) << (8 * i);
+    crc |= static_cast<uint32_t>(header[4 + i]) << (8 * i);
+  }
+  if (length > kMaxFramePayloadBytes) {
+    return Status::InvalidArgument("PPMRPC1 frame too large: " +
+                                   std::to_string(length) + " bytes");
+  }
+  std::string payload(length, '\0');
+  PPM_RETURN_IF_ERROR(
+      ReadAll(fd, payload.data(), payload.size(), should_stop, nullptr));
+  if (crc32c::Value(payload.data(), payload.size()) != crc) {
+    return Status::Corruption("PPMRPC1 frame checksum mismatch");
+  }
+  return payload;
+}
+
+}  // namespace ppm::service::wire

@@ -1,0 +1,124 @@
+#ifndef PPM_SERVICE_WIRE_H_
+#define PPM_SERVICE_WIRE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "tsdb/time_series.h"
+#include "util/status.h"
+
+namespace ppm::service::wire {
+
+/// PPMRPC1: the length-prefixed binary protocol `ppmd` speaks over its unix
+/// socket (docs/SERVING.md).
+///
+/// Connection: each side sends the 8-byte magic first; then the client sends
+/// request frames and reads one response frame per request.
+///
+/// Frame:
+///   payload_len   u32 LE   payload bytes (<= kMaxFramePayloadBytes)
+///   payload_crc   u32 LE   CRC-32C of the payload
+///   payload       bytes
+///
+/// Payload scalars are little-endian; strings are u32 length + bytes;
+/// doubles travel as their IEEE-754 bit pattern in a u64. Decoders validate
+/// every length against the remaining payload and every feature id against
+/// the symbol table, so a malformed or truncated frame yields
+/// `kInvalidArgument`/`kCorruption`, never out-of-bounds access.
+inline constexpr char kMagic[8] = {'P', 'P', 'M', 'R', 'P', 'C', '1', '\n'};
+inline constexpr uint32_t kMaxFramePayloadBytes = 1u << 26;
+
+enum class Op : uint8_t {
+  kPut = 1,
+  kAppend = 2,
+  kGet = 3,
+  kMine = 4,
+  kQuery = 5,
+  kStats = 6,
+  kShutdown = 7,
+};
+
+struct Request {
+  Op op = Op::kQuery;
+  /// Per-request deadline in milliseconds (0 = none); the server maps it
+  /// onto the mining `Deadline` so an overdue request returns
+  /// `kDeadlineExceeded` without disturbing other in-flight requests.
+  uint32_t deadline_ms = 0;
+  std::string name;
+
+  /// kPut payload.
+  tsdb::TimeSeries series;
+  /// kAppend payload: instants as feature-name lists.
+  std::vector<std::vector<std::string>> instants;
+
+  /// kMine / kQuery parameters (kMine forces a fresh re-mine; kQuery may
+  /// serve from the pattern cache).
+  uint32_t period = 0;
+  double min_confidence = 0.8;
+  uint64_t min_count = 0;
+  uint32_t max_letters = 0;
+  /// Cast of `ppm::Algorithm`.
+  uint8_t algorithm = 1;
+};
+
+/// One mined pattern on the wire: its letters as (position, feature-id)
+/// pairs against the response's symbol list.
+struct WirePattern {
+  std::vector<std::pair<uint32_t, uint32_t>> letters;
+  uint64_t count = 0;
+  double confidence = 0.0;
+};
+
+struct Response {
+  /// Cast of `StatusCode`; nonzero means `message` explains the failure and
+  /// the result fields are empty.
+  uint8_t code = 0;
+  std::string message;
+
+  /// kMine / kQuery results.
+  uint8_t cache_outcome = 0;  // PatternCache::Outcome
+  uint64_t version = 0;
+  uint64_t length = 0;
+  uint64_t num_periods = 0;
+  uint32_t period = 0;
+  std::vector<std::string> symbols;
+  std::vector<WirePattern> patterns;
+
+  /// kGet result.
+  bool has_series = false;
+  tsdb::TimeSeries series;
+
+  /// kStats result.
+  std::string stats_json;
+  std::string metrics_prom;
+};
+
+std::string EncodeRequest(const Request& request);
+Result<Request> DecodeRequest(std::string_view payload);
+
+std::string EncodeResponse(const Response& response);
+Result<Response> DecodeResponse(std::string_view payload);
+
+/// Writes the 8-byte magic / one CRC-framed payload to `fd`, retrying
+/// partial writes. `kIoError` on a closed peer.
+Status WriteMagic(int fd);
+Status WriteFrame(int fd, std::string_view payload);
+
+/// Reads and verifies the peer's magic.
+Status ExpectMagic(int fd);
+
+/// Reads one frame. Blocks in 50 ms poll ticks so `should_stop` (optional)
+/// can abort a drain: returns `kCancelled` when it fires between ticks.
+/// A clean close before any header byte returns `kNotFound` ("connection
+/// closed"); truncation mid-frame or a CRC mismatch returns `kIoError` /
+/// `kCorruption`.
+Result<std::string> ReadFrame(int fd,
+                              const std::function<bool()>& should_stop = {});
+
+}  // namespace ppm::service::wire
+
+#endif  // PPM_SERVICE_WIRE_H_

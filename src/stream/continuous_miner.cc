@@ -394,6 +394,21 @@ void ContinuousMiner::Compact() {
   }
 }
 
+uint64_t ContinuousMiner::ApproxMemoryBytes() const {
+  uint64_t total = sizeof(ContinuousMiner) + store_->ApproxMemoryBytes();
+  total += seeded_counts_.capacity() * sizeof(uint64_t);
+  for (const auto& counts : other_counts_) {
+    total += counts.size() * 32;  // Node + key/value overhead per entry.
+  }
+  for (const auto& segment : window_history_) {
+    total += segment.capacity() * sizeof(Letter);
+  }
+  for (const auto& mask : window_masks_) {
+    total += mask.capacity() * sizeof(uint32_t);
+  }
+  return total;
+}
+
 MiningResult ContinuousMiner::Snapshot() const {
   obs::TraceSpan span = obs::Tracer::Global().StartSpan("stream.snapshot");
   snapshots_counter_.Inc();

@@ -125,6 +125,11 @@ class ContinuousMiner {
   /// `.nodes_reclaimed`.
   void Compact();
 
+  /// Approximate bytes of the miner's owned state (hit store, counts,
+  /// window masks) -- the figure the serving layer's cache accounting and
+  /// LRU eviction charge per resident miner.
+  uint64_t ApproxMemoryBytes() const;
+
   uint64_t instants_seen() const { return instants_seen_; }
 
   /// Whole segments committed over the stream's lifetime.

@@ -177,10 +177,8 @@ Result<std::string> ReadWalBytes(const std::string& path) {
   return buffer.str();
 }
 
-}  // namespace
-
-Result<WalReplayInfo> ReplayWal(
-    const std::string& path, uint64_t start_seq,
+Result<WalReplayInfo> ReplayWalImpl(
+    const std::string& path, uint64_t start_seq, bool infer_base,
     const std::function<Status(uint64_t seq, const FeatureSet& instant)>& fn) {
   Result<std::string> read = ReadWalBytes(path);
   if (!read.ok()) return read.status();
@@ -201,6 +199,7 @@ Result<WalReplayInfo> ReplayWal(
   size_t offset = sizeof(kWalMagic);
   info.valid_bytes = offset;
   uint64_t expected_seq = 0;
+  bool base_known = !infer_base;
   bool torn = false;
   while (offset < bytes.size()) {
     if (bytes.size() - offset < kWalRecordHeaderBytes) {
@@ -239,6 +238,11 @@ Result<WalReplayInfo> ReplayWal(
       return Status::Corruption("WAL payload checksum mismatch at offset " +
                                 std::to_string(offset));
     }
+    if (!base_known) {
+      // Tail log: the first record fixes the base sequence.
+      expected_seq = seq;
+      base_known = true;
+    }
     if (seq != expected_seq) {
       return Status::Corruption(
           "WAL sequence gap: expected " + std::to_string(expected_seq) +
@@ -266,6 +270,20 @@ Result<WalReplayInfo> ReplayWal(
   return info;
 }
 
+}  // namespace
+
+Result<WalReplayInfo> ReplayWal(
+    const std::string& path, uint64_t start_seq,
+    const std::function<Status(uint64_t seq, const FeatureSet& instant)>& fn) {
+  return ReplayWalImpl(path, start_seq, /*infer_base=*/false, fn);
+}
+
+Result<WalReplayInfo> ReplayWalTail(
+    const std::string& path, uint64_t start_seq,
+    const std::function<Status(uint64_t seq, const FeatureSet& instant)>& fn) {
+  return ReplayWalImpl(path, start_seq, /*infer_base=*/true, fn);
+}
+
 WalWriter::WalWriter(std::string path, WalFsync fsync, uint64_t next_seq)
     : path_(std::move(path)), fsync_(fsync), next_seq_(next_seq) {}
 
@@ -275,17 +293,31 @@ WalWriter::~WalWriter() {
 
 Result<std::unique_ptr<WalWriter>> WalWriter::Create(const std::string& path,
                                                      WalFsync fsync) {
-  return Open(path, fsync, 0, 0);
+  return OpenImpl(path, fsync, 0, 0, /*fresh_seq=*/0);
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::CreateAt(const std::string& path,
+                                                       WalFsync fsync,
+                                                       uint64_t first_seq) {
+  return OpenImpl(path, fsync, first_seq, 0, /*fresh_seq=*/first_seq);
 }
 
 Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
                                                    WalFsync fsync,
                                                    uint64_t next_seq,
                                                    uint64_t valid_bytes) {
+  return OpenImpl(path, fsync, next_seq, valid_bytes, /*fresh_seq=*/0);
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::OpenImpl(const std::string& path,
+                                                       WalFsync fsync,
+                                                       uint64_t next_seq,
+                                                       uint64_t valid_bytes,
+                                                       uint64_t fresh_seq) {
   std::error_code ec;
   const bool fresh = valid_bytes < sizeof(kWalMagic) || !fs::exists(path, ec);
   if (fresh) {
-    next_seq = 0;
+    next_seq = fresh_seq;
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out) return Status::IoError("cannot create WAL: " + path);
     out.write(kWalMagic, sizeof(kWalMagic));

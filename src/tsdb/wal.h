@@ -90,12 +90,30 @@ Result<WalReplayInfo> ReplayWal(
     const std::string& path, uint64_t start_seq,
     const std::function<Status(uint64_t seq, const FeatureSet& instant)>& fn);
 
+/// `ReplayWal` for a *tail log*: a WAL whose first record may carry any
+/// sequence number (a per-series append log laid down against a base
+/// snapshot of that many instants, see `service/series_store`). The base is
+/// inferred from the first valid record; contiguity is enforced from there
+/// exactly as in `ReplayWal`. When the log holds no records, the returned
+/// `next_seq` is 0 -- the caller knows the true base (its snapshot length)
+/// and must substitute it.
+Result<WalReplayInfo> ReplayWalTail(
+    const std::string& path, uint64_t start_seq,
+    const std::function<Status(uint64_t seq, const FeatureSet& instant)>& fn);
+
 /// Appends CRC-framed instants to a WAL file.
 class WalWriter {
  public:
   /// Creates a fresh log at `path` (truncating anything already there).
   static Result<std::unique_ptr<WalWriter>> Create(const std::string& path,
                                                    WalFsync fsync);
+
+  /// Creates a fresh *tail log* at `path` (truncating anything already
+  /// there) whose first record will carry sequence `first_seq` -- the length
+  /// of the base snapshot the log extends. Replay it with `ReplayWalTail`.
+  static Result<std::unique_ptr<WalWriter>> CreateAt(const std::string& path,
+                                                     WalFsync fsync,
+                                                     uint64_t first_seq);
 
   /// Opens `path` for appending after a replay: truncates the file to
   /// `valid_bytes` (discarding any torn tail) and continues at `next_seq`.
@@ -125,6 +143,12 @@ class WalWriter {
 
  private:
   WalWriter(std::string path, WalFsync fsync, uint64_t next_seq);
+
+  static Result<std::unique_ptr<WalWriter>> OpenImpl(const std::string& path,
+                                                     WalFsync fsync,
+                                                     uint64_t next_seq,
+                                                     uint64_t valid_bytes,
+                                                     uint64_t fresh_seq);
 
   std::string path_;
   WalFsync fsync_;

@@ -78,5 +78,27 @@ TEST(ArgMapTest, FlagValueCanBeNegativeLookingPositional) {
   EXPECT_EQ(args->GetString("b", ""), "true");
 }
 
+TEST(ArgMapTest, UnknownFlagSuggestsNearestMatch) {
+  auto args = ArgMap::Parse({"--min-cof", "0.8"});
+  ASSERT_TRUE(args.ok());
+  const Status status = args->CheckAllowed({"min-conf", "min-count", "input"});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("unknown flag: --min-cof"),
+            std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("did you mean --min-conf?"),
+            std::string::npos)
+      << status.message();
+}
+
+TEST(ArgMapTest, UnknownFlagFarFromEverythingGetsNoSuggestion) {
+  auto args = ArgMap::Parse({"--zzzzzzzz", "1"});
+  ASSERT_TRUE(args.ok());
+  const Status status = args->CheckAllowed({"min-conf", "input"});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message().find("did you mean"), std::string::npos)
+      << status.message();
+}
+
 }  // namespace
 }  // namespace ppm::cli

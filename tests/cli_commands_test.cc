@@ -475,5 +475,66 @@ TEST_F(CliTest, StatsMissingFile) {
   EXPECT_NE(err_.str().find("IoError"), std::string::npos);
 }
 
+TEST_F(CliTest, MisspelledMineFlagExitsTwoWithSuggestion) {
+  // The ISSUE 8 satellite: a typo'd --min-cof must be rejected up front
+  // (kInvalidArgument, exit 2) with a nearest-flag hint, never silently
+  // ignored in favor of the default confidence.
+  EXPECT_EQ(Run({"mine", "--input", series_txt_, "--period", "3",
+                 "--min-cof", "0.5"}),
+            2);
+  EXPECT_NE(err_.str().find("unknown flag: --min-cof"), std::string::npos)
+      << err_.str();
+  EXPECT_NE(err_.str().find("did you mean --min-conf?"), std::string::npos)
+      << err_.str();
+}
+
+TEST(ExitCodeTest, EveryStatusCodeMapsToItsDocumentedExit) {
+  EXPECT_EQ(ExitCodeForStatus(Status::OK()), 1);  // Never called on OK.
+  EXPECT_EQ(ExitCodeForStatus(Status::InvalidArgument("x")), 2);
+  EXPECT_EQ(ExitCodeForStatus(Status::NotFound("x")), 3);
+  EXPECT_EQ(ExitCodeForStatus(Status::AlreadyExists("x")), 1);
+  EXPECT_EQ(ExitCodeForStatus(Status::OutOfRange("x")), 1);
+  EXPECT_EQ(ExitCodeForStatus(Status::IoError("x")), 1);
+  EXPECT_EQ(ExitCodeForStatus(Status::Corruption("x")), 4);
+  EXPECT_EQ(ExitCodeForStatus(Status::Internal("x")), 1);
+  EXPECT_EQ(ExitCodeForStatus(Status::Cancelled("x")), 5);
+  EXPECT_EQ(ExitCodeForStatus(Status::DeadlineExceeded("x")), 5);
+  EXPECT_EQ(ExitCodeForStatus(Status::ResourceExhausted("x")), 6);
+}
+
+TEST(UsageTest, EveryDispatchedCommandIsDocumented) {
+  const std::string usage = UsageText();
+  for (const std::string& command : CommandNames()) {
+    EXPECT_NE(usage.find("  " + command), std::string::npos)
+        << "command '" << command << "' missing from UsageText()";
+  }
+}
+
+TEST_F(CliTest, UnknownCommandSuggestsUsage) {
+  // Every name in CommandNames() actually dispatches (no exit-2 "unknown
+  // command"); bogus names keep failing.
+  for (const std::string& command : CommandNames()) {
+    Run({command});
+    EXPECT_EQ(err_.str().find("unknown command"), std::string::npos)
+        << command;
+  }
+  EXPECT_EQ(Run({"versionn"}), 2);
+}
+
+TEST_F(CliTest, VersionPrintsBuildFingerprint) {
+  ASSERT_EQ(Run({"version"}), 0) << err_.str();
+  const std::string text = out_.str();
+  EXPECT_EQ(text.rfind("ppm ", 0), 0u) << text;
+  EXPECT_NE(text.find("compiler:"), std::string::npos) << text;
+  EXPECT_NE(text.find("build:"), std::string::npos) << text;
+  EXPECT_NE(text.find("sanitizer:"), std::string::npos) << text;
+  EXPECT_NE(text.find("assertions:"), std::string::npos) << text;
+  // `--version` is an alias.
+  ASSERT_EQ(Run({"--version"}), 0) << err_.str();
+  EXPECT_EQ(out_.str(), text);
+  // Extra flags are rejected like any other command's.
+  EXPECT_EQ(Run({"version", "--frobnicate"}), 2);
+}
+
 }  // namespace
 }  // namespace ppm::cli

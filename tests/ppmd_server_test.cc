@@ -1,0 +1,241 @@
+#include "service/server.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.h"
+#include "service/wire.h"
+#include "tsdb/time_series.h"
+
+namespace ppm::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+class PatternServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unix socket paths are length-limited (~108 bytes), so keep them short.
+    dir_ = testing::TempDir() + "/ppmd_" + std::to_string(::getpid()) + "_" +
+           std::to_string(instance_++);
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    socket_ = dir_ + "/s.sock";
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::unique_ptr<PatternServer> StartServer(ServerOptions options = {}) {
+    options.socket_path = socket_;
+    auto server = PatternServer::Start(dir_ + "/db", options);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    return std::move(*server);
+  }
+
+  static tsdb::TimeSeries PeriodicSeries(uint32_t period, uint32_t segments) {
+    tsdb::TimeSeries series;
+    for (uint32_t s = 0; s < segments; ++s) {
+      for (uint32_t p = 0; p < period; ++p) {
+        if (p == 0) {
+          series.AppendNamed({"tick"});
+        } else {
+          series.AppendNamed({});
+        }
+      }
+    }
+    return series;
+  }
+
+  static wire::Request QueryRequest(const std::string& name, uint32_t period) {
+    wire::Request request;
+    request.op = wire::Op::kQuery;
+    request.name = name;
+    request.period = period;
+    request.min_confidence = 0.8;
+    return request;
+  }
+
+  std::string dir_;
+  std::string socket_;
+  inline static int instance_ = 0;
+};
+
+TEST_F(PatternServerTest, PutQueryAppendGetOverSocket) {
+  auto server = StartServer();
+  auto client = Client::Connect(socket_);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  wire::Request put;
+  put.op = wire::Op::kPut;
+  put.name = "s";
+  put.series = PeriodicSeries(4, 10);
+  auto put_response = (*client)->Call(put);
+  ASSERT_TRUE(put_response.ok()) << put_response.status().ToString();
+  EXPECT_EQ(put_response->code, 0) << put_response->message;
+  EXPECT_EQ(put_response->length, 40u);
+
+  auto mined = (*client)->Call(QueryRequest("s", 4));
+  ASSERT_TRUE(mined.ok());
+  ASSERT_EQ(mined->code, 0) << mined->message;
+  EXPECT_EQ(mined->num_periods, 10u);
+  ASSERT_EQ(mined->patterns.size(), 1u);
+  ASSERT_EQ(mined->patterns[0].letters.size(), 1u);
+  EXPECT_EQ(mined->patterns[0].letters[0].first, 0u);  // position
+  EXPECT_EQ(mined->patterns[0].count, 10u);
+  ASSERT_EQ(mined->symbols.size(), 1u);
+  EXPECT_EQ(mined->symbols[0], "tick");
+
+  // Same query again: served from cache, identical payload.
+  auto cached = (*client)->Call(QueryRequest("s", 4));
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(cached->cache_outcome, 1);  // hit
+  EXPECT_EQ(cached->version, mined->version);
+
+  wire::Request append;
+  append.op = wire::Op::kAppend;
+  append.name = "s";
+  append.instants = {{"tick"}, {}, {}, {}};
+  auto appended = (*client)->Call(append);
+  ASSERT_TRUE(appended.ok());
+  EXPECT_EQ(appended->code, 0) << appended->message;
+  EXPECT_EQ(appended->length, 44u);
+
+  auto refreshed = (*client)->Call(QueryRequest("s", 4));
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_EQ(refreshed->cache_outcome, 2);  // refresh
+  EXPECT_EQ(refreshed->num_periods, 11u);
+  ASSERT_EQ(refreshed->patterns.size(), 1u);
+  EXPECT_EQ(refreshed->patterns[0].count, 11u);
+
+  wire::Request get;
+  get.op = wire::Op::kGet;
+  get.name = "s";
+  auto got = (*client)->Call(get);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->code, 0) << got->message;
+  ASSERT_TRUE(got->has_series);
+  EXPECT_EQ(got->series.length(), 44u);
+
+  server->RequestStop();
+  server->Wait();
+}
+
+TEST_F(PatternServerTest, ErrorsTravelAsStatusCodes) {
+  auto server = StartServer();
+  auto client = Client::Connect(socket_);
+  ASSERT_TRUE(client.ok());
+
+  auto missing = (*client)->Call(QueryRequest("ghost", 4));
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->code, static_cast<uint8_t>(StatusCode::kNotFound));
+
+  wire::Request bad = QueryRequest("ghost", 4);
+  bad.algorithm = 99;
+  auto rejected = (*client)->Call(bad);
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected->code,
+            static_cast<uint8_t>(StatusCode::kInvalidArgument));
+
+  server->RequestStop();
+  server->Wait();
+}
+
+TEST_F(PatternServerTest, DeadlineExceededDoesNotDisturbOtherRequests) {
+  auto server = StartServer();
+  auto client = Client::Connect(socket_);
+  ASSERT_TRUE(client.ok());
+
+  wire::Request put;
+  put.op = wire::Op::kPut;
+  put.name = "s";
+  put.series = PeriodicSeries(50, 4000);  // Big enough to out-run 0 ms.
+  ASSERT_TRUE((*client)->Call(put).ok());
+
+  // An already-expired deadline (mapped from deadline_ms) must reject this
+  // request only; a concurrent normal query on another connection succeeds.
+  std::thread other([this] {
+    auto peer = Client::Connect(socket_);
+    ASSERT_TRUE(peer.ok());
+    auto response = (*peer)->Call(QueryRequest("s", 50));
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->code, 0) << response->message;
+  });
+  wire::Request rushed = QueryRequest("s", 50);
+  rushed.op = wire::Op::kMine;  // Bypass the cache so mining actually runs.
+  rushed.deadline_ms = 1;
+  auto response = (*client)->Call(rushed);
+  other.join();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code,
+            static_cast<uint8_t>(StatusCode::kDeadlineExceeded))
+      << response->message;
+
+  // The connection survives a failed request.
+  auto after = (*client)->Call(QueryRequest("s", 50));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->code, 0) << after->message;
+
+  server->RequestStop();
+  server->Wait();
+}
+
+TEST_F(PatternServerTest, ShutdownRequestDrainsServer) {
+  auto server = StartServer();
+  {
+    auto client = Client::Connect(socket_);
+    ASSERT_TRUE(client.ok());
+    wire::Request shutdown;
+    shutdown.op = wire::Op::kShutdown;
+    auto response = (*client)->Call(shutdown);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->code, 0);
+  }
+  server->Wait();  // Returns because the shutdown request stopped it.
+  EXPECT_FALSE(fs::exists(socket_));
+}
+
+TEST_F(PatternServerTest, ConcurrentClientsAreServedCorrectly) {
+  ServerOptions options;
+  options.num_workers = 4;
+  auto server = StartServer(options);
+  {
+    auto seed = Client::Connect(socket_);
+    ASSERT_TRUE(seed.ok());
+    wire::Request put;
+    put.op = wire::Op::kPut;
+    put.name = "s";
+    put.series = PeriodicSeries(4, 25);
+    ASSERT_TRUE((*seed)->Call(put).ok());
+  }
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < 6; ++i) {
+    clients.emplace_back([this, &failures] {
+      auto client = Client::Connect(socket_);
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      for (int round = 0; round < 5; ++round) {
+        auto response = (*client)->Call(QueryRequest("s", 4));
+        if (!response.ok() || response->code != 0 ||
+            response->patterns.size() != 1) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  server->RequestStop();
+  server->Wait();
+}
+
+}  // namespace
+}  // namespace ppm::service

@@ -1,0 +1,213 @@
+#include "service/series_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tsdb/time_series.h"
+
+namespace ppm::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+tsdb::TimeSeries MakeSeries(std::initializer_list<const char*> instants) {
+  tsdb::TimeSeries series;
+  for (const char* features : instants) {
+    tsdb::FeatureSet instant;
+    std::string token;
+    for (const char* p = features;; ++p) {
+      if (*p == ' ' || *p == '\0') {
+        if (!token.empty()) instant.Set(series.symbols().Intern(token));
+        token.clear();
+        if (*p == '\0') break;
+      } else {
+        token.push_back(*p);
+      }
+    }
+    series.Append(std::move(instant));
+  }
+  return series;
+}
+
+class SeriesStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = testing::TempDir() + "/series_store_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string root_;
+};
+
+TEST_F(SeriesStoreTest, PutSnapshotRoundTrip) {
+  auto store = SeriesStore::Open(root_);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  const tsdb::TimeSeries series = MakeSeries({"a b", "c", "a"});
+  ASSERT_TRUE((*store)->Put("s", series).ok());
+
+  auto snapshot = (*store)->Snapshot("s");
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ(snapshot->series.length(), 3u);
+  EXPECT_EQ(snapshot->series.symbols().size(), 3u);
+  EXPECT_GE(snapshot->version, 1u);
+
+  EXPECT_TRUE((*store)->Contains("s"));
+  EXPECT_FALSE((*store)->Contains("missing"));
+  EXPECT_EQ((*store)->List(), std::vector<std::string>{"s"});
+  EXPECT_EQ((*store)->Snapshot("missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SeriesStoreTest, AppendBumpsVersionAndIsDurable) {
+  {
+    auto store = SeriesStore::Open(root_);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("s", MakeSeries({"a", "b"})).ok());
+    auto before = (*store)->VersionAndLength("s");
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE((*store)->Append("s", {{"a"}, {"b", "a"}}).ok());
+    auto after = (*store)->VersionAndLength("s");
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(after->first, before->first + 1);  // version
+    EXPECT_EQ(after->second, 4u);                // length
+  }
+  // A fresh process sees the appended tail: payload + WAL replay.
+  auto reopened = SeriesStore::Open(root_);
+  ASSERT_TRUE(reopened.ok());
+  auto snapshot = (*reopened)->Snapshot("s");
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  ASSERT_EQ(snapshot->series.length(), 4u);
+  EXPECT_EQ(snapshot->series.at(3).Count(), 2u);
+}
+
+TEST_F(SeriesStoreTest, AppendWithNewFeatureNamesInterns) {
+  auto store = SeriesStore::Open(root_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("s", MakeSeries({"a"})).ok());
+  // "z" is new: the store must compact so the payload's symbol table
+  // covers it, then append through the fresh WAL.
+  ASSERT_TRUE((*store)->Append("s", {{"z", "a"}}).ok());
+
+  auto reopened = SeriesStore::Open(root_);
+  ASSERT_TRUE(reopened.ok());
+  auto snapshot = (*reopened)->Snapshot("s");
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  ASSERT_EQ(snapshot->series.length(), 2u);
+  const auto names = snapshot->series.symbols().names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "z");
+  EXPECT_EQ(snapshot->series.at(1).Count(), 2u);
+}
+
+TEST_F(SeriesStoreTest, AppendToMissingSeriesIsNotFound) {
+  auto store = SeriesStore::Open(root_);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->Append("ghost", {{"a"}}).code(), StatusCode::kNotFound);
+}
+
+TEST_F(SeriesStoreTest, DropRemovesPayloadAndWal) {
+  auto store = SeriesStore::Open(root_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("s", MakeSeries({"a"})).ok());
+  ASSERT_TRUE((*store)->Append("s", {{"a"}}).ok());
+  ASSERT_TRUE((*store)->Drop("s").ok());
+  EXPECT_FALSE((*store)->Contains("s"));
+  EXPECT_EQ((*store)->Snapshot("s").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ((*store)->Drop("s").code(), StatusCode::kNotFound);
+  // Re-putting under the dropped name starts a fresh series, not the tail.
+  ASSERT_TRUE((*store)->Put("s", MakeSeries({"b", "b"})).ok());
+  auto snapshot = (*store)->Snapshot("s");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->series.length(), 2u);
+}
+
+TEST_F(SeriesStoreTest, PutReplacesAndDiscardsTail) {
+  auto store = SeriesStore::Open(root_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("s", MakeSeries({"a"})).ok());
+  ASSERT_TRUE((*store)->Append("s", {{"a"}, {"a"}}).ok());
+  ASSERT_TRUE((*store)->Put("s", MakeSeries({"b"})).ok());
+
+  auto reopened = SeriesStore::Open(root_);
+  ASSERT_TRUE(reopened.ok());
+  auto snapshot = (*reopened)->Snapshot("s");
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ(snapshot->series.length(), 1u);
+}
+
+TEST_F(SeriesStoreTest, CompactKeepsContentsAndSurvivesReopen) {
+  auto store = SeriesStore::Open(root_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("s", MakeSeries({"a"})).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*store)->Append("s", {{"a"}}).ok());
+  }
+  ASSERT_TRUE((*store)->Compact("s").ok());
+  ASSERT_TRUE((*store)->Append("s", {{"a"}}).ok());
+
+  auto reopened = SeriesStore::Open(root_);
+  ASSERT_TRUE(reopened.ok());
+  auto snapshot = (*reopened)->Snapshot("s");
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ(snapshot->series.length(), 7u);
+}
+
+TEST_F(SeriesStoreTest, MutationListenerSeesDeltas) {
+  auto store = SeriesStore::Open(root_);
+  ASSERT_TRUE(store.ok());
+  std::vector<SeriesStore::Mutation::Kind> kinds;
+  uint64_t last_length = 0;
+  size_t delta_instants = 0;
+  (*store)->SetMutationListener([&](const SeriesStore::Mutation& m) {
+    kinds.push_back(m.kind);
+    last_length = m.length;
+    if (m.delta != nullptr) delta_instants += m.delta->size();
+  });
+  ASSERT_TRUE((*store)->Put("s", MakeSeries({"a"})).ok());
+  ASSERT_TRUE((*store)->Append("s", {{"a"}, {"a"}}).ok());
+  ASSERT_TRUE((*store)->Drop("s").ok());
+  ASSERT_EQ(kinds.size(), 3u);
+  EXPECT_EQ(kinds[0], SeriesStore::Mutation::Kind::kPut);
+  EXPECT_EQ(kinds[1], SeriesStore::Mutation::Kind::kAppend);
+  EXPECT_EQ(kinds[2], SeriesStore::Mutation::Kind::kDrop);
+  EXPECT_EQ(delta_instants, 2u);
+  EXPECT_EQ(last_length, 0u);  // after the drop
+}
+
+TEST_F(SeriesStoreTest, StaleTailWalFromOldPayloadIsIgnored) {
+  // Simulate a WAL left behind by an older payload generation: its
+  // sequence numbers start past the payload's length, so replay must skip
+  // it rather than append wrong instants.
+  {
+    auto store = SeriesStore::Open(root_);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("s", MakeSeries({"a", "a", "a"})).ok());
+    ASSERT_TRUE((*store)->Append("s", {{"a"}}).ok());  // WAL seq 3
+  }
+  {
+    // Shrink the payload out from under the WAL (crash between the
+    // payload rewrite of a Put and the WAL reset, reordered by the FS).
+    auto store = SeriesStore::Open(root_);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("s", MakeSeries({"b"})).ok());
+  }
+  auto reopened = SeriesStore::Open(root_);
+  ASSERT_TRUE(reopened.ok());
+  auto snapshot = (*reopened)->Snapshot("s");
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ(snapshot->series.length(), 1u);
+}
+
+TEST_F(SeriesStoreTest, LoadSeriesFileRejectsEmptyPath) {
+  EXPECT_EQ(LoadSeriesFile("").status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppm::service

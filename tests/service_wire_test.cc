@@ -1,0 +1,143 @@
+#include "service/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tsdb/time_series.h"
+
+namespace ppm::service::wire {
+namespace {
+
+Request MakeMineRequest() {
+  Request request;
+  request.op = Op::kMine;
+  request.name = "sensor.42";
+  request.deadline_ms = 1500;
+  request.period = 24;
+  request.min_confidence = 0.625;  // Exactly representable.
+  request.min_count = 7;
+  request.max_letters = 3;
+  request.algorithm = 0;
+  return request;
+}
+
+TEST(WireTest, MineRequestRoundTrip) {
+  const Request request = MakeMineRequest();
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->op, Op::kMine);
+  EXPECT_EQ(decoded->name, "sensor.42");
+  EXPECT_EQ(decoded->deadline_ms, 1500u);
+  EXPECT_EQ(decoded->period, 24u);
+  EXPECT_EQ(decoded->min_confidence, 0.625);
+  EXPECT_EQ(decoded->min_count, 7u);
+  EXPECT_EQ(decoded->max_letters, 3u);
+  EXPECT_EQ(decoded->algorithm, 0);
+}
+
+TEST(WireTest, PutRequestCarriesSeries) {
+  Request request;
+  request.op = Op::kPut;
+  request.name = "s";
+  request.series.AppendNamed({"a", "b"});
+  request.series.AppendNamed({"b"});
+  request.series.AppendNamed({});
+
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->series.length(), 3u);
+  EXPECT_EQ(decoded->series.symbols().names(),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(decoded->series.at(0).Count(), 2u);
+  EXPECT_EQ(decoded->series.at(2).Count(), 0u);
+}
+
+TEST(WireTest, AppendRequestCarriesNamedInstants) {
+  Request request;
+  request.op = Op::kAppend;
+  request.name = "s";
+  request.instants = {{"x", "y"}, {}, {"z"}};
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->instants, request.instants);
+}
+
+TEST(WireTest, ResponseRoundTrip) {
+  Response response;
+  response.code = 9;  // kDeadlineExceeded
+  response.message = "deadline exceeded";
+  response.cache_outcome = 2;
+  response.version = 17;
+  response.length = 4242;
+  response.num_periods = 100;
+  response.period = 42;
+  response.symbols = {"a", "b", "c"};
+  WirePattern pattern;
+  pattern.letters = {{0, 2}, {41, 0}};
+  pattern.count = 93;
+  pattern.confidence = 0.93;
+  response.patterns.push_back(pattern);
+  response.stats_json = "{\"x\":1}";
+  response.metrics_prom = "# TYPE x counter\n";
+
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->code, 9);
+  EXPECT_EQ(decoded->message, "deadline exceeded");
+  EXPECT_EQ(decoded->cache_outcome, 2);
+  EXPECT_EQ(decoded->version, 17u);
+  EXPECT_EQ(decoded->length, 4242u);
+  EXPECT_EQ(decoded->num_periods, 100u);
+  EXPECT_EQ(decoded->period, 42u);
+  EXPECT_EQ(decoded->symbols, response.symbols);
+  ASSERT_EQ(decoded->patterns.size(), 1u);
+  EXPECT_EQ(decoded->patterns[0].letters, pattern.letters);
+  EXPECT_EQ(decoded->patterns[0].count, 93u);
+  EXPECT_EQ(decoded->patterns[0].confidence, 0.93);
+  EXPECT_EQ(decoded->stats_json, response.stats_json);
+  EXPECT_EQ(decoded->metrics_prom, response.metrics_prom);
+}
+
+TEST(WireTest, GetResponseSeriesRoundTrip) {
+  Response response;
+  response.has_series = true;
+  response.series.AppendNamed({"q"});
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_TRUE(decoded->has_series);
+  EXPECT_EQ(decoded->series.length(), 1u);
+}
+
+TEST(WireTest, TruncatedPayloadIsRejectedAtEveryPrefix) {
+  // Every proper prefix must fail cleanly (no crash, no OOB) -- the
+  // decoder bounds-checks each read against the remaining payload.
+  const std::string encoded = EncodeRequest(MakeMineRequest());
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    auto decoded = DecodeRequest(std::string_view(encoded.data(), len));
+    EXPECT_FALSE(decoded.ok()) << "prefix length " << len;
+  }
+  EXPECT_TRUE(DecodeRequest(encoded).ok());
+}
+
+TEST(WireTest, TrailingGarbageIsRejected) {
+  std::string encoded = EncodeRequest(MakeMineRequest());
+  encoded += '\0';
+  EXPECT_FALSE(DecodeRequest(encoded).ok());
+}
+
+TEST(WireTest, OutOfRangeFeatureIdIsRejected) {
+  Request request;
+  request.op = Op::kPut;
+  request.name = "s";
+  request.series.AppendNamed({"a"});
+  std::string encoded = EncodeRequest(request);
+  // The single set feature id lives at the end of the payload; bump it
+  // past the symbol table.
+  encoded[encoded.size() - 4] = 7;
+  auto decoded = DecodeRequest(encoded);
+  EXPECT_FALSE(decoded.ok());
+}
+
+}  // namespace
+}  // namespace ppm::service::wire

@@ -1,0 +1,307 @@
+// Differential serving harness (ISSUE 8 acceptance): randomized
+// put/append/mine/query traffic against a live `PatternServer`, across
+// several named series and concurrent clients. Every served pattern set
+// must be field-identical (diff_harness serialization: order, counts,
+// bit-exact confidences) to a one-shot batch mine of the same snapshot --
+// identified by the (version, length) stamp in the response -- rebuilt
+// from a shadow log of everything the test ever stored.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/hitset_miner.h"
+#include "diff_harness.h"
+#include "obs/metrics.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "service/wire.h"
+#include "tsdb/series_source.h"
+#include "util/random.h"
+
+namespace ppm::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint32_t kPeriod = 4;
+constexpr double kMinConf = 0.5;
+constexpr int kSeriesCount = 3;
+constexpr int kClientCount = 4;
+constexpr int kOpsPerClient = 12;
+
+/// Ground truth for one series: every instant ever acknowledged, by the
+/// store version that produced it. Guarded by `mu` -- mutations record
+/// their (version, length) under it before any query can observe them.
+struct ShadowSeries {
+  std::mutex mu;
+  tsdb::SymbolTable symbols;
+  std::vector<tsdb::FeatureSet> instants;
+  /// version -> length at that version (versions are per-series monotonic).
+  std::map<uint64_t, uint64_t> length_at_version;
+};
+
+std::string SeriesName(int index) { return "s" + std::to_string(index); }
+
+/// The batch reference: a plain one-shot hit-set mine of the first
+/// `length` shadow instants -- exactly what `ppm mine` runs on an exported
+/// snapshot.
+std::string BatchReference(ShadowSeries* shadow, uint64_t length) {
+  tsdb::TimeSeries series;
+  {
+    std::lock_guard<std::mutex> lock(shadow->mu);
+    series.symbols() = shadow->symbols;
+    for (uint64_t t = 0; t < length; ++t) {
+      series.Append(shadow->instants[t]);
+    }
+  }
+  MiningOptions options;
+  options.period = kPeriod;
+  options.min_confidence = kMinConf;
+  tsdb::InMemorySeriesSource source(&series);
+  auto result = MineHitSet(source, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return diff::Serialize(*result, series.symbols());
+}
+
+/// Serialization of a wire response in the same format as
+/// `diff::Serialize`, so server-served patterns diff directly against the
+/// batch reference.
+std::string SerializeWire(const wire::Response& response) {
+  tsdb::SymbolTable symbols;
+  for (const std::string& name : response.symbols) symbols.Intern(name);
+  std::string out;
+  for (const wire::WirePattern& wp : response.patterns) {
+    Pattern pattern(response.period);
+    for (const auto& [position, feature] : wp.letters) {
+      pattern.AddLetter(position, feature);
+    }
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "\t%llu\t%.17g\n",
+                  static_cast<unsigned long long>(wp.count), wp.confidence);
+    out += pattern.Format(symbols);
+    out += buffer;
+  }
+  return out;
+}
+
+tsdb::FeatureSet RandomInstant(Rng* rng, tsdb::SymbolTable* symbols) {
+  tsdb::FeatureSet instant;
+  for (uint32_t f = 0; f < 4; ++f) {
+    if (rng->NextBool(0.45)) {
+      instant.Set(symbols->Intern("f" + std::to_string(f)));
+    }
+  }
+  return instant;
+}
+
+class ServingDifferentialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/servdiff_" + std::to_string(::getpid());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(ServingDifferentialTest, RandomizedTrafficMatchesBatchMine) {
+  ServerOptions options;
+  options.num_workers = 4;
+  options.socket_path = dir_ + "/s.sock";
+  auto server = PatternServer::Start(dir_ + "/db", options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  auto& registry = obs::MetricsRegistry::Global();
+  const uint64_t hits_before =
+      registry.GetCounter("ppm.server.cache.hits").value();
+
+  std::vector<ShadowSeries> shadows(kSeriesCount);
+
+  // Seed every series over the socket (version 1 = the initial put).
+  {
+    auto client = Client::Connect(options.socket_path);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    Rng rng(2024);
+    for (int s = 0; s < kSeriesCount; ++s) {
+      wire::Request put;
+      put.op = wire::Op::kPut;
+      put.name = SeriesName(s);
+      for (int t = 0; t < 10 * static_cast<int>(kPeriod); ++t) {
+        put.series.Append(RandomInstant(&rng, &put.series.symbols()));
+      }
+      auto response = (*client)->Call(put);
+      ASSERT_TRUE(response.ok());
+      ASSERT_EQ(response->code, 0) << response->message;
+      std::lock_guard<std::mutex> lock(shadows[s].mu);
+      shadows[s].symbols = put.series.symbols();
+      shadows[s].instants.assign(put.series.instants().begin(),
+                                 put.series.instants().end());
+      shadows[s].length_at_version[response->version] = response->length;
+    }
+  }
+
+  // Concurrent clients: each owns appends to ONE series (so the shadow log
+  // is a faithful order), and queries/mines all of them.
+  std::atomic<int> mismatches{0};
+  std::atomic<int> queries_served{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClientCount; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = Client::Connect(options.socket_path);
+      ASSERT_TRUE(client.ok()) << client.status().ToString();
+      Rng rng(7777 + c);
+      const int own = c % kSeriesCount;
+      for (int op = 0; op < kOpsPerClient; ++op) {
+        if (rng.NextBool(0.4)) {
+          // Append 1..2*period instants to the owned series.
+          ShadowSeries& shadow = shadows[own];
+          const uint64_t n = 1 + rng.NextBelow(2 * kPeriod);
+          std::vector<tsdb::FeatureSet> delta;
+          wire::Request append;
+          append.op = wire::Op::kAppend;
+          append.name = SeriesName(own);
+          // Appends must be serialized against the shadow so (version,
+          // length) bookkeeping matches the server's order.
+          std::lock_guard<std::mutex> lock(shadow.mu);
+          for (uint64_t i = 0; i < n; ++i) {
+            const tsdb::FeatureSet instant =
+                RandomInstant(&rng, &shadow.symbols);
+            std::vector<std::string> names;
+            instant.ForEach([&](uint32_t id) {
+              names.push_back(shadow.symbols.NameOrPlaceholder(id));
+            });
+            append.instants.push_back(std::move(names));
+            delta.push_back(instant);
+          }
+          auto response = (*client)->Call(append);
+          ASSERT_TRUE(response.ok());
+          ASSERT_EQ(response->code, 0) << response->message;
+          for (tsdb::FeatureSet& instant : delta) {
+            shadow.instants.push_back(std::move(instant));
+          }
+          ASSERT_EQ(response->length, shadow.instants.size());
+          shadow.length_at_version[response->version] = response->length;
+        } else {
+          // Query (or force-mine) a random series and diff against the
+          // batch reference for the snapshot the response claims.
+          const int target = static_cast<int>(rng.NextBelow(kSeriesCount));
+          wire::Request query;
+          query.op = rng.NextBool(0.25) ? wire::Op::kMine : wire::Op::kQuery;
+          query.name = SeriesName(target);
+          query.period = kPeriod;
+          query.min_confidence = kMinConf;
+          auto response = (*client)->Call(query);
+          ASSERT_TRUE(response.ok());
+          ASSERT_EQ(response->code, 0) << response->message;
+          ShadowSeries& shadow = shadows[target];
+          {
+            // The served snapshot must be one the shadow knows: exactly
+            // `length` instants at `version`.
+            std::lock_guard<std::mutex> lock(shadow.mu);
+            auto it = shadow.length_at_version.find(response->version);
+            ASSERT_NE(it, shadow.length_at_version.end())
+                << "served unknown version " << response->version;
+            ASSERT_EQ(it->second, response->length);
+          }
+          const std::string served = SerializeWire(*response);
+          const std::string expected =
+              BatchReference(&shadow, response->length);
+          if (served != expected) {
+            ++mismatches;
+            ADD_FAILURE() << "server/batch divergence on "
+                          << SeriesName(target) << " version "
+                          << response->version << "\nserved:\n"
+                          << served << "batch:\n"
+                          << expected;
+          }
+          ++queries_served;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(queries_served.load(), 0);
+
+  // Re-querying every series now (stable state) must produce cache hits,
+  // proven via the ppm.server.cache.* metrics.
+  {
+    auto client = Client::Connect(options.socket_path);
+    ASSERT_TRUE(client.ok());
+    for (int s = 0; s < kSeriesCount; ++s) {
+      wire::Request query;
+      query.op = wire::Op::kQuery;
+      query.name = SeriesName(s);
+      query.period = kPeriod;
+      query.min_confidence = kMinConf;
+      auto warm = (*client)->Call(query);
+      ASSERT_TRUE(warm.ok());
+      ASSERT_EQ(warm->code, 0) << warm->message;
+      auto hit = (*client)->Call(query);
+      ASSERT_TRUE(hit.ok());
+      ASSERT_EQ(hit->code, 0) << hit->message;
+      EXPECT_EQ(hit->cache_outcome, 1) << "expected a cache hit for "
+                                       << SeriesName(s);
+    }
+  }
+  EXPECT_GT(registry.GetCounter("ppm.server.cache.hits").value(),
+            hits_before);
+
+  // An append invalidates exactly the affected series: the others still
+  // answer from their memoized results.
+  {
+    auto client = Client::Connect(options.socket_path);
+    ASSERT_TRUE(client.ok());
+    wire::Request append;
+    append.op = wire::Op::kAppend;
+    append.name = SeriesName(0);
+    append.instants = {{"f0"}};
+    {
+      ShadowSeries& shadow = shadows[0];
+      std::lock_guard<std::mutex> lock(shadow.mu);
+      auto response = (*client)->Call(append);
+      ASSERT_TRUE(response.ok());
+      ASSERT_EQ(response->code, 0) << response->message;
+      tsdb::FeatureSet instant;
+      instant.Set(shadow.symbols.Intern("f0"));
+      shadow.instants.push_back(std::move(instant));
+      shadow.length_at_version[response->version] = response->length;
+    }
+    for (int s = 0; s < kSeriesCount; ++s) {
+      wire::Request query;
+      query.op = wire::Op::kQuery;
+      query.name = SeriesName(s);
+      query.period = kPeriod;
+      query.min_confidence = kMinConf;
+      auto response = (*client)->Call(query);
+      ASSERT_TRUE(response.ok());
+      ASSERT_EQ(response->code, 0) << response->message;
+      if (s == 0) {
+        EXPECT_NE(response->cache_outcome, 1)
+            << "append must invalidate the appended series";
+      } else {
+        EXPECT_EQ(response->cache_outcome, 1)
+            << "append must not invalidate " << SeriesName(s);
+      }
+      EXPECT_EQ(SerializeWire(*response),
+                BatchReference(&shadows[s],
+                               response->length));
+    }
+  }
+
+  (*server)->RequestStop();
+  (*server)->Wait();
+}
+
+}  // namespace
+}  // namespace ppm::service

@@ -311,5 +311,78 @@ TEST_F(WalTest, EmptyAndMagicOnlyFilesReplayCleanly) {
   EXPECT_EQ(info->next_seq, 0u);
 }
 
+TEST_F(WalTest, TailLogInfersBaseFromFirstRecord) {
+  // A tail log written with CreateAt(first_seq=100) replays with
+  // ReplayWalTail: the base is inferred from the first record, so the
+  // caller's start_seq (its payload length) delivers exactly the tail.
+  auto writer = WalWriter::CreateAt(path_, WalFsync::kNever, 100);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  std::vector<FeatureSet> written;
+  for (uint64_t t = 0; t < 5; ++t) {
+    written.push_back(InstantFor(t));
+    ASSERT_TRUE((*writer)->Append(written.back()).ok());
+  }
+  ASSERT_TRUE((*writer)->Sync().ok());
+
+  std::vector<FeatureSet> delivered;
+  std::vector<uint64_t> seqs;
+  auto info = ReplayWalTail(path_, 100,
+                            [&](uint64_t seq, const FeatureSet& instant) {
+                              seqs.push_back(seq);
+                              delivered.push_back(instant);
+                              return Status::OK();
+                            });
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(delivered, written);
+  EXPECT_EQ(seqs.front(), 100u);
+  EXPECT_EQ(info->records_delivered, 5u);
+  EXPECT_EQ(info->records_skipped, 0u);
+  EXPECT_EQ(info->next_seq, 105u);
+}
+
+TEST_F(WalTest, TailLogSkipsRecordsBelowStartSeq) {
+  // start_seq past the base: records already folded into the payload by a
+  // compaction are skipped, the rest delivered.
+  auto writer = WalWriter::CreateAt(path_, WalFsync::kNever, 10);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  std::vector<FeatureSet> written;
+  for (uint64_t t = 0; t < 6; ++t) {
+    written.push_back(InstantFor(t));
+    ASSERT_TRUE((*writer)->Append(written.back()).ok());
+  }
+  ASSERT_TRUE((*writer)->Sync().ok());
+
+  std::vector<FeatureSet> delivered;
+  auto info = ReplayWalTail(path_, 13,
+                            [&](uint64_t, const FeatureSet& instant) {
+                              delivered.push_back(instant);
+                              return Status::OK();
+                            });
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info->records_skipped, 3u);
+  EXPECT_EQ(info->records_delivered, 3u);
+  const std::vector<FeatureSet> tail(written.begin() + 3, written.end());
+  EXPECT_EQ(delivered, tail);
+  EXPECT_EQ(info->next_seq, 16u);
+}
+
+TEST_F(WalTest, EmptyTailLogReportsNextSeqZero) {
+  // With no records there is nothing to infer the base from: next_seq is 0
+  // and the caller substitutes its snapshot length.
+  auto writer = WalWriter::CreateAt(path_, WalFsync::kNever, 42);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  ASSERT_TRUE((*writer)->Sync().ok());
+  writer->reset();
+
+  auto info = ReplayWalTail(path_, 42,
+                            [](uint64_t, const FeatureSet&) {
+                              ADD_FAILURE() << "no records expected";
+                              return Status::OK();
+                            });
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info->records_delivered, 0u);
+  EXPECT_EQ(info->next_seq, 0u);
+}
+
 }  // namespace
 }  // namespace ppm::tsdb
