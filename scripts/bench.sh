@@ -6,11 +6,11 @@
 #   scripts/bench.sh --profile=full          # full sweeps (minutes)
 #   scripts/bench.sh --profile=ci --out-dir=/tmp/x   # write elsewhere
 #
-# The ci profile runs the five canonical trajectory benches and writes
+# The ci profile runs the six canonical trajectory benches and writes
 # BENCH_table1.json, BENCH_fig2.json, BENCH_parallel.json,
-# BENCH_scan_io.json, and BENCH_incremental.json into --out-dir (default:
-# the repo root, where they are committed as the perf baselines
-# scripts/perf_gate.py compares against).
+# BENCH_scan_io.json, BENCH_incremental.json, and BENCH_dist.json into
+# --out-dir (default: the repo root, where they are committed as the perf
+# baselines scripts/perf_gate.py compares against).
 # The full profile additionally runs every other bench binary.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -44,7 +44,7 @@ if [[ "$SKIP_BUILD" -eq 0 ]]; then
   cmake -B "$BUILD_DIR" -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build "$BUILD_DIR" --target \
     bench_table1_sweeps bench_fig2_max_pat_length bench_parallel_scaling \
-    bench_scan_io bench_incremental bench_hitset_bound bench_codec \
+    bench_scan_io bench_incremental bench_dist bench_hitset_bound bench_codec \
     bench_query bench_multi_period bench_noise bench_stream bench_maximal \
     bench_ablation_hit_store bench_ablation_derivation >/dev/null
 fi
@@ -64,6 +64,7 @@ run_bench bench_fig2_max_pat_length fig2
 run_bench bench_parallel_scaling parallel
 run_bench bench_scan_io scan_io
 run_bench bench_incremental incremental
+run_bench bench_dist dist
 
 if [[ "$PROFILE" == full ]]; then
   run_bench bench_hitset_bound hitset_bound

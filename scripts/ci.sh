@@ -112,7 +112,7 @@ if [[ "$BENCH_GATE" == "1" ]]; then
   mkdir -p "$INJECT_DIR"
   cp "$BENCH_DIR"/BENCH_table1.json "$BENCH_DIR"/BENCH_fig2.json \
      "$BENCH_DIR"/BENCH_parallel.json "$BENCH_DIR"/BENCH_incremental.json \
-     "$INJECT_DIR/"
+     "$BENCH_DIR"/BENCH_dist.json "$INJECT_DIR/"
   PPM_BENCH_PROFILE=ci PPM_BENCH_INJECT_EXTRA_SCAN=1 \
     "$BUILD_DIR-bench/bench/bench_scan_io" \
     "$INJECT_DIR/BENCH_scan_io.json" > /dev/null
@@ -279,12 +279,63 @@ set -e
 [[ ! -S "$SERVE_SOCK" ]] || { echo "ppmd left its socket behind"; exit 1; }
 echo "serving smoke OK: put/mine/query/append over ppmd, SIGTERM drain clean"
 
+# Distributed chaos smoke (docs/DISTRIBUTED.md): plan a 6-shard mine, kill
+# two workers mid-shard on the first run (no retries, --partial ok), then
+# resume with a transient worker failure and an injected transient read
+# fault -- the resumed run must adopt the four completed shards, re-execute
+# only the two failed ones (proven via the ppm.dist.* counters in the stats
+# report), and the merged pattern lines must diff clean against a one-shot
+# `ppm mine`. `timeout` guards the whole block against a hung coordinator.
+DIST_TIMEOUT="timeout 180"
+"$PPM" generate --output "$SMOKE_DIR/dist.bin" \
+  --length 24000 --period 20 --seed 23
+"$PPM" dist plan --inputs "$SMOKE_DIR/dist.bin" \
+  --plan "$SMOKE_DIR/dist.plan" --period 20 --min-conf 0.8 \
+  --shards-per-input 6 > /dev/null
+$DIST_TIMEOUT "$PPM" dist run --plan "$SMOKE_DIR/dist.plan" \
+  --results "$SMOKE_DIR/dist-results" --workers 3 --max-retries 0 \
+  --partial ok --chaos-shards 1,4 --chaos-kill-after-segments 7 \
+  > "$SMOKE_DIR/dist-broken.out"
+grep -q "failed=2" "$SMOKE_DIR/dist-broken.out"
+grep -q "PARTIAL" "$SMOKE_DIR/dist-broken.out"
+$DIST_TIMEOUT "$PPM" dist run --plan "$SMOKE_DIR/dist.plan" \
+  --results "$SMOKE_DIR/dist-results" --workers 3 --max-retries 2 \
+  --chaos-shards 1 --chaos-exit 7 --chaos-until-attempt 1 \
+  --inject-transient-reads 1 --top 100000 \
+  --stats-json "$SMOKE_DIR/dist-stats.json" > "$SMOKE_DIR/dist-resumed.out"
+"$PPM" mine --input "$SMOKE_DIR/dist.bin" --period 20 --min-conf 0.8 \
+  --top 100000 > "$SMOKE_DIR/dist-oneshot.out"
+grep '^  count=' "$SMOKE_DIR/dist-resumed.out" > "$SMOKE_DIR/dist-patterns"
+grep '^  count=' "$SMOKE_DIR/dist-oneshot.out" > "$SMOKE_DIR/oneshot-dist-patterns"
+diff "$SMOKE_DIR/dist-patterns" "$SMOKE_DIR/oneshot-dist-patterns"
+python3 - "$SMOKE_DIR/dist-stats.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    stats = json.load(f)
+assert stats["run"] == "dist", stats["run"]
+meta = stats["meta"]
+assert meta["shards_merged"] == "6", meta
+assert meta["shards_missing"] == "0", meta
+counters = stats["metrics"]["counters"]
+# Resume re-executed only the two shards the chaos run lost: four adopted,
+# shard 1 took two launches (transient exit then success), shard 4 one.
+assert counters["ppm.dist.shards.adopted"] == 4, counters
+assert counters["ppm.dist.shards.launched"] == 3, counters
+assert counters["ppm.dist.shards.retried"] == 1, counters
+assert counters["ppm.dist.shards.failed"] == 0, counters
+assert counters["ppm.dist.failures.exit"] == 1, counters
+print("smoke OK: dist resume adopted 4, relaunched 2, merge exact")
+EOF
+echo "dist chaos smoke OK: 2 workers killed mid-shard, resume + merge exact"
+
 # Sanitizer matrix: the parallel miners, thread pool, streaming layer, and
 # the corruption/fault-injection harnesses under TSan (data races), ASan
 # (memory errors), and UBSan (undefined behaviour). Only the tests that
 # exercise threads, tricky memory, or hostile bytes are run -- a full suite
 # per sanitizer would triple CI time for no extra coverage.
-SANITIZER_TESTS='util_thread_pool_test|parallel_mine_test|differential_test|determinism_test|boundary_test|stream_test|tsdb_corruption_test|tsdb_fault_injection_test|fault_tolerance_test|tsdb_wal_test|stream_checkpoint_test|incremental_equivalence_test|cli_stream_test|service_store_test|service_cache_test|service_wire_test|ppmd_server_test|serving_differential_test'
+SANITIZER_TESTS='util_thread_pool_test|parallel_mine_test|differential_test|determinism_test|boundary_test|stream_test|tsdb_corruption_test|tsdb_fault_injection_test|fault_tolerance_test|tsdb_wal_test|stream_checkpoint_test|incremental_equivalence_test|cli_stream_test|service_store_test|service_cache_test|service_wire_test|ppmd_server_test|serving_differential_test|service_robustness_test|dist_plan_test|dist_merge_test|dist_corruption_test|dist_coordinator_test'
 if [[ "$SANITIZERS" == "1" ]]; then
   for sanitizer in thread address undefined; do
     SAN_DIR="$BUILD_DIR-$sanitizer"

@@ -30,7 +30,7 @@ import re
 import sys
 from pathlib import Path
 
-CANONICAL = ["table1", "fig2", "parallel", "scan_io", "incremental"]
+CANONICAL = ["table1", "fig2", "parallel", "scan_io", "incremental", "dist"]
 
 # Row fields whose change is always a regression.
 EXACT_RE = re.compile(
@@ -49,6 +49,7 @@ IDENTITY_FIELDS = {
     "param", "value", "workload", "threads", "miner", "storage", "length",
     "period", "period_low", "period_high", "mpl", "max_pat_length", "name",
     "label", "num_f1", "allowed", "noise_mean", "group_size", "version",
+    "shards", "extra_attempts",
 }
 
 # Counter prefixes that are thread-invariant and therefore gated exactly.

@@ -36,7 +36,7 @@ const std::vector<std::string>& CommandNames() {
   static const std::vector<std::string>* names = new std::vector<std::string>{
       "mine",     "scan",    "apply",    "evolve", "suggest",
       "bucketize", "discretize", "generate", "stats",  "convert",
-      "db",       "stream",  "client",   "version"};
+      "db",       "stream",  "client",   "dist",   "version"};
   return *names;
 }
 
@@ -87,7 +87,20 @@ std::string UsageText() {
       "            [--period N] [--min-conf 0.8] [--min-count N]\n"
       "            [--max-letters K] [--algorithm hitset|apriori]\n"
       "            [--deadline-ms N] [--top N] [--stats-json REPORT_FILE]\n"
-      "            [--metrics-prom PROM_FILE]\n"
+      "            [--metrics-prom PROM_FILE] [--connect-wait-ms N]\n"
+      "            (connect retries transient refusals for N ms while the\n"
+      "            daemon starts; default 1000, 0 disables)\n"
+      "  dist      fault-tolerant multi-process mining:\n"
+      "            dist plan --inputs F[,F...] --plan PLAN --period N\n"
+      "              [--min-conf 0.8] [--min-count N] [--max-letters K]\n"
+      "              [--shards-per-input N]\n"
+      "            dist run --plan PLAN --results DIR [--workers N]\n"
+      "              [--max-retries N] [--backoff-ms N] [--timeout-ms N]\n"
+      "              [--partial ok|fail] [--top N] [--save F]\n"
+      "              [--stats-json REPORT_FILE]\n"
+      "            dist status|merge --plan PLAN --results DIR\n"
+      "            (run is resumable: shards with valid results are\n"
+      "            adopted, only the rest re-execute)\n"
       "  version   print the build fingerprint (git sha, compiler, flags)\n"
       "\n"
       "global flags (any command):\n"
@@ -163,6 +176,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     status = RunStream(*parsed, out);
   } else if (command == "client") {
     status = RunClient(*parsed, out);
+  } else if (command == "dist") {
+    status = RunDist(*parsed, out);
   } else if (command == "version" || command == "--version") {
     status = RunVersion(*parsed, out);
   } else {

@@ -88,6 +88,21 @@ Status RunStream(const ArgMap& args, std::ostream& out);
 /// failures map to the same exit codes as local runs.
 Status RunClient(const ArgMap& args, std::ostream& out);
 
+/// `ppm dist`: fault-tolerant distributed shard mining
+/// (docs/DISTRIBUTED.md). First positional is the action:
+/// `plan` (split inputs into a durable shard plan), `run` (supervise
+/// worker processes with retry/backoff and merge), `status` (per-shard
+/// result-file state), `merge` (combine existing results only). A re-run
+/// of `run` adopts shards that already have valid results and
+/// re-executes only the rest.
+Status RunDist(const ArgMap& args, std::ostream& out);
+
+/// `ppm mine --shard N --plan F --results D`: worker mode, launched by
+/// the `ppm dist run` coordinator. Mines one shard's raw counts and
+/// writes a CRC-framed result file. Chaos flags (`--crash-after-segments`
+/// etc.) are deterministic fault seams for the kill-point tests.
+Status RunMineShard(const ArgMap& args, std::ostream& out);
+
 /// `ppm version` (also `ppm --version`): print the build fingerprint from
 /// obs/build_info (git sha, compiler, build type, flags, sanitizer).
 Status RunVersion(const ArgMap& args, std::ostream& out);

@@ -85,7 +85,7 @@ Status RunClient(const ArgMap& args, std::ostream& out) {
   PPM_RETURN_IF_ERROR(args.CheckAllowed(
       {"socket", "name", "input", "output", "period", "min-conf",
        "min-count", "max-letters", "algorithm", "deadline-ms", "top",
-       "stats-json", "metrics-prom"}));
+       "stats-json", "metrics-prom", "connect-wait-ms"}));
   if (args.positional().size() != 1) {
     return Status::InvalidArgument(
         "client needs exactly one action: put, append, get, mine, query, "
@@ -152,7 +152,13 @@ Status RunClient(const ArgMap& args, std::ostream& out) {
     return Status::InvalidArgument("unknown client action: " + action);
   }
 
-  PPM_ASSIGN_OR_RETURN(const auto client, service::Client::Connect(socket_path));
+  // Absorb the daemon-still-starting race (ECONNREFUSED/ENOENT) with a
+  // bounded retry budget; 0 disables retry and fails on first refusal.
+  PPM_ASSIGN_OR_RETURN(const uint64_t connect_wait_ms,
+                       args.GetUint("connect-wait-ms", 1000));
+  PPM_ASSIGN_OR_RETURN(
+      const auto client,
+      service::Client::ConnectWithRetry(socket_path, connect_wait_ms));
   PPM_ASSIGN_OR_RETURN(const service::wire::Response response,
                        client->Call(request));
   PPM_RETURN_IF_ERROR(StatusFromWire(response));

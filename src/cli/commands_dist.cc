@@ -1,0 +1,444 @@
+// `ppm dist` (plan/run/status/merge) and the `ppm mine --shard` worker
+// mode: the CLI face of the fault-tolerant distributed shard mining
+// subsystem in src/dist/ (docs/DISTRIBUTED.md).
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "cli/command_util.h"
+#include "cli/commands.h"
+#include "core/pattern_io.h"
+#include "dist/coordinator.h"
+#include "dist/merger.h"
+#include "dist/shard_plan.h"
+#include "dist/shard_result.h"
+#include "dist/worker.h"
+#include "obs/build_info.h"
+#include "obs/metrics.h"
+#include "obs/resource.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+#include "tsdb/fault_injection.h"
+#include "util/string_util.h"
+
+namespace ppm::cli {
+
+namespace {
+
+/// Exit status a chaos crash-after-write uses: looks like a SIGKILLed
+/// process to the supervising shell (the WAL crash seam's convention).
+constexpr int kChaosExitStatus = 137;
+
+Result<bool> ParsePartialFlag(const ArgMap& args) {
+  const std::string partial = args.GetString("partial", "fail");
+  if (partial == "ok") return true;
+  if (partial == "fail") return false;
+  return Status::InvalidArgument("--partial must be ok or fail");
+}
+
+/// Comma-separated `--inputs` (with `--input` accepted as an alias).
+Result<std::vector<std::string>> ParseInputList(const ArgMap& args) {
+  std::string joined = args.GetString("inputs", "");
+  if (joined.empty()) joined = args.GetString("input", "");
+  if (joined.empty()) {
+    return Status::InvalidArgument("--inputs is required (comma-separated)");
+  }
+  std::vector<std::string> inputs;
+  std::stringstream stream(joined);
+  std::string piece;
+  while (std::getline(stream, piece, ',')) {
+    if (!piece.empty()) inputs.push_back(piece);
+  }
+  if (inputs.empty()) {
+    return Status::InvalidArgument("--inputs lists no paths");
+  }
+  return inputs;
+}
+
+void PrintMergedInput(const dist::ShardPlan& plan,
+                      const dist::MergedInput& merged, uint64_t top,
+                      std::ostream& out) {
+  const uint64_t plan_shards =
+      std::count_if(plan.shards.begin(), plan.shards.end(),
+                    [&](const dist::ShardSpec& spec) {
+                      return spec.input_index == merged.input_index;
+                    });
+  out << "input=" << merged.path << " period=" << plan.period
+      << " m=" << merged.result.stats().num_periods
+      << " |F1|=" << merged.result.stats().num_f1_letters
+      << " shards=" << plan_shards - merged.missing.size() << "/"
+      << plan_shards << " patterns=" << merged.result.size();
+  if (merged.partial()) {
+    out << " PARTIAL";
+    for (const dist::ShardSpec& gap : merged.missing) {
+      out << " missing=[" << gap.segment_begin << "," << gap.segment_end
+          << ")";
+    }
+  }
+  out << "\n";
+  PrintPatterns(merged.result.patterns(), merged.symbols, top, out);
+}
+
+Status WriteDistReport(const ArgMap& args, const dist::ShardPlan& plan,
+                       const dist::MergeOutcome* outcome,
+                       const std::string& action) {
+  if (!args.Has("stats-json")) return Status::OK();
+  obs::RunReport report("dist");
+  report.AddMeta("action", action);
+  report.AddMeta("plan", args.GetString("plan", ""));
+  report.AddMeta("shards", std::to_string(plan.shards.size()));
+  report.AddMeta("inputs", std::to_string(plan.inputs.size()));
+  if (outcome != nullptr) {
+    uint64_t patterns = 0;
+    for (const dist::MergedInput& merged : outcome->inputs) {
+      patterns += merged.result.size();
+    }
+    report.AddMeta("patterns", std::to_string(patterns));
+    report.AddMeta("shards_merged", std::to_string(outcome->shards_merged));
+    report.AddMeta("shards_missing",
+                   std::to_string(outcome->shards_missing));
+  }
+  obs::AddBuildMeta(&report);
+  obs::RecordResourceMetrics();
+  report.CaptureGlobal();
+  return report.WriteJson(args.GetString("stats-json", ""));
+}
+
+Status SaveMerged(const ArgMap& args, const dist::MergeOutcome& outcome,
+                  std::ostream& out) {
+  if (!args.Has("save")) return Status::OK();
+  if (outcome.inputs.size() != 1) {
+    return Status::InvalidArgument(
+        "--save needs a single-input plan (pattern files carry one period "
+        "header)");
+  }
+  const dist::MergedInput& merged = outcome.inputs.front();
+  const std::string save_path = args.GetString("save", "");
+  PPM_RETURN_IF_ERROR(
+      WritePatternsFile(merged.result, merged.symbols, save_path));
+  out << "saved " << merged.result.size() << " patterns to " << save_path
+      << "\n";
+  return Status::OK();
+}
+
+Status RunDistPlan(const ArgMap& args, std::ostream& out) {
+  PPM_RETURN_IF_ERROR(args.CheckAllowed(
+      {"inputs", "input", "plan", "period", "min-conf", "min-count",
+       "max-letters", "shards-per-input"}));
+  const std::string plan_path = args.GetString("plan", "");
+  if (plan_path.empty()) return Status::InvalidArgument("--plan is required");
+  PPM_ASSIGN_OR_RETURN(const std::vector<std::string> input_paths,
+                       ParseInputList(args));
+  PPM_ASSIGN_OR_RETURN(MiningOptions options, MiningOptionsFromArgs(args));
+  PPM_ASSIGN_OR_RETURN(const uint64_t shards_per_input,
+                       args.GetUint("shards-per-input", 8));
+
+  std::vector<std::pair<std::string, uint64_t>> inputs;
+  inputs.reserve(input_paths.size());
+  for (const std::string& path : input_paths) {
+    PPM_ASSIGN_OR_RETURN(const tsdb::TimeSeries series, LoadSeries(path));
+    inputs.emplace_back(path, series.length());
+  }
+  PPM_ASSIGN_OR_RETURN(
+      dist::ShardPlan plan,
+      dist::PlanShards(inputs, options,
+                       static_cast<uint32_t>(shards_per_input)));
+  PPM_RETURN_IF_ERROR(dist::WritePlanFile(&plan, plan_path));
+  out << "planned " << plan.shards.size() << " shards over "
+      << plan.inputs.size() << " inputs (period=" << plan.period
+      << ") -> " << plan_path << "\n";
+  for (const dist::ShardSpec& shard : plan.shards) {
+    out << "  shard " << shard.shard_id << ": input "
+        << plan.inputs[shard.input_index].path << " segments ["
+        << shard.segment_begin << "," << shard.segment_end << ")\n";
+  }
+  return Status::OK();
+}
+
+Result<dist::CoordinatorOptions> CoordinatorOptionsFromArgs(
+    const ArgMap& args) {
+  dist::CoordinatorOptions options;
+  options.worker_binary = args.GetString("worker-bin", "");
+  PPM_ASSIGN_OR_RETURN(const uint64_t workers, args.GetUint("workers", 4));
+  options.max_parallel = static_cast<uint32_t>(workers);
+  PPM_ASSIGN_OR_RETURN(const uint64_t max_retries,
+                       args.GetUint("max-retries", 2));
+  options.max_retries = static_cast<uint32_t>(max_retries);
+  PPM_ASSIGN_OR_RETURN(options.backoff_initial_ms,
+                       args.GetUint("backoff-ms", 50));
+  PPM_ASSIGN_OR_RETURN(options.backoff_max_ms,
+                       args.GetUint("backoff-max-ms", 2000));
+  PPM_ASSIGN_OR_RETURN(options.shard_timeout_ms,
+                       args.GetUint("timeout-ms", 0));
+  PPM_ASSIGN_OR_RETURN(options.partial_ok, ParsePartialFlag(args));
+
+  // Chaos plumbing for the kill-point tests and the CI smoke: one chaos
+  // recipe applied to every shard in --chaos-shards.
+  if (args.Has("chaos-shards")) {
+    std::vector<std::string> chaos_flags;
+    const auto forward = [&](const std::string& cli_flag,
+                             const std::string& worker_flag) -> Status {
+      if (!args.Has(cli_flag)) return Status::OK();
+      PPM_ASSIGN_OR_RETURN(const uint64_t value, args.GetUint(cli_flag, 0));
+      chaos_flags.push_back("--" + worker_flag);
+      chaos_flags.push_back(std::to_string(value));
+      return Status::OK();
+    };
+    PPM_RETURN_IF_ERROR(
+        forward("chaos-kill-after-segments", "crash-after-segments"));
+    PPM_RETURN_IF_ERROR(forward("chaos-hang-ms", "hang-ms"));
+    PPM_RETURN_IF_ERROR(forward("chaos-exit", "fail-exit"));
+    PPM_RETURN_IF_ERROR(forward("chaos-until-attempt", "chaos-until-attempt"));
+    if (args.Has("chaos-crash-after-write")) {
+      chaos_flags.push_back("--crash-after-write");
+    }
+    std::stringstream stream(args.GetString("chaos-shards", ""));
+    std::string piece;
+    while (std::getline(stream, piece, ',')) {
+      if (piece.empty()) continue;
+      char* end = nullptr;
+      const unsigned long shard_id = std::strtoul(piece.c_str(), &end, 10);
+      if (end == piece.c_str() || *end != '\0') {
+        return Status::InvalidArgument("--chaos-shards: bad shard id '" +
+                                       piece + "'");
+      }
+      options.chaos_args[static_cast<uint32_t>(shard_id)] = chaos_flags;
+    }
+  }
+  if (args.Has("inject-transient-reads")) {
+    PPM_ASSIGN_OR_RETURN(const uint64_t transient,
+                         args.GetUint("inject-transient-reads", 0));
+    options.worker_args.push_back("--inject-transient-reads");
+    options.worker_args.push_back(std::to_string(transient));
+  }
+  return options;
+}
+
+Status RunDistRun(const ArgMap& args, std::ostream& out) {
+  PPM_RETURN_IF_ERROR(args.CheckAllowed(
+      {"plan", "results", "workers", "max-retries", "backoff-ms",
+       "backoff-max-ms", "timeout-ms", "partial", "worker-bin", "top",
+       "save", "stats-json", "chaos-shards", "chaos-kill-after-segments",
+       "chaos-hang-ms", "chaos-exit", "chaos-until-attempt",
+       "chaos-crash-after-write", "inject-transient-reads"}));
+  const std::string plan_path = args.GetString("plan", "");
+  const std::string results_dir = args.GetString("results", "");
+  if (plan_path.empty() || results_dir.empty()) {
+    return Status::InvalidArgument("--plan and --results are required");
+  }
+  PPM_ASSIGN_OR_RETURN(const uint64_t top, args.GetUint("top", 50));
+  PPM_ASSIGN_OR_RETURN(const dist::ShardPlan plan,
+                       dist::ReadPlanFile(plan_path));
+  PPM_ASSIGN_OR_RETURN(const dist::CoordinatorOptions coordinator_options,
+                       CoordinatorOptionsFromArgs(args));
+
+  // Scope metrics to this run so the emitted report covers only the work
+  // below (mirrors `ppm mine`; the registry is process-global).
+  obs::MetricsRegistry::Global().Reset();
+  obs::Tracer::Global().Clear();
+
+  const Result<dist::RunSummary> ran =
+      dist::RunShards(plan, plan_path, results_dir, coordinator_options);
+  if (!ran.ok()) {
+    // The failed run still emits its report: the ppm.dist.* counters are
+    // the record of what was attempted before the budget ran out.
+    PPM_RETURN_IF_ERROR(WriteDistReport(args, plan, nullptr, "run"));
+    return ran.status();
+  }
+  PPM_ASSIGN_OR_RETURN(
+      const dist::MergeOutcome outcome,
+      dist::MergeFromDir(plan, results_dir, coordinator_options.partial_ok));
+  for (const dist::MergedInput& merged : outcome.inputs) {
+    PrintMergedInput(plan, merged, top, out);
+  }
+  out << "dist: shards=" << plan.shards.size()
+      << " launched=" << ran->launched << " adopted=" << ran->adopted
+      << " retried=" << ran->retried << " failed=" << ran->failed << "\n";
+  PPM_RETURN_IF_ERROR(SaveMerged(args, outcome, out));
+  PPM_RETURN_IF_ERROR(WriteDistReport(args, plan, &outcome, "run"));
+  return Status::OK();
+}
+
+Status RunDistStatus(const ArgMap& args, std::ostream& out) {
+  PPM_RETURN_IF_ERROR(args.CheckAllowed({"plan", "results"}));
+  const std::string plan_path = args.GetString("plan", "");
+  const std::string results_dir = args.GetString("results", "");
+  if (plan_path.empty() || results_dir.empty()) {
+    return Status::InvalidArgument("--plan and --results are required");
+  }
+  PPM_ASSIGN_OR_RETURN(const dist::ShardPlan plan,
+                       dist::ReadPlanFile(plan_path));
+  uint32_t done = 0;
+  for (const dist::ShardSpec& spec : plan.shards) {
+    const std::string path =
+        dist::ShardResultPath(results_dir, spec.shard_id);
+    const Result<dist::ShardResult> read = dist::ReadShardResultFile(path);
+    std::string state;
+    if (read.ok()) {
+      const Status valid = dist::ValidateShardResult(plan, spec.shard_id, *read);
+      if (valid.ok()) {
+        state = "ok";
+        ++done;
+      } else {
+        state = "invalid (" + valid.message() + ")";
+      }
+    } else if (read.status().code() == StatusCode::kNotFound) {
+      state = "missing";
+    } else {
+      state = "corrupt (" + read.status().message() + ")";
+    }
+    out << "shard " << spec.shard_id << " input="
+        << plan.inputs[spec.input_index].path << " segments=["
+        << spec.segment_begin << "," << spec.segment_end << "): " << state
+        << "\n";
+  }
+  out << done << "/" << plan.shards.size() << " shards have valid results\n";
+  return Status::OK();
+}
+
+Status RunDistMerge(const ArgMap& args, std::ostream& out) {
+  PPM_RETURN_IF_ERROR(args.CheckAllowed(
+      {"plan", "results", "partial", "top", "save", "stats-json"}));
+  const std::string plan_path = args.GetString("plan", "");
+  const std::string results_dir = args.GetString("results", "");
+  if (plan_path.empty() || results_dir.empty()) {
+    return Status::InvalidArgument("--plan and --results are required");
+  }
+  PPM_ASSIGN_OR_RETURN(const uint64_t top, args.GetUint("top", 50));
+  PPM_ASSIGN_OR_RETURN(const bool partial_ok, ParsePartialFlag(args));
+  PPM_ASSIGN_OR_RETURN(const dist::ShardPlan plan,
+                       dist::ReadPlanFile(plan_path));
+  obs::MetricsRegistry::Global().Reset();
+  obs::Tracer::Global().Clear();
+  PPM_ASSIGN_OR_RETURN(const dist::MergeOutcome outcome,
+                       dist::MergeFromDir(plan, results_dir, partial_ok));
+  for (const dist::MergedInput& merged : outcome.inputs) {
+    PrintMergedInput(plan, merged, top, out);
+  }
+  PPM_RETURN_IF_ERROR(SaveMerged(args, outcome, out));
+  return WriteDistReport(args, plan, &outcome, "merge");
+}
+
+}  // namespace
+
+Status RunMineShard(const ArgMap& args, std::ostream& out) {
+  PPM_RETURN_IF_ERROR(args.CheckAllowed(
+      {"shard", "plan", "results", "attempt", "chaos-until-attempt",
+       "crash-after-segments", "crash-after-write", "hang-ms", "fail-exit",
+       "inject-transient-reads"}));
+  PPM_ASSIGN_OR_RETURN(const uint64_t shard_id, args.GetUint("shard", 0));
+  const std::string plan_path = args.GetString("plan", "");
+  const std::string results_dir = args.GetString("results", "");
+  if (plan_path.empty() || results_dir.empty()) {
+    return Status::InvalidArgument(
+        "--shard needs --plan and --results (worker mode is launched by "
+        "`ppm dist run`)");
+  }
+  PPM_ASSIGN_OR_RETURN(const uint64_t attempt, args.GetUint("attempt", 1));
+
+  // Chaos seams, all gated on the attempt number so injected failures
+  // can be transient (heal on retry) or permanent (gate above the retry
+  // budget). Absent gate = chaos on every attempt.
+  PPM_ASSIGN_OR_RETURN(
+      const uint64_t chaos_until,
+      args.GetUint("chaos-until-attempt", UINT64_MAX));
+  const bool chaos_active = attempt <= chaos_until;
+  if (chaos_active && args.Has("fail-exit")) {
+    PPM_ASSIGN_OR_RETURN(const uint64_t exit_code,
+                         args.GetUint("fail-exit", 1));
+    std::_Exit(static_cast<int>(exit_code));
+  }
+  if (chaos_active && args.Has("hang-ms")) {
+    PPM_ASSIGN_OR_RETURN(const uint64_t hang_ms, args.GetUint("hang-ms", 0));
+    std::this_thread::sleep_for(std::chrono::milliseconds(hang_ms));
+  }
+
+  PPM_ASSIGN_OR_RETURN(const dist::ShardPlan plan,
+                       dist::ReadPlanFile(plan_path));
+  if (shard_id >= plan.shards.size()) {
+    return Status::InvalidArgument("--shard " + std::to_string(shard_id) +
+                                   " outside the plan");
+  }
+  const dist::ShardSpec& spec = plan.shards[shard_id];
+
+  // Real storage faults via the existing injection seam: the worker
+  // absorbs transient read failures with the same short retry/backoff
+  // `tsdb::Database::Get` uses, so an I/O flake costs two sleeps instead
+  // of a whole shard attempt. Corruption is never retried -- a bad
+  // checksum is a property of the bytes, not the attempt.
+  std::unique_ptr<tsdb::ScopedFaultInjection> injection;
+  if (args.Has("inject-transient-reads")) {
+    PPM_ASSIGN_OR_RETURN(const uint64_t transient,
+                         args.GetUint("inject-transient-reads", 0));
+    tsdb::FaultPlan fault_plan;
+    fault_plan.seed = 1;
+    fault_plan.transient_read_failures = static_cast<uint32_t>(transient);
+    injection = std::make_unique<tsdb::ScopedFaultInjection>(fault_plan);
+  }
+  const std::string& input_path = plan.inputs[spec.input_index].path;
+  Result<tsdb::TimeSeries> loaded = LoadSeries(input_path);
+  for (int read_attempt = 1;
+       read_attempt < 3 && !loaded.ok() &&
+       loaded.status().code() == StatusCode::kIoError;
+       ++read_attempt) {
+    obs::MetricsRegistry::Global().GetCounter("ppm.fault.retries").Inc();
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(read_attempt == 1 ? 1 : 4));
+    loaded = LoadSeries(input_path);
+  }
+  PPM_ASSIGN_OR_RETURN(const tsdb::TimeSeries series, std::move(loaded));
+  injection.reset();
+
+  uint64_t crash_after_segments = UINT64_MAX;
+  if (chaos_active && args.Has("crash-after-segments")) {
+    PPM_ASSIGN_OR_RETURN(crash_after_segments,
+                         args.GetUint("crash-after-segments", 0));
+    if (crash_after_segments == 0) {
+      // Cut point 0: die before mining anything.
+      ::raise(SIGKILL);
+    }
+  }
+  PPM_ASSIGN_OR_RETURN(
+      const dist::ShardResult result,
+      dist::MineShardCounts(
+          series, plan, static_cast<uint32_t>(shard_id),
+          [crash_after_segments](uint64_t segments_done) {
+            // The deterministic kill point: a real SIGKILL mid-scan, so
+            // the coordinator sees death-by-signal, not a clean exit.
+            if (segments_done == crash_after_segments) ::raise(SIGKILL);
+          }));
+  PPM_RETURN_IF_ERROR(dist::WriteShardResultFile(
+      result, dist::ShardResultPath(results_dir,
+                                    static_cast<uint32_t>(shard_id))));
+  if (chaos_active && args.Has("crash-after-write")) {
+    // Death *after* the durable write: the coordinator should classify a
+    // failure, then adopt the valid result instead of re-mining.
+    std::_Exit(kChaosExitStatus);
+  }
+  out << "shard=" << shard_id << " attempt=" << attempt << " segments=["
+      << spec.segment_begin << "," << spec.segment_end << ") letters="
+      << result.letter_counts.size() << " hits=" << result.hits.size()
+      << "\n";
+  return Status::OK();
+}
+
+Status RunDist(const ArgMap& args, std::ostream& out) {
+  if (args.positional().size() != 1) {
+    return Status::InvalidArgument(
+        "dist needs exactly one action: plan, run, status, or merge");
+  }
+  const std::string& action = args.positional()[0];
+  if (action == "plan") return RunDistPlan(args, out);
+  if (action == "run") return RunDistRun(args, out);
+  if (action == "status") return RunDistStatus(args, out);
+  if (action == "merge") return RunDistMerge(args, out);
+  return Status::InvalidArgument("unknown dist action: " + action);
+}
+
+}  // namespace ppm::cli

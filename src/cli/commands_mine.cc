@@ -23,6 +23,9 @@
 namespace ppm::cli {
 
 Status RunMine(const ArgMap& args, std::ostream& out) {
+  // Worker mode: `ppm dist run` launches `ppm mine --shard N ...`
+  // subprocesses. It has its own flag set (commands_dist.cc).
+  if (args.Has("shard")) return RunMineShard(args, out);
   PPM_RETURN_IF_ERROR(args.CheckAllowed({"input", "period", "min-conf",
                                          "min-count", "algorithm",
                                          "max-letters", "threads", "maximal",

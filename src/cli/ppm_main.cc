@@ -23,6 +23,10 @@ void HandleSigint(int) {
 
 int main(int argc, char** argv) {
   std::signal(SIGINT, HandleSigint);
+  // A peer (ppmd, or a pipe reader like `head`) closing mid-write must
+  // surface as an EPIPE write error to handle, not a process-killing
+  // SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
   std::vector<std::string> args(argv + 1, argv + argc);
   return ppm::cli::RunCli(args, std::cout, std::cerr);
 }

@@ -119,6 +119,10 @@ ppm::Status RunDaemon(const ppm::cli::ArgMap& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A client that disconnects mid-response must surface as an EPIPE
+  // write error on that one connection, never a SIGPIPE that kills the
+  // whole daemon.
+  std::signal(SIGPIPE, SIG_IGN);
   std::vector<std::string> raw(argv + 1, argv + argc);
   if (!raw.empty() && (raw[0] == "help" || raw[0] == "--help")) {
     std::cout << kUsage;

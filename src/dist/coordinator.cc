@@ -1,0 +1,383 @@
+#include "dist/coordinator.h"
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+#include <utility>
+
+#include "dist/shard_result.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/log.h"
+
+namespace ppm::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kWorkerExecFailure = 127;
+
+/// Poll cadence of the supervision loop (reap + deadline checks).
+constexpr std::chrono::milliseconds kPollInterval(10);
+
+Result<std::string> SelfExePath() {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (n < 0) {
+    return Status::IoError(std::string("readlink(/proc/self/exe) failed: ") +
+                           std::strerror(errno));
+  }
+  buffer[n] = '\0';
+  return std::string(buffer);
+}
+
+struct ShardState {
+  enum class Phase { kPending, kRunning, kDone, kFailed };
+  Phase phase = Phase::kPending;
+  uint32_t attempts = 0;
+  bool adopted = false;
+  Clock::time_point eligible_at = Clock::time_point::min();
+  std::string last_failure;
+};
+
+struct RunningWorker {
+  uint32_t shard_id = 0;
+  pid_t pid = -1;
+  Clock::time_point started_at;
+  bool killed_for_timeout = false;
+};
+
+}  // namespace
+
+const char* FailureKindName(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kExitNonzero:
+      return "exit";
+    case FailureKind::kSignal:
+      return "signal";
+    case FailureKind::kTimeout:
+      return "timeout";
+    case FailureKind::kCorruptResult:
+      return "corrupt_result";
+  }
+  return "unknown";
+}
+
+Result<RunSummary> RunShards(const ShardPlan& plan,
+                             const std::string& plan_path,
+                             const std::string& results_dir,
+                             const CoordinatorOptions& options) {
+  obs::TraceSpan run_span = obs::Tracer::Global().StartSpan("dist.run");
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Counter launched_counter =
+      registry.GetCounter("ppm.dist.shards.launched");
+  obs::Counter adopted_counter =
+      registry.GetCounter("ppm.dist.shards.adopted");
+  obs::Counter completed_counter =
+      registry.GetCounter("ppm.dist.shards.completed");
+  obs::Counter retried_counter =
+      registry.GetCounter("ppm.dist.shards.retried");
+  obs::Counter failed_counter = registry.GetCounter("ppm.dist.shards.failed");
+  obs::Histogram attempts_histogram =
+      registry.GetHistogram("ppm.dist.shard_attempts");
+  obs::Histogram wall_histogram =
+      registry.GetHistogram("ppm.dist.shard_wall_us");
+
+  std::string worker_binary = options.worker_binary;
+  if (worker_binary.empty()) {
+    PPM_ASSIGN_OR_RETURN(worker_binary, SelfExePath());
+  }
+  if (options.max_parallel == 0) {
+    return Status::InvalidArgument("--workers must be >= 1");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(results_dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create results dir '" + results_dir +
+                           "': " + ec.message());
+  }
+
+  const uint32_t num_shards = static_cast<uint32_t>(plan.shards.size());
+  std::vector<ShardState> states(num_shards);
+
+  // A shard with a valid result file is done without launching anything:
+  // this is both the resume path and the crash-after-durable-write path.
+  // An invalid file is removed so a relaunch cannot re-adopt it.
+  const auto try_adopt = [&](uint32_t shard_id) -> bool {
+    const std::string path = ShardResultPath(results_dir, shard_id);
+    Result<ShardResult> read = ReadShardResultFile(path);
+    if (read.ok()) {
+      const Status valid = ValidateShardResult(plan, shard_id, *read);
+      if (valid.ok()) return true;
+      read = valid;
+    }
+    if (read.status().code() != StatusCode::kNotFound) {
+      PPM_LOG(kWarn) << "dist: discarding unusable result for shard "
+                     << shard_id << ": " << read.status().ToString();
+      registry.GetCounter("ppm.dist.failures.corrupt_result").Inc();
+      ::unlink(path.c_str());
+    }
+    return false;
+  };
+
+  const auto mark_done = [&](uint32_t shard_id, bool adopted) {
+    ShardState& state = states[shard_id];
+    state.phase = ShardState::Phase::kDone;
+    state.adopted = adopted;
+    if (adopted) adopted_counter.Inc();
+    completed_counter.Inc();
+  };
+
+  for (uint32_t shard_id = 0; shard_id < num_shards; ++shard_id) {
+    if (try_adopt(shard_id)) mark_done(shard_id, /*adopted=*/true);
+  }
+
+  const auto backoff_for = [&](uint32_t retry_number) {
+    double ms = static_cast<double>(options.backoff_initial_ms);
+    for (uint32_t i = 1; i < retry_number; ++i) {
+      ms *= options.backoff_multiplier;
+    }
+    ms = std::min(ms, static_cast<double>(options.backoff_max_ms));
+    return std::chrono::milliseconds(static_cast<int64_t>(ms));
+  };
+
+  /// Forks and execs one worker attempt; returns its pid.
+  const auto launch = [&](uint32_t shard_id) -> Result<pid_t> {
+    ShardState& state = states[shard_id];
+    ++state.attempts;
+    std::vector<std::string> argv = {
+        worker_binary,
+        "mine",
+        "--shard",   std::to_string(shard_id),
+        "--plan",    plan_path,
+        "--results", results_dir,
+        "--attempt", std::to_string(state.attempts),
+    };
+    argv.insert(argv.end(), options.worker_args.begin(),
+                options.worker_args.end());
+    const auto chaos = options.chaos_args.find(shard_id);
+    if (chaos != options.chaos_args.end()) {
+      argv.insert(argv.end(), chaos->second.begin(), chaos->second.end());
+    }
+    std::vector<char*> argv_ptrs;
+    argv_ptrs.reserve(argv.size() + 1);
+    for (std::string& arg : argv) argv_ptrs.push_back(arg.data());
+    argv_ptrs.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      return Status::ResourceExhausted(std::string("fork() failed: ") +
+                                       std::strerror(errno));
+    }
+    if (pid == 0) {
+      ::execv(worker_binary.c_str(), argv_ptrs.data());
+      // Nothing but async-signal-safe calls after a failed exec.
+      ::_exit(kWorkerExecFailure);
+    }
+    state.phase = ShardState::Phase::kRunning;
+    launched_counter.Inc();
+    if (state.attempts > 1) retried_counter.Inc();
+    PPM_LOG(kDebug) << "dist: launched shard " << shard_id << " attempt "
+                    << state.attempts << " as pid " << pid;
+    return pid;
+  };
+
+  Status first_failure = Status::OK();
+
+  /// Applies one classified attempt failure: schedule a backoff retry
+  /// while budget remains, otherwise abandon the shard.
+  const auto record_failure = [&](uint32_t shard_id, FailureKind kind,
+                                  const std::string& detail) {
+    ShardState& state = states[shard_id];
+    state.last_failure =
+        std::string(FailureKindName(kind)) + ": " + detail;
+    registry
+        .GetCounter(std::string("ppm.dist.failures.") + FailureKindName(kind))
+        .Inc();
+    if (state.attempts <= options.max_retries) {
+      state.phase = ShardState::Phase::kPending;
+      state.eligible_at = Clock::now() + backoff_for(state.attempts);
+      PPM_LOG(kInfo) << "dist: shard " << shard_id << " attempt "
+                     << state.attempts << " failed (" << state.last_failure
+                     << "); retrying after backoff";
+      return;
+    }
+    state.phase = ShardState::Phase::kFailed;
+    failed_counter.Inc();
+    PPM_LOG(kWarn) << "dist: shard " << shard_id << " abandoned after "
+                   << state.attempts << " attempts (" << state.last_failure
+                   << ")";
+    if (first_failure.ok()) {
+      const std::string message =
+          "shard " + std::to_string(shard_id) + " failed after " +
+          std::to_string(state.attempts) + " attempts (" +
+          state.last_failure + ")";
+      switch (kind) {
+        case FailureKind::kTimeout:
+          first_failure = Status::DeadlineExceeded(message);
+          break;
+        case FailureKind::kCorruptResult:
+          first_failure = Status::Corruption(message);
+          break;
+        default:
+          first_failure = Status::Internal(message);
+          break;
+      }
+    }
+  };
+
+  std::vector<RunningWorker> running;
+  running.reserve(options.max_parallel);
+
+  while (true) {
+    // Launch: fill the bounded queue with eligible pending shards,
+    // lowest id first. A shard still in backoff is skipped, not waited
+    // on -- later shards may run ahead of it.
+    const Clock::time_point now = Clock::now();
+    for (uint32_t shard_id = 0;
+         shard_id < num_shards && running.size() < options.max_parallel;
+         ++shard_id) {
+      ShardState& state = states[shard_id];
+      if (state.phase != ShardState::Phase::kPending ||
+          state.eligible_at > now) {
+        continue;
+      }
+      // A retry first checks whether the failed attempt actually left a
+      // valid result behind (a worker killed after its durable write did
+      // the work; re-mining would only spend the budget for nothing).
+      if (state.attempts > 0 && try_adopt(shard_id)) {
+        mark_done(shard_id, /*adopted=*/true);
+        continue;
+      }
+      PPM_ASSIGN_OR_RETURN(const pid_t pid, launch(shard_id));
+      running.push_back(RunningWorker{shard_id, pid, Clock::now(), false});
+    }
+
+    if (running.empty()) {
+      // Nothing in flight: either all shards are terminal, or the only
+      // pending shards are in backoff -- sleep toward the earliest one.
+      bool any_pending = false;
+      Clock::time_point earliest = Clock::time_point::max();
+      for (const ShardState& state : states) {
+        if (state.phase == ShardState::Phase::kPending) {
+          any_pending = true;
+          earliest = std::min(earliest, state.eligible_at);
+        }
+      }
+      if (!any_pending) break;
+      const auto wait = earliest - Clock::now();
+      if (wait > std::chrono::nanoseconds(0)) {
+        std::this_thread::sleep_for(std::min<Clock::duration>(
+            wait, std::chrono::milliseconds(50)));
+      }
+      continue;
+    }
+
+    // Liveness: SIGKILL any worker past its wall deadline; the reap
+    // below then classifies it as a timeout rather than a plain signal.
+    if (options.shard_timeout_ms != 0) {
+      const Clock::time_point deadline_now = Clock::now();
+      for (RunningWorker& worker : running) {
+        if (worker.killed_for_timeout) continue;
+        const auto elapsed = deadline_now - worker.started_at;
+        if (elapsed >=
+            std::chrono::milliseconds(options.shard_timeout_ms)) {
+          PPM_LOG(kWarn) << "dist: shard " << worker.shard_id << " (pid "
+                         << worker.pid << ") exceeded "
+                         << options.shard_timeout_ms << "ms; killing";
+          worker.killed_for_timeout = true;
+          ::kill(worker.pid, SIGKILL);
+        }
+      }
+    }
+
+    // Reap: per-pid WNOHANG so the loop never blocks and never steals
+    // child notifications from an embedding test process.
+    bool reaped_any = false;
+    for (size_t i = 0; i < running.size();) {
+      RunningWorker worker = running[i];
+      int wait_status = 0;
+      const pid_t reaped = ::waitpid(worker.pid, &wait_status, WNOHANG);
+      if (reaped == 0) {
+        ++i;
+        continue;
+      }
+      running.erase(running.begin() + i);
+      reaped_any = true;
+      if (reaped < 0) {
+        record_failure(worker.shard_id, FailureKind::kSignal,
+                       std::string("waitpid failed: ") +
+                           std::strerror(errno));
+        continue;
+      }
+      const uint64_t wall_us =
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  Clock::now() - worker.started_at)
+                  .count());
+      wall_histogram.Observe(wall_us);
+      if (worker.killed_for_timeout) {
+        record_failure(worker.shard_id, FailureKind::kTimeout,
+                       "killed after " +
+                           std::to_string(options.shard_timeout_ms) + "ms");
+      } else if (WIFSIGNALED(wait_status)) {
+        record_failure(worker.shard_id, FailureKind::kSignal,
+                       std::string("killed by signal ") +
+                           std::to_string(WTERMSIG(wait_status)));
+      } else if (WIFEXITED(wait_status) && WEXITSTATUS(wait_status) != 0) {
+        record_failure(worker.shard_id, FailureKind::kExitNonzero,
+                       "exit status " +
+                           std::to_string(WEXITSTATUS(wait_status)));
+      } else if (try_adopt(worker.shard_id)) {
+        // Exit 0 and the result file verifies: the normal success path.
+        mark_done(worker.shard_id, /*adopted=*/false);
+        attempts_histogram.Observe(states[worker.shard_id].attempts);
+      } else {
+        // Exit 0 but no verifiable result: the worker lied or its file
+        // was damaged before we read it.
+        record_failure(worker.shard_id, FailureKind::kCorruptResult,
+                       "exit 0 without a verifiable result file");
+      }
+    }
+    if (!reaped_any) std::this_thread::sleep_for(kPollInterval);
+  }
+
+  RunSummary summary;
+  summary.shards.reserve(num_shards);
+  for (uint32_t shard_id = 0; shard_id < num_shards; ++shard_id) {
+    const ShardState& state = states[shard_id];
+    ShardOutcome outcome;
+    outcome.shard_id = shard_id;
+    outcome.completed = state.phase == ShardState::Phase::kDone;
+    outcome.adopted = state.adopted;
+    outcome.attempts = state.attempts;
+    outcome.last_failure = state.last_failure;
+    summary.shards.push_back(std::move(outcome));
+    summary.launched += state.attempts;
+    if (state.adopted) ++summary.adopted;
+    if (state.attempts > 1) summary.retried += state.attempts - 1;
+    if (state.phase == ShardState::Phase::kFailed) ++summary.failed;
+  }
+  run_span.End();
+  PPM_LOG(kInfo) << "dist: run finished: " << num_shards - summary.failed
+                 << "/" << num_shards << " shards complete ("
+                 << summary.adopted << " adopted, " << summary.retried
+                 << " retries)";
+  if (summary.failed > 0 && !options.partial_ok) {
+    return first_failure.ok()
+               ? Status::Internal("shards failed without a recorded cause")
+               : first_failure;
+  }
+  return summary;
+}
+
+}  // namespace ppm::dist

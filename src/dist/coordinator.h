@@ -1,0 +1,97 @@
+#ifndef PPM_DIST_COORDINATOR_H_
+#define PPM_DIST_COORDINATOR_H_
+
+// The supervising coordinator: fans `ppm mine --shard` worker processes
+// out over a bounded work queue, watches each with a wall-clock
+// deadline, classifies failures (nonzero exit, death by signal,
+// timeout, corrupt/missing result file), retries with exponential
+// backoff up to a budget, and degrades per `partial_ok` once the budget
+// is spent. Resumable by construction: before launching anything it
+// adopts every shard that already has a valid result file, so a re-run
+// re-executes only the shards without one. See docs/DISTRIBUTED.md.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dist/shard_plan.h"
+#include "util/status.h"
+
+namespace ppm::dist {
+
+/// Why a shard attempt failed (the coordinator's failure taxonomy).
+enum class FailureKind {
+  kExitNonzero = 0,  // worker exited with a nonzero status
+  kSignal = 1,       // worker was killed by a signal (crash, OOM-kill)
+  kTimeout = 2,      // worker outlived its deadline; coordinator SIGKILLed it
+  kCorruptResult = 3,  // worker "succeeded" but its result file won't verify
+};
+
+const char* FailureKindName(FailureKind kind);
+
+struct CoordinatorOptions {
+  /// Path of the `ppm` binary to exec workers from. Empty means
+  /// /proc/self/exe (the coordinator usually *is* a `ppm` process).
+  std::string worker_binary;
+  /// Bounded work queue width: at most this many workers at once.
+  uint32_t max_parallel = 4;
+  /// Retry budget per shard (total attempts = max_retries + 1).
+  uint32_t max_retries = 2;
+  /// Exponential backoff before retry k (1-based):
+  /// `backoff_initial_ms * backoff_multiplier^(k-1)`, capped.
+  uint64_t backoff_initial_ms = 50;
+  uint64_t backoff_max_ms = 2000;
+  double backoff_multiplier = 2.0;
+  /// Per-shard wall deadline; a worker past it is SIGKILLed and the
+  /// attempt classified `kTimeout`. 0 means no deadline.
+  uint64_t shard_timeout_ms = 0;
+  /// After the retry budget: true = skip the shard and report it
+  /// (`--partial ok`), false = fail the run with a status matching the
+  /// shard's last failure.
+  bool partial_ok = false;
+  /// Extra argv appended to every worker (e.g. fault-injection flags the
+  /// CI smoke arms globally).
+  std::vector<std::string> worker_args;
+  /// Extra argv appended to specific shards' workers -- the chaos seam
+  /// the kill-point tests and the CI smoke drive (`--crash-after-segments`
+  /// and friends ride in here).
+  std::map<uint32_t, std::vector<std::string>> chaos_args;
+};
+
+/// Terminal state of one shard.
+struct ShardOutcome {
+  uint32_t shard_id = 0;
+  bool completed = false;
+  /// Completed without launching anything this run (a valid result file
+  /// already existed -- the resume path, or a crash-after-durable-write).
+  bool adopted = false;
+  uint32_t attempts = 0;
+  std::string last_failure;  // empty when the first attempt succeeded
+};
+
+struct RunSummary {
+  std::vector<ShardOutcome> shards;
+  uint32_t launched = 0;  // worker processes actually exec'd
+  uint32_t adopted = 0;   // shards satisfied by pre-existing results
+  uint32_t retried = 0;   // launches beyond each shard's first
+  uint32_t failed = 0;    // shards abandoned after the retry budget
+
+  bool complete() const { return failed == 0; }
+};
+
+/// Runs the plan's shards to completion (or exhaustion of retry
+/// budgets). On return every shard in the summary either `completed`
+/// (its verified result file is in `results_dir`) or counts toward
+/// `failed` (only possible under `partial_ok`; otherwise the run itself
+/// returns the last failure's status). Emits `ppm.dist.*` metrics:
+/// shards launched/adopted/retried/failed counters, per-failure-kind
+/// counters, and attempt/wall histograms.
+Result<RunSummary> RunShards(const ShardPlan& plan,
+                             const std::string& plan_path,
+                             const std::string& results_dir,
+                             const CoordinatorOptions& options);
+
+}  // namespace ppm::dist
+
+#endif  // PPM_DIST_COORDINATOR_H_

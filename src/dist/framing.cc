@@ -1,0 +1,119 @@
+#include "dist/framing.h"
+
+#include <cstring>
+
+#include "util/crc32c.h"
+#include "util/fs.h"
+
+namespace ppm::dist {
+
+namespace {
+constexpr size_t kMagicLen = 8;
+constexpr size_t kHeaderLen = kMagicLen + 8 + 4;  // magic + body_len + crc
+}  // namespace
+
+void PutU32(std::string* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void PutF64(std::string* out, double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, std::string_view value) {
+  PutU32(out, static_cast<uint32_t>(value.size()));
+  out->append(value);
+}
+
+bool BodyReader::ReadU32(uint32_t* value) {
+  if (remaining() < 4) return false;
+  *value = 0;
+  for (int i = 0; i < 4; ++i) {
+    *value |= static_cast<uint32_t>(
+                  static_cast<unsigned char>(body_[pos_ + i]))
+              << (8 * i);
+  }
+  pos_ += 4;
+  return true;
+}
+
+bool BodyReader::ReadU64(uint64_t* value) {
+  if (remaining() < 8) return false;
+  *value = 0;
+  for (int i = 0; i < 8; ++i) {
+    *value |= static_cast<uint64_t>(
+                  static_cast<unsigned char>(body_[pos_ + i]))
+              << (8 * i);
+  }
+  pos_ += 8;
+  return true;
+}
+
+bool BodyReader::ReadF64(double* value) {
+  uint64_t bits = 0;
+  if (!ReadU64(&bits)) return false;
+  std::memcpy(value, &bits, sizeof(bits));
+  return true;
+}
+
+bool BodyReader::ReadString(std::string* value, uint32_t max_len) {
+  uint32_t len = 0;
+  if (!ReadU32(&len)) return false;
+  if (len > max_len || remaining() < len) return false;
+  value->assign(body_.data() + pos_, len);
+  pos_ += len;
+  return true;
+}
+
+uint32_t BodyFingerprint(std::string_view body) {
+  return crc32c::Value(body);
+}
+
+Status WriteFramedFile(const std::string& path, const char* magic,
+                       std::string_view body) {
+  std::string bytes;
+  bytes.reserve(kHeaderLen + body.size());
+  bytes.append(magic, kMagicLen);
+  PutU64(&bytes, body.size());
+  PutU32(&bytes, BodyFingerprint(body));
+  bytes.append(body);
+  return fsutil::AtomicWriteFile(path, bytes);
+}
+
+Result<std::string> ReadFramedFile(const std::string& path,
+                                   const char* magic) {
+  PPM_ASSIGN_OR_RETURN(const std::string bytes, fsutil::ReadFileBytes(path));
+  if (bytes.size() < kHeaderLen) {
+    return Status::Corruption("framed file too short: " + path);
+  }
+  if (bytes.compare(0, kMagicLen, magic, kMagicLen) != 0) {
+    return Status::Corruption("bad magic: " + path);
+  }
+  BodyReader header(std::string_view(bytes).substr(kMagicLen, 12));
+  uint64_t body_len = 0;
+  uint32_t body_crc = 0;
+  header.ReadU64(&body_len);
+  header.ReadU32(&body_crc);
+  if (bytes.size() - kHeaderLen != body_len) {
+    return Status::Corruption("length mismatch: " + path);
+  }
+  const std::string_view body =
+      std::string_view(bytes).substr(kHeaderLen, body_len);
+  if (crc32c::Value(body) != body_crc) {
+    return Status::Corruption("checksum mismatch: " + path);
+  }
+  return std::string(body);
+}
+
+}  // namespace ppm::dist

@@ -1,0 +1,70 @@
+#ifndef PPM_DIST_FRAMING_H_
+#define PPM_DIST_FRAMING_H_
+
+// CRC32C-framed single-block file container shared by the shard-plan
+// manifest and the per-shard result files:
+//
+//   magic      8 bytes   (format tag, e.g. "PPMDPL1\n")
+//   body_len   u64 LE
+//   body_crc   u32 LE    CRC-32C of the body bytes
+//   body       body_len bytes
+//
+// The same layout as the v3 `.ppmts` / checkpoint framing
+// (docs/FILE_FORMATS.md): verify-before-parse, and any framing or CRC
+// mismatch is `kCorruption`. Files are written via
+// `fsutil::AtomicWriteFile`, so readers only ever observe a whole old
+// file or a whole new file -- never a torn mix.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace ppm::dist {
+
+/// Little-endian body-encoding primitives (the PPMRPC1 conventions).
+void PutU32(std::string* out, uint32_t value);
+void PutU64(std::string* out, uint64_t value);
+void PutF64(std::string* out, double value);
+void PutString(std::string* out, std::string_view value);
+
+/// Bounds-checked sequential reader over a decoded body. Every getter
+/// returns false on truncation; callers surface that as `kCorruption`.
+class BodyReader {
+ public:
+  explicit BodyReader(std::string_view body) : body_(body) {}
+
+  bool ReadU32(uint32_t* value);
+  bool ReadU64(uint64_t* value);
+  bool ReadF64(double* value);
+  /// Reads a u32 length followed by that many bytes; refuses lengths
+  /// larger than `max_len` before allocating.
+  bool ReadString(std::string* value, uint32_t max_len);
+
+  size_t remaining() const { return body_.size() - pos_; }
+  bool exhausted() const { return pos_ == body_.size(); }
+
+ private:
+  std::string_view body_;
+  size_t pos_ = 0;
+};
+
+/// CRC-32C of `body` -- also used as the plan *fingerprint* that binds
+/// shard result files to the exact plan they were mined under.
+uint32_t BodyFingerprint(std::string_view body);
+
+/// Atomically writes `magic + frame(body)` to `path`.
+Status WriteFramedFile(const std::string& path, const char* magic,
+                       std::string_view body);
+
+/// Reads and verifies a framed file: magic match, exact length, CRC.
+/// `kNotFound` when the file does not exist; `kCorruption` on any framing
+/// or checksum mismatch.
+Result<std::string> ReadFramedFile(const std::string& path,
+                                   const char* magic);
+
+}  // namespace ppm::dist
+
+#endif  // PPM_DIST_FRAMING_H_

@@ -1,0 +1,93 @@
+#ifndef PPM_DIST_SHARD_PLAN_H_
+#define PPM_DIST_SHARD_PLAN_H_
+
+// The durable shard plan (`*.plan`): one CRC32C-framed manifest that
+// pins everything a distributed mine depends on -- the mining
+// parameters, the input series (paths and lengths), and the exact
+// segment-range split. Workers and the merger both re-validate against
+// it, and its body CRC (the *fingerprint*) is stamped into every shard
+// result file so results can never be merged under a different plan
+// than the one they were mined for. See docs/DISTRIBUTED.md.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/mining_options.h"
+#include "util/status.h"
+
+namespace ppm::dist {
+
+/// File magic of the plan manifest.
+inline constexpr char kPlanMagic[9] = "PPMDPL1\n";
+inline constexpr uint32_t kPlanVersion = 1;
+
+/// One input series of the plan. `length` is the instant count at
+/// planning time; a worker that observes a different length refuses to
+/// mine (the input changed under the plan).
+struct PlanInput {
+  std::string path;
+  uint64_t length = 0;
+  /// Whole periods `m` of this input (`length / period`).
+  uint64_t num_segments = 0;
+};
+
+/// One unit of work: a contiguous range of whole period segments
+/// `[segment_begin, segment_end)` of one input. A corpus of many series
+/// is just one shard per series covering its full range.
+struct ShardSpec {
+  uint32_t shard_id = 0;
+  uint32_t input_index = 0;
+  uint64_t segment_begin = 0;
+  uint64_t segment_end = 0;
+
+  uint64_t num_segments() const { return segment_end - segment_begin; }
+};
+
+struct ShardPlan {
+  uint32_t period = 0;
+  double min_confidence = 0.5;
+  uint64_t min_count = 0;
+  uint32_t max_letters = 0;
+  std::vector<PlanInput> inputs;
+  std::vector<ShardSpec> shards;
+
+  /// CRC-32C of the encoded body; populated by `WritePlanFile` /
+  /// `ReadPlanFile` and stamped into shard result files.
+  uint32_t fingerprint = 0;
+
+  /// The mining parameters as `MiningOptions` (no cancel/deadline).
+  MiningOptions ToMiningOptions() const;
+};
+
+/// Splits each input -- given as (path, instant count) pairs -- into up
+/// to `shards_per_input` contiguous segment ranges of near-equal size
+/// (fewer when an input has fewer whole segments than that). Fails with
+/// `kInvalidArgument` when the options are invalid for some input or an
+/// input has no whole segment.
+Result<ShardPlan> PlanShards(
+    const std::vector<std::pair<std::string, uint64_t>>& inputs,
+    const MiningOptions& options, uint32_t shards_per_input);
+
+/// Structural invariants: valid parameters, shard ids dense `0..n-1`,
+/// ranges non-empty, in bounds, and exactly tiling each input's
+/// `[0, num_segments)` with no gap or overlap.
+Status ValidatePlan(const ShardPlan& plan);
+
+std::string EncodePlanBody(const ShardPlan& plan);
+Result<ShardPlan> DecodePlanBody(std::string_view body);
+
+/// Atomic, fsync'd write of the framed manifest; sets `plan->fingerprint`.
+Status WritePlanFile(ShardPlan* plan, const std::string& path);
+
+/// Reads, CRC-verifies, decodes, and `ValidatePlan`s a manifest.
+Result<ShardPlan> ReadPlanFile(const std::string& path);
+
+/// Canonical per-shard result path: `<results_dir>/shard-<id>.result`.
+std::string ShardResultPath(const std::string& results_dir,
+                            uint32_t shard_id);
+
+}  // namespace ppm::dist
+
+#endif  // PPM_DIST_SHARD_PLAN_H_

@@ -1,0 +1,37 @@
+#ifndef PPM_DIST_WORKER_H_
+#define PPM_DIST_WORKER_H_
+
+// The shard worker's mining kernel: one pass over the shard's segment
+// range producing the raw sufficient statistics of `ShardResult`
+// (unthresholded letter counts + unprojected segment patterns). Invoked
+// by `ppm mine --shard` in a worker process; also usable in-process
+// (dist tests and `bench_dist` run it directly).
+
+#include <cstdint>
+#include <functional>
+
+#include "dist/shard_plan.h"
+#include "dist/shard_result.h"
+#include "tsdb/time_series.h"
+#include "util/status.h"
+
+namespace ppm::dist {
+
+/// Called after each mined segment with the number of segments done so
+/// far (1-based). The `--crash-after-segments` kill seam hangs off this
+/// hook, which also makes the kill-point matrix deterministic: the Nth
+/// callback is always the same instant of progress.
+using SegmentHook = std::function<void(uint64_t segments_done)>;
+
+/// Mines shard `shard_id` of `plan` over `series` (the already-loaded
+/// input named by the shard's `input_index`). Validates that the series
+/// still matches the plan's recorded length (`kInvalidArgument` when the
+/// input changed since planning). The returned result carries the plan's
+/// fingerprint and canonical ordering, ready for `WriteShardResultFile`.
+Result<ShardResult> MineShardCounts(const tsdb::TimeSeries& series,
+                                    const ShardPlan& plan, uint32_t shard_id,
+                                    const SegmentHook& on_segment = nullptr);
+
+}  // namespace ppm::dist
+
+#endif  // PPM_DIST_WORKER_H_

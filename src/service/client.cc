@@ -5,12 +5,21 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace ppm::service {
 
-Result<std::unique_ptr<Client>> Client::Connect(
-    const std::string& socket_path) {
+namespace {
+
+/// One connect attempt. `*transient` is set when the failure is a
+/// startup race worth retrying: the daemon hasn't created the socket
+/// file yet (ENOENT) or has bound it but isn't accepting yet
+/// (ECONNREFUSED). Everything else -- permissions, a path that isn't a
+/// socket, protocol mismatch after connecting -- is permanent.
+Result<int> ConnectOnce(const std::string& socket_path, bool* transient) {
+  *transient = false;
   sockaddr_un addr = {};
   addr.sun_family = AF_UNIX;
   if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
@@ -27,13 +36,45 @@ Result<std::unique_ptr<Client>> Client::Connect(
       0) {
     const int err = errno;
     ::close(fd);
+    *transient = (err == ECONNREFUSED || err == ENOENT);
     return Status::IoError("connect(" + socket_path +
                            ") failed: " + std::strerror(err));
   }
+  return fd;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::Connect(
+    const std::string& socket_path) {
+  bool transient = false;
+  PPM_ASSIGN_OR_RETURN(const int fd, ConnectOnce(socket_path, &transient));
   std::unique_ptr<Client> client(new Client(fd));
   PPM_RETURN_IF_ERROR(wire::WriteMagic(fd));
   PPM_RETURN_IF_ERROR(wire::ExpectMagic(fd));
   return client;
+}
+
+Result<std::unique_ptr<Client>> Client::ConnectWithRetry(
+    const std::string& socket_path, uint64_t wait_ms,
+    uint64_t retry_interval_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(wait_ms);
+  if (retry_interval_ms == 0) retry_interval_ms = 1;
+  while (true) {
+    bool transient = false;
+    const Result<int> fd = ConnectOnce(socket_path, &transient);
+    if (fd.ok()) {
+      std::unique_ptr<Client> client(new Client(*fd));
+      PPM_RETURN_IF_ERROR(wire::WriteMagic(*fd));
+      PPM_RETURN_IF_ERROR(wire::ExpectMagic(*fd));
+      return client;
+    }
+    if (!transient || std::chrono::steady_clock::now() >= deadline) {
+      return fd.status();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(retry_interval_ms));
+  }
 }
 
 Client::~Client() {

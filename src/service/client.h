@@ -1,6 +1,7 @@
 #ifndef PPM_SERVICE_CLIENT_H_
 #define PPM_SERVICE_CLIENT_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -15,9 +16,22 @@ namespace ppm::service {
 /// per thread (the daemon serves each connection independently).
 class Client {
  public:
-  /// Connects and exchanges magics.
+  /// Connects and exchanges magics. A single attempt: a daemon that is
+  /// still starting up (socket file absent, or bound but not yet
+  /// listening) surfaces as kIoError.
   static Result<std::unique_ptr<Client>> Connect(
       const std::string& socket_path);
+
+  /// `Connect` with bounded retry for *transient* startup races only --
+  /// ECONNREFUSED (socket exists, nobody listening yet) and ENOENT
+  /// (daemon hasn't bound the socket yet). Retries every
+  /// `retry_interval_ms` until `wait_ms` of wall clock is spent, then
+  /// returns the last failure. Any other error (permission, bad path,
+  /// protocol mismatch) fails immediately. `wait_ms == 0` is exactly
+  /// `Connect`.
+  static Result<std::unique_ptr<Client>> ConnectWithRetry(
+      const std::string& socket_path, uint64_t wait_ms,
+      uint64_t retry_interval_ms = 20);
 
   ~Client();
 

@@ -1,0 +1,269 @@
+// Coordinator supervision against real worker processes (the `ppm`
+// binary, located via the PPM_BIN environment variable set by CMake):
+// the kill-point matrix -- workers SIGKILLed at every cut point of their
+// segment range, timed out, exiting nonzero, or dying after the durable
+// write -- must always end in a merged pattern set field-identical to
+// the uninterrupted one-shot mine, and a resumed run must re-execute
+// only the shards without valid results.
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/miner.h"
+#include "diff_harness.h"
+#include "dist/coordinator.h"
+#include "dist/merger.h"
+#include "dist/shard_plan.h"
+#include "obs/metrics.h"
+#include "tsdb/series_codec.h"
+
+namespace ppm::dist {
+namespace {
+
+const char* PpmBin() { return std::getenv("PPM_BIN"); }
+
+/// One disposable distributed workload: a series file, a written plan,
+/// and a results dir, torn down afterwards.
+class CoordinatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (PpmBin() == nullptr) {
+      GTEST_SKIP() << "PPM_BIN not set; coordinator tests need the ppm binary";
+    }
+    dir_ = testing::TempDir() + "/dist_coord_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    results_dir_ = dir_ + "/results";
+    ::mkdir(dir_.c_str(), 0755);
+
+    const diff::DiffConfig config = diff::RandomDiffConfig(21);
+    series_ = diff::MakeRandomSeries(config);
+    options_.period = config.period;
+    options_.min_confidence = config.min_confidence;
+    series_path_ = dir_ + "/input.ppmts";
+    ASSERT_TRUE(tsdb::WriteBinarySeries(series_, series_path_).ok());
+
+    auto plan = PlanShards({{series_path_, series_.length()}}, options_, 4);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    plan_ = *plan;
+    plan_path_ = dir_ + "/mine.plan";
+    ASSERT_TRUE(WritePlanFile(&plan_, plan_path_).ok());
+    obs::MetricsRegistry::Global().Reset();
+  }
+
+  void TearDown() override {
+    for (const ShardSpec& spec : plan_.shards) {
+      std::remove(ShardResultPath(results_dir_, spec.shard_id).c_str());
+    }
+    ::rmdir(results_dir_.c_str());
+    std::remove(plan_path_.c_str());
+    std::remove(series_path_.c_str());
+    ::rmdir(dir_.c_str());
+  }
+
+  CoordinatorOptions Opts() {
+    CoordinatorOptions options;
+    options.worker_binary = PpmBin();
+    options.max_parallel = 4;
+    options.backoff_initial_ms = 1;  // keep the retry matrix fast
+    options.backoff_max_ms = 20;
+    return options;
+  }
+
+  /// Asserts the merged output equals the one-shot mine of the series.
+  void ExpectExactMerge() {
+    const auto merged = MergeFromDir(plan_, results_dir_, false);
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    ASSERT_EQ(merged->inputs.size(), 1u);
+    const auto one_shot = Mine(series_, options_);
+    ASSERT_TRUE(one_shot.ok());
+    EXPECT_EQ(
+        diff::Serialize(merged->inputs[0].result, merged->inputs[0].symbols),
+        diff::Serialize(*one_shot, series_.symbols()));
+  }
+
+  std::string dir_, results_dir_, series_path_, plan_path_;
+  tsdb::TimeSeries series_;
+  MiningOptions options_;
+  ShardPlan plan_;
+};
+
+TEST_F(CoordinatorTest, CleanRunMergesExactly) {
+  const auto run = RunShards(plan_, plan_path_, results_dir_, Opts());
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->complete());
+  EXPECT_EQ(run->launched, plan_.shards.size());
+  EXPECT_EQ(run->retried, 0u);
+  EXPECT_EQ(run->adopted, 0u);
+  ExpectExactMerge();
+}
+
+TEST_F(CoordinatorTest, KillPointMatrixHealsByRetry) {
+  // Kill shard 1's worker at every cut point of its range: before any
+  // segment (0), after the first, mid-range, and after the last segment
+  // but before the write makes it durable is covered by the range end
+  // (the worker raises SIGKILL from inside the mining loop).
+  const uint64_t segments = plan_.shards[1].num_segments();
+  std::vector<uint64_t> cut_points = {0, 1, segments / 2, segments};
+  for (const uint64_t cut : cut_points) {
+    for (const ShardSpec& spec : plan_.shards) {
+      std::remove(ShardResultPath(results_dir_, spec.shard_id).c_str());
+    }
+    CoordinatorOptions options = Opts();
+    options.max_retries = 2;
+    options.chaos_args[1] = {"--crash-after-segments", std::to_string(cut),
+                             "--chaos-until-attempt", "1"};
+    const auto run = RunShards(plan_, plan_path_, results_dir_, options);
+    ASSERT_TRUE(run.ok()) << "cut point " << cut << ": "
+                          << run.status().ToString();
+    EXPECT_TRUE(run->complete()) << "cut point " << cut;
+    EXPECT_EQ(run->retried, 1u) << "cut point " << cut;
+    EXPECT_EQ(run->shards[1].attempts, 2u);
+    EXPECT_EQ(run->shards[1].last_failure.rfind("signal", 0), 0u)
+        << run->shards[1].last_failure;
+    ExpectExactMerge();
+  }
+}
+
+TEST_F(CoordinatorTest, TimeoutIsKilledAndRetried) {
+  CoordinatorOptions options = Opts();
+  options.max_retries = 1;
+  options.shard_timeout_ms = 400;
+  options.chaos_args[2] = {"--hang-ms", "60000", "--chaos-until-attempt", "1"};
+  const auto run = RunShards(plan_, plan_path_, results_dir_, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->complete());
+  EXPECT_EQ(run->shards[2].last_failure.rfind("timeout", 0), 0u)
+      << run->shards[2].last_failure;
+  const auto snapshot = obs::MetricsRegistry::Global().Snapshot();
+  const uint64_t* timeouts = snapshot.FindCounter("ppm.dist.failures.timeout");
+  ASSERT_NE(timeouts, nullptr);
+  EXPECT_EQ(*timeouts, 1u);
+  ExpectExactMerge();
+}
+
+TEST_F(CoordinatorTest, TransientExitFailureIsRetried) {
+  CoordinatorOptions options = Opts();
+  options.max_retries = 2;
+  options.chaos_args[0] = {"--fail-exit", "7", "--chaos-until-attempt", "2"};
+  const auto run = RunShards(plan_, plan_path_, results_dir_, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->complete());
+  EXPECT_EQ(run->shards[0].attempts, 3u);
+  EXPECT_EQ(run->shards[0].last_failure.rfind("exit", 0), 0u)
+      << run->shards[0].last_failure;
+  ExpectExactMerge();
+}
+
+TEST_F(CoordinatorTest, CrashAfterDurableWriteIsAdoptedNotRemined) {
+  // The worker writes a valid result, then dies. The retry's pre-launch
+  // adoption check must pick the result up without re-mining.
+  CoordinatorOptions options = Opts();
+  options.max_retries = 1;
+  options.chaos_args[3] = {"--crash-after-write", "1", "--chaos-until-attempt",
+                           "99"};
+  const auto run = RunShards(plan_, plan_path_, results_dir_, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->complete());
+  EXPECT_TRUE(run->shards[3].completed);
+  EXPECT_TRUE(run->shards[3].adopted);
+  // One launch was enough: the "retry" became an adoption.
+  EXPECT_EQ(run->launched, plan_.shards.size());
+  ExpectExactMerge();
+}
+
+TEST_F(CoordinatorTest, PermanentFailureFailsTheRunByDefault) {
+  CoordinatorOptions options = Opts();
+  options.max_retries = 1;
+  options.chaos_args[1] = {"--fail-exit", "9"};  // no gate: every attempt
+  const auto run = RunShards(plan_, plan_path_, results_dir_, options);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(CoordinatorTest, PermanentTimeoutMapsToDeadlineExceeded) {
+  CoordinatorOptions options = Opts();
+  options.max_retries = 0;
+  options.shard_timeout_ms = 300;
+  options.chaos_args[1] = {"--hang-ms", "60000"};
+  const auto run = RunShards(plan_, plan_path_, results_dir_, options);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(CoordinatorTest, PartialOkSkipsAndReportsTheLostShard) {
+  CoordinatorOptions options = Opts();
+  options.max_retries = 1;
+  options.partial_ok = true;
+  options.chaos_args[1] = {"--crash-after-segments", "1"};
+  const auto run = RunShards(plan_, plan_path_, results_dir_, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->failed, 1u);
+  EXPECT_FALSE(run->shards[1].completed);
+  EXPECT_EQ(run->shards[1].attempts, 2u);
+
+  // Strict merge refuses; partial merge reports exactly the lost range.
+  EXPECT_EQ(MergeFromDir(plan_, results_dir_, false).status().code(),
+            StatusCode::kNotFound);
+  const auto partial = MergeFromDir(plan_, results_dir_, true);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  ASSERT_EQ(partial->inputs.size(), 1u);
+  ASSERT_EQ(partial->inputs[0].missing.size(), 1u);
+  EXPECT_EQ(partial->inputs[0].missing[0].segment_begin,
+            plan_.shards[1].segment_begin);
+}
+
+TEST_F(CoordinatorTest, ResumedRunReExecutesOnlyFailedShards) {
+  // Run 1: shard 2 is killed on every attempt and abandoned (partial ok).
+  CoordinatorOptions broken = Opts();
+  broken.max_retries = 0;
+  broken.partial_ok = true;
+  broken.chaos_args[2] = {"--crash-after-segments", "1"};
+  const auto first = RunShards(plan_, plan_path_, results_dir_, broken);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->failed, 1u);
+
+  // Run 2, no chaos: the three completed shards must be adopted from
+  // their result files and only shard 2 launched -- proven both by the
+  // summary and by the ppm.dist.* counters.
+  obs::MetricsRegistry::Global().Reset();
+  const auto second = RunShards(plan_, plan_path_, results_dir_, Opts());
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->complete());
+  EXPECT_EQ(second->adopted, 3u);
+  EXPECT_EQ(second->launched, 1u);
+  EXPECT_EQ(second->retried, 0u);
+  const auto snapshot = obs::MetricsRegistry::Global().Snapshot();
+  const uint64_t* launched = snapshot.FindCounter("ppm.dist.shards.launched");
+  const uint64_t* adopted = snapshot.FindCounter("ppm.dist.shards.adopted");
+  ASSERT_NE(launched, nullptr);
+  ASSERT_NE(adopted, nullptr);
+  EXPECT_EQ(*launched, 1u);
+  EXPECT_EQ(*adopted, 3u);
+  ExpectExactMerge();
+}
+
+TEST_F(CoordinatorTest, CorruptPreexistingResultIsDiscardedAndRemined) {
+  // A garbage file squatting on shard 0's result path must not be
+  // adopted: the coordinator discards it and mines the shard for real.
+  ::mkdir(results_dir_.c_str(), 0755);
+  {
+    FILE* f = std::fopen(ShardResultPath(results_dir_, 0).c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a shard result", f);
+    std::fclose(f);
+  }
+  const auto run = RunShards(plan_, plan_path_, results_dir_, Opts());
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->complete());
+  EXPECT_EQ(run->adopted, 0u);
+  EXPECT_EQ(run->launched, plan_.shards.size());
+  ExpectExactMerge();
+}
+
+}  // namespace
+}  // namespace ppm::dist

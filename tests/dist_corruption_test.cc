@@ -1,0 +1,192 @@
+// Corruption harness for the distributed formats, mirroring
+// tsdb_corruption_test: every readable byte of the plan manifest and a
+// shard result file is truncated and bit-flipped, and the readers must
+// *detect* the damage (both formats are CRC32C-framed, so any single-bit
+// flip is caught) -- the merger refuses rather than mis-merges. Runs
+// under the sanitizer matrix in scripts/ci.sh.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/stat.h>
+
+#include "diff_harness.h"
+#include "dist/merger.h"
+#include "dist/shard_plan.h"
+#include "dist/shard_result.h"
+#include "dist/worker.h"
+
+namespace ppm::dist {
+namespace {
+
+uint64_t FaultSeed() {
+  const char* env = std::getenv("PPM_FAULT_SEED");
+  if (env == nullptr || *env == '\0') return 1;
+  return std::strtoull(env, nullptr, 10);
+}
+
+/// SplitMix64-style mix used to pick the bit to flip at each offset.
+uint32_t BitForOffset(uint64_t seed, uint64_t offset) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ull * (offset + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  return static_cast<uint32_t>((z ^ (z >> 27)) & 7);
+}
+
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A planned workload with every shard's result mined and written out.
+class DistCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/dist_corruption";
+    ::mkdir(dir_.c_str(), 0755);
+    const diff::DiffConfig config = diff::RandomDiffConfig(3);
+    series_ = diff::MakeRandomSeries(config);
+    MiningOptions options;
+    options.period = config.period;
+    options.min_confidence = config.min_confidence;
+    auto plan = PlanShards({{"mem", series_.length()}}, options, 3);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    plan_ = *plan;
+    plan_path_ = dir_ + "/mine.plan";
+    ASSERT_TRUE(WritePlanFile(&plan_, plan_path_).ok());
+    for (const ShardSpec& spec : plan_.shards) {
+      const auto mined = MineShardCounts(series_, plan_, spec.shard_id);
+      ASSERT_TRUE(mined.ok()) << mined.status().ToString();
+      ASSERT_TRUE(
+          WriteShardResultFile(*mined, ShardResultPath(dir_, spec.shard_id))
+              .ok());
+    }
+  }
+
+  void TearDown() override {
+    for (const ShardSpec& spec : plan_.shards) {
+      std::remove(ShardResultPath(dir_, spec.shard_id).c_str());
+    }
+    std::remove(plan_path_.c_str());
+    ::rmdir(dir_.c_str());
+  }
+
+  std::string dir_;
+  std::string plan_path_;
+  tsdb::TimeSeries series_;
+  ShardPlan plan_;
+};
+
+TEST_F(DistCorruptionTest, PlanTruncationAtEveryOffsetIsRejected) {
+  const std::string bytes = FileBytes(plan_path_);
+  ASSERT_GT(bytes.size(), 20u);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WriteBytes(plan_path_, bytes.substr(0, len));
+    const auto read = ReadPlanFile(plan_path_);
+    ASSERT_FALSE(read.ok()) << "plan truncated to " << len << " of "
+                            << bytes.size() << " bytes was accepted";
+    EXPECT_EQ(read.status().code(), StatusCode::kCorruption)
+        << "truncation to " << len << ": " << read.status().ToString();
+  }
+  WriteBytes(plan_path_, bytes);
+  EXPECT_TRUE(ReadPlanFile(plan_path_).ok());
+}
+
+TEST_F(DistCorruptionTest, PlanBitFlipAtEveryOffsetIsDetected) {
+  const std::string bytes = FileBytes(plan_path_);
+  const uint64_t seed = FaultSeed();
+  for (size_t offset = 0; offset < bytes.size(); ++offset) {
+    std::string corrupted = bytes;
+    corrupted[offset] = static_cast<char>(
+        static_cast<unsigned char>(corrupted[offset]) ^
+        (1u << BitForOffset(seed, offset)));
+    WriteBytes(plan_path_, corrupted);
+    EXPECT_FALSE(ReadPlanFile(plan_path_).ok())
+        << "plan accepted a flip of bit " << BitForOffset(seed, offset)
+        << " at offset " << offset << " (seed " << seed << ")";
+  }
+  WriteBytes(plan_path_, bytes);
+}
+
+TEST_F(DistCorruptionTest, ResultTruncationAtEveryOffsetIsRejected) {
+  const std::string path = ShardResultPath(dir_, 0);
+  const std::string bytes = FileBytes(path);
+  ASSERT_GT(bytes.size(), 20u);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WriteBytes(path, bytes.substr(0, len));
+    const auto read = ReadShardResultFile(path);
+    ASSERT_FALSE(read.ok()) << "result truncated to " << len << " of "
+                            << bytes.size() << " bytes was accepted";
+    EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+  }
+  WriteBytes(path, bytes);
+  EXPECT_TRUE(ReadShardResultFile(path).ok());
+}
+
+TEST_F(DistCorruptionTest, ResultBitFlipNeverReachesTheMerge) {
+  const std::string path = ShardResultPath(dir_, 1);
+  const std::string bytes = FileBytes(path);
+  const uint64_t seed = FaultSeed();
+  for (size_t offset = 0; offset < bytes.size(); ++offset) {
+    std::string corrupted = bytes;
+    corrupted[offset] = static_cast<char>(
+        static_cast<unsigned char>(corrupted[offset]) ^
+        (1u << BitForOffset(seed, offset)));
+    WriteBytes(path, corrupted);
+    EXPECT_FALSE(ReadShardResultFile(path).ok())
+        << "result accepted a flip of bit " << BitForOffset(seed, offset)
+        << " at offset " << offset << " (seed " << seed << ")";
+  }
+  WriteBytes(path, bytes);
+}
+
+TEST_F(DistCorruptionTest, CorruptResultAmongManyRefusesEvenPartialMerge) {
+  // Flip one payload bit of shard 2's file. `--partial ok` tolerates a
+  // *missing* result, never a corrupt one: silent data loss must not be
+  // upgradeable to "partial".
+  const std::string path = ShardResultPath(dir_, 2);
+  const std::string bytes = FileBytes(path);
+  std::string corrupted = bytes;
+  corrupted[bytes.size() - 1] = static_cast<char>(
+      static_cast<unsigned char>(corrupted[bytes.size() - 1]) ^ 0x10);
+  WriteBytes(path, corrupted);
+
+  for (const bool allow_partial : {false, true}) {
+    const auto merged = MergeFromDir(plan_, dir_, allow_partial);
+    ASSERT_FALSE(merged.ok()) << "allow_partial=" << allow_partial;
+    EXPECT_EQ(merged.status().code(), StatusCode::kCorruption);
+  }
+
+  // A cleanly *deleted* result, by contrast, is mergeable under partial.
+  std::remove(path.c_str());
+  EXPECT_EQ(MergeFromDir(plan_, dir_, false).status().code(),
+            StatusCode::kNotFound);
+  const auto partial = MergeFromDir(plan_, dir_, true);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  EXPECT_EQ(partial->shards_missing, 1u);
+  WriteBytes(path, bytes);
+}
+
+TEST_F(DistCorruptionTest, ResultSwappedBetweenShardsIsRejected) {
+  // Shard 0's file copied over shard 1's: the frame CRC is fine, but the
+  // payload identifies as shard 0 and must fail cross-validation.
+  const std::string bytes = FileBytes(ShardResultPath(dir_, 0));
+  WriteBytes(ShardResultPath(dir_, 1), bytes);
+  const auto merged = MergeFromDir(plan_, dir_, false);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace ppm::dist

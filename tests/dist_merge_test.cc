@@ -1,0 +1,210 @@
+// Exact-merge equivalence: for randomized workloads, mining shards
+// in-process and merging must reproduce the one-shot result
+// byte-for-byte (patterns, counts, and bit-equal confidences). Partial
+// merges must equal a one-shot mine of the covered segments. Every
+// cross-validation failure must be a refusal, never a best-effort merge.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/miner.h"
+#include "diff_harness.h"
+#include "dist/merger.h"
+#include "dist/shard_plan.h"
+#include "dist/shard_result.h"
+#include "dist/worker.h"
+
+namespace ppm::dist {
+namespace {
+
+MiningOptions OptionsFor(const diff::DiffConfig& config) {
+  MiningOptions options;
+  options.period = config.period;
+  options.min_confidence = config.min_confidence;
+  return options;
+}
+
+/// Mines every shard of `plan` in-process.
+std::vector<ShardResult> MineAllShards(const tsdb::TimeSeries& series,
+                                       const ShardPlan& plan) {
+  std::vector<ShardResult> results;
+  for (const ShardSpec& spec : plan.shards) {
+    auto mined = MineShardCounts(series, plan, spec.shard_id);
+    EXPECT_TRUE(mined.ok()) << mined.status().ToString();
+    if (mined.ok()) results.push_back(std::move(*mined));
+  }
+  return results;
+}
+
+TEST(DistMergeTest, MergedEqualsOneShotAcrossRandomWorkloads) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    const diff::DiffConfig config = diff::RandomDiffConfig(seed);
+    const tsdb::TimeSeries series = diff::MakeRandomSeries(config);
+    const MiningOptions options = OptionsFor(config);
+
+    for (uint32_t num_shards : {1u, 2u, 3u, 5u}) {
+      auto plan = PlanShards({{"mem", series.length()}}, options, num_shards);
+      ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+      plan->fingerprint = 0xfeedf00d;  // in-process: any consistent value
+
+      const std::vector<ShardResult> results = MineAllShards(series, *plan);
+      const auto merged = MergeShardResults(*plan, results, false);
+      ASSERT_TRUE(merged.ok())
+          << "seed " << seed << " shards " << num_shards << ": "
+          << merged.status().ToString();
+      ASSERT_EQ(merged->inputs.size(), 1u);
+      EXPECT_FALSE(merged->inputs[0].partial());
+
+      const auto one_shot = Mine(series, options);
+      ASSERT_TRUE(one_shot.ok()) << one_shot.status().ToString();
+      EXPECT_EQ(
+          diff::Serialize(merged->inputs[0].result, merged->inputs[0].symbols),
+          diff::Serialize(*one_shot, series.symbols()))
+          << "seed " << seed << " shards " << num_shards
+          << ": merged pattern set diverged from the one-shot mine";
+      EXPECT_EQ(merged->inputs[0].result.stats().num_periods,
+                one_shot->stats().num_periods);
+      EXPECT_EQ(merged->inputs[0].result.stats().num_f1_letters,
+                one_shot->stats().num_f1_letters);
+    }
+  }
+}
+
+TEST(DistMergeTest, PartialMergeEqualsOneShotOverCoveredSegments) {
+  for (uint64_t seed = 101; seed <= 110; ++seed) {
+    const diff::DiffConfig config = diff::RandomDiffConfig(seed);
+    const tsdb::TimeSeries series = diff::MakeRandomSeries(config);
+    const MiningOptions options = OptionsFor(config);
+    auto plan = PlanShards({{"mem", series.length()}}, options, 4);
+    ASSERT_TRUE(plan.ok());
+    if (plan->shards.size() < 2) continue;
+    plan->fingerprint = 0xfeedf00d;
+
+    std::vector<ShardResult> results = MineAllShards(series, *plan);
+    // Drop one shard (the second, so the gap is interior when possible).
+    const ShardSpec dropped = plan->shards[1];
+    results.erase(results.begin() + 1);
+
+    // Without allow_partial the merge must refuse with the re-run hint.
+    const auto strict = MergeShardResults(*plan, results, false);
+    ASSERT_FALSE(strict.ok());
+    EXPECT_EQ(strict.status().code(), StatusCode::kNotFound);
+
+    const auto partial = MergeShardResults(*plan, results, true);
+    ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+    ASSERT_EQ(partial->inputs.size(), 1u);
+    const MergedInput& merged = partial->inputs[0];
+    ASSERT_TRUE(merged.partial());
+    ASSERT_EQ(merged.missing.size(), 1u);
+    EXPECT_EQ(merged.missing[0].segment_begin, dropped.segment_begin);
+    EXPECT_EQ(merged.missing[0].segment_end, dropped.segment_end);
+    EXPECT_EQ(partial->shards_missing, 1u);
+
+    // Reference: one-shot mine of the covered segments concatenated.
+    // Counts are additive over segments and the hit-set pipeline never
+    // looks across a segment boundary, so stitching the covered ranges
+    // together is the exact ground truth for the partial merge.
+    std::vector<tsdb::FeatureSet> instants(series.instants().begin(),
+                                           series.instants().end());
+    tsdb::TimeSeries covered;
+    covered.symbols() = series.symbols();
+    for (const ShardSpec& spec : plan->shards) {
+      if (spec.shard_id == dropped.shard_id) continue;
+      for (uint64_t t = spec.segment_begin * config.period;
+           t < spec.segment_end * config.period; ++t) {
+        covered.Append(instants[t]);
+      }
+    }
+    const auto reference = Mine(covered, options);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    EXPECT_EQ(diff::Serialize(merged.result, merged.symbols),
+              diff::Serialize(*reference, covered.symbols()))
+        << "seed " << seed << ": partial merge diverged from a one-shot "
+        << "mine of the covered segments";
+    EXPECT_EQ(merged.segments_covered, reference->stats().num_periods);
+  }
+}
+
+TEST(DistMergeTest, DuplicateShardIsCorruption) {
+  const diff::DiffConfig config = diff::RandomDiffConfig(7);
+  const tsdb::TimeSeries series = diff::MakeRandomSeries(config);
+  auto plan = PlanShards({{"mem", series.length()}}, OptionsFor(config), 2);
+  ASSERT_TRUE(plan.ok());
+  plan->fingerprint = 1;
+  std::vector<ShardResult> results = MineAllShards(series, *plan);
+  ASSERT_EQ(results.size(), 2u);
+  results.push_back(results[0]);
+  const auto merged = MergeShardResults(*plan, results, false);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kCorruption);
+}
+
+TEST(DistMergeTest, ForeignFingerprintIsCorruption) {
+  const diff::DiffConfig config = diff::RandomDiffConfig(8);
+  const tsdb::TimeSeries series = diff::MakeRandomSeries(config);
+  auto plan = PlanShards({{"mem", series.length()}}, OptionsFor(config), 2);
+  ASSERT_TRUE(plan.ok());
+  plan->fingerprint = 1;
+  std::vector<ShardResult> results = MineAllShards(series, *plan);
+  results[0].plan_fingerprint = 2;  // mined under a different plan
+  const auto merged = MergeShardResults(*plan, results, false);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kCorruption);
+}
+
+TEST(DistMergeTest, TamperedCountsAreCorruption) {
+  const diff::DiffConfig config = diff::RandomDiffConfig(9);
+  const tsdb::TimeSeries series = diff::MakeRandomSeries(config);
+  auto plan = PlanShards({{"mem", series.length()}}, OptionsFor(config), 2);
+  ASSERT_TRUE(plan.ok());
+  plan->fingerprint = 1;
+
+  // A hit count above the shard's segment count cannot have been mined.
+  std::vector<ShardResult> results = MineAllShards(series, *plan);
+  ASSERT_FALSE(results[0].hits.empty());
+  results[0].hits[0].count = plan->shards[0].num_segments() + 1;
+  EXPECT_EQ(MergeShardResults(*plan, results, false).status().code(),
+            StatusCode::kCorruption);
+
+  // A shard claiming a different segment range than the plan's spec.
+  results = MineAllShards(series, *plan);
+  results[1].segment_begin += 1;
+  EXPECT_EQ(MergeShardResults(*plan, results, false).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(DistWorkerTest, RefusesSeriesThatChangedSincePlanning) {
+  const diff::DiffConfig config = diff::RandomDiffConfig(10);
+  const tsdb::TimeSeries series = diff::MakeRandomSeries(config);
+  auto plan =
+      PlanShards({{"mem", series.length() + 4}}, OptionsFor(config), 2);
+  ASSERT_TRUE(plan.ok());
+  const auto mined = MineShardCounts(series, *plan, 0);
+  ASSERT_FALSE(mined.ok());
+  EXPECT_EQ(mined.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DistResultFileTest, RoundTripsThroughDisk) {
+  const diff::DiffConfig config = diff::RandomDiffConfig(11);
+  const tsdb::TimeSeries series = diff::MakeRandomSeries(config);
+  auto plan = PlanShards({{"mem", series.length()}}, OptionsFor(config), 2);
+  ASSERT_TRUE(plan.ok());
+  plan->fingerprint = 42;
+  const auto mined = MineShardCounts(series, *plan, 1);
+  ASSERT_TRUE(mined.ok());
+
+  const std::string path = testing::TempDir() + "/shard-1.result";
+  ASSERT_TRUE(WriteShardResultFile(*mined, path).ok());
+  const auto read = ReadShardResultFile(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_TRUE(ValidateShardResult(*plan, 1, *read).ok());
+  EXPECT_EQ(read->letter_counts.size(), mined->letter_counts.size());
+  EXPECT_EQ(read->hits.size(), mined->hits.size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ppm::dist

@@ -1,0 +1,192 @@
+// Serving-path robustness: a client started before the daemon must
+// connect once the socket appears (bounded retry for the startup race),
+// non-transient failures must fail fast, and a client that disconnects
+// mid-response must cost the daemon exactly one connection -- the next
+// client is served normally (no SIGPIPE death, no wedged worker).
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "service/client.h"
+#include "service/server.h"
+#include "service/wire.h"
+#include "tsdb/time_series.h"
+
+namespace ppm::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ServiceRobustnessTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // What ppm_main.cc / ppmd_main.cc do for the real binaries: a peer
+    // hanging up mid-write must be an EPIPE error, not process death.
+    ::signal(SIGPIPE, SIG_IGN);
+  }
+
+  void SetUp() override {
+    // Unix socket paths are length-limited (~108 bytes), so keep them short.
+    dir_ = testing::TempDir() + "/svcrb_" + std::to_string(::getpid()) + "_" +
+           std::to_string(instance_++);
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    socket_ = dir_ + "/s.sock";
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::unique_ptr<PatternServer> StartServer() {
+    ServerOptions options;
+    options.socket_path = socket_;
+    auto server = PatternServer::Start(dir_ + "/db", options);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    return std::move(*server);
+  }
+
+  static tsdb::TimeSeries PeriodicSeries(uint32_t period, uint32_t segments) {
+    tsdb::TimeSeries series;
+    for (uint32_t s = 0; s < segments; ++s) {
+      for (uint32_t p = 0; p < period; ++p) {
+        if (p == 0) {
+          series.AppendNamed({"tick"});
+        } else {
+          series.AppendNamed({});
+        }
+      }
+    }
+    return series;
+  }
+
+  std::string dir_;
+  std::string socket_;
+  inline static int instance_ = 0;
+};
+
+TEST_F(ServiceRobustnessTest, ConnectWithRetryLateBindsToAStartingServer) {
+  // The client starts first and spins on ECONNREFUSED/ENOENT while the
+  // "daemon" takes its time binding the socket -- the startup race
+  // `ppm client --connect-wait-ms` absorbs.
+  std::unique_ptr<PatternServer> server;
+  std::thread late_binder([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    server = StartServer();
+  });
+  const auto client = Client::ConnectWithRetry(socket_, /*wait_ms=*/5000,
+                                               /*retry_interval_ms=*/10);
+  late_binder.join();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  wire::Request stats;
+  stats.op = wire::Op::kStats;
+  const auto response = (*client)->Call(stats);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->code, 0);
+}
+
+TEST_F(ServiceRobustnessTest, ZeroWaitFailsFastWhenNobodyListens) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto client = Client::ConnectWithRetry(socket_, /*wait_ms=*/0);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kIoError);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            1000);
+}
+
+TEST_F(ServiceRobustnessTest, RetryGivesUpAfterTheBudget) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto client = Client::ConnectWithRetry(socket_, /*wait_ms=*/200,
+                                               /*retry_interval_ms=*/10);
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_FALSE(client.ok());
+  EXPECT_GE(elapsed_ms, 200);
+  EXPECT_LT(elapsed_ms, 5000);
+}
+
+TEST_F(ServiceRobustnessTest, NonTransientErrorFailsImmediately) {
+  // A path that exists but is not a socket: connect fails with
+  // ECONNREFUSED on some systems but ENOTSOCK here -- write a plain file
+  // and use an unreachable directory instead, which yields ENOTDIR, a
+  // permanent error the retry loop must not spin on.
+  const std::string bogus = dir_ + "/file/s.sock";
+  {
+    std::ofstream out(dir_ + "/file");
+    out << "plain";
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const auto client = Client::ConnectWithRetry(bogus, /*wait_ms=*/5000,
+                                               /*retry_interval_ms=*/10);
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_FALSE(client.ok());
+  EXPECT_LT(elapsed_ms, 1000) << "retry loop spun on a permanent error";
+}
+
+TEST_F(ServiceRobustnessTest, MidResponseDisconnectDoesNotKillTheServer) {
+  auto server = StartServer();
+
+  // Seed a series large enough that its kGet response spans many socket
+  // buffer fills, so the abandoning client's hangup lands mid-write.
+  {
+    const auto client = Client::Connect(socket_);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    wire::Request put;
+    put.op = wire::Op::kPut;
+    put.name = "big";
+    put.series = PeriodicSeries(16, 20000);
+    const auto response = (*client)->Call(put);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_EQ(response->code, 0) << response->message;
+  }
+
+  // A raw rude client: handshake, send the kGet request, read one byte of
+  // the response, hang up. The daemon is mid-WriteFrame when the
+  // connection dies; that must be a per-connection EPIPE, nothing more.
+  for (int round = 0; round < 3; ++round) {
+    sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, socket_.c_str(), socket_.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+        0);
+    ASSERT_TRUE(wire::WriteMagic(fd).ok());
+    ASSERT_TRUE(wire::ExpectMagic(fd).ok());
+    wire::Request get;
+    get.op = wire::Op::kGet;
+    get.name = "big";
+    ASSERT_TRUE(wire::WriteFrame(fd, wire::EncodeRequest(get)).ok());
+    char first = 0;
+    ASSERT_EQ(::read(fd, &first, 1), 1);  // response started flowing
+    ::close(fd);                          // ... and we are gone
+  }
+
+  // The daemon must still be alive and serving.
+  const auto client = Client::Connect(socket_);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  wire::Request stats;
+  stats.op = wire::Op::kStats;
+  const auto response = (*client)->Call(stats);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->code, 0);
+}
+
+}  // namespace
+}  // namespace ppm::service
