@@ -279,6 +279,79 @@ set -e
 [[ ! -S "$SERVE_SOCK" ]] || { echo "ppmd left its socket behind"; exit 1; }
 echo "serving smoke OK: put/mine/query/append over ppmd, SIGTERM drain clean"
 
+# Overload smoke (docs/SERVING.md "Overload protection"): a 2-worker ppmd
+# with a per-tenant quota must shed a greedy tenant hammering at many times
+# its rate (exit 6, ResourceExhausted) while a polite tenant's requests all
+# succeed; --retry-budget-ms must wait out the shed and succeed; a
+# slowloris connection holding half a frame header is reaped at the io
+# deadline; health/ready probes answer inline; SIGTERM drains clean.
+OVER_SOCK="$SMOKE_DIR/over.sock"
+"$PPMD" --socket "$OVER_SOCK" --db "$SMOKE_DIR/over-db" --workers 2 \
+  --queue-capacity 16 --io-timeout-ms 300 --tenant-quota 'greedy=1:1:0' \
+  --wal-fsync never > "$SMOKE_DIR/over.log" 2>&1 &
+OVER_PID=$!
+for _ in $(seq 1 100); do [[ -S "$OVER_SOCK" ]] && break; sleep 0.1; done
+[[ -S "$OVER_SOCK" ]] || { echo "overloaded ppmd did not come up"; cat "$SMOKE_DIR/over.log"; exit 1; }
+"$PPM" client put --socket "$OVER_SOCK" --name over \
+  --input "$SMOKE_DIR/serve.bin"
+"$PPM" client health --socket "$OVER_SOCK" > "$SMOKE_DIR/over-health.out"
+grep -q '"ready_state":"accepting"' "$SMOKE_DIR/over-health.out"
+"$PPM" client ready --socket "$OVER_SOCK" | grep -q accepting
+
+# Slowloris peer in the background: half a header, then a stall. It must
+# observe EOF (the io deadline reaping it), never a hang.
+python3 - "$OVER_SOCK" > "$SMOKE_DIR/slow.out" <<'EOF' &
+import socket
+import sys
+
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sys.argv[1])
+s.settimeout(10)
+assert s.recv(8) == b"PPMRPC1\n"
+s.sendall(b"PPMRPC1\n")
+s.sendall(b"\x40\x00\x00")  # 3 of 8 header bytes, then silence
+assert s.recv(1) == b"", "server never closed the stalled connection"
+print("REAPED")
+EOF
+SLOW_PID=$!
+
+# Greedy tenant at many times its 1 rps quota: some admitted, some shed.
+GREEDY_OK=0
+GREEDY_SHED=0
+for _ in $(seq 1 15); do
+  set +e
+  "$PPM" client query --socket "$OVER_SOCK" --name over --period 20 \
+    --min-conf 0.8 --tenant greedy > /dev/null 2>&1
+  GREEDY_EXIT=$?
+  set -e
+  if [[ "$GREEDY_EXIT" == 0 ]]; then GREEDY_OK=$((GREEDY_OK + 1)); fi
+  if [[ "$GREEDY_EXIT" == 6 ]]; then GREEDY_SHED=$((GREEDY_SHED + 1)); fi
+done
+[[ "$GREEDY_OK" -ge 1 ]] || { echo "greedy tenant never admitted"; exit 1; }
+[[ "$GREEDY_SHED" -ge 1 ]] || { echo "greedy tenant at 15x quota was never shed"; exit 1; }
+
+# The polite tenant is untouched by the greedy tenant's rejections.
+for _ in $(seq 1 5); do
+  "$PPM" client query --socket "$OVER_SOCK" --name over --period 20 \
+    --min-conf 0.8 --tenant polite > /dev/null
+done
+
+# A shed greedy request succeeds once --retry-budget-ms covers the refill.
+"$PPM" client query --socket "$OVER_SOCK" --name over --period 20 \
+  --min-conf 0.8 --tenant greedy --retry-budget-ms 5000 > /dev/null
+
+wait "$SLOW_PID"
+grep -q "REAPED" "$SMOKE_DIR/slow.out"
+
+kill -TERM "$OVER_PID"
+set +e
+wait "$OVER_PID"
+OVER_EXIT=$?
+set -e
+[[ "$OVER_EXIT" == 0 ]] || { echo "overloaded ppmd SIGTERM drain exit was $OVER_EXIT, want 0"; cat "$SMOKE_DIR/over.log"; exit 1; }
+[[ ! -S "$OVER_SOCK" ]] || { echo "overloaded ppmd left its socket behind"; exit 1; }
+echo "overload smoke OK: greedy shed ($GREEDY_SHED/15), polite clean, slowloris reaped, drain clean"
+
 # Distributed chaos smoke (docs/DISTRIBUTED.md): plan a 6-shard mine, kill
 # two workers mid-shard on the first run (no retries, --partial ok), then
 # resume with a transient worker failure and an injected transient read
@@ -335,7 +408,7 @@ echo "dist chaos smoke OK: 2 workers killed mid-shard, resume + merge exact"
 # (memory errors), and UBSan (undefined behaviour). Only the tests that
 # exercise threads, tricky memory, or hostile bytes are run -- a full suite
 # per sanitizer would triple CI time for no extra coverage.
-SANITIZER_TESTS='util_thread_pool_test|parallel_mine_test|differential_test|determinism_test|boundary_test|stream_test|tsdb_corruption_test|tsdb_fault_injection_test|fault_tolerance_test|tsdb_wal_test|stream_checkpoint_test|incremental_equivalence_test|cli_stream_test|service_store_test|service_cache_test|service_wire_test|ppmd_server_test|serving_differential_test|service_robustness_test|dist_plan_test|dist_merge_test|dist_corruption_test|dist_coordinator_test'
+SANITIZER_TESTS='util_thread_pool_test|parallel_mine_test|differential_test|determinism_test|boundary_test|stream_test|tsdb_corruption_test|tsdb_fault_injection_test|fault_tolerance_test|tsdb_wal_test|stream_checkpoint_test|incremental_equivalence_test|cli_stream_test|service_store_test|service_cache_test|service_wire_test|service_admission_test|ppmd_server_test|serving_differential_test|serving_soak_test|service_robustness_test|dist_plan_test|dist_merge_test|dist_corruption_test|dist_coordinator_test'
 if [[ "$SANITIZERS" == "1" ]]; then
   for sanitizer in thread address undefined; do
     SAN_DIR="$BUILD_DIR-$sanitizer"

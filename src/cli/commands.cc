@@ -82,11 +82,12 @@ std::string UsageText() {
       "            [--query-every SEGMENTS] [--compact-every SEGMENTS]\n"
       "            [--min-conf 0.8] [--top N] [--stats-json REPORT_FILE]\n"
       "  client    talk to a running ppmd daemon over its unix socket:\n"
-      "            client put|append|get|mine|query|stats|shutdown\n"
-      "            --socket S [--name N] [--input F] [--output F]\n"
+      "            client put|append|get|mine|query|stats|health|ready|\n"
+      "            shutdown --socket S [--name N] [--input F] [--output F]\n"
       "            [--period N] [--min-conf 0.8] [--min-count N]\n"
       "            [--max-letters K] [--algorithm hitset|apriori]\n"
-      "            [--deadline-ms N] [--top N] [--stats-json REPORT_FILE]\n"
+      "            [--deadline-ms N] [--tenant T] [--retry-budget-ms N]\n"
+      "            [--top N] [--stats-json REPORT_FILE]\n"
       "            [--metrics-prom PROM_FILE] [--connect-wait-ms N]\n"
       "            (connect retries transient refusals for N ms while the\n"
       "            daemon starts; default 1000, 0 disables)\n"

@@ -85,11 +85,12 @@ Status RunClient(const ArgMap& args, std::ostream& out) {
   PPM_RETURN_IF_ERROR(args.CheckAllowed(
       {"socket", "name", "input", "output", "period", "min-conf",
        "min-count", "max-letters", "algorithm", "deadline-ms", "top",
-       "stats-json", "metrics-prom", "connect-wait-ms"}));
+       "stats-json", "metrics-prom", "connect-wait-ms", "tenant",
+       "retry-budget-ms"}));
   if (args.positional().size() != 1) {
     return Status::InvalidArgument(
         "client needs exactly one action: put, append, get, mine, query, "
-        "stats, or shutdown");
+        "stats, health, ready, or shutdown");
   }
   const std::string& action = args.positional()[0];
   const std::string socket_path = args.GetString("socket", "");
@@ -104,6 +105,9 @@ Status RunClient(const ArgMap& args, std::ostream& out) {
     request.deadline_ms = static_cast<uint32_t>(deadline_ms);
   }
   request.name = args.GetString("name", "");
+  // A non-empty tenant upgrades the request to wire v2 so the daemon can
+  // apply that tenant's admission quota; old daemons reject the marker.
+  request.tenant = args.GetString("tenant", "");
 
   if (action == "put") {
     request.op = service::wire::Op::kPut;
@@ -146,6 +150,10 @@ Status RunClient(const ArgMap& args, std::ostream& out) {
     }
   } else if (action == "stats") {
     request.op = service::wire::Op::kStats;
+  } else if (action == "health") {
+    request.op = service::wire::Op::kHealth;
+  } else if (action == "ready") {
+    request.op = service::wire::Op::kReady;
   } else if (action == "shutdown") {
     request.op = service::wire::Op::kShutdown;
   } else {
@@ -159,8 +167,24 @@ Status RunClient(const ArgMap& args, std::ostream& out) {
   PPM_ASSIGN_OR_RETURN(
       const auto client,
       service::Client::ConnectWithRetry(socket_path, connect_wait_ms));
+  // Shed requests (kResourceExhausted + a retry-after hint) are retried
+  // with capped exponential backoff until this budget is spent; 0 takes
+  // the server's first answer.
+  PPM_ASSIGN_OR_RETURN(const uint64_t retry_budget_ms,
+                       args.GetUint("retry-budget-ms", 0));
   PPM_ASSIGN_OR_RETURN(const service::wire::Response response,
-                       client->Call(request));
+                       client->CallWithRetry(request, retry_budget_ms));
+
+  if (request.op == service::wire::Op::kHealth) {
+    out << response.health_json << "\n";
+    return StatusFromWire(response);
+  }
+  if (request.op == service::wire::Op::kReady) {
+    // Prints the state, then maps non-readiness to the ResourceExhausted
+    // exit code so probes can branch on the exit status alone.
+    out << service::wire::ReadyStateName(response.ready_state) << "\n";
+    return StatusFromWire(response);
+  }
   PPM_RETURN_IF_ERROR(StatusFromWire(response));
 
   switch (request.op) {
@@ -215,6 +239,9 @@ Status RunClient(const ArgMap& args, std::ostream& out) {
     case service::wire::Op::kShutdown:
       out << "server draining\n";
       return Status::OK();
+    case service::wire::Op::kHealth:
+    case service::wire::Op::kReady:
+      break;  // Handled before the switch.
   }
   return Status::Internal("unreachable client action");
 }

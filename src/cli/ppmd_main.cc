@@ -12,6 +12,7 @@
 #include "cli/args.h"
 #include "cli/commands.h"
 #include "obs/build_info.h"
+#include "service/admission.h"
 #include "service/server.h"
 #include "tsdb/wal.h"
 #include "util/log.h"
@@ -42,9 +43,21 @@ const char kUsage[] =
     "  --socket PATH          unix socket to listen on (required)\n"
     "  --db DIR               SeriesStore catalog root (required; created\n"
     "                         if missing)\n"
-    "  --workers N            connection-serving threads (default 4)\n"
-    "  --max-inflight N       reject requests past N in flight with\n"
-    "                         ResourceExhausted (default 2x workers)\n"
+    "  --workers N            request-executing threads (default 4)\n"
+    "  --max-inflight N       legacy alias of --queue-capacity (default\n"
+    "                         2x workers)\n"
+    "  --queue-capacity N     bounded admission queue; requests past it\n"
+    "                         are shed with ResourceExhausted + a\n"
+    "                         retry-after hint (default = max-inflight)\n"
+    "  --tenant-quota SPEC    per-tenant quotas, comma-separated\n"
+    "                         tenant=rps:burst:inflight entries (0 =\n"
+    "                         unlimited); the 'default' tenant is the\n"
+    "                         fallback for tenants without an entry\n"
+    "  --io-timeout-ms N      per-connection socket read/write deadline;\n"
+    "                         a slow or stalled client is disconnected\n"
+    "                         past it (default 10000, 0 = none)\n"
+    "  --max-instants-per-series N   retention cap: series keep only\n"
+    "                         their newest N instants (default off)\n"
     "  --memory-budget-mb N   per-request mining budget; over-budget mines\n"
     "                         are rejected, not degraded (default off)\n"
     "  --cache-budget-mb N    pattern-cache residency budget (default off)\n"
@@ -59,8 +72,10 @@ const char kUsage[] =
 ppm::Status RunDaemon(const ppm::cli::ArgMap& args) {
   using ppm::Status;
   PPM_RETURN_IF_ERROR(args.CheckAllowed(
-      {"socket", "db", "workers", "max-inflight", "memory-budget-mb",
-       "cache-budget-mb", "wal-fsync", "stats-json", "metrics-prom"}));
+      {"socket", "db", "workers", "max-inflight", "queue-capacity",
+       "tenant-quota", "io-timeout-ms", "max-instants-per-series",
+       "memory-budget-mb", "cache-budget-mb", "wal-fsync", "stats-json",
+       "metrics-prom"}));
 
   ppm::service::ServerOptions options;
   options.socket_path = args.GetString("socket", "");
@@ -74,6 +89,19 @@ ppm::Status RunDaemon(const ppm::cli::ArgMap& args) {
   PPM_ASSIGN_OR_RETURN(const uint64_t max_inflight,
                        args.GetUint("max-inflight", 0));
   options.max_inflight = static_cast<uint32_t>(max_inflight);
+  PPM_ASSIGN_OR_RETURN(const uint64_t queue_capacity,
+                       args.GetUint("queue-capacity", 0));
+  options.queue_capacity = static_cast<uint32_t>(queue_capacity);
+  PPM_ASSIGN_OR_RETURN(const uint64_t io_timeout_ms,
+                       args.GetUint("io-timeout-ms", 10000));
+  options.io_timeout_ms = io_timeout_ms;
+  if (args.Has("tenant-quota")) {
+    PPM_ASSIGN_OR_RETURN(
+        options.tenant_quotas,
+        ppm::service::ParseTenantQuotas(args.GetString("tenant-quota", "")));
+  }
+  PPM_ASSIGN_OR_RETURN(options.service.max_instants_per_series,
+                       args.GetUint("max-instants-per-series", 0));
   PPM_ASSIGN_OR_RETURN(const uint64_t mine_mb,
                        args.GetUint("memory-budget-mb", 0));
   options.service.mining_memory_budget_bytes = mine_mb * (uint64_t{1} << 20);

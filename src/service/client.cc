@@ -4,6 +4,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -85,6 +86,30 @@ Result<wire::Response> Client::Call(const wire::Request& request) {
   PPM_RETURN_IF_ERROR(wire::WriteFrame(fd_, wire::EncodeRequest(request)));
   PPM_ASSIGN_OR_RETURN(std::string frame, wire::ReadFrame(fd_));
   return wire::DecodeResponse(frame);
+}
+
+Result<wire::Response> Client::CallWithRetry(const wire::Request& request,
+                                             uint64_t retry_budget_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(retry_budget_ms);
+  uint64_t backoff_ms = 50;
+  while (true) {
+    Result<wire::Response> response = Call(request);
+    if (!response.ok()) return response;
+    const bool shed =
+        response->code ==
+            static_cast<uint8_t>(StatusCode::kResourceExhausted) &&
+        response->retry_after_ms > 0;
+    if (!shed) return response;
+
+    const uint64_t sleep_ms = std::max<uint64_t>(
+        response->retry_after_ms, backoff_ms);
+    backoff_ms = std::min<uint64_t>(backoff_ms * 2, 2000);
+    const auto wake = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(sleep_ms);
+    if (wake >= deadline) return response;  // Budget spent: surface the shed.
+    std::this_thread::sleep_until(wake);
+  }
 }
 
 }  // namespace ppm::service

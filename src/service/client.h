@@ -40,6 +40,18 @@ class Client {
 
   Result<wire::Response> Call(const wire::Request& request);
 
+  /// `Call` that honors admission-control shedding: a response carrying
+  /// `kResourceExhausted` with a `retry_after_ms` hint is retried after
+  /// sleeping `max(hint, backoff)` -- backoff starts at 50 ms and doubles
+  /// per attempt, capped at 2 s -- until `retry_budget_ms` of wall clock
+  /// is spent, at which point the last shed response is returned as-is.
+  /// Rejections without a hint (drain, over-inflight, mining budget) and
+  /// every other status return immediately: only "try again later"
+  /// rejections are worth waiting out. `retry_budget_ms == 0` is exactly
+  /// `Call`.
+  Result<wire::Response> CallWithRetry(const wire::Request& request,
+                                       uint64_t retry_budget_ms);
+
  private:
   explicit Client(int fd) : fd_(fd) {}
 

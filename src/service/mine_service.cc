@@ -12,6 +12,7 @@ Result<std::unique_ptr<MineService>> MineService::Open(
   std::unique_ptr<MineService> service(new MineService(options));
   SeriesStore::Options store_options;
   store_options.wal_fsync = options.wal_fsync;
+  store_options.max_instants_per_series = options.max_instants_per_series;
   PPM_ASSIGN_OR_RETURN(service->store_, SeriesStore::Open(root, store_options));
   service->cache_ = std::make_unique<PatternCache>(
       service->store_.get(), options.cache_memory_budget_bytes);
@@ -104,6 +105,14 @@ std::string MineService::StatsJson() const {
 
 std::string MineService::MetricsProm() const {
   return obs::MetricsRegistry::Global().RenderPrometheus();
+}
+
+double MineService::CachePressure() const {
+  if (options_.cache_memory_budget_bytes == 0) return 0.0;
+  const double pressure =
+      static_cast<double>(cache_->resident_bytes()) /
+      static_cast<double>(options_.cache_memory_budget_bytes);
+  return pressure > 1.0 ? 1.0 : pressure;
 }
 
 }  // namespace ppm::service

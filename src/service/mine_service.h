@@ -32,6 +32,11 @@ struct MineServiceOptions {
   /// Cap on resident pattern-cache state (LRU-evicted past it; 0 =
   /// unbounded).
   uint64_t cache_memory_budget_bytes = 0;
+
+  /// Retention cap forwarded to `SeriesStore::Options`: series keep only
+  /// their newest N instants; overflowing appends truncate the oldest and
+  /// compact the tail WAL. 0 = unlimited.
+  uint64_t max_instants_per_series = 0;
 };
 
 /// One mine/query call.
@@ -84,6 +89,11 @@ class MineService {
 
   /// Prometheus text exposition of the metrics registry.
   std::string MetricsProm() const;
+
+  /// Pattern-cache budget pressure in [0, 1]: resident bytes over the
+  /// configured cache budget (0 when unbounded). Feeds the admission
+  /// controller's readiness state.
+  double CachePressure() const;
 
   SeriesStore& store() { return *store_; }
   PatternCache& cache() { return *cache_; }

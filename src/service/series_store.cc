@@ -138,11 +138,23 @@ Status SeriesStore::Put(const std::string& name,
                         const tsdb::TimeSeries& series) {
   std::shared_ptr<Entry> entry = FindEntry(name, /*create=*/true);
   std::lock_guard<std::mutex> lock(entry->mu);
+  // Retention applies to puts too: only the newest `cap` instants are kept.
+  tsdb::TimeSeries clamped;
+  const tsdb::TimeSeries* stored = &series;
+  const uint64_t cap = options_.max_instants_per_series;
+  if (cap > 0 && series.length() > cap) {
+    clamped = series;
+    clamped.DropFront(series.length() - cap);
+    stored = &clamped;
+    obs::MetricsRegistry::Global()
+        .GetCounter("ppm.server.store.truncated_instants")
+        .Inc(series.length() - cap);
+  }
   {
     std::lock_guard<std::mutex> db_lock(db_mu_);
-    PPM_RETURN_IF_ERROR(db_->Put(name, series));
+    PPM_RETURN_IF_ERROR(db_->Put(name, *stored));
   }
-  entry->series = series;
+  entry->series = *stored;
   entry->loaded = true;
   entry->dropped = false;
   entry->wal.reset();
@@ -221,6 +233,29 @@ Status SeriesStore::Append(
     mutation.length = entry->series.length();
     mutation.delta = &delta;
     listener_(mutation);
+  }
+
+  // Retention: an append that overflowed the cap drops the oldest instants
+  // and compacts -- the truncated payload becomes the new baseline and the
+  // tail WAL restarts after it, so recovery replays nothing stale. Its own
+  // version bump + mutation keep snapshot consumers coherent.
+  const uint64_t cap = options_.max_instants_per_series;
+  if (cap > 0 && entry->series.length() > cap) {
+    const uint64_t overflow = entry->series.length() - cap;
+    entry->series.DropFront(overflow);
+    PPM_RETURN_IF_ERROR(CompactLocked(name, entry.get()));
+    ++entry->version;
+    obs::MetricsRegistry::Global()
+        .GetCounter("ppm.server.store.truncated_instants")
+        .Inc(overflow);
+    if (listener_) {
+      Mutation mutation;
+      mutation.kind = Mutation::Kind::kTruncate;
+      mutation.name = name;
+      mutation.version = entry->version;
+      mutation.length = entry->series.length();
+      listener_(mutation);
+    }
   }
   return Status::OK();
 }

@@ -51,13 +51,19 @@ class SeriesStore {
   struct Options {
     /// Fsync mode of the per-series tail WALs.
     tsdb::WalFsync wal_fsync = tsdb::WalFsync::kAlways;
+    /// Retention cap: a series that grows past this many instants has its
+    /// oldest instants truncated (and its payload compacted, resetting the
+    /// tail WAL) on the mutation that overflowed it. 0 = unlimited.
+    uint64_t max_instants_per_series = 0;
   };
 
   /// What changed, delivered to the mutation listener *while the mutated
   /// series' lock is held* -- so a pattern cache can invalidate or feed its
   /// incremental miners without racing a concurrent query's snapshot.
   struct Mutation {
-    enum class Kind { kPut, kAppend, kDrop };
+    /// kTruncate: the retention cap dropped the series' oldest instants
+    /// (listeners must treat the series as rewritten -- offsets shifted).
+    enum class Kind { kPut, kAppend, kDrop, kTruncate };
     Kind kind = Kind::kAppend;
     std::string name;
     /// Series version after the mutation.

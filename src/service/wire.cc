@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "util/crc32c.h"
@@ -169,10 +170,30 @@ Status ReadSeries(Reader* reader, tsdb::TimeSeries* series) {
 // ---------------------------------------------------------------------------
 // Request / Response payloads.
 
+std::string ReadyStateName(uint8_t state) {
+  switch (static_cast<ReadyState>(state)) {
+    case ReadyState::kAccepting:
+      return "accepting";
+    case ReadyState::kDraining:
+      return "draining";
+    case ReadyState::kShedding:
+      return "shedding";
+  }
+  return "unknown(" + std::to_string(state) + ")";
+}
+
 std::string EncodeRequest(const Request& request) {
+  const bool needs_v2 = !request.tenant.empty() || request.op == Op::kHealth ||
+                        request.op == Op::kReady;
+  return EncodeRequest(request, needs_v2 ? 2 : 1);
+}
+
+std::string EncodeRequest(const Request& request, uint8_t version) {
   std::string out;
+  if (version >= 2) PutU8(&out, kV2Marker);
   PutU8(&out, static_cast<uint8_t>(request.op));
   PutU32(&out, request.deadline_ms);
+  if (version >= 2) PutString(&out, request.tenant);
   PutString(&out, request.name);
   switch (request.op) {
     case Op::kPut:
@@ -196,6 +217,8 @@ std::string EncodeRequest(const Request& request) {
     case Op::kGet:
     case Op::kStats:
     case Op::kShutdown:
+    case Op::kHealth:
+    case Op::kReady:
       break;
   }
   return out;
@@ -206,12 +229,21 @@ Result<Request> DecodeRequest(std::string_view payload) {
   Request request;
   uint8_t op = 0;
   PPM_RETURN_IF_ERROR(reader.U8(&op));
-  if (op < static_cast<uint8_t>(Op::kPut) ||
-      op > static_cast<uint8_t>(Op::kShutdown)) {
+  if (op == kV2Marker) {
+    request.wire_version = 2;
+    PPM_RETURN_IF_ERROR(reader.U8(&op));
+  }
+  const uint8_t max_op = request.wire_version >= 2
+                             ? static_cast<uint8_t>(Op::kReady)
+                             : static_cast<uint8_t>(Op::kShutdown);
+  if (op < static_cast<uint8_t>(Op::kPut) || op > max_op) {
     return Status::InvalidArgument("unknown PPMRPC1 op: " + std::to_string(op));
   }
   request.op = static_cast<Op>(op);
   PPM_RETURN_IF_ERROR(reader.U32(&request.deadline_ms));
+  if (request.wire_version >= 2) {
+    PPM_RETURN_IF_ERROR(reader.String(&request.tenant));
+  }
   PPM_RETURN_IF_ERROR(reader.String(&request.name));
   switch (request.op) {
     case Op::kPut:
@@ -249,6 +281,8 @@ Result<Request> DecodeRequest(std::string_view payload) {
     case Op::kGet:
     case Op::kStats:
     case Op::kShutdown:
+    case Op::kHealth:
+    case Op::kReady:
       break;
   }
   if (!reader.Done()) {
@@ -258,7 +292,12 @@ Result<Request> DecodeRequest(std::string_view payload) {
 }
 
 std::string EncodeResponse(const Response& response) {
+  return EncodeResponse(response, 1);
+}
+
+std::string EncodeResponse(const Response& response, uint8_t version) {
   std::string out;
+  if (version >= 2) PutU8(&out, kV2Marker);
   PutU8(&out, response.code);
   PutString(&out, response.message);
   PutU8(&out, response.cache_outcome);
@@ -282,13 +321,23 @@ std::string EncodeResponse(const Response& response) {
   if (response.has_series) PutSeries(&out, response.series);
   PutString(&out, response.stats_json);
   PutString(&out, response.metrics_prom);
+  if (version >= 2) {
+    PutU32(&out, response.retry_after_ms);
+    PutU8(&out, response.ready_state);
+    PutString(&out, response.health_json);
+  }
   return out;
 }
 
 Result<Response> DecodeResponse(std::string_view payload) {
   Reader reader(payload);
   Response response;
+  uint8_t version = 1;
   PPM_RETURN_IF_ERROR(reader.U8(&response.code));
+  if (response.code == kV2Marker) {
+    version = 2;
+    PPM_RETURN_IF_ERROR(reader.U8(&response.code));
+  }
   PPM_RETURN_IF_ERROR(reader.String(&response.message));
   PPM_RETURN_IF_ERROR(reader.U8(&response.cache_outcome));
   PPM_RETURN_IF_ERROR(reader.U64(&response.version));
@@ -343,6 +392,11 @@ Result<Response> DecodeResponse(std::string_view payload) {
   }
   PPM_RETURN_IF_ERROR(reader.String(&response.stats_json));
   PPM_RETURN_IF_ERROR(reader.String(&response.metrics_prom));
+  if (version >= 2) {
+    PPM_RETURN_IF_ERROR(reader.U32(&response.retry_after_ms));
+    PPM_RETURN_IF_ERROR(reader.U8(&response.ready_state));
+    PPM_RETURN_IF_ERROR(reader.String(&response.health_json));
+  }
   if (!reader.Done()) {
     return Status::InvalidArgument("trailing bytes in PPMRPC1 response");
   }
@@ -354,18 +408,49 @@ Result<Response> DecodeResponse(std::string_view payload) {
 
 namespace {
 
-Status WriteAll(int fd, const void* data, size_t n) {
+uint64_t SteadyNowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Writes exactly `n` bytes. Sends are issued with MSG_DONTWAIT so the same
+/// path serves blocking and non-blocking fds: on a full socket buffer we
+/// poll for writability -- forever when `timeout_ms` is 0, else until the
+/// overall budget is spent, at which point the peer is declared slow and the
+/// write fails with `kIoError` ("timed out") instead of pinning the caller.
+Status WriteAll(int fd, const void* data, size_t n, uint64_t timeout_ms) {
   const char* p = static_cast<const char*>(data);
+  const uint64_t start = SteadyNowMs();
   while (n > 0) {
     // MSG_NOSIGNAL: a peer that hung up yields EPIPE, not process death.
-    const ssize_t written = ::send(fd, p, n, MSG_NOSIGNAL);
-    if (written < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError(std::string("socket write failed: ") +
-                             std::strerror(errno));
+    const ssize_t written = ::send(fd, p, n, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (written > 0) {
+      p += written;
+      n -= static_cast<size_t>(written);
+      continue;
     }
-    p += written;
-    n -= static_cast<size_t>(written);
+    if (written < 0 && errno == EINTR) continue;
+    if (written < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      int wait_ms = -1;
+      if (timeout_ms > 0) {
+        const uint64_t elapsed = SteadyNowMs() - start;
+        if (elapsed >= timeout_ms) {
+          return Status::IoError("socket write timed out");
+        }
+        wait_ms = static_cast<int>(timeout_ms - elapsed);
+      }
+      struct pollfd pfd = {fd, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, wait_ms);
+      if (ready < 0 && errno != EINTR) {
+        return Status::IoError(std::string("socket poll failed: ") +
+                               std::strerror(errno));
+      }
+      continue;
+    }
+    return Status::IoError(std::string("socket write failed: ") +
+                           std::strerror(errno));
   }
   return Status::OK();
 }
@@ -390,7 +475,7 @@ Status ReadAll(int fd, void* data, size_t n,
     if (ready == 0) continue;
     const ssize_t r = ::read(fd, p + got, n - got);
     if (r < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return Status::IoError(std::string("socket read failed: ") +
                              std::strerror(errno));
     }
@@ -408,7 +493,9 @@ Status ReadAll(int fd, void* data, size_t n,
 
 }  // namespace
 
-Status WriteMagic(int fd) { return WriteAll(fd, kMagic, sizeof(kMagic)); }
+Status WriteMagic(int fd) {
+  return WriteAll(fd, kMagic, sizeof(kMagic), /*timeout_ms=*/0);
+}
 
 Status ExpectMagic(int fd) {
   char magic[sizeof(kMagic)];
@@ -420,16 +507,22 @@ Status ExpectMagic(int fd) {
   return Status::OK();
 }
 
-Status WriteFrame(int fd, std::string_view payload) {
+std::string EncodeFrame(std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 8);
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32(&out, crc32c::Value(payload.data(), payload.size()));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+Status WriteFrame(int fd, std::string_view payload, uint64_t timeout_ms) {
   if (payload.size() > kMaxFramePayloadBytes) {
     return Status::InvalidArgument("PPMRPC1 frame too large: " +
                                    std::to_string(payload.size()) + " bytes");
   }
-  std::string header;
-  PutU32(&header, static_cast<uint32_t>(payload.size()));
-  PutU32(&header, crc32c::Value(payload.data(), payload.size()));
-  PPM_RETURN_IF_ERROR(WriteAll(fd, header.data(), header.size()));
-  return WriteAll(fd, payload.data(), payload.size());
+  const std::string frame = EncodeFrame(payload);
+  return WriteAll(fd, frame.data(), frame.size(), timeout_ms);
 }
 
 Result<std::string> ReadFrame(int fd,

@@ -29,8 +29,18 @@ namespace ppm::service::wire {
 /// every length against the remaining payload and every feature id against
 /// the symbol table, so a malformed or truncated frame yields
 /// `kInvalidArgument`/`kCorruption`, never out-of-bounds access.
+///
+/// Payload versioning: the original (v1) request payload starts with the
+/// `op` byte. The multi-tenant revision (v2) starts with the marker byte
+/// `kV2Marker` (0xFF, never a valid op or status code) and adds a tenant id
+/// to requests plus retry-after / readiness fields to responses. Decoders
+/// auto-detect the layout from the first byte, so a new server accepts old
+/// clients (their requests map to the default tenant) and answers them in
+/// the layout they spoke; an old server answers a v2 frame with a clean
+/// "unknown op" error.
 inline constexpr char kMagic[8] = {'P', 'P', 'M', 'R', 'P', 'C', '1', '\n'};
 inline constexpr uint32_t kMaxFramePayloadBytes = 1u << 26;
+inline constexpr uint8_t kV2Marker = 0xff;
 
 enum class Op : uint8_t {
   kPut = 1,
@@ -40,14 +50,33 @@ enum class Op : uint8_t {
   kQuery = 5,
   kStats = 6,
   kShutdown = 7,
+  /// v2-only: liveness probe, always answered -- even while shedding.
+  kHealth = 8,
+  /// v2-only: readiness probe; non-OK while draining or shedding.
+  kReady = 9,
 };
+
+/// Admission readiness, least to most degraded (docs/SERVING.md).
+enum class ReadyState : uint8_t {
+  kAccepting = 0,
+  kDraining = 1,
+  kShedding = 2,
+};
+
+/// Human-readable form of a wire `ready_state` byte ("accepting",
+/// "draining", "shedding"; unknown bytes print as "unknown(N)").
+std::string ReadyStateName(uint8_t state);
 
 struct Request {
   Op op = Op::kQuery;
-  /// Per-request deadline in milliseconds (0 = none); the server maps it
-  /// onto the mining `Deadline` so an overdue request returns
+  /// Per-request deadline in milliseconds (0 = none); the server converts
+  /// it to an absolute deadline *at admission*, so time spent queued is
+  /// subtracted from the mining budget and an overdue request returns
   /// `kDeadlineExceeded` without disturbing other in-flight requests.
   uint32_t deadline_ms = 0;
+  /// v2: tenant id the request is accounted and rate-limited under; empty
+  /// (and every v1 request) maps to the default tenant.
+  std::string tenant;
   std::string name;
 
   /// kPut payload.
@@ -63,6 +92,10 @@ struct Request {
   uint32_t max_letters = 0;
   /// Cast of `ppm::Algorithm`.
   uint8_t algorithm = 1;
+
+  /// Layout the request was decoded from (1 or 2); responses are encoded
+  /// in the same layout so old clients never see fields they cannot parse.
+  uint8_t wire_version = 1;
 };
 
 /// One mined pattern on the wire: its letters as (position, feature-id)
@@ -95,18 +128,40 @@ struct Response {
   /// kStats result.
   std::string stats_json;
   std::string metrics_prom;
+
+  /// v2 only. On a `kResourceExhausted` rejection, a structured hint: the
+  /// server's estimate of when a retry could be admitted (0 = no hint).
+  uint32_t retry_after_ms = 0;
+  /// v2 only: cast of `ReadyState`, stamped on every v2 response.
+  uint8_t ready_state = 0;
+  /// v2 only: kHealth/kReady detail (queue depth, tenants, cache pressure).
+  std::string health_json;
 };
 
+/// Picks v2 when the request uses v2-only features (a tenant id or a
+/// health/ready op), v1 otherwise -- so a plain `ppm client` exercises the
+/// v1 compatibility path against a new server.
 std::string EncodeRequest(const Request& request);
+/// Encodes in an explicit layout (tests and version-pinned callers).
+std::string EncodeRequest(const Request& request, uint8_t version);
 Result<Request> DecodeRequest(std::string_view payload);
 
-std::string EncodeResponse(const Response& response);
+std::string EncodeResponse(const Response& response);  // v1 layout
+std::string EncodeResponse(const Response& response, uint8_t version);
 Result<Response> DecodeResponse(std::string_view payload);
 
 /// Writes the 8-byte magic / one CRC-framed payload to `fd`, retrying
-/// partial writes. `kIoError` on a closed peer.
+/// partial writes. `kIoError` on a closed peer. `timeout_ms` bounds the
+/// whole write (0 = no bound): a peer that stops reading mid-response
+/// yields `kIoError` after `timeout_ms` instead of pinning the writer
+/// forever. Works on blocking and non-blocking fds.
 Status WriteMagic(int fd);
-Status WriteFrame(int fd, std::string_view payload);
+Status WriteFrame(int fd, std::string_view payload, uint64_t timeout_ms = 0);
+
+/// Serializes the frame header (length + CRC) and payload into one buffer
+/// for writers that flush asynchronously (the server's poller). Lengths are
+/// NOT checked here -- tests use this to craft adversarial frames.
+std::string EncodeFrame(std::string_view payload);
 
 /// Reads and verifies the peer's magic.
 Status ExpectMagic(int fd);

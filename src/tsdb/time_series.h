@@ -1,6 +1,7 @@
 #ifndef PPM_TSDB_TIME_SERIES_H_
 #define PPM_TSDB_TIME_SERIES_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <initializer_list>
 #include <string_view>
@@ -35,6 +36,17 @@ class TimeSeries {
 
   /// Appends `count` empty instants (no features observed).
   void AppendEmpty(uint64_t count = 1);
+
+  /// Removes the `count` oldest instants (retention truncation). The
+  /// symbol table is untouched -- ids stay stable for the surviving tail.
+  void DropFront(uint64_t count) {
+    if (count >= instants_.size()) {
+      instants_.clear();
+      return;
+    }
+    instants_.erase(instants_.begin(),
+                    instants_.begin() + static_cast<ptrdiff_t>(count));
+  }
 
   /// Number of time instants.
   uint64_t length() const { return instants_.size(); }

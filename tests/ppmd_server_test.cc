@@ -1,17 +1,24 @@
 #include "service/server.h"
 
 #include <gtest/gtest.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "service/admission.h"
 #include "service/client.h"
 #include "service/wire.h"
 #include "tsdb/time_series.h"
+#include "util/crc32c.h"
 
 namespace ppm::service {
 namespace {
@@ -232,6 +239,397 @@ TEST_F(PatternServerTest, ConcurrentClientsAreServedCorrectly) {
   }
   for (std::thread& t : clients) t.join();
   EXPECT_EQ(failures.load(), 0);
+
+  server->RequestStop();
+  server->Wait();
+}
+
+// ---------------------------------------------------------------------------
+// Startup: stale sockets are reclaimed, live ones are respected.
+
+TEST_F(PatternServerTest, StaleSocketFileIsReclaimedOnStartup) {
+  // A SIGKILLed daemon leaves its bound socket file behind with nobody
+  // listening. Simulate it: bind + listen, then close the fd without
+  // unlinking.
+  const int stale = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(stale, 0);
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_.c_str(), socket_.size() + 1);
+  ASSERT_EQ(::bind(stale, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(stale, 1), 0);
+  ::close(stale);
+  ASSERT_TRUE(fs::exists(socket_));
+
+  // Startup must detect the dead socket, unlink it, and serve normally.
+  auto server = StartServer();
+  auto client = Client::Connect(socket_);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  wire::Request stats;
+  stats.op = wire::Op::kStats;
+  auto response = (*client)->Call(stats);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, 0);
+
+  server->RequestStop();
+  server->Wait();
+}
+
+TEST_F(PatternServerTest, LiveDaemonSocketIsNotStolen) {
+  auto server = StartServer();
+  // A second daemon on the same socket must refuse to start -- and must
+  // not unlink the live daemon's socket on the way out.
+  ServerOptions options;
+  options.socket_path = socket_;
+  auto second = PatternServer::Start(dir_ + "/db2", options);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists);
+  auto client = Client::Connect(socket_);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  server->RequestStop();
+  server->Wait();
+}
+
+TEST_F(PatternServerTest, NonSocketFileAtSocketPathIsRejected) {
+  { std::ofstream(socket_) << "precious data"; }
+  ServerOptions options;
+  options.socket_path = socket_;
+  auto server = PatternServer::Start(dir_ + "/db", options);
+  ASSERT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(fs::exists(socket_));  // The file must survive.
+}
+
+// ---------------------------------------------------------------------------
+// Health, readiness, quotas, and retry.
+
+TEST_F(PatternServerTest, HealthAndReadyAnswerInline) {
+  auto server = StartServer();
+  auto client = Client::Connect(socket_);
+  ASSERT_TRUE(client.ok());
+
+  wire::Request health;
+  health.op = wire::Op::kHealth;
+  auto health_response = (*client)->Call(health);
+  ASSERT_TRUE(health_response.ok()) << health_response.status().ToString();
+  EXPECT_EQ(health_response->code, 0);
+  EXPECT_NE(health_response->health_json.find("\"accepting\""),
+            std::string::npos)
+      << health_response->health_json;
+  EXPECT_NE(health_response->health_json.find("\"queue_depth\""),
+            std::string::npos);
+
+  wire::Request ready;
+  ready.op = wire::Op::kReady;
+  auto ready_response = (*client)->Call(ready);
+  ASSERT_TRUE(ready_response.ok());
+  EXPECT_EQ(ready_response->code, 0);
+  EXPECT_EQ(ready_response->ready_state,
+            static_cast<uint8_t>(wire::ReadyState::kAccepting));
+
+  server->RequestStop();
+  server->Wait();
+}
+
+TEST_F(PatternServerTest, TenantRateQuotaRejectsOnlyTheOffender) {
+  ServerOptions options;
+  options.tenant_quotas["greedy"] = TenantQuota{1.0, 1.0, 0};
+  auto server = StartServer(options);
+
+  auto greedy = Client::Connect(socket_);
+  auto polite = Client::Connect(socket_);
+  ASSERT_TRUE(greedy.ok());
+  ASSERT_TRUE(polite.ok());
+
+  wire::Request stats;
+  stats.op = wire::Op::kStats;
+  stats.tenant = "greedy";
+  auto first = (*greedy)->Call(stats);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->code, 0) << first->message;
+  // The burst of one is spent: the immediate second call is shed with a
+  // structured retry hint, and the connection survives.
+  auto second = (*greedy)->Call(stats);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->code,
+            static_cast<uint8_t>(StatusCode::kResourceExhausted));
+  EXPECT_GT(second->retry_after_ms, 0u);
+
+  // An unquota'd tenant is untouched by the greedy tenant's rejections.
+  wire::Request polite_stats;
+  polite_stats.op = wire::Op::kStats;
+  polite_stats.tenant = "polite";
+  for (int i = 0; i < 3; ++i) {
+    auto response = (*polite)->Call(polite_stats);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->code, 0) << response->message;
+  }
+
+  server->RequestStop();
+  server->Wait();
+}
+
+TEST_F(PatternServerTest, ShedRequestSucceedsWithinRetryBudget) {
+  ServerOptions options;
+  options.tenant_quotas["bursty"] = TenantQuota{5.0, 1.0, 0};
+  auto server = StartServer(options);
+  auto client = Client::Connect(socket_);
+  ASSERT_TRUE(client.ok());
+
+  wire::Request stats;
+  stats.op = wire::Op::kStats;
+  stats.tenant = "bursty";
+  ASSERT_TRUE((*client)->Call(stats).ok());  // Spend the burst.
+
+  // Immediately shed without retry...
+  auto shed = (*client)->Call(stats);
+  ASSERT_TRUE(shed.ok());
+  EXPECT_EQ(shed->code, static_cast<uint8_t>(StatusCode::kResourceExhausted));
+
+  // ...but admitted within a retry budget that covers the refill (200 ms
+  // at 5 rps).
+  auto retried = (*client)->CallWithRetry(stats, /*retry_budget_ms=*/5000);
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(retried->code, 0) << retried->message;
+
+  server->RequestStop();
+  server->Wait();
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial frames: a hostile or broken peer costs one connection,
+// never the server.
+
+/// A raw PPMRPC1 peer that speaks bytes, not wire::Client -- for framing
+/// attacks the real client cannot express.
+class RawPeer {
+ public:
+  explicit RawPeer(const std::string& socket_path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawPeer() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool ok() const { return fd_ >= 0; }
+
+  bool Handshake() {
+    std::string greeting(sizeof(wire::kMagic), '\0');
+    if (!ReadExactly(greeting.data(), greeting.size())) return false;
+    if (std::memcmp(greeting.data(), wire::kMagic, sizeof(wire::kMagic)) !=
+        0) {
+      return false;
+    }
+    return Send(std::string(wire::kMagic, sizeof(wire::kMagic)));
+  }
+
+  bool Send(std::string_view bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t w = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (w <= 0) return false;
+      sent += static_cast<size_t>(w);
+    }
+    return true;
+  }
+
+  bool SendByteByByte(std::string_view bytes) {
+    for (const char c : bytes) {
+      if (!Send(std::string_view(&c, 1))) return false;
+    }
+    return true;
+  }
+
+  /// Reads one response frame; empty on EOF/error.
+  std::string ReadResponsePayload() {
+    char header[8];
+    if (!ReadExactly(header, sizeof(header))) return "";
+    uint32_t length = 0;
+    for (int i = 0; i < 4; ++i) {
+      length |= static_cast<uint32_t>(static_cast<uint8_t>(header[i]))
+                << (8 * i);
+    }
+    std::string payload(length, '\0');
+    if (length > 0 && !ReadExactly(payload.data(), payload.size())) return "";
+    return payload;
+  }
+
+  /// True when the server has closed our connection (EOF within 5 s).
+  bool WaitForEof() {
+    char byte = 0;
+    struct pollfd pfd = {fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 5000);
+    if (ready <= 0) return false;
+    return ::read(fd_, &byte, 1) == 0;
+  }
+
+ private:
+  bool ReadExactly(char* out, size_t n) {
+    size_t got = 0;
+    while (got < n) {
+      struct pollfd pfd = {fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, 5000) <= 0) return false;
+      const ssize_t r = ::read(fd_, out + got, n - got);
+      if (r <= 0) return false;
+      got += static_cast<size_t>(r);
+    }
+    return true;
+  }
+
+  int fd_ = -1;
+};
+
+std::string LittleEndian32(uint32_t value) {
+  std::string out(4, '\0');
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<char>((value >> (8 * i)) & 0xFF);
+  }
+  return out;
+}
+
+TEST_F(PatternServerTest, OversizedDeclaredFrameLengthClosesConnection) {
+  auto server = StartServer();
+  RawPeer peer(socket_);
+  ASSERT_TRUE(peer.ok());
+  ASSERT_TRUE(peer.Handshake());
+  // Declared length one past the cap: the server must drop us without
+  // trying to buffer 64 MiB.
+  ASSERT_TRUE(peer.Send(LittleEndian32(wire::kMaxFramePayloadBytes + 1)));
+  ASSERT_TRUE(peer.Send(LittleEndian32(0)));  // crc (never checked)
+  EXPECT_TRUE(peer.WaitForEof());
+
+  // The server survives to serve a well-formed peer.
+  auto client = Client::Connect(socket_);
+  ASSERT_TRUE(client.ok());
+  wire::Request stats;
+  stats.op = wire::Op::kStats;
+  auto response = (*client)->Call(stats);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, 0);
+
+  server->RequestStop();
+  server->Wait();
+}
+
+TEST_F(PatternServerTest, MaximumDeclaredFrameLengthIsNotRejectedOutright) {
+  // Exactly at the cap the header is legal; the connection must stay open
+  // waiting for the payload (cut off later by the io timeout, not the
+  // length check).
+  ServerOptions options;
+  options.io_timeout_ms = 200;
+  auto server = StartServer(options);
+  RawPeer peer(socket_);
+  ASSERT_TRUE(peer.ok());
+  ASSERT_TRUE(peer.Handshake());
+  ASSERT_TRUE(peer.Send(LittleEndian32(wire::kMaxFramePayloadBytes)));
+  ASSERT_TRUE(peer.Send(LittleEndian32(0)));
+  // We never send the payload: the slow-client deadline reaps us.
+  EXPECT_TRUE(peer.WaitForEof());
+
+  server->RequestStop();
+  server->Wait();
+}
+
+TEST_F(PatternServerTest, ZeroLengthFrameIsAnsweredAsDecodeError) {
+  auto server = StartServer();
+  RawPeer peer(socket_);
+  ASSERT_TRUE(peer.ok());
+  ASSERT_TRUE(peer.Handshake());
+  // length 0, crc of the empty payload (0): a legal frame whose payload
+  // fails request decoding -- the server must answer, not hang or die.
+  ASSERT_TRUE(peer.Send(LittleEndian32(0)));
+  ASSERT_TRUE(peer.Send(LittleEndian32(crc32c::Value(nullptr, 0))));
+  const std::string payload = peer.ReadResponsePayload();
+  ASSERT_FALSE(payload.empty());
+  auto response = wire::DecodeResponse(payload);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_NE(response->code, 0);
+
+  server->RequestStop();
+  server->Wait();
+}
+
+TEST_F(PatternServerTest, HeaderDribbledOneByteAtATimeStillServes) {
+  auto server = StartServer();
+  RawPeer peer(socket_);
+  ASSERT_TRUE(peer.ok());
+  ASSERT_TRUE(peer.Handshake());
+
+  wire::Request stats;
+  stats.op = wire::Op::kStats;
+  const std::string request_payload = wire::EncodeRequest(stats);
+  const std::string frame = wire::EncodeFrame(request_payload);
+  ASSERT_TRUE(peer.SendByteByByte(frame));
+
+  const std::string payload = peer.ReadResponsePayload();
+  ASSERT_FALSE(payload.empty());
+  auto response = wire::DecodeResponse(payload);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->code, 0) << response->message;
+
+  server->RequestStop();
+  server->Wait();
+}
+
+TEST_F(PatternServerTest, ValidFrameFollowedByGarbageAnswersThenCloses) {
+  auto server = StartServer();
+  RawPeer peer(socket_);
+  ASSERT_TRUE(peer.ok());
+  ASSERT_TRUE(peer.Handshake());
+
+  wire::Request stats;
+  stats.op = wire::Op::kStats;
+  std::string bytes = wire::EncodeFrame(wire::EncodeRequest(stats));
+  bytes.append(16, '\xAB');  // Parsed as an oversized next header.
+  ASSERT_TRUE(peer.Send(bytes));
+
+  const std::string payload = peer.ReadResponsePayload();
+  ASSERT_FALSE(payload.empty());
+  auto response = wire::DecodeResponse(payload);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, 0) << response->message;
+  EXPECT_TRUE(peer.WaitForEof());
+
+  server->RequestStop();
+  server->Wait();
+}
+
+TEST_F(PatternServerTest, SlowClientCostsOneFdNotAWorker) {
+  ServerOptions options;
+  options.io_timeout_ms = 150;
+  options.num_workers = 1;
+  auto server = StartServer(options);
+
+  // A slowloris peer: sends half a header, then stalls.
+  RawPeer slow(socket_);
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(slow.Handshake());
+  ASSERT_TRUE(slow.Send(LittleEndian32(64)));  // Header half; no payload.
+
+  // The single worker must stay available to a well-behaved client while
+  // the slow peer stalls.
+  auto client = Client::Connect(socket_);
+  ASSERT_TRUE(client.ok());
+  wire::Request stats;
+  stats.op = wire::Op::kStats;
+  auto response = (*client)->Call(stats);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, 0);
+
+  // And the stalled connection is reaped at the io deadline.
+  EXPECT_TRUE(slow.WaitForEof());
 
   server->RequestStop();
   server->Wait();

@@ -205,6 +205,80 @@ TEST_F(SeriesStoreTest, StaleTailWalFromOldPayloadIsIgnored) {
   EXPECT_EQ(snapshot->series.length(), 1u);
 }
 
+TEST_F(SeriesStoreTest, RetentionCapTruncatesOldestOnAppend) {
+  SeriesStore::Options options;
+  options.max_instants_per_series = 4;
+  auto store = SeriesStore::Open(root_, options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("s", MakeSeries({"a", "b", "c"})).ok());
+  ASSERT_TRUE((*store)->Append("s", {{"d"}, {"e"}, {"f"}}).ok());
+
+  auto snapshot = (*store)->Snapshot("s");
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  ASSERT_EQ(snapshot->series.length(), 4u);
+  // The two oldest instants ("a", "b") are gone; the survivors keep their
+  // feature ids ("c" interned first, so its id is stable).
+  const auto c_id = snapshot->series.symbols().Lookup("c");
+  ASSERT_TRUE(c_id.ok());
+  EXPECT_TRUE(snapshot->series.at(0).Test(*c_id));
+
+  // The truncated payload is the durable baseline: a fresh process must
+  // see the same four instants, not a replay of the pre-truncation tail.
+  auto reopened = SeriesStore::Open(root_, options);
+  ASSERT_TRUE(reopened.ok());
+  auto recovered = (*reopened)->Snapshot("s");
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ASSERT_EQ(recovered->series.length(), 4u);
+  EXPECT_TRUE(recovered->series.at(0).Test(*c_id));
+}
+
+TEST_F(SeriesStoreTest, RetentionCapClampsOversizedPut) {
+  SeriesStore::Options options;
+  options.max_instants_per_series = 2;
+  auto store = SeriesStore::Open(root_, options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("s", MakeSeries({"a", "b", "c", "d", "e"})).ok());
+
+  auto snapshot = (*store)->Snapshot("s");
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  ASSERT_EQ(snapshot->series.length(), 2u);
+  const auto d_id = snapshot->series.symbols().Lookup("d");
+  const auto e_id = snapshot->series.symbols().Lookup("e");
+  ASSERT_TRUE(d_id.ok());
+  ASSERT_TRUE(e_id.ok());
+  EXPECT_TRUE(snapshot->series.at(0).Test(*d_id));
+  EXPECT_TRUE(snapshot->series.at(1).Test(*e_id));
+}
+
+TEST_F(SeriesStoreTest, RetentionTruncationBumpsVersionAndNotifies) {
+  SeriesStore::Options options;
+  options.max_instants_per_series = 3;
+  auto store = SeriesStore::Open(root_, options);
+  ASSERT_TRUE(store.ok());
+  std::vector<SeriesStore::Mutation::Kind> kinds;
+  std::vector<uint64_t> versions;
+  (*store)->SetMutationListener([&](const SeriesStore::Mutation& m) {
+    kinds.push_back(m.kind);
+    versions.push_back(m.version);
+  });
+  ASSERT_TRUE((*store)->Put("s", MakeSeries({"a", "b"})).ok());
+  ASSERT_TRUE((*store)->Append("s", {{"c"}, {"d"}}).ok());
+
+  // The overflowing append notifies twice -- the append itself, then the
+  // truncation -- each with its own version, so a cached (version, length)
+  // claim can never describe the pre-truncation contents.
+  ASSERT_EQ(kinds.size(), 3u);
+  EXPECT_EQ(kinds[0], SeriesStore::Mutation::Kind::kPut);
+  EXPECT_EQ(kinds[1], SeriesStore::Mutation::Kind::kAppend);
+  EXPECT_EQ(kinds[2], SeriesStore::Mutation::Kind::kTruncate);
+  EXPECT_LT(versions[1], versions[2]);
+
+  auto version_length = (*store)->VersionAndLength("s");
+  ASSERT_TRUE(version_length.ok());
+  EXPECT_EQ(version_length->first, versions[2]);
+  EXPECT_EQ(version_length->second, 3u);
+}
+
 TEST_F(SeriesStoreTest, LoadSeriesFileRejectsEmptyPath) {
   EXPECT_EQ(LoadSeriesFile("").status().code(), StatusCode::kInvalidArgument);
 }

@@ -109,6 +109,99 @@ TEST(WireTest, GetResponseSeriesRoundTrip) {
   EXPECT_EQ(decoded->series.length(), 1u);
 }
 
+TEST(WireTest, V2RequestCarriesTenantAndRoundTrips) {
+  Request request = MakeMineRequest();
+  request.tenant = "team-alpha";
+  const std::string encoded = EncodeRequest(request);
+  ASSERT_FALSE(encoded.empty());
+  EXPECT_EQ(static_cast<uint8_t>(encoded[0]), kV2Marker);
+  auto decoded = DecodeRequest(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->wire_version, 2);
+  EXPECT_EQ(decoded->tenant, "team-alpha");
+  EXPECT_EQ(decoded->op, Op::kMine);
+  EXPECT_EQ(decoded->name, "sensor.42");
+  EXPECT_EQ(decoded->min_confidence, 0.625);
+}
+
+TEST(WireTest, V1RequestStaysByteCompatible) {
+  // A request with no v2 features must encode in the original layout: no
+  // marker byte, op first -- an old server keeps understanding new clients.
+  const Request request = MakeMineRequest();
+  const std::string encoded = EncodeRequest(request);
+  EXPECT_EQ(static_cast<uint8_t>(encoded[0]), static_cast<uint8_t>(Op::kMine));
+  auto decoded = DecodeRequest(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->wire_version, 1);
+  EXPECT_TRUE(decoded->tenant.empty());
+}
+
+TEST(WireTest, HealthAndReadyOpsAreV2Only) {
+  for (const Op op : {Op::kHealth, Op::kReady}) {
+    Request request;
+    request.op = op;
+    const std::string encoded = EncodeRequest(request);
+    EXPECT_EQ(static_cast<uint8_t>(encoded[0]), kV2Marker);
+    auto decoded = DecodeRequest(encoded);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->op, op);
+    // The same op in a v1 layout is out of range for a v1 decoder.
+    auto v1 = DecodeRequest(EncodeRequest(request, 1));
+    EXPECT_FALSE(v1.ok());
+  }
+}
+
+TEST(WireTest, V2ResponseCarriesRetryHintAndReadyState) {
+  Response response;
+  response.code = 10;  // kResourceExhausted
+  response.message = "tenant over quota";
+  response.retry_after_ms = 250;
+  response.ready_state = static_cast<uint8_t>(ReadyState::kShedding);
+  response.health_json = "{\"queue_depth\":9}";
+  const std::string encoded = EncodeResponse(response, 2);
+  EXPECT_EQ(static_cast<uint8_t>(encoded[0]), kV2Marker);
+  auto decoded = DecodeResponse(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->code, 10);
+  EXPECT_EQ(decoded->retry_after_ms, 250u);
+  EXPECT_EQ(decoded->ready_state, static_cast<uint8_t>(ReadyState::kShedding));
+  EXPECT_EQ(decoded->health_json, "{\"queue_depth\":9}");
+}
+
+TEST(WireTest, V1ResponseDropsV2FieldsAndStaysCompatible) {
+  Response response;
+  response.code = 0;
+  response.retry_after_ms = 999;  // Must not leak into a v1 payload.
+  const std::string v1 = EncodeResponse(response, 1);
+  EXPECT_EQ(v1, EncodeResponse(response));
+  auto decoded = DecodeResponse(v1);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->retry_after_ms, 0u);
+  EXPECT_EQ(decoded->ready_state, 0);
+}
+
+TEST(WireTest, V2TruncatedPayloadIsRejectedAtEveryPrefix) {
+  Request request = MakeMineRequest();
+  request.tenant = "t";
+  const std::string encoded = EncodeRequest(request);
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    auto decoded = DecodeRequest(std::string_view(encoded.data(), len));
+    EXPECT_FALSE(decoded.ok()) << "prefix length " << len;
+  }
+  EXPECT_TRUE(DecodeRequest(encoded).ok());
+
+  Response response;
+  response.code = 10;
+  response.retry_after_ms = 100;
+  response.health_json = "{}";
+  const std::string resp = EncodeResponse(response, 2);
+  for (size_t len = 0; len < resp.size(); ++len) {
+    auto decoded = DecodeResponse(std::string_view(resp.data(), len));
+    EXPECT_FALSE(decoded.ok()) << "prefix length " << len;
+  }
+  EXPECT_TRUE(DecodeResponse(resp).ok());
+}
+
 TEST(WireTest, TruncatedPayloadIsRejectedAtEveryPrefix) {
   // Every proper prefix must fail cleanly (no crash, no OOB) -- the
   // decoder bounds-checks each read against the remaining payload.
